@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction bench binaries: the
+ * paper's workload list (Section VI-A2), uniform headers, and small
+ * formatting utilities. Every bench prints the rows/series of one
+ * paper table or figure; EXPERIMENTS.md records paper-vs-measured.
+ */
+
+#ifndef PMNET_BENCH_BENCH_UTIL_H
+#define PMNET_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "testbed/system.h"
+
+namespace pmnet::benchutil {
+
+/** One evaluated workload (paper Section VI-A2). */
+struct WorkloadSpec
+{
+    enum class Driver { Ycsb, Retwis, Tpcc };
+
+    std::string name;
+    kv::KvKind kind = kv::KvKind::Hashmap;
+    /** Original workload is TCP-based (Redis, Twitter, TPCC). */
+    bool tcp = false;
+    Driver driver = Driver::Ycsb;
+    /** Fixed app overhead per request (full-server event loop). */
+    TickDelta appOverhead = 0;
+
+    /** Workload factory with the requested update ratio. */
+    testbed::WorkloadFactory
+    factory(double update_ratio, std::size_t value_size = 100) const
+    {
+        Driver d = driver;
+        switch (d) {
+          case Driver::Ycsb: {
+            return [update_ratio, value_size](std::uint16_t session) {
+                apps::YcsbConfig config;
+                config.keyCount = 20000;
+                config.updateRatio = update_ratio;
+                config.valueSize = value_size;
+                return apps::makeYcsbWorkload(config, session);
+            };
+          }
+          case Driver::Retwis: {
+            return [update_ratio](std::uint16_t session) {
+                apps::RetwisConfig config;
+                config.updateRatio = update_ratio;
+                return apps::makeRetwisWorkload(config, session);
+            };
+          }
+          case Driver::Tpcc: {
+            return [update_ratio](std::uint16_t session) {
+                apps::TpccConfig config;
+                config.updateRatio = update_ratio;
+                return apps::makeTpccWorkload(config, session);
+            };
+          }
+        }
+        return {};
+    }
+};
+
+/** The paper's eight workloads (five PMDK KV + Redis/Twitter/TPCC). */
+inline std::vector<WorkloadSpec>
+paperWorkloads()
+{
+    using Driver = WorkloadSpec::Driver;
+    return {
+        {"btree", kv::KvKind::BTree, false, Driver::Ycsb},
+        {"ctree", kv::KvKind::CTree, false, Driver::Ycsb},
+        {"rbtree", kv::KvKind::RBTree, false, Driver::Ycsb},
+        {"hashmap", kv::KvKind::Hashmap, false, Driver::Ycsb},
+        {"skiplist", kv::KvKind::SkipList, false, Driver::Ycsb},
+        {"redis", kv::KvKind::Hashmap, true, Driver::Ycsb,
+         microseconds(8.0)},
+        {"twitter", kv::KvKind::Hashmap, true, Driver::Retwis,
+         microseconds(8.0)},
+        {"tpcc", kv::KvKind::Hashmap, true, Driver::Tpcc,
+         microseconds(8.0)},
+    };
+}
+
+/** Key-value-store workloads only (the Fig 20 caching experiment). */
+inline std::vector<WorkloadSpec>
+kvWorkloads()
+{
+    auto all = paperWorkloads();
+    all.resize(6); // drop twitter + tpcc (complex queries, uncacheable)
+    return all;
+}
+
+/** Uniform bench banner. */
+inline void
+printHeader(const char *title, const char *paper_ref,
+            const char *expectation)
+{
+    std::printf("== %s ==\n", title);
+    std::printf("reproduces: %s\n", paper_ref);
+    std::printf("paper expectation: %s\n\n", expectation);
+}
+
+inline double
+us(double ns)
+{
+    return ns / 1000.0;
+}
+
+inline double
+us(TickDelta ns)
+{
+    return static_cast<double>(ns) / 1000.0;
+}
+
+} // namespace pmnet::benchutil
+
+#endif // PMNET_BENCH_BENCH_UTIL_H

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Fig 2 reproduction: latency breakdown of an update request in the
+ * Client-Server baseline.
+ *
+ * The paper's claim: the server side (kernel network stack + request
+ * processing) accounts for ~70% of the update RTT on average, which
+ * is exactly the portion PMNet takes off the critical path.
+ *
+ * Method: measure the full RTT on the baseline testbed, then measure
+ * a "network-only" RTT against a zero-cost server (stack and handler
+ * costs zeroed) to isolate client-side + wire time. The server-side
+ * share is the difference. The analytic composition from the
+ * calibrated constants is printed alongside as a cross-check.
+ */
+
+#include "bench_util.h"
+
+using namespace pmnet;
+using namespace pmnet::benchutil;
+
+namespace {
+
+testbed::TestbedConfig
+config100B()
+{
+    testbed::TestbedConfig config;
+    config.mode = testbed::SystemMode::ClientServer;
+    config.clientCount = 1;
+    config.serverKind = testbed::ServerKind::Ideal;
+    config.workload = [](std::uint16_t session) {
+        apps::YcsbConfig ycsb;
+        ycsb.updateRatio = 1.0;
+        ycsb.valueSize = 100;
+        return apps::makeYcsbWorkload(ycsb, session);
+    };
+    return config;
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeader("Fig 2: update-request latency breakdown",
+                "Fig 2 (Section II-B)",
+                "server-side (stack + processing) ~= 70% of RTT");
+
+    // Full baseline RTT.
+    testbed::TestbedConfig full = config100B();
+    testbed::Testbed full_bed(full);
+    auto full_results = full_bed.run(milliseconds(2), milliseconds(20));
+    double rtt = full_results.updateLatency.mean();
+
+    // Zero the server side to isolate client + network time.
+    testbed::TestbedConfig net_only = config100B();
+    net_only.idealHandlerCost = 0;
+    net_only.server.dispatchLatency = 0;
+    stack::StackProfile zero;
+    zero.txBase = zero.rxBase = zero.txPerPacket = 0;
+    zero.txPerByte = zero.rxPerByte = 0.0;
+    testbed::Testbed net_bed(net_only);
+    net_bed.serverHost().setProfile(zero);
+    auto net_results = net_bed.run(milliseconds(2), milliseconds(20));
+    double client_net = net_results.updateLatency.mean();
+
+    double server_side = rtt - client_net;
+
+    // Analytic composition from the calibrated constants.
+    auto client = full.clientProfile();
+    auto server = full.serverProfile();
+    double payload = 100 + 16; // value + SET envelope
+    double client_stack =
+        us(static_cast<double>(client.txBase + client.rxBase) +
+           client.txPerByte * payload + client.rxPerByte * payload);
+    double server_stack =
+        us(static_cast<double>(server.txBase + server.rxBase) +
+           server.txPerByte * payload + server.rxPerByte * payload);
+    double processing = us(static_cast<double>(
+        full.dispatchLatency() + full.idealHandlerCost));
+
+    TablePrinter table({"component", "measured (us)", "share"});
+    table.addRow({"client stack + wire", TablePrinter::fmt(us(client_net)),
+                  TablePrinter::fmt(client_net / rtt * 100, 1) + "%"});
+    table.addRow({"server stack + processing",
+                  TablePrinter::fmt(us(server_side)),
+                  TablePrinter::fmt(server_side / rtt * 100, 1) + "%"});
+    table.addRow({"total RTT", TablePrinter::fmt(us(rtt)), "100%"});
+    table.print();
+
+    std::printf("\nanalytic cross-check (constants): client stack "
+                "%.1f us, server stack %.1f us, processing %.1f us\n",
+                client_stack, server_stack, processing);
+    std::printf("server-side share: %.1f%% (paper: ~70%%)\n",
+                server_side / rtt * 100);
+    return 0;
+}

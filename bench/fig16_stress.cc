@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Fig 16 reproduction: bandwidth vs latency under stress.
+ *
+ * Client instances scale up while each keeps sending 1000 B updates
+ * (ideal handler). Paper expectations: latency flat at low load for
+ * all three systems, PMNet consistently below the baseline, and a
+ * latency spike as offered load reaches the 10 Gbps physical limit.
+ */
+
+#include "bench_util.h"
+
+using namespace pmnet;
+using namespace pmnet::benchutil;
+
+namespace {
+
+struct Point
+{
+    double gbps;
+    double mean_us;
+    double p99_us;
+};
+
+Point
+measure(testbed::SystemMode mode, int clients)
+{
+    testbed::TestbedConfig config;
+    config.mode = mode;
+    config.clientCount = clients;
+    config.serverKind = testbed::ServerKind::Ideal;
+    config.workload = [](std::uint16_t session) {
+        apps::YcsbConfig ycsb;
+        ycsb.updateRatio = 1.0;
+        ycsb.valueSize = 1000;
+        return apps::makeYcsbWorkload(ycsb, session);
+    };
+    testbed::Testbed bed(std::move(config));
+    auto results = bed.run(milliseconds(2), milliseconds(20));
+
+    Point point;
+    // Offered bandwidth = completed requests x on-wire request size.
+    double wire_bits =
+        results.opsPerSecond *
+        (1000 + 20 /*cmd env*/ + net::Packet::kEnvelopeBytes +
+         net::PmnetHeader::kWireSize) *
+        8;
+    point.gbps = wire_bits / 1e9;
+    point.mean_us = us(results.updateLatency.mean());
+    point.p99_us = us(results.updateLatency.percentile(99));
+    return point;
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeader("Fig 16: bandwidth vs latency under stress (1000B)",
+                "Fig 16 (Section VI-B1)",
+                "flat latency until the 10 Gbps limit, then a spike; "
+                "PMNet below baseline pre-knee");
+
+    TablePrinter table({"clients", "cs Gbps", "cs mean(us)",
+                        "sw Gbps", "sw mean(us)", "sw p99(us)",
+                        "nic Gbps", "nic mean(us)"});
+
+    for (int clients : {1, 2, 4, 8, 16, 24, 32, 48, 64, 96, 128}) {
+        Point cs = measure(testbed::SystemMode::ClientServer, clients);
+        Point sw = measure(testbed::SystemMode::PmnetSwitch, clients);
+        Point nic = measure(testbed::SystemMode::PmnetNic, clients);
+        table.addRow({std::to_string(clients),
+                      TablePrinter::fmt(cs.gbps),
+                      TablePrinter::fmt(cs.mean_us, 1),
+                      TablePrinter::fmt(sw.gbps),
+                      TablePrinter::fmt(sw.mean_us, 1),
+                      TablePrinter::fmt(sw.p99_us, 1),
+                      TablePrinter::fmt(nic.gbps),
+                      TablePrinter::fmt(nic.mean_us, 1)});
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Fig 19 reproduction: throughput of the real workloads under PMNet,
+ * normalized to the Client-Server baseline, with the update ratio
+ * swept from 100% down to 25%.
+ *
+ * Workloads (Section VI-A2): the five PMDK structures and Redis driven
+ * by the YCSB-like client, plus Twitter (Retwis) and TPCC. The
+ * TCP-native workloads keep TCP in the baseline and pay the 9%
+ * conversion tax under PMNet (Section VI-A3).
+ *
+ * Paper expectations: 4.31x average speedup at 100% updates,
+ * decreasing as the read share grows (reads gain nothing without the
+ * cache — see fig20 for the cached variant).
+ */
+
+#include "bench_util.h"
+
+using namespace pmnet;
+using namespace pmnet::benchutil;
+
+namespace {
+
+double
+throughput(const WorkloadSpec &spec, testbed::SystemMode mode,
+           double update_ratio)
+{
+    testbed::TestbedConfig config;
+    config.mode = mode;
+    config.clientCount = 16;
+    config.storeKind = spec.kind;
+    config.tcpWorkload = spec.tcp;
+    config.appOverhead = spec.appOverhead;
+    config.workload = spec.factory(update_ratio);
+    testbed::Testbed bed(std::move(config));
+    auto results = bed.run(milliseconds(3), milliseconds(25));
+    return results.opsPerSecond;
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeader("Fig 19: normalized throughput vs update ratio",
+                "Fig 19 (Section VI-B3)",
+                "4.31x mean speedup at 100% updates, decreasing with "
+                "the read share");
+
+    TablePrinter table({"workload", "100% upd", "75% upd", "50% upd",
+                        "25% upd", "baseline ops/s @100%"});
+
+    std::vector<double> ratios = {1.0, 0.75, 0.5, 0.25};
+    std::vector<double> mean_speedup(ratios.size(), 0.0);
+    auto workloads = paperWorkloads();
+
+    for (const WorkloadSpec &spec : workloads) {
+        std::vector<std::string> row{spec.name};
+        double base100 = 0;
+        for (std::size_t r = 0; r < ratios.size(); r++) {
+            double base = throughput(spec,
+                                     testbed::SystemMode::ClientServer,
+                                     ratios[r]);
+            double fast = throughput(spec,
+                                     testbed::SystemMode::PmnetSwitch,
+                                     ratios[r]);
+            double speedup = fast / base;
+            mean_speedup[r] += speedup;
+            row.push_back(TablePrinter::fmt(speedup) + "x");
+            if (r == 0)
+                base100 = base;
+        }
+        row.push_back(TablePrinter::fmt(base100, 0));
+        table.addRow(row);
+    }
+
+    std::vector<std::string> avg{"MEAN"};
+    for (std::size_t r = 0; r < ratios.size(); r++)
+        avg.push_back(TablePrinter::fmt(mean_speedup[r] /
+                                        static_cast<double>(
+                                            workloads.size())) +
+                      "x");
+    avg.push_back("-");
+    table.addRow(avg);
+    table.print();
+    std::printf("\n(paper: 4.31x mean at 100%% updates)\n");
+    return 0;
+}

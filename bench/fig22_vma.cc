@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Fig 22 reproduction: update throughput with an optimized (libVMA)
+ * user-space network stack, ideal request handler.
+ *
+ * Four designs: Client-Server, PMNet, Client-Server + libVMA,
+ * PMNet + libVMA. Paper expectations: PMNet provides 3.08x better
+ * throughput with kernel stacks and still 3.56x with libVMA — the
+ * stack optimization shrinks everyone's RTT, but the server's
+ * remaining processing time stays on the baseline's critical path.
+ */
+
+#include "bench_util.h"
+
+using namespace pmnet;
+using namespace pmnet::benchutil;
+
+namespace {
+
+double
+throughput(testbed::SystemMode mode, bool vma)
+{
+    testbed::TestbedConfig config;
+    config.mode = mode;
+    config.vmaStack = vma;
+    config.clientCount = 16;
+    config.serverKind = testbed::ServerKind::Ideal;
+    config.workload = [](std::uint16_t session) {
+        apps::YcsbConfig ycsb;
+        ycsb.updateRatio = 1.0;
+        ycsb.valueSize = 100;
+        return apps::makeYcsbWorkload(ycsb, session);
+    };
+    testbed::Testbed bed(std::move(config));
+    auto results = bed.run(milliseconds(3), milliseconds(25));
+    return results.opsPerSecond;
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeader("Fig 22: update throughput with an optimized stack",
+                "Fig 22 (Section VI-B7)",
+                "PMNet 3.08x without libVMA, 3.56x with libVMA");
+
+    double cs = throughput(testbed::SystemMode::ClientServer, false);
+    double pm = throughput(testbed::SystemMode::PmnetSwitch, false);
+    double cs_vma = throughput(testbed::SystemMode::ClientServer, true);
+    double pm_vma = throughput(testbed::SystemMode::PmnetSwitch, true);
+
+    TablePrinter table({"design", "throughput (ops/s)", "vs baseline"});
+    table.addRow({"client-server", TablePrinter::fmt(cs, 0), "1.00x"});
+    table.addRow({"pmnet", TablePrinter::fmt(pm, 0),
+                  TablePrinter::fmt(pm / cs) + "x"});
+    table.addRow({"client-server + libVMA", TablePrinter::fmt(cs_vma, 0),
+                  TablePrinter::fmt(cs_vma / cs) + "x"});
+    table.addRow({"pmnet + libVMA", TablePrinter::fmt(pm_vma, 0),
+                  TablePrinter::fmt(pm_vma / cs) + "x"});
+    table.print();
+
+    std::printf("\nspeedup without libVMA: %.2fx (paper: 3.08x)\n",
+                pm / cs);
+    std::printf("speedup with libVMA:    %.2fx (paper: 3.56x)\n",
+                pm_vma / cs_vma);
+    return 0;
+}

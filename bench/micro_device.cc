@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the data-plane primitives: log
+ * store operations, SRAM queue admission, read-cache transitions,
+ * header hashing and packet serialization. These measure the host
+ * cost of the simulator's hot paths (not simulated time).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "apps/kv_protocol.h"
+#include "common/crc32.h"
+#include "pm/log_queue.h"
+#include "pm/log_store.h"
+#include "pmnet/read_cache.h"
+
+namespace {
+
+using namespace pmnet;
+
+net::PacketPtr
+updatePacket(std::uint32_t seq)
+{
+    return net::makePmnetPacket(1, 2, net::PacketType::UpdateReq, 0, seq,
+                                Bytes(100));
+}
+
+void
+BM_LogStoreInsertErase(benchmark::State &state)
+{
+    pm::DevicePmConfig config;
+    config.capacityBytes = 1 << 24;
+    pm::PmLogStore store(config);
+    auto pkt = updatePacket(1);
+    std::uint32_t hash = pkt->pmnet->hashVal;
+    for (auto _ : state) {
+        store.insert(hash, pkt, 0);
+        store.erase(hash);
+    }
+}
+BENCHMARK(BM_LogStoreInsertErase);
+
+void
+BM_LogStoreLookup(benchmark::State &state)
+{
+    pm::DevicePmConfig config;
+    config.capacityBytes = 1 << 24;
+    pm::PmLogStore store(config);
+    auto pkt = updatePacket(1);
+    store.insert(pkt->pmnet->hashVal, pkt, 0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(store.lookup(pkt->pmnet->hashVal));
+}
+BENCHMARK(BM_LogStoreLookup);
+
+void
+BM_LogQueueAdmit(benchmark::State &state)
+{
+    pm::LogQueue queue(1 << 20, {});
+    Tick now = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(queue.admitWrite(157, now));
+        now += 1000;
+    }
+}
+BENCHMARK(BM_LogQueueAdmit);
+
+void
+BM_ReadCacheUpdateAckCycle(benchmark::State &state)
+{
+    pmnetdev::ReadCache cache(1 << 16);
+    Bytes value(100);
+    for (auto _ : state) {
+        cache.onUpdate("key", value, true);
+        cache.onServerAck("key");
+        benchmark::DoNotOptimize(cache.lookup("key"));
+    }
+}
+BENCHMARK(BM_ReadCacheUpdateAckCycle);
+
+void
+BM_Crc32(benchmark::State &state)
+{
+    Bytes data(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(crc32(data.data(), data.size()));
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32)->Arg(64)->Arg(256)->Arg(1400);
+
+void
+BM_HeaderHash(benchmark::State &state)
+{
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(net::PmnetHeader::computeHash(
+            net::PacketType::UpdateReq, 1, 42, 3, 4));
+    }
+}
+BENCHMARK(BM_HeaderHash);
+
+void
+BM_PacketSerializeParse(benchmark::State &state)
+{
+    auto pkt = updatePacket(1);
+    for (auto _ : state) {
+        Bytes wire = pkt->serializePayload();
+        net::Packet rebuilt;
+        rebuilt.src = pkt->src;
+        rebuilt.dst = pkt->dst;
+        benchmark::DoNotOptimize(rebuilt.parsePayload(wire));
+    }
+}
+BENCHMARK(BM_PacketSerializeParse);
+
+void
+BM_CommandEncodeDecode(benchmark::State &state)
+{
+    apps::Command cmd{{"SET", "user12345", std::string(100, 'v')}};
+    for (auto _ : state) {
+        Bytes wire = apps::encodeCommand(cmd);
+        benchmark::DoNotOptimize(apps::decodeCommand(wire));
+    }
+}
+BENCHMARK(BM_CommandEncodeDecode);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the five persistent KV
+ * structures. Two numbers per operation:
+ *  - wall time (how fast the emulation runs on the host), and
+ *  - sim_ns_per_op (the Optane-calibrated simulated service time the
+ *    server model charges — the number that differentiates the
+ *    workloads in Fig 19).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "kv/kv_store.h"
+
+namespace {
+
+using namespace pmnet;
+
+kv::KvKind
+kindOf(int index)
+{
+    switch (index) {
+      case 0: return kv::KvKind::Hashmap;
+      case 1: return kv::KvKind::BTree;
+      case 2: return kv::KvKind::CTree;
+      case 3: return kv::KvKind::RBTree;
+      default: return kv::KvKind::SkipList;
+    }
+}
+
+void
+BM_KvPut(benchmark::State &state)
+{
+    pm::PmHeap heap(512ull << 20);
+    auto store = kv::makeKvStore(kindOf(static_cast<int>(state.range(0))),
+                                 heap);
+    Rng rng(7);
+    Bytes value(100);
+    // Preload a realistic population.
+    for (int i = 0; i < 20000; i++)
+        store->put("user" + std::to_string(i), value);
+    heap.drainCost();
+
+    std::uint64_t ops = 0;
+    for (auto _ : state) {
+        store->put("user" + std::to_string(rng.nextUInt(20000)), value);
+        ops++;
+    }
+    state.SetLabel(kv::kvKindName(store->kind()));
+    state.counters["sim_ns_per_op"] =
+        static_cast<double>(heap.drainCost()) /
+        static_cast<double>(ops ? ops : 1);
+}
+BENCHMARK(BM_KvPut)->DenseRange(0, 4);
+
+void
+BM_KvGet(benchmark::State &state)
+{
+    pm::PmHeap heap(512ull << 20);
+    auto store = kv::makeKvStore(kindOf(static_cast<int>(state.range(0))),
+                                 heap);
+    Rng rng(11);
+    Bytes value(100);
+    for (int i = 0; i < 20000; i++)
+        store->put("user" + std::to_string(i), value);
+    heap.drainCost();
+
+    std::uint64_t ops = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            store->get("user" + std::to_string(rng.nextUInt(20000))));
+        ops++;
+    }
+    state.SetLabel(kv::kvKindName(store->kind()));
+    state.counters["sim_ns_per_op"] =
+        static_cast<double>(heap.drainCost()) /
+        static_cast<double>(ops ? ops : 1);
+}
+BENCHMARK(BM_KvGet)->DenseRange(0, 4);
+
+void
+BM_KvMixed(benchmark::State &state)
+{
+    pm::PmHeap heap(512ull << 20);
+    auto store = kv::makeKvStore(kindOf(static_cast<int>(state.range(0))),
+                                 heap);
+    Rng rng(13);
+    Bytes value(100);
+    for (int i = 0; i < 20000; i++)
+        store->put("user" + std::to_string(i), value);
+    heap.drainCost();
+
+    std::uint64_t ops = 0;
+    for (auto _ : state) {
+        std::string key = "user" + std::to_string(rng.nextUInt(20000));
+        if (rng.nextBool(0.5))
+            store->put(key, value);
+        else
+            benchmark::DoNotOptimize(store->get(key));
+        ops++;
+    }
+    state.SetLabel(kv::kvKindName(store->kind()));
+    state.counters["sim_ns_per_op"] =
+        static_cast<double>(heap.drainCost()) /
+        static_cast<double>(ops ? ops : 1);
+}
+BENCHMARK(BM_KvMixed)->DenseRange(0, 4);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Section V-A / VII reproduction: the bandwidth-delay-product sizing
+ * of the in-network PM and the SRAM log queues (Equations 1 and 2).
+ *
+ * Paper numbers: at 10 Gbps with a conservative 500 us max RTT, the
+ * log needs ~5 Mbit (BDP_Net) and the PM access queue ~1 kbit
+ * (BDP_PM, 100 ns PM latency); a 100 Gbps network needs only ~62.5 MB
+ * of log PM and a 1.25 kB queue.
+ */
+
+#include "bench_util.h"
+#include "pm/cost_model.h"
+
+using namespace pmnet;
+using namespace pmnet::benchutil;
+
+int
+main()
+{
+    printHeader("BDP sizing of log PM and SRAM queues",
+                "Equations 1-2 (Section V-A) and Section VII",
+                "10G: ~5 Mbit log, ~1 kbit queue; 100G: ~62.5 MB log, "
+                "~1.25 kB queue");
+
+    TablePrinter table({"network", "max RTT", "BDP_Net (log PM)",
+                        "PM latency", "BDP_PM (queue)"});
+
+    struct Row
+    {
+        double gbps;
+        double rtt_s;
+        double pm_s;
+    } rows[] = {
+        {10.0, 500e-6, 100e-9},
+        {25.0, 500e-6, 100e-9},
+        {40.0, 500e-6, 100e-9},
+        {100.0, 500e-6, 100e-9},
+    };
+
+    for (const Row &row : rows) {
+        double net_bits = pm::bdpBits(row.rtt_s, row.gbps);
+        double pm_bits = pm::bdpBits(row.pm_s, row.gbps);
+        table.addRow({TablePrinter::fmt(row.gbps, 0) + " Gbps",
+                      TablePrinter::fmt(row.rtt_s * 1e6, 0) + " us",
+                      TablePrinter::fmt(net_bits / 8 / 1024 / 1024, 2) +
+                          " MB",
+                      TablePrinter::fmt(row.pm_s * 1e9, 0) + " ns",
+                      TablePrinter::fmt(pm_bits / 8, 0) + " B"});
+    }
+    table.print();
+
+    pm::DevicePmConfig device;
+    std::printf("\nconfigured device: %.1f GB log PM (%llu slots of "
+                "%u B), 4 KB SRAM queues -- comfortably above both "
+                "BDPs, matching the paper's 2 GB board.\n",
+                static_cast<double>(device.capacityBytes) / (1u << 30),
+                static_cast<unsigned long long>(device.slotCount()),
+                device.slotBytes);
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Example: a small key-value serving cluster.
+ *
+ * Sixteen clients run a YCSB-like zipfian mix (90% GET / 10% SET)
+ * against each of the five persistent structures behind a PMNet
+ * switch, printing per-structure throughput and tail latency. Shows
+ * how to select the backing structure and workload through the public
+ * TestbedConfig API.
+ */
+
+#include <cstdio>
+
+#include "testbed/system.h"
+
+using namespace pmnet;
+
+int
+main()
+{
+    std::printf("KV cluster example: 16 clients, zipfian 90/10 "
+                "read/update mix, PMNet-Switch\n\n");
+    std::printf("%-10s %12s %10s %10s %10s\n", "structure", "ops/s",
+                "mean(us)", "p99(us)", "logged");
+
+    for (auto kind :
+         {kv::KvKind::Hashmap, kv::KvKind::BTree, kv::KvKind::CTree,
+          kv::KvKind::RBTree, kv::KvKind::SkipList}) {
+        testbed::TestbedConfig config;
+        config.mode = testbed::SystemMode::PmnetSwitch;
+        config.clientCount = 16;
+        config.storeKind = kind;
+        config.workload = [](std::uint16_t session) {
+            apps::YcsbConfig ycsb;
+            ycsb.keyCount = 50000;
+            ycsb.updateRatio = 0.1;
+            return apps::makeYcsbWorkload(ycsb, session);
+        };
+
+        testbed::Testbed bed(std::move(config));
+        auto results = bed.run(milliseconds(3), milliseconds(30));
+
+        std::printf("%-10s %12.0f %10.1f %10.1f %10llu\n",
+                    kv::kvKindName(kind), results.opsPerSecond,
+                    toMicroseconds(static_cast<TickDelta>(
+                        results.allLatency.mean())),
+                    toMicroseconds(results.allLatency.percentile(99)),
+                    static_cast<unsigned long long>(
+                        results.updatesLogged));
+    }
+
+    std::printf("\nAll five PMDK-style structures run the same "
+                "GET/SET protocol; updates are\n"
+                "logged in-network and acknowledged sub-RTT, reads "
+                "pay the full round trip.\n");
+    return 0;
+}

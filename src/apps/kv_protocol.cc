@@ -1,0 +1,166 @@
+#include "apps/kv_protocol.h"
+
+#include <unordered_map>
+
+namespace pmnet::apps {
+
+namespace {
+
+/** Response payload discriminator byte. */
+enum class RespKind : std::uint8_t { Generic = 0x80, Get = 0x81 };
+
+} // namespace
+
+CommandClass
+classifyCommand(const std::string &verb)
+{
+    static const std::unordered_map<std::string, CommandClass> table = {
+        {"SET", CommandClass::Update},
+        {"DEL", CommandClass::Update},
+        {"INCR", CommandClass::Update},
+        {"INCRBY", CommandClass::Update},
+        {"LPUSH", CommandClass::Update},
+        {"RPUSH", CommandClass::Update},
+        {"LPOP", CommandClass::Update},
+        {"SADD", CommandClass::Update},
+        {"SREM", CommandClass::Update},
+        {"HSET", CommandClass::Update},
+        {"HDEL", CommandClass::Update},
+        {"GET", CommandClass::Read},
+        {"EXISTS", CommandClass::Read},
+        {"LRANGE", CommandClass::Read},
+        {"LLEN", CommandClass::Read},
+        {"SISMEMBER", CommandClass::Read},
+        {"SMEMBERS", CommandClass::Read},
+        {"SCARD", CommandClass::Read},
+        {"HGET", CommandClass::Read},
+        {"LOCK", CommandClass::Sync},
+        {"UNLOCK", CommandClass::Sync},
+    };
+    auto it = table.find(verb);
+    return it == table.end() ? CommandClass::Read : it->second;
+}
+
+bool
+commandIsUpdate(const Command &cmd)
+{
+    return !cmd.args.empty() &&
+           classifyCommand(cmd.verb()) == CommandClass::Update;
+}
+
+Bytes
+encodeCommand(const Command &cmd)
+{
+    Bytes out;
+    ByteWriter writer(out);
+    writer.writeU16(static_cast<std::uint16_t>(cmd.args.size()));
+    for (const std::string &arg : cmd.args)
+        writer.writeString(arg);
+    return out;
+}
+
+std::optional<Command>
+decodeCommand(const Bytes &wire)
+{
+    ByteReader reader(wire);
+    std::uint16_t argc = reader.readU16();
+    if (!reader.ok() || argc == 0)
+        return std::nullopt;
+    Command cmd;
+    cmd.args.reserve(argc);
+    for (std::uint16_t i = 0; i < argc; i++)
+        cmd.args.push_back(reader.readString());
+    if (!reader.ok())
+        return std::nullopt;
+    return cmd;
+}
+
+Bytes
+encodeResponse(RespStatus status, const std::string &value)
+{
+    Bytes out;
+    ByteWriter writer(out);
+    writer.writeU8(static_cast<std::uint8_t>(RespKind::Generic));
+    writer.writeU8(static_cast<std::uint8_t>(status));
+    writer.writeString(value);
+    return out;
+}
+
+Bytes
+encodeGetResponse(RespStatus status, const std::string &key,
+                  const std::string &value)
+{
+    Bytes out;
+    ByteWriter writer(out);
+    writer.writeU8(static_cast<std::uint8_t>(RespKind::Get));
+    writer.writeU8(static_cast<std::uint8_t>(status));
+    writer.writeString(key);
+    writer.writeString(value);
+    return out;
+}
+
+std::optional<Response>
+decodeResponse(const Bytes &wire)
+{
+    ByteReader reader(wire);
+    std::uint8_t kind = reader.readU8();
+    std::uint8_t status = reader.readU8();
+    if (!reader.ok() || status > 3)
+        return std::nullopt;
+    Response resp;
+    resp.status = static_cast<RespStatus>(status);
+    if (kind == static_cast<std::uint8_t>(RespKind::Get)) {
+        resp.key = reader.readString();
+        resp.value = reader.readString();
+    } else if (kind == static_cast<std::uint8_t>(RespKind::Generic)) {
+        resp.value = reader.readString();
+    } else {
+        return std::nullopt;
+    }
+    if (!reader.ok())
+        return std::nullopt;
+    return resp;
+}
+
+std::optional<pmnetdev::ParsedUpdate>
+KvCacheCodec::parseUpdate(const Bytes &payload) const
+{
+    auto cmd = decodeCommand(payload);
+    if (!cmd || cmd->args.size() != 3 || cmd->verb() != "SET")
+        return std::nullopt;
+    pmnetdev::ParsedUpdate parsed;
+    parsed.key = cmd->args[1];
+    parsed.value = Bytes(cmd->args[2].begin(), cmd->args[2].end());
+    return parsed;
+}
+
+std::optional<std::string>
+KvCacheCodec::parseRead(const Bytes &payload) const
+{
+    auto cmd = decodeCommand(payload);
+    if (!cmd || cmd->args.size() != 2 || cmd->verb() != "GET")
+        return std::nullopt;
+    return cmd->args[1];
+}
+
+std::optional<pmnetdev::ParsedUpdate>
+KvCacheCodec::parseReadResponse(const Bytes &payload) const
+{
+    auto resp = decodeResponse(payload);
+    if (!resp || resp->status != RespStatus::Ok || resp->key.empty())
+        return std::nullopt;
+    pmnetdev::ParsedUpdate parsed;
+    parsed.key = resp->key;
+    parsed.value = Bytes(resp->value.begin(), resp->value.end());
+    return parsed;
+}
+
+Bytes
+KvCacheCodec::makeReadResponse(const std::string &key,
+                               const Bytes &value) const
+{
+    return encodeGetResponse(RespStatus::Ok, key,
+                             std::string(value.begin(), value.end()));
+}
+
+} // namespace pmnet::apps

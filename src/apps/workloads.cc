@@ -1,0 +1,386 @@
+#include "apps/workloads.h"
+
+#include "common/logging.h"
+
+namespace pmnet::apps {
+
+namespace {
+
+std::string
+paddedValue(std::size_t size, std::uint64_t salt)
+{
+    std::string value = "v" + std::to_string(salt) + ":";
+    if (value.size() < size)
+        value.append(size - value.size(), 'x');
+    return value;
+}
+
+// ------------------------------------------------------------- YCSB
+
+class YcsbWorkload : public Workload
+{
+  public:
+    YcsbWorkload(YcsbConfig config, std::uint16_t session,
+                 bool read_modify_write = false)
+        : config_(config), session_(session),
+          readModifyWrite_(read_modify_write),
+          zipf_(config.keyCount, config.zipfTheta)
+    {
+    }
+
+    std::string
+    keyAt(std::uint64_t index) const
+    {
+        return "user" + std::to_string(index);
+    }
+
+    std::vector<Command>
+    nextTransaction(Rng &rng) override
+    {
+        std::string key = keyAt(zipf_.next(rng));
+        if (rng.nextBool(config_.updateRatio)) {
+            Command set{{"SET", key,
+                         paddedValue(config_.valueSize, rng())}};
+            if (readModifyWrite_) {
+                // YCSB-F: read the record, then write it back.
+                return {Command{{"GET", key}}, std::move(set)};
+            }
+            return {std::move(set)};
+        }
+        return {Command{{"GET", key}}};
+    }
+
+    void
+    populate(CommandStore &store, Rng &rng) override
+    {
+        std::uint64_t count = static_cast<std::uint64_t>(
+            config_.populateFraction *
+            static_cast<double>(config_.keyCount));
+        for (std::uint64_t i = 0; i < count; i++) {
+            store.execute(Command{{"SET", keyAt(i),
+                                   paddedValue(config_.valueSize,
+                                               rng())}},
+                          session_);
+        }
+    }
+
+    std::string name() const override { return "ycsb"; }
+
+  private:
+    YcsbConfig config_;
+    std::uint16_t session_;
+    bool readModifyWrite_;
+    ZipfianGenerator zipf_;
+};
+
+// ----------------------------------------------------------- Retwis
+
+class RetwisWorkload : public Workload
+{
+  public:
+    RetwisWorkload(RetwisConfig config, std::uint16_t session)
+        : config_(config), session_(session)
+    {
+    }
+
+    std::vector<Command>
+    nextTransaction(Rng &rng) override
+    {
+        std::uint32_t user =
+            static_cast<std::uint32_t>(rng.nextUInt(config_.userCount));
+        std::string user_key = "user:" + std::to_string(user);
+
+        if (!rng.nextBool(config_.updateRatio)) {
+            // Read the home timeline (Fig 4's read side).
+            return {Command{
+                {"LRANGE", "timeline:" + std::to_string(user), "0",
+                 "9"}}};
+        }
+
+        if (rng.nextBool(0.8)) {
+            // Post a tweet. Post IDs are client-unique (session +
+            // local counter): the paper's point is exactly that no
+            // cross-client ordering is required here.
+            std::string post_id = std::to_string(session_) + ":" +
+                                  std::to_string(nextPost_++);
+            std::vector<Command> txn = {
+                Command{{"SET", "post:" + post_id,
+                         paddedValue(config_.postSize, nextPost_)}},
+                Command{{"LPUSH", "timeline:" + std::to_string(user),
+                         post_id}},
+                Command{{"LPUSH", "timeline:global", post_id}},
+            };
+            if (config_.followerFanout) {
+                // Real Retwis fans the post out to follower
+                // timelines: read the follower set, then push to a
+                // bounded number of them.
+                txn.insert(txn.begin(),
+                           Command{{"SMEMBERS",
+                                    "followers:" +
+                                        std::to_string(user)}});
+                for (std::uint32_t f = 0; f < config_.fanoutCap; f++) {
+                    std::uint32_t follower = static_cast<std::uint32_t>(
+                        rng.nextUInt(config_.userCount));
+                    txn.push_back(Command{
+                        {"LPUSH",
+                         "timeline:" + std::to_string(follower),
+                         post_id}});
+                }
+            }
+            return txn;
+        }
+        // Follow another user.
+        std::uint32_t target =
+            static_cast<std::uint32_t>(rng.nextUInt(config_.userCount));
+        return {Command{{"SADD",
+                         "followers:" + std::to_string(target),
+                         std::to_string(user)}}};
+    }
+
+    void
+    populate(CommandStore &store, Rng &rng) override
+    {
+        for (std::uint32_t user = 0; user < config_.userCount; user++) {
+            store.execute(Command{{"SET",
+                                   "user:" + std::to_string(user),
+                                   "name" + std::to_string(user)}},
+                          session_);
+            // A seed post so timeline reads hit something.
+            std::string post_id = "seed:" + std::to_string(user);
+            store.execute(Command{{"SET", "post:" + post_id,
+                                   paddedValue(config_.postSize,
+                                               rng())}},
+                          session_);
+            store.execute(Command{{"LPUSH",
+                                   "timeline:" + std::to_string(user),
+                                   post_id}},
+                          session_);
+        }
+    }
+
+    std::string name() const override { return "twitter"; }
+
+  private:
+    RetwisConfig config_;
+    std::uint16_t session_;
+    std::uint64_t nextPost_ = 1;
+};
+
+// ------------------------------------------------------------- TPCC
+
+class TpccWorkload : public Workload
+{
+  public:
+    TpccWorkload(TpccConfig config, std::uint16_t session)
+        : config_(config), session_(session)
+    {
+    }
+
+    std::vector<Command>
+    nextTransaction(Rng &rng) override
+    {
+        std::uint32_t warehouse =
+            static_cast<std::uint32_t>(rng.nextUInt(config_.warehouses));
+
+        if (!rng.nextBool(config_.updateRatio)) {
+            // Read-only queries: Stock-Level (stock GET) or
+            // Order-Status (customer record HGET).
+            if (rng.nextBool(0.5)) {
+                std::uint32_t item = static_cast<std::uint32_t>(
+                    rng.nextUInt(config_.itemsPerWarehouse));
+                return {Command{{"GET", stockKey(warehouse, item)}}};
+            }
+            return {Command{{"HGET", "c:" + std::to_string(warehouse),
+                             "payment:1"}}};
+        }
+
+        double total = config_.newOrderWeight + config_.paymentWeight +
+                       config_.deliveryWeight;
+        double draw = rng.nextDouble() * total;
+        if (draw < config_.newOrderWeight)
+            return newOrder(warehouse, rng);
+        if (draw < config_.newOrderWeight + config_.paymentWeight)
+            return payment(warehouse, rng);
+        return delivery(warehouse, rng);
+    }
+
+    void
+    populate(CommandStore &store, Rng &rng) override
+    {
+        (void)rng;
+        for (std::uint32_t w = 0; w < config_.warehouses; w++) {
+            store.execute(Command{{"SET", warehouseKey(w), "0"}},
+                          session_);
+            for (std::uint32_t d = 0;
+                 d < config_.districtsPerWarehouse; d++) {
+                store.execute(Command{{"SET", districtKey(w, d), "1"}},
+                              session_);
+            }
+            for (std::uint32_t i = 0; i < config_.itemsPerWarehouse;
+                 i++) {
+                store.execute(Command{{"SET", stockKey(w, i), "100"}},
+                              session_);
+            }
+        }
+    }
+
+    std::string name() const override { return "tpcc"; }
+
+  private:
+    std::string
+    warehouseKey(std::uint32_t w) const
+    {
+        return "w:" + std::to_string(w) + ":ytd";
+    }
+
+    std::string
+    districtKey(std::uint32_t w, std::uint32_t d) const
+    {
+        return "d:" + std::to_string(w) + ":" + std::to_string(d);
+    }
+
+    std::string
+    stockKey(std::uint32_t w, std::uint32_t i) const
+    {
+        return "s:" + std::to_string(w) + ":" + std::to_string(i);
+    }
+
+    /**
+     * New-Order (Fig 5): the district's next_o_id mutation sits in a
+     * critical section; the stock updates and the order insert are
+     * ordinary updates that PMNet logs. ~2 of 14 requests are lock
+     * traffic (the paper measures 13.7%).
+     */
+    std::vector<Command>
+    newOrder(std::uint32_t warehouse, Rng &rng)
+    {
+        std::uint32_t district = static_cast<std::uint32_t>(
+            rng.nextUInt(config_.districtsPerWarehouse));
+        std::string dkey = districtKey(warehouse, district);
+        std::string order_id = std::to_string(session_) + ":" +
+                               std::to_string(nextOrder_++);
+
+        std::vector<Command> txn;
+        txn.push_back(Command{{"LOCK", dkey}});
+        txn.push_back(Command{{"INCR", dkey + ":next_o_id"}});
+        for (std::uint32_t l = 0; l < config_.linesPerOrder; l++) {
+            std::uint32_t item = static_cast<std::uint32_t>(
+                rng.nextUInt(config_.itemsPerWarehouse));
+            txn.push_back(Command{
+                {"INCRBY", stockKey(warehouse, item), "-1"}});
+        }
+        txn.push_back(Command{
+            {"SET", "o:" + order_id,
+             "w" + std::to_string(warehouse) + ";d" +
+                 std::to_string(district)}});
+        txn.push_back(Command{{"UNLOCK", dkey}});
+        return txn;
+    }
+
+    /**
+     * Delivery: marks the oldest order of a district delivered and
+     * credits the customer, inside the district's critical section.
+     */
+    std::vector<Command>
+    delivery(std::uint32_t warehouse, Rng &rng)
+    {
+        std::uint32_t district = static_cast<std::uint32_t>(
+            rng.nextUInt(config_.districtsPerWarehouse));
+        std::string dkey = districtKey(warehouse, district);
+        return {
+            Command{{"LOCK", dkey}},
+            Command{{"HSET", "c:" + std::to_string(warehouse),
+                     "delivered:" + std::to_string(nextDelivery_++),
+                     "carrier"}},
+            Command{{"INCRBY",
+                     "d:" + std::to_string(warehouse) + ":" +
+                         std::to_string(district) + ":delivered",
+                     "1"}},
+            Command{{"UNLOCK", dkey}},
+        };
+    }
+
+    /** Payment: warehouse YTD mutation in a critical section. */
+    std::vector<Command>
+    payment(std::uint32_t warehouse, Rng &rng)
+    {
+        std::string wkey = warehouseKey(warehouse);
+        std::uint32_t amount =
+            static_cast<std::uint32_t>(rng.nextUInt(5000)) + 1;
+        return {
+            Command{{"LOCK", wkey}},
+            Command{{"INCRBY", wkey, std::to_string(amount)}},
+            Command{{"HSET", "c:" + std::to_string(warehouse),
+                     "payment:" + std::to_string(nextPayment_++),
+                     std::to_string(amount)}},
+            Command{{"UNLOCK", wkey}},
+        };
+    }
+
+    TpccConfig config_;
+    std::uint16_t session_;
+    std::uint64_t nextOrder_ = 1;
+    std::uint64_t nextPayment_ = 1;
+    std::uint64_t nextDelivery_ = 1;
+};
+
+} // namespace
+
+void
+Workload::populate(CommandStore &store, Rng &rng)
+{
+    (void)store;
+    (void)rng;
+}
+
+std::unique_ptr<Workload>
+makeYcsbWorkload(YcsbConfig config, std::uint16_t session)
+{
+    return std::make_unique<YcsbWorkload>(config, session);
+}
+
+std::unique_ptr<Workload>
+makeYcsbPreset(char preset, std::uint16_t session,
+               std::uint64_t key_count)
+{
+    YcsbConfig config;
+    config.keyCount = key_count;
+    bool rmw = false;
+    switch (preset) {
+      case 'A':
+      case 'a':
+        config.updateRatio = 0.5;
+        break;
+      case 'B':
+      case 'b':
+        config.updateRatio = 0.05;
+        break;
+      case 'C':
+      case 'c':
+        config.updateRatio = 0.0;
+        break;
+      case 'F':
+      case 'f':
+        config.updateRatio = 1.0;
+        rmw = true;
+        break;
+      default:
+        fatal("makeYcsbPreset: unsupported preset '%c' (A/B/C/F)",
+              preset);
+    }
+    return std::make_unique<YcsbWorkload>(config, session, rmw);
+}
+
+std::unique_ptr<Workload>
+makeRetwisWorkload(RetwisConfig config, std::uint16_t session)
+{
+    return std::make_unique<RetwisWorkload>(config, session);
+}
+
+std::unique_ptr<Workload>
+makeTpccWorkload(TpccConfig config, std::uint16_t session)
+{
+    return std::make_unique<TpccWorkload>(config, session);
+}
+
+} // namespace pmnet::apps

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Bounds-checked binary serialization helpers.
+ *
+ * Packet headers and payloads are encoded little-endian through
+ * ByteWriter and decoded through ByteReader. The reader reports
+ * truncation instead of crashing so malformed packets can be dropped
+ * gracefully by the data plane.
+ */
+
+#ifndef PMNET_COMMON_BYTES_H
+#define PMNET_COMMON_BYTES_H
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace pmnet {
+
+/** Raw byte buffer used throughout the network substrate. */
+using Bytes = std::vector<std::uint8_t>;
+
+/** Appends little-endian fields to a Bytes buffer. */
+class ByteWriter
+{
+  public:
+    explicit ByteWriter(Bytes &out) : out_(out) {}
+
+    void writeU8(std::uint8_t v) { out_.push_back(v); }
+
+    void
+    writeU16(std::uint16_t v)
+    {
+        writeU8(static_cast<std::uint8_t>(v));
+        writeU8(static_cast<std::uint8_t>(v >> 8));
+    }
+
+    void
+    writeU32(std::uint32_t v)
+    {
+        writeU16(static_cast<std::uint16_t>(v));
+        writeU16(static_cast<std::uint16_t>(v >> 16));
+    }
+
+    void
+    writeU64(std::uint64_t v)
+    {
+        writeU32(static_cast<std::uint32_t>(v));
+        writeU32(static_cast<std::uint32_t>(v >> 32));
+    }
+
+    void
+    writeBytes(const void *data, std::size_t len)
+    {
+        const auto *p = static_cast<const std::uint8_t *>(data);
+        out_.insert(out_.end(), p, p + len);
+    }
+
+    /** Length-prefixed (u32) string. */
+    void
+    writeString(const std::string &s)
+    {
+        writeU32(static_cast<std::uint32_t>(s.size()));
+        writeBytes(s.data(), s.size());
+    }
+
+    std::size_t size() const { return out_.size(); }
+
+  private:
+    Bytes &out_;
+};
+
+/**
+ * Consumes little-endian fields from a byte range.
+ *
+ * Any read past the end sets ok() to false and returns zero values;
+ * callers check ok() once after parsing a whole header.
+ */
+class ByteReader
+{
+  public:
+    ByteReader(const std::uint8_t *data, std::size_t len)
+        : data_(data), len_(len)
+    {}
+
+    explicit ByteReader(const Bytes &buf)
+        : ByteReader(buf.data(), buf.size())
+    {}
+
+    std::uint8_t
+    readU8()
+    {
+        if (!require(1))
+            return 0;
+        return data_[pos_++];
+    }
+
+    std::uint16_t
+    readU16()
+    {
+        std::uint16_t lo = readU8();
+        std::uint16_t hi = readU8();
+        return static_cast<std::uint16_t>(lo | (hi << 8));
+    }
+
+    std::uint32_t
+    readU32()
+    {
+        std::uint32_t lo = readU16();
+        std::uint32_t hi = readU16();
+        return lo | (hi << 16);
+    }
+
+    std::uint64_t
+    readU64()
+    {
+        std::uint64_t lo = readU32();
+        std::uint64_t hi = readU32();
+        return lo | (hi << 32);
+    }
+
+    Bytes
+    readBytes(std::size_t len)
+    {
+        if (!require(len))
+            return {};
+        Bytes out(data_ + pos_, data_ + pos_ + len);
+        pos_ += len;
+        return out;
+    }
+
+    std::string
+    readString()
+    {
+        std::uint32_t len = readU32();
+        if (!require(len))
+            return {};
+        std::string out(reinterpret_cast<const char *>(data_ + pos_), len);
+        pos_ += len;
+        return out;
+    }
+
+    /** Remaining unread bytes. */
+    std::size_t remaining() const { return ok_ ? len_ - pos_ : 0; }
+
+    /** False once any read ran past the end of the buffer. */
+    bool ok() const { return ok_; }
+
+    std::size_t position() const { return pos_; }
+
+  private:
+    bool
+    require(std::size_t n)
+    {
+        if (!ok_ || len_ - pos_ < n) {
+            ok_ = false;
+            return false;
+        }
+        return true;
+    }
+
+    const std::uint8_t *data_;
+    std::size_t len_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+} // namespace pmnet
+
+#endif // PMNET_COMMON_BYTES_H

@@ -1,0 +1,42 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace pmnet {
+
+namespace {
+
+std::array<std::uint32_t, 256>
+makeTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; i++) {
+        std::uint32_t c = i;
+        for (int bit = 0; bit < 8; bit++)
+            c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+        table[i] = c;
+    }
+    return table;
+}
+
+const std::array<std::uint32_t, 256> gTable = makeTable();
+
+} // namespace
+
+std::uint32_t
+crc32Update(std::uint32_t crc, const void *data, std::size_t len)
+{
+    const auto *bytes = static_cast<const std::uint8_t *>(data);
+    crc = ~crc;
+    for (std::size_t i = 0; i < len; i++)
+        crc = gTable[(crc ^ bytes[i]) & 0xFF] ^ (crc >> 8);
+    return ~crc;
+}
+
+std::uint32_t
+crc32(const void *data, std::size_t len)
+{
+    return crc32Update(0, data, len);
+}
+
+} // namespace pmnet

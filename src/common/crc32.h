@@ -1,0 +1,27 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3 polynomial, reflected).
+ *
+ * The PMNet header carries a CRC-32 HashVal computed by the sender's
+ * network stack (paper Section IV-A1); the device uses it both as an
+ * integrity check and as the index into the in-network log store.
+ */
+
+#ifndef PMNET_COMMON_CRC32_H
+#define PMNET_COMMON_CRC32_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pmnet {
+
+/** Incrementally update a CRC-32 over @p len bytes at @p data. */
+std::uint32_t crc32Update(std::uint32_t crc, const void *data,
+                          std::size_t len);
+
+/** One-shot CRC-32 of a byte range. */
+std::uint32_t crc32(const void *data, std::size_t len);
+
+} // namespace pmnet
+
+#endif // PMNET_COMMON_CRC32_H

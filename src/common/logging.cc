@@ -1,0 +1,107 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace pmnet {
+
+namespace {
+LogLevel gLevel = LogLevel::Warn;
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return gLevel;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    gLevel = level;
+}
+
+std::string
+vformatMessage(const char *fmt, std::va_list args)
+{
+    std::va_list copy;
+    va_copy(copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    if (needed < 0)
+        return std::string(fmt);
+    std::vector<char> buf(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    return std::string(buf.data(), static_cast<size_t>(needed));
+}
+
+std::string
+formatMessage(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string out = vformatMessage(fmt, args);
+    va_end(args);
+    return out;
+}
+
+void
+panic(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string msg = vformatMessage(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string msg = vformatMessage(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (gLevel < LogLevel::Warn)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    std::string msg = vformatMessage(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (gLevel < LogLevel::Inform)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    std::string msg = vformatMessage(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+void
+debug(const char *fmt, ...)
+{
+    if (gLevel < LogLevel::Debug)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    std::string msg = vformatMessage(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "debug: %s\n", msg.c_str());
+}
+
+} // namespace pmnet

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Status and error reporting, following the gem5 logging discipline.
+ *
+ * panic()  — an internal invariant was violated (a bug in this library);
+ *            aborts so a debugger/core dump sees the failure point.
+ * fatal()  — the caller/user asked for something impossible (bad config);
+ *            exits with an error code.
+ * warn()   — something works but is suspicious or approximated.
+ * inform() — plain status output.
+ *
+ * All of them accept printf-style formatting.
+ */
+
+#ifndef PMNET_COMMON_LOGGING_H
+#define PMNET_COMMON_LOGGING_H
+
+#include <cstdarg>
+#include <string>
+
+namespace pmnet {
+
+/** Verbosity levels for informational output. */
+enum class LogLevel { Silent, Warn, Inform, Debug };
+
+/** Process-wide verbosity. Defaults to Warn (tests stay quiet). */
+LogLevel logLevel();
+
+/** Set process-wide verbosity. */
+void setLogLevel(LogLevel level);
+
+/** Format a printf-style message into a std::string. */
+std::string vformatMessage(const char *fmt, std::va_list args);
+
+/** Format a printf-style message into a std::string. */
+std::string formatMessage(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an internal bug and abort.
+ *
+ * Call when a condition that should be impossible regardless of user
+ * input is observed.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user/configuration error and exit(1).
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a suspicious-but-survivable condition. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report normal operating status. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Debug-level trace output (only shown at LogLevel::Debug). */
+void debug(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace pmnet
+
+#endif // PMNET_COMMON_LOGGING_H

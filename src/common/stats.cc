@@ -1,0 +1,171 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace pmnet {
+
+void
+LatencySeries::add(TickDelta sample)
+{
+    samples_.push_back(sample);
+    dirty_ = true;
+}
+
+void
+LatencySeries::ensureSorted() const
+{
+    if (!dirty_)
+        return;
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    dirty_ = false;
+}
+
+double
+LatencySeries::mean() const
+{
+    if (samples_.empty())
+        panic("LatencySeries::mean on empty series");
+    double sum = 0.0;
+    for (TickDelta s : samples_)
+        sum += static_cast<double>(s);
+    return sum / static_cast<double>(samples_.size());
+}
+
+TickDelta
+LatencySeries::percentile(double p) const
+{
+    if (samples_.empty())
+        panic("LatencySeries::percentile on empty series");
+    if (p < 0.0 || p > 100.0)
+        panic("LatencySeries::percentile: p=%f out of range", p);
+    ensureSorted();
+    // Nearest-rank definition.
+    std::size_t n = sorted_.size();
+    std::size_t rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(n)));
+    if (rank == 0)
+        rank = 1;
+    if (rank > n)
+        rank = n;
+    return sorted_[rank - 1];
+}
+
+TickDelta
+LatencySeries::min() const
+{
+    if (samples_.empty())
+        panic("LatencySeries::min on empty series");
+    ensureSorted();
+    return sorted_.front();
+}
+
+TickDelta
+LatencySeries::max() const
+{
+    if (samples_.empty())
+        panic("LatencySeries::max on empty series");
+    ensureSorted();
+    return sorted_.back();
+}
+
+std::vector<std::pair<TickDelta, double>>
+LatencySeries::cdf(std::size_t points) const
+{
+    std::vector<std::pair<TickDelta, double>> out;
+    if (samples_.empty() || points == 0)
+        return out;
+    ensureSorted();
+    std::size_t n = sorted_.size();
+    out.reserve(points);
+    for (std::size_t i = 1; i <= points; i++) {
+        double frac = static_cast<double>(i) / static_cast<double>(points);
+        std::size_t idx = static_cast<std::size_t>(
+            std::ceil(frac * static_cast<double>(n)));
+        if (idx == 0)
+            idx = 1;
+        if (idx > n)
+            idx = n;
+        out.emplace_back(sorted_[idx - 1], frac);
+    }
+    return out;
+}
+
+void
+ThroughputMeter::start(Tick now)
+{
+    startTick_ = now;
+    stopTick_ = now;
+    completed_ = 0;
+}
+
+void
+ThroughputMeter::stop(Tick now)
+{
+    stopTick_ = now;
+}
+
+double
+ThroughputMeter::opsPerSecond() const
+{
+    TickDelta window = stopTick_ - startTick_;
+    if (window <= 0)
+        panic("ThroughputMeter: empty or unclosed window");
+    return static_cast<double>(completed_) / toSeconds(window);
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size())
+        panic("TablePrinter: row has %zu cells, expected %zu",
+              cells.size(), headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TablePrinter::fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+void
+TablePrinter::print() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); c++)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); c++)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); c++)
+            std::printf("%-*s%s", static_cast<int>(widths[c]),
+                        cells[c].c_str(),
+                        c + 1 == cells.size() ? "\n" : "  ");
+    };
+
+    print_row(headers_);
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w + 2;
+    for (std::size_t i = 0; i + 2 < total; i++)
+        std::printf("-");
+    std::printf("\n");
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+} // namespace pmnet

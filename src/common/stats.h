@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Measurement collection for the evaluation harness.
+ *
+ * LatencySeries stores raw samples (simulation scale makes this cheap)
+ * so exact percentiles and CDFs can be extracted — the paper reports
+ * mean, p50, p99 and full CDFs (Fig 20). ThroughputMeter converts
+ * completed-request counts over simulated time into requests/second.
+ */
+
+#ifndef PMNET_COMMON_STATS_H
+#define PMNET_COMMON_STATS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace pmnet {
+
+/** A collection of latency samples with percentile/CDF extraction. */
+class LatencySeries
+{
+  public:
+    /** Record one sample (in simulated ns). */
+    void add(TickDelta sample);
+
+    /** Number of recorded samples. */
+    std::size_t count() const { return samples_.size(); }
+
+    bool empty() const { return samples_.empty(); }
+
+    /** Arithmetic mean in ns. @pre not empty. */
+    double mean() const;
+
+    /** Exact percentile (0 <= p <= 100) in ns. @pre not empty. */
+    TickDelta percentile(double p) const;
+
+    TickDelta min() const;
+    TickDelta max() const;
+
+    /**
+     * Evenly spaced CDF points: @p points pairs of
+     * (latency_ns, cumulative_fraction).
+     */
+    std::vector<std::pair<TickDelta, double>> cdf(std::size_t points) const;
+
+    /** Discard all samples (e.g. after warm-up). */
+    void clear() { samples_.clear(); dirty_ = true; }
+
+    /** Raw access for custom analyses. */
+    const std::vector<TickDelta> &samples() const { return samples_; }
+
+  private:
+    void ensureSorted() const;
+
+    std::vector<TickDelta> samples_;
+    mutable std::vector<TickDelta> sorted_;
+    mutable bool dirty_ = true;
+};
+
+/** Completed-operation counter over a simulated time window. */
+class ThroughputMeter
+{
+  public:
+    /** Begin (or re-begin) the measurement window at @p now. */
+    void start(Tick now);
+
+    /** Count one completed operation. */
+    void complete() { completed_++; }
+
+    /** Close the window at @p now. */
+    void stop(Tick now);
+
+    std::uint64_t completed() const { return completed_; }
+
+    /** Operations per simulated second. @pre window closed, non-empty. */
+    double opsPerSecond() const;
+
+  private:
+    Tick startTick_ = 0;
+    Tick stopTick_ = 0;
+    std::uint64_t completed_ = 0;
+};
+
+/** Named monotonically increasing counter. */
+struct Counter
+{
+    std::uint64_t value = 0;
+
+    void inc(std::uint64_t by = 1) { value += by; }
+    std::uint64_t get() const { return value; }
+};
+
+/**
+ * Minimal fixed-width table printer used by the bench binaries to emit
+ * the paper's rows/series in a uniform format.
+ */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Render to stdout. */
+    void print() const;
+
+    static std::string fmt(double v, int precision = 2);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace pmnet
+
+#endif // PMNET_COMMON_STATS_H

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Simulated-time primitives.
+ *
+ * The whole PMNet reproduction runs on a discrete-event simulator whose
+ * clock advances in integer nanoseconds. Using a strong typedef (rather
+ * than std::chrono) keeps event arithmetic trivial and serializable while
+ * still giving readable construction helpers (nanoseconds(), microseconds(),
+ * ...). All latency constants in the testbed configuration are expressed
+ * in these units.
+ */
+
+#ifndef PMNET_COMMON_TIME_H
+#define PMNET_COMMON_TIME_H
+
+#include <cstdint>
+
+namespace pmnet {
+
+/** Simulated time, in nanoseconds since simulation start. */
+using Tick = std::int64_t;
+
+/** A duration in simulated nanoseconds. */
+using TickDelta = std::int64_t;
+
+/** Largest representable tick; used as an "infinitely far" deadline. */
+inline constexpr Tick kTickMax = INT64_MAX;
+
+/** @name Duration construction helpers
+ *  Readable literals for latency constants, e.g. microseconds(8.5).
+ *  @{
+ */
+constexpr TickDelta
+nanoseconds(std::int64_t n)
+{
+    return n;
+}
+
+constexpr TickDelta
+microseconds(double us)
+{
+    return static_cast<TickDelta>(us * 1e3);
+}
+
+constexpr TickDelta
+milliseconds(double ms)
+{
+    return static_cast<TickDelta>(ms * 1e6);
+}
+
+constexpr TickDelta
+seconds(double s)
+{
+    return static_cast<TickDelta>(s * 1e9);
+}
+/** @} */
+
+/** @name Duration conversion helpers
+ *  @{
+ */
+constexpr double
+toMicroseconds(TickDelta d)
+{
+    return static_cast<double>(d) / 1e3;
+}
+
+constexpr double
+toMilliseconds(TickDelta d)
+{
+    return static_cast<double>(d) / 1e6;
+}
+
+constexpr double
+toSeconds(TickDelta d)
+{
+    return static_cast<double>(d) / 1e9;
+}
+/** @} */
+
+/**
+ * Serialization delay for @p bytes on a link of @p gbps gigabits/s.
+ *
+ * Used both by the wire model and by the BDP sizing math from the
+ * paper's Section V-A (Equations 1 and 2).
+ */
+constexpr TickDelta
+serializationDelay(std::uint64_t bytes, double gbps)
+{
+    // bits / (gbit/s) = nanoseconds when gbps is in Gbit/s.
+    return static_cast<TickDelta>(static_cast<double>(bytes * 8) / gbps);
+}
+
+} // namespace pmnet
+
+#endif // PMNET_COMMON_TIME_H

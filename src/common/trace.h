@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Bounded event tracing.
+ *
+ * A TraceRing keeps the last N (tick, message) events of a component.
+ * Devices and libraries record into it when a ring is attached, so
+ * tracing costs nothing when disabled and can never grow unbounded
+ * when enabled — suitable for multi-second simulations.
+ */
+
+#ifndef PMNET_COMMON_TRACE_H
+#define PMNET_COMMON_TRACE_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace pmnet {
+
+/** Fixed-capacity ring of trace events. */
+class TraceRing
+{
+  public:
+    struct Event
+    {
+        Tick when = 0;
+        std::string text;
+    };
+
+    explicit TraceRing(std::size_t capacity = 256)
+        : capacity_(capacity ? capacity : 1)
+    {
+        events_.reserve(capacity_);
+    }
+
+    /** Append an event, evicting the oldest when full. */
+    void
+    record(Tick when, std::string text)
+    {
+        if (events_.size() < capacity_) {
+            events_.push_back(Event{when, std::move(text)});
+        } else {
+            events_[head_] = Event{when, std::move(text)};
+            head_ = (head_ + 1) % capacity_;
+        }
+        recorded_++;
+    }
+
+    /** Events currently retained (≤ capacity). */
+    std::size_t size() const { return events_.size(); }
+
+    /** Total events ever recorded (including evicted ones). */
+    std::uint64_t recorded() const { return recorded_; }
+
+    std::size_t capacity() const { return capacity_; }
+
+    /** Visit retained events oldest-first. */
+    void
+    forEach(const std::function<void(const Event &)> &fn) const
+    {
+        for (std::size_t i = 0; i < events_.size(); i++)
+            fn(events_[(head_ + i) % events_.size()]);
+    }
+
+    void
+    clear()
+    {
+        events_.clear();
+        head_ = 0;
+    }
+
+  private:
+    std::size_t capacity_;
+    std::vector<Event> events_;
+    std::size_t head_ = 0;
+    std::uint64_t recorded_ = 0;
+};
+
+} // namespace pmnet
+
+#endif // PMNET_COMMON_TRACE_H

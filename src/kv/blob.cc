@@ -1,0 +1,86 @@
+#include "kv/blob.h"
+
+#include <cstring>
+
+namespace pmnet::kv {
+
+BlobRef
+writeBlob(pm::PmHeap &heap, const void *data, std::size_t len)
+{
+    BlobRef ref;
+    ref.length = static_cast<std::uint32_t>(len);
+    if (len == 0) {
+        // Zero-length blobs still need a non-null address.
+        ref.offset = heap.alloc(16);
+        return ref;
+    }
+    ref.offset = heap.alloc(len);
+    heap.write(ref.offset, data, len);
+    heap.flush(ref.offset, len);
+    return ref;
+}
+
+Bytes
+readBlob(const pm::PmHeap &heap, BlobRef ref)
+{
+    Bytes out(ref.length);
+    if (ref.length > 0)
+        heap.read(ref.offset, out.data(), ref.length);
+    return out;
+}
+
+std::string
+readBlobString(const pm::PmHeap &heap, BlobRef ref)
+{
+    std::string out(ref.length, '\0');
+    if (ref.length > 0)
+        heap.read(ref.offset, out.data(), ref.length);
+    return out;
+}
+
+void
+freeBlob(pm::PmHeap &heap, BlobRef ref)
+{
+    if (!ref.null())
+        heap.free(ref.offset, ref.length == 0 ? 16 : ref.length);
+}
+
+pm::PmOffset
+writeSizedBlob(pm::PmHeap &heap, const Bytes &bytes)
+{
+    std::uint32_t len = static_cast<std::uint32_t>(bytes.size());
+    pm::PmOffset off = heap.alloc(4 + bytes.size());
+    heap.writeObj<std::uint32_t>(off, len);
+    if (len > 0)
+        heap.write(off + 4, bytes.data(), len);
+    heap.flush(off, 4 + len);
+    return off;
+}
+
+Bytes
+readSizedBlob(const pm::PmHeap &heap, pm::PmOffset offset)
+{
+    std::uint32_t len = heap.readObj<std::uint32_t>(offset);
+    Bytes out(len);
+    if (len > 0)
+        heap.read(offset + 4, out.data(), len);
+    return out;
+}
+
+void
+freeSizedBlob(pm::PmHeap &heap, pm::PmOffset offset)
+{
+    if (offset == pm::kNullOffset)
+        return;
+    std::uint32_t len = heap.readObj<std::uint32_t>(offset);
+    heap.free(offset, 4 + len);
+}
+
+int
+compareKey(const pm::PmHeap &heap, const std::string &key, BlobRef ref)
+{
+    std::string stored = readBlobString(heap, ref);
+    return key.compare(stored) < 0 ? -1 : (key == stored ? 0 : 1);
+}
+
+} // namespace pmnet::kv

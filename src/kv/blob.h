@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Variable-length key/value blobs in persistent memory.
+ *
+ * Every structure stores keys and values out-of-line as (offset, len)
+ * pairs pointing at immutable blobs; updating a value allocates a new
+ * blob and swaps the reference, which keeps single-pointer-swap
+ * linearization possible for arbitrary value sizes.
+ */
+
+#ifndef PMNET_KV_BLOB_H
+#define PMNET_KV_BLOB_H
+
+#include <string>
+
+#include "common/bytes.h"
+#include "pm/pm_heap.h"
+
+namespace pmnet::kv {
+
+/** Reference to an immutable persistent byte blob. */
+struct BlobRef
+{
+    pm::PmOffset offset = pm::kNullOffset;
+    std::uint32_t length = 0;
+
+    bool null() const { return offset == pm::kNullOffset; }
+};
+
+/** Allocate and persist a blob (flushed, not fenced — the caller
+ *  fences at its linearization point). */
+BlobRef writeBlob(pm::PmHeap &heap, const void *data, std::size_t len);
+
+inline BlobRef
+writeBlob(pm::PmHeap &heap, const Bytes &bytes)
+{
+    return writeBlob(heap, bytes.data(), bytes.size());
+}
+
+inline BlobRef
+writeBlob(pm::PmHeap &heap, const std::string &text)
+{
+    return writeBlob(heap, text.data(), text.size());
+}
+
+/** Read a blob back. */
+Bytes readBlob(const pm::PmHeap &heap, BlobRef ref);
+
+/** Read a blob as a string (keys). */
+std::string readBlobString(const pm::PmHeap &heap, BlobRef ref);
+
+/** Free a blob (volatile free list; leak-on-crash is acceptable). */
+void freeBlob(pm::PmHeap &heap, BlobRef ref);
+
+/**
+ * Three-way comparison of @p key against the blob at @p ref.
+ * @return <0, 0 or >0 in strcmp style.
+ */
+int compareKey(const pm::PmHeap &heap, const std::string &key,
+               BlobRef ref);
+
+/** @name Self-sized blobs
+ * A sized blob embeds its own length ([u32 len][bytes]) so it is
+ * referenced by a single 8-byte offset — which makes *value
+ * replacement* an atomic pointer swap in every structure.
+ *  @{
+ */
+
+/** Allocate + persist (flushed, unfenced) a sized blob. */
+pm::PmOffset writeSizedBlob(pm::PmHeap &heap, const Bytes &bytes);
+
+/** Read a sized blob. @pre offset != kNullOffset. */
+Bytes readSizedBlob(const pm::PmHeap &heap, pm::PmOffset offset);
+
+/** Free a sized blob. */
+void freeSizedBlob(pm::PmHeap &heap, pm::PmOffset offset);
+/** @} */
+
+} // namespace pmnet::kv
+
+#endif // PMNET_KV_BLOB_H

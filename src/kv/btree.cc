@@ -1,0 +1,453 @@
+#include "kv/btree.h"
+
+#include <tuple>
+
+#include "common/logging.h"
+
+namespace pmnet::kv {
+
+PmBTree::PmBTree(pm::PmHeap &heap) : StoreBase(heap, KvKind::BTree) {}
+
+PmBTree::PmBTree(pm::PmHeap &heap, pm::PmOffset header_offset)
+    : StoreBase(heap, header_offset, KvKind::BTree)
+{
+}
+
+PmBTree::Node
+PmBTree::loadNode(pm::PmOffset off) const
+{
+    return heap_.readObj<Node>(off);
+}
+
+pm::PmOffset
+PmBTree::storeNode(const Node &node)
+{
+    pm::PmOffset off = heap_.alloc(sizeof(Node));
+    heap_.writeObj(off, node);
+    heap_.flush(off, sizeof(Node));
+    return off;
+}
+
+void
+PmBTree::freeSubtreeNode(pm::PmOffset off)
+{
+    heap_.free(off, sizeof(Node));
+}
+
+void
+PmBTree::bumpCountAndRoot(pm::PmOffset new_root, std::int64_t delta)
+{
+    StoreHeader header = loadHeader();
+    header.root = new_root;
+    header.count = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(header.count) + delta);
+    commitHeader(header);
+}
+
+PmBTree::InsertResult
+PmBTree::insertInto(pm::PmOffset off, const std::string &key,
+                    const Bytes &value,
+                    std::vector<pm::PmOffset> &discard)
+{
+    Node node = loadNode(off);
+
+    // Position of the first key >= key.
+    unsigned pos = 0;
+    while (pos < node.count) {
+        int cmp = compareKey(heap_, key, node.keys[pos]);
+        if (cmp == 0) {
+            // Fast path: in-place atomic value-pointer swap.
+            pm::PmOffset new_val = writeSizedBlob(heap_, value);
+            heap_.fence();
+            std::uint64_t slot =
+                off + offsetof(Node, vals) + 8ull * pos;
+            pm::PmOffset old_val = node.vals[pos];
+            heap_.writeObj<std::uint64_t>(slot, new_val);
+            heap_.flush(slot, 8);
+            heap_.fence();
+            freeSizedBlob(heap_, old_val);
+            InsertResult res;
+            res.node = off;
+            res.replaced = true;
+            res.inPlace = true;
+            return res;
+        }
+        if (cmp < 0)
+            break;
+        pos++;
+    }
+
+    Node copy = node;
+    bool replaced = false;
+    BlobRef ins_key;
+    std::uint64_t ins_val = 0;
+    pm::PmOffset ins_right = 0;
+    bool do_insert = false;
+
+    if (node.leaf) {
+        ins_key = writeBlob(heap_, key);
+        ins_val = writeSizedBlob(heap_, value);
+        do_insert = true;
+    } else {
+        InsertResult child =
+            insertInto(node.children[pos], key, value, discard);
+        if (child.inPlace) {
+            InsertResult res;
+            res.node = off;
+            res.replaced = child.replaced;
+            res.inPlace = true;
+            return res;
+        }
+        // The child frame already pushed its old offset to discard.
+        copy.children[pos] = child.node;
+        replaced = child.replaced;
+        if (child.split) {
+            ins_key = child.upKey;
+            ins_val = child.upVal;
+            ins_right = child.right;
+            do_insert = true;
+        }
+    }
+
+    // Work in oversized scratch arrays: a full node plus the new
+    // entry temporarily holds kMaxKeys+1 keys / kOrder+1 children.
+    BlobRef keys[kMaxKeys + 1];
+    std::uint64_t vals[kMaxKeys + 1];
+    std::uint64_t children[kOrder + 1];
+    unsigned count = copy.count;
+    for (unsigned i = 0; i < count; i++) {
+        keys[i] = copy.keys[i];
+        vals[i] = copy.vals[i];
+    }
+    if (!copy.leaf) {
+        for (unsigned i = 0; i <= count; i++)
+            children[i] = copy.children[i];
+    }
+
+    if (do_insert) {
+        for (unsigned i = count; i > pos; i--) {
+            keys[i] = keys[i - 1];
+            vals[i] = vals[i - 1];
+        }
+        if (!copy.leaf) {
+            for (unsigned i = count + 1; i > pos + 1; i--)
+                children[i] = children[i - 1];
+        }
+        keys[pos] = ins_key;
+        vals[pos] = ins_val;
+        if (!copy.leaf)
+            children[pos + 1] = ins_right;
+        count++;
+    }
+
+    InsertResult res;
+    res.replaced = replaced;
+    discard.push_back(off);
+
+    if (count <= kMaxKeys) {
+        Node out{};
+        out.leaf = copy.leaf;
+        out.count = static_cast<std::uint16_t>(count);
+        for (unsigned i = 0; i < count; i++) {
+            out.keys[i] = keys[i];
+            out.vals[i] = vals[i];
+        }
+        if (!out.leaf) {
+            for (unsigned i = 0; i <= count; i++)
+                out.children[i] = children[i];
+        }
+        res.node = storeNode(out);
+        return res;
+    }
+
+    // Split: count == kOrder keys; the middle one promotes.
+    unsigned mid = count / 2;
+    Node left{}, right{};
+    left.leaf = right.leaf = copy.leaf;
+    left.count = static_cast<std::uint16_t>(mid);
+    right.count = static_cast<std::uint16_t>(count - mid - 1);
+    for (unsigned i = 0; i < left.count; i++) {
+        left.keys[i] = keys[i];
+        left.vals[i] = vals[i];
+    }
+    for (unsigned i = 0; i < right.count; i++) {
+        right.keys[i] = keys[mid + 1 + i];
+        right.vals[i] = vals[mid + 1 + i];
+    }
+    if (!copy.leaf) {
+        for (unsigned i = 0; i <= left.count; i++)
+            left.children[i] = children[i];
+        for (unsigned i = 0; i <= right.count; i++)
+            right.children[i] = children[mid + 1 + i];
+    }
+    res.node = storeNode(left);
+    res.right = storeNode(right);
+    res.split = true;
+    res.upKey = keys[mid];
+    res.upVal = vals[mid];
+    return res;
+}
+
+void
+PmBTree::put(const std::string &key, const Bytes &value)
+{
+    StoreHeader header = loadHeader();
+
+    if (header.root == pm::kNullOffset) {
+        Node node{};
+        node.leaf = 1;
+        node.count = 1;
+        node.keys[0] = writeBlob(heap_, key);
+        node.vals[0] = writeSizedBlob(heap_, value);
+        pm::PmOffset root = storeNode(node);
+        heap_.fence();
+        bumpCountAndRoot(root, +1);
+        return;
+    }
+
+    std::vector<pm::PmOffset> discard;
+    InsertResult res = insertInto(header.root, key, value, discard);
+    if (res.inPlace)
+        return; // value swap already linearized
+
+    pm::PmOffset new_root = res.node;
+    if (res.split) {
+        Node root{};
+        root.leaf = 0;
+        root.count = 1;
+        root.keys[0] = res.upKey;
+        root.vals[0] = res.upVal;
+        root.children[0] = res.node;
+        root.children[1] = res.right;
+        new_root = storeNode(root);
+    }
+    heap_.fence();
+    // Linearization: root swap (+ count) in the header.
+    bumpCountAndRoot(new_root, res.replaced ? 0 : +1);
+    for (pm::PmOffset off : discard)
+        freeSubtreeNode(off);
+}
+
+std::optional<Bytes>
+PmBTree::get(const std::string &key) const
+{
+    pm::PmOffset cursor = loadHeader().root;
+    while (cursor != pm::kNullOffset) {
+        Node node = loadNode(cursor);
+        unsigned pos = 0;
+        while (pos < node.count) {
+            int cmp = compareKey(heap_, key, node.keys[pos]);
+            if (cmp == 0)
+                return readSizedBlob(heap_, node.vals[pos]);
+            if (cmp < 0)
+                break;
+            pos++;
+        }
+        if (node.leaf)
+            return std::nullopt;
+        cursor = node.children[pos];
+    }
+    return std::nullopt;
+}
+
+std::optional<std::string>
+PmBTree::extremeKeyOf(pm::PmOffset off, bool want_max) const
+{
+    if (off == pm::kNullOffset)
+        return std::nullopt;
+    Node node = loadNode(off);
+    if (node.leaf) {
+        if (node.count == 0)
+            return std::nullopt;
+        return readBlobString(heap_,
+                              node.keys[want_max ? node.count - 1 : 0]);
+    }
+    // Internal: walk the slots in extreme-first order, falling back to
+    // the node's own separators when a subtree is empty (deletions can
+    // leave empty subtrees since we do not rebalance).
+    if (want_max) {
+        for (unsigned i = node.count + 1; i-- > 0;) {
+            if (auto key = extremeKeyOf(node.children[i], true))
+                return key;
+            if (i > 0)
+                return readBlobString(heap_, node.keys[i - 1]);
+        }
+    } else {
+        for (unsigned i = 0; i <= node.count; i++) {
+            if (auto key = extremeKeyOf(node.children[i], false))
+                return key;
+            if (i < node.count)
+                return readBlobString(heap_, node.keys[i]);
+        }
+    }
+    return std::nullopt;
+}
+
+std::pair<pm::PmOffset, bool>
+PmBTree::eraseFrom(pm::PmOffset off, const std::string &key,
+                   std::vector<pm::PmOffset> &discard, Detached *detach)
+{
+    Node node = loadNode(off);
+    unsigned pos = 0;
+    int cmp = -1;
+    while (pos < node.count) {
+        cmp = compareKey(heap_, key, node.keys[pos]);
+        if (cmp <= 0)
+            break;
+        pos++;
+    }
+
+    Node copy = node;
+    if (pos < node.count && cmp == 0) {
+        if (detach) {
+            detach->key = node.keys[pos];
+            detach->val = node.vals[pos];
+        } else {
+            freeBlob(heap_, node.keys[pos]);
+            freeSizedBlob(heap_, node.vals[pos]);
+        }
+        if (node.leaf) {
+            for (unsigned i = pos; i + 1 < node.count; i++) {
+                copy.keys[i] = copy.keys[i + 1];
+                copy.vals[i] = copy.vals[i + 1];
+            }
+            copy.count--;
+            discard.push_back(off);
+            return {storeNode(copy), true};
+        }
+        // Internal separator: promote the predecessor (left subtree
+        // max) or, if the left subtree is empty, the successor; if
+        // both subtrees are empty, drop the separator and one child.
+        Detached promoted;
+        if (auto pred = extremeKeyOf(node.children[pos], true)) {
+            auto [child, found] = eraseFrom(node.children[pos], *pred,
+                                            discard, &promoted);
+            if (!found)
+                panic("PmBTree: predecessor key vanished");
+            copy.children[pos] = child;
+            copy.keys[pos] = promoted.key;
+            copy.vals[pos] = promoted.val;
+        } else if (auto succ =
+                       extremeKeyOf(node.children[pos + 1], false)) {
+            auto [child, found] = eraseFrom(node.children[pos + 1],
+                                            *succ, discard, &promoted);
+            if (!found)
+                panic("PmBTree: successor key vanished");
+            copy.children[pos + 1] = child;
+            copy.keys[pos] = promoted.key;
+            copy.vals[pos] = promoted.val;
+        } else {
+            for (unsigned i = pos; i + 1 < node.count; i++) {
+                copy.keys[i] = copy.keys[i + 1];
+                copy.vals[i] = copy.vals[i + 1];
+            }
+            for (unsigned i = pos + 1; i + 1 <= node.count; i++)
+                copy.children[i] = copy.children[i + 1];
+            copy.count--;
+        }
+        discard.push_back(off);
+        return {storeNode(copy), true};
+    }
+
+    if (node.leaf)
+        return {off, false};
+
+    auto [child, found] =
+        eraseFrom(node.children[pos], key, discard, detach);
+    if (!found)
+        return {off, false};
+    discard.push_back(off);
+    copy.children[pos] = child;
+    return {storeNode(copy), true};
+}
+
+bool
+PmBTree::erase(const std::string &key)
+{
+    StoreHeader header = loadHeader();
+    if (header.root == pm::kNullOffset)
+        return false;
+
+    std::vector<pm::PmOffset> discard;
+    auto [new_root, found] = eraseFrom(header.root, key, discard, nullptr);
+    if (!found)
+        return false;
+
+    // Collapse a root that became empty.
+    Node root = loadNode(new_root);
+    if (root.count == 0) {
+        pm::PmOffset collapsed =
+            root.leaf ? pm::kNullOffset : root.children[0];
+        discard.push_back(new_root);
+        new_root = collapsed;
+    }
+
+    heap_.fence();
+    bumpCountAndRoot(new_root, -1);
+    for (pm::PmOffset off : discard)
+        freeSubtreeNode(off);
+    return true;
+}
+
+unsigned
+PmBTree::height() const
+{
+    unsigned h = 0;
+    pm::PmOffset cursor = loadHeader().root;
+    while (cursor != pm::kNullOffset) {
+        h++;
+        Node node = loadNode(cursor);
+        if (node.leaf)
+            break;
+        cursor = node.children[0];
+    }
+    return h;
+}
+
+bool
+PmBTree::validateNode(pm::PmOffset off, const std::string *lo,
+                      const std::string *hi, unsigned depth,
+                      unsigned leaf_depth, bool strict_depth) const
+{
+    Node node = loadNode(off);
+    std::string prev;
+    bool have_prev = false;
+    for (unsigned i = 0; i < node.count; i++) {
+        std::string k = readBlobString(heap_, node.keys[i]);
+        if (have_prev && !(prev < k))
+            return false;
+        if (lo && !(*lo < k))
+            return false;
+        if (hi && !(k < *hi))
+            return false;
+        prev = k;
+        have_prev = true;
+    }
+    if (node.leaf)
+        return !strict_depth || depth == leaf_depth;
+    for (unsigned i = 0; i <= node.count; i++) {
+        std::string lo_key =
+            i > 0 ? readBlobString(heap_, node.keys[i - 1]) : "";
+        std::string hi_key = i < node.count
+                                 ? readBlobString(heap_, node.keys[i])
+                                 : "";
+        if (!validateNode(node.children[i], i > 0 ? &lo_key : lo,
+                          i < node.count ? &hi_key : hi, depth + 1,
+                          leaf_depth, strict_depth))
+            return false;
+    }
+    return true;
+}
+
+bool
+PmBTree::validate(bool strict_depth) const
+{
+    pm::PmOffset root = loadHeader().root;
+    if (root == pm::kNullOffset)
+        return true;
+    unsigned leaf_depth = height();
+    return validateNode(root, nullptr, nullptr, 1, leaf_depth,
+                        strict_depth);
+}
+
+} // namespace pmnet::kv

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Persistent copy-on-write B-tree (PMDK "btree" workload analogue).
+ *
+ * Order-8 nodes (up to 7 keys). Mutations copy every node along the
+ * root-to-leaf path, persist the copies, and linearize with a single
+ * root-pointer swap in the store header — the shadow-paging approach,
+ * which makes arbitrary splits crash-atomic at the cost of extra PM
+ * writes (those writes are exactly the per-op service time the
+ * workload model wants to capture).
+ *
+ * Fast path: overwriting an existing key's value swaps the leaf's
+ * 8-byte value pointer in place, with no path copy.
+ *
+ * Deletions are CoW as well but do not rebalance (nodes may underflow
+ * below the B-tree minimum); lookups remain correct and the paper's
+ * workloads are insert/update/read dominated.
+ */
+
+#ifndef PMNET_KV_BTREE_H
+#define PMNET_KV_BTREE_H
+
+#include <vector>
+
+#include "kv/store_base.h"
+
+namespace pmnet::kv {
+
+/** Persistent CoW B-tree. */
+class PmBTree : public StoreBase
+{
+  public:
+    static constexpr unsigned kOrder = 8;           ///< max children
+    static constexpr unsigned kMaxKeys = kOrder - 1;
+
+    explicit PmBTree(pm::PmHeap &heap);
+    PmBTree(pm::PmHeap &heap, pm::PmOffset header_offset);
+
+    void put(const std::string &key, const Bytes &value) override;
+    std::optional<Bytes> get(const std::string &key) const override;
+    bool erase(const std::string &key) override;
+
+    /** Depth of the tree (test/diagnostic aid); 0 for empty. */
+    unsigned height() const;
+
+    /**
+     * Validate structural invariants: key ordering within and across
+     * nodes; with @p strict_depth also uniform leaf depth (holds on
+     * insert-only trees; deletions may drop empty subtrees).
+     * @return false on violation.
+     */
+    bool validate(bool strict_depth = false) const;
+
+  private:
+    struct Node
+    {
+        std::uint16_t count = 0;
+        std::uint16_t leaf = 1;
+        std::uint32_t pad = 0;
+        BlobRef keys[kMaxKeys];
+        std::uint64_t vals[kMaxKeys];
+        std::uint64_t children[kOrder];
+    };
+
+    /** Result of a CoW insert into a subtree. */
+    struct InsertResult
+    {
+        pm::PmOffset node;          ///< new subtree root
+        bool split = false;
+        BlobRef upKey;              ///< separator promoted on split
+        std::uint64_t upVal = 0;
+        pm::PmOffset right = 0;     ///< right sibling on split
+        bool replaced = false;      ///< key existed (no count bump)
+        bool inPlace = false;       ///< value swap, no path copy
+    };
+
+    Node loadNode(pm::PmOffset off) const;
+    pm::PmOffset storeNode(const Node &node);
+    void freeSubtreeNode(pm::PmOffset off);
+
+    InsertResult insertInto(pm::PmOffset off, const std::string &key,
+                            const Bytes &value,
+                            std::vector<pm::PmOffset> &discard);
+
+    /** A (key,value) pair detached from the tree instead of freed. */
+    struct Detached
+    {
+        BlobRef key;
+        std::uint64_t val = 0;
+    };
+
+    /**
+     * CoW-erase @p key from subtree; new root (or same) + found.
+     * When @p detach is non-null, the removed pair's blobs are handed
+     * back instead of freed (used when promoting a separator
+     * replacement).
+     */
+    std::pair<pm::PmOffset, bool>
+    eraseFrom(pm::PmOffset off, const std::string &key,
+              std::vector<pm::PmOffset> &discard, Detached *detach);
+
+    /** Largest / smallest key present in a subtree (empty-safe). */
+    std::optional<std::string> extremeKeyOf(pm::PmOffset off,
+                                            bool want_max) const;
+
+    bool validateNode(pm::PmOffset off, const std::string *lo,
+                      const std::string *hi, unsigned depth,
+                      unsigned leaf_depth, bool strict_depth) const;
+
+    void bumpCountAndRoot(pm::PmOffset new_root, std::int64_t delta);
+};
+
+} // namespace pmnet::kv
+
+#endif // PMNET_KV_BTREE_H

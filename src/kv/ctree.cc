@@ -1,0 +1,209 @@
+#include "kv/ctree.h"
+
+#include "common/logging.h"
+
+namespace pmnet::kv {
+
+PmCTree::PmCTree(pm::PmHeap &heap) : StoreBase(heap, KvKind::CTree) {}
+
+PmCTree::PmCTree(pm::PmHeap &heap, pm::PmOffset header_offset)
+    : StoreBase(heap, header_offset, KvKind::CTree)
+{
+}
+
+int
+PmCTree::keyBit(const std::string &key, std::uint32_t bit)
+{
+    std::uint32_t byte = bit / 8;
+    if (byte >= key.size())
+        return 0;
+    return (static_cast<std::uint8_t>(key[byte]) >> (7 - bit % 8)) & 1;
+}
+
+std::uint64_t
+PmCTree::descend(const std::string &key) const
+{
+    std::uint64_t cursor = loadHeader().root;
+    while (!isLeaf(cursor)) {
+        Internal node = heap_.readObj<Internal>(untag(cursor));
+        cursor = node.child[keyBit(key, node.critBit)];
+    }
+    return cursor;
+}
+
+void
+PmCTree::bumpCount(std::int64_t delta)
+{
+    StoreHeader header = loadHeader();
+    header.count = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(header.count) + delta);
+    commitHeader(header);
+}
+
+void
+PmCTree::put(const std::string &key, const Bytes &value)
+{
+    if (key.find('\0') != std::string::npos)
+        fatal("PmCTree: keys must not contain NUL bytes");
+
+    StoreHeader header = loadHeader();
+
+    // Empty tree: root points at a single leaf.
+    if (header.root == pm::kNullOffset) {
+        Leaf leaf;
+        leaf.key = writeBlob(heap_, key);
+        leaf.valPtr = writeSizedBlob(heap_, value);
+        pm::PmOffset leaf_off = heap_.alloc(sizeof(Leaf));
+        heap_.writeObj(leaf_off, leaf);
+        heap_.flush(leaf_off, sizeof(Leaf));
+        heap_.fence();
+        header.root = tagLeaf(leaf_off);
+        header.count = 1;
+        commitHeader(header);
+        return;
+    }
+
+    // Find the closest existing key.
+    std::uint64_t best_tagged = descend(key);
+    Leaf best = heap_.readObj<Leaf>(untag(best_tagged));
+    std::string best_key = readBlobString(heap_, best.key);
+
+    if (best_key == key) {
+        // Atomic value-pointer swap on the existing leaf.
+        pm::PmOffset new_val = writeSizedBlob(heap_, value);
+        heap_.fence();
+        pm::PmOffset slot = untag(best_tagged) + offsetof(Leaf, valPtr);
+        pm::PmOffset old_val = best.valPtr;
+        heap_.writeObj<std::uint64_t>(slot, new_val);
+        heap_.flush(slot, 8);
+        heap_.fence();
+        freeSizedBlob(heap_, old_val);
+        return;
+    }
+
+    // First differing bit between key and best_key.
+    std::size_t max_len = std::max(key.size(), best_key.size());
+    std::uint32_t crit = 0;
+    bool found = false;
+    for (std::uint32_t bit = 0; bit < max_len * 8; bit++) {
+        if (keyBit(key, bit) != keyBit(best_key, bit)) {
+            crit = bit;
+            found = true;
+            break;
+        }
+    }
+    if (!found)
+        panic("PmCTree: distinct keys with no differing bit");
+
+    // Build the new leaf and splice node.
+    Leaf leaf;
+    leaf.key = writeBlob(heap_, key);
+    leaf.valPtr = writeSizedBlob(heap_, value);
+    pm::PmOffset leaf_off = heap_.alloc(sizeof(Leaf));
+    heap_.writeObj(leaf_off, leaf);
+    heap_.flush(leaf_off, sizeof(Leaf));
+
+    // Walk again to find the splice point: the first edge whose
+    // subtree decides a bit greater than crit (or a leaf).
+    std::uint64_t parent_slot = headerOff_ + offsetof(StoreHeader, root);
+    std::uint64_t cursor = header.root;
+    while (!isLeaf(cursor)) {
+        Internal node = heap_.readObj<Internal>(untag(cursor));
+        if (node.critBit > crit)
+            break;
+        int dir = keyBit(key, node.critBit);
+        parent_slot = untag(cursor) + offsetof(Internal, child) + 8 * dir;
+        cursor = node.child[dir];
+    }
+
+    Internal splice;
+    splice.critBit = crit;
+    splice.pad = 0;
+    int new_dir = keyBit(key, crit);
+    splice.child[new_dir] = tagLeaf(leaf_off);
+    splice.child[1 - new_dir] = cursor;
+    pm::PmOffset splice_off = heap_.alloc(sizeof(Internal));
+    heap_.writeObj(splice_off, splice);
+    heap_.flush(splice_off, sizeof(Internal));
+    heap_.fence();
+
+    // Linearization: one pointer swap (parent slot or root).
+    heap_.writeObj<std::uint64_t>(parent_slot, splice_off);
+    heap_.flush(parent_slot, 8);
+    heap_.fence();
+    bumpCount(+1);
+}
+
+std::optional<Bytes>
+PmCTree::get(const std::string &key) const
+{
+    if (loadHeader().root == pm::kNullOffset)
+        return std::nullopt;
+    std::uint64_t tagged = descend(key);
+    Leaf leaf = heap_.readObj<Leaf>(untag(tagged));
+    if (compareKey(heap_, key, leaf.key) != 0)
+        return std::nullopt;
+    return readSizedBlob(heap_, leaf.valPtr);
+}
+
+void
+PmCTree::freeLeaf(std::uint64_t tagged)
+{
+    Leaf leaf = heap_.readObj<Leaf>(untag(tagged));
+    freeBlob(heap_, leaf.key);
+    freeSizedBlob(heap_, leaf.valPtr);
+    heap_.free(untag(tagged), sizeof(Leaf));
+}
+
+bool
+PmCTree::erase(const std::string &key)
+{
+    StoreHeader header = loadHeader();
+    if (header.root == pm::kNullOffset)
+        return false;
+
+    // Track the grandparent slot, the parent node and the direction.
+    std::uint64_t grand_slot = headerOff_ + offsetof(StoreHeader, root);
+    std::uint64_t parent = 0; // tagged internal, 0 = none
+    int last_dir = 0;
+    std::uint64_t cursor = header.root;
+    while (!isLeaf(cursor)) {
+        Internal node = heap_.readObj<Internal>(untag(cursor));
+        int dir = keyBit(key, node.critBit);
+        if (parent != 0) {
+            grand_slot =
+                untag(parent) + offsetof(Internal, child) + 8 * last_dir;
+        }
+        parent = cursor;
+        last_dir = dir;
+        cursor = node.child[dir];
+    }
+
+    Leaf leaf = heap_.readObj<Leaf>(untag(cursor));
+    if (compareKey(heap_, key, leaf.key) != 0)
+        return false;
+
+    if (parent == 0) {
+        // Deleting the only key.
+        header.root = pm::kNullOffset;
+        header.count = 0;
+        commitHeader(header);
+        freeLeaf(cursor);
+        return true;
+    }
+
+    // Linearization: route the grandparent (or root) slot straight to
+    // the sibling, bypassing the parent internal node.
+    Internal parent_node = heap_.readObj<Internal>(untag(parent));
+    std::uint64_t sibling = parent_node.child[1 - last_dir];
+    heap_.writeObj<std::uint64_t>(grand_slot, sibling);
+    heap_.flush(grand_slot, 8);
+    heap_.fence();
+
+    freeLeaf(cursor);
+    heap_.free(untag(parent), sizeof(Internal));
+    bumpCount(-1);
+    return true;
+}
+
+} // namespace pmnet::kv

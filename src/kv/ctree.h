@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Persistent crit-bit tree (PMDK "ctree" workload analogue).
+ *
+ * A binary radix tree over key bits. Internal nodes store the index
+ * of the critical bit; leaves store the key blob and value pointer.
+ * Child pointers are tagged in their low bit (1 = leaf), which keeps
+ * every mutation a single 8-byte pointer swap:
+ *
+ *  - insert: persist new leaf + new internal node, then swap the one
+ *    pointer where the internal node splices in;
+ *  - erase: swap the grandparent pointer to the sibling subtree;
+ *  - value update: swap the leaf's value pointer.
+ *
+ * Keys must not contain NUL bytes (the shorter-key-is-prefix case is
+ * resolved by treating out-of-range bytes as zero, the classic
+ * crit-bit convention); put() enforces this.
+ */
+
+#ifndef PMNET_KV_CTREE_H
+#define PMNET_KV_CTREE_H
+
+#include "kv/store_base.h"
+
+namespace pmnet::kv {
+
+/** Persistent crit-bit tree keyed by NUL-free byte strings. */
+class PmCTree : public StoreBase
+{
+  public:
+    explicit PmCTree(pm::PmHeap &heap);
+    PmCTree(pm::PmHeap &heap, pm::PmOffset header_offset);
+
+    void put(const std::string &key, const Bytes &value) override;
+    std::optional<Bytes> get(const std::string &key) const override;
+    bool erase(const std::string &key) override;
+
+  private:
+    struct Leaf
+    {
+        BlobRef key;
+        std::uint64_t valPtr;
+    };
+
+    struct Internal
+    {
+        std::uint32_t critBit; ///< bit index, 0 = MSB of byte 0
+        std::uint32_t pad;
+        std::uint64_t child[2];
+    };
+
+    static bool isLeaf(std::uint64_t tagged) { return tagged & 1; }
+    static std::uint64_t tagLeaf(pm::PmOffset off) { return off | 1; }
+    static pm::PmOffset untag(std::uint64_t tagged)
+    {
+        return tagged & ~1ull;
+    }
+
+    /** Bit @p bit of @p key (bytes past the end read as zero). */
+    static int keyBit(const std::string &key, std::uint32_t bit);
+
+    /** Descend to the leaf @p key would collide with. */
+    std::uint64_t descend(const std::string &key) const;
+
+    void bumpCount(std::int64_t delta);
+
+    void freeLeaf(std::uint64_t tagged);
+};
+
+} // namespace pmnet::kv
+
+#endif // PMNET_KV_CTREE_H

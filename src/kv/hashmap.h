@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Persistent chained hashmap (PMDK "hashmap" workload analogue).
+ *
+ * A fixed power-of-two bucket array of head pointers, each chaining
+ * nodes of {key blob, value pointer, next}. Linearization:
+ *  - insert: new node persisted, then one 8-byte head swap;
+ *  - value update: new sized blob persisted, then one 8-byte value
+ *    pointer swap in place;
+ *  - erase: one 8-byte next/head pointer swap.
+ */
+
+#ifndef PMNET_KV_HASHMAP_H
+#define PMNET_KV_HASHMAP_H
+
+#include "kv/store_base.h"
+
+namespace pmnet::kv {
+
+/** Persistent hashmap with chaining. */
+class PmHashmap : public StoreBase
+{
+  public:
+    /** Create with 2^bucket_bits buckets. */
+    explicit PmHashmap(pm::PmHeap &heap, unsigned bucket_bits = 16);
+
+    /** Re-open after a crash. */
+    PmHashmap(pm::PmHeap &heap, pm::PmOffset header_offset);
+
+    void put(const std::string &key, const Bytes &value) override;
+    std::optional<Bytes> get(const std::string &key) const override;
+    bool erase(const std::string &key) override;
+
+  private:
+    struct Node
+    {
+        BlobRef key;
+        std::uint64_t valPtr;
+        std::uint64_t next;
+    };
+
+    std::uint64_t bucketSlot(const std::string &key) const;
+    void bumpCount(std::int64_t delta);
+
+    std::uint64_t bucketCount_;
+    pm::PmOffset buckets_;
+};
+
+} // namespace pmnet::kv
+
+#endif // PMNET_KV_HASHMAP_H

@@ -1,0 +1,52 @@
+#include "kv/kv_store.h"
+
+#include "common/logging.h"
+#include "kv/btree.h"
+#include "kv/ctree.h"
+#include "kv/hashmap.h"
+#include "kv/rbtree.h"
+#include "kv/skiplist.h"
+#include "kv/store_base.h"
+
+namespace pmnet::kv {
+
+std::unique_ptr<KvStore>
+makeKvStore(KvKind kind, pm::PmHeap &heap)
+{
+    switch (kind) {
+      case KvKind::Hashmap:
+        return std::make_unique<PmHashmap>(heap);
+      case KvKind::BTree:
+        return std::make_unique<PmBTree>(heap);
+      case KvKind::CTree:
+        return std::make_unique<PmCTree>(heap);
+      case KvKind::RBTree:
+        return std::make_unique<PmRBTree>(heap);
+      case KvKind::SkipList:
+        return std::make_unique<PmSkipList>(heap);
+    }
+    fatal("makeKvStore: unknown kind %u",
+          static_cast<std::uint32_t>(kind));
+}
+
+std::unique_ptr<KvStore>
+openKvStore(pm::PmHeap &heap, pm::PmOffset header_offset)
+{
+    StoreHeader header = heap.readObj<StoreHeader>(header_offset);
+    switch (static_cast<KvKind>(header.kind)) {
+      case KvKind::Hashmap:
+        return std::make_unique<PmHashmap>(heap, header_offset);
+      case KvKind::BTree:
+        return std::make_unique<PmBTree>(heap, header_offset);
+      case KvKind::CTree:
+        return std::make_unique<PmCTree>(heap, header_offset);
+      case KvKind::RBTree:
+        return std::make_unique<PmRBTree>(heap, header_offset);
+      case KvKind::SkipList:
+        return std::make_unique<PmSkipList>(heap, header_offset);
+    }
+    fatal("openKvStore: header at %llu has unknown kind %u",
+          static_cast<unsigned long long>(header_offset), header.kind);
+}
+
+} // namespace pmnet::kv

@@ -1,0 +1,316 @@
+#include "kv/rbtree.h"
+
+#include <tuple>
+
+#include "common/logging.h"
+
+namespace pmnet::kv {
+
+PmRBTree::PmRBTree(pm::PmHeap &heap) : StoreBase(heap, KvKind::RBTree) {}
+
+PmRBTree::PmRBTree(pm::PmHeap &heap, pm::PmOffset header_offset)
+    : StoreBase(heap, header_offset, KvKind::RBTree)
+{
+}
+
+PmRBTree::Node
+PmRBTree::loadNode(pm::PmOffset off) const
+{
+    return heap_.readObj<Node>(off);
+}
+
+pm::PmOffset
+PmRBTree::storeNode(const Node &node)
+{
+    pm::PmOffset off = heap_.alloc(sizeof(Node));
+    heap_.writeObj(off, node);
+    heap_.flush(off, sizeof(Node));
+    return off;
+}
+
+void
+PmRBTree::commitRoot(pm::PmOffset new_root, std::int64_t delta,
+                     std::vector<pm::PmOffset> &discard)
+{
+    heap_.fence(); // persist every freshly written node first
+    StoreHeader header = loadHeader();
+    header.root = new_root;
+    header.count = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(header.count) + delta);
+    commitHeader(header);
+    for (pm::PmOffset off : discard)
+        heap_.free(off, sizeof(Node));
+}
+
+pm::PmOffset
+PmRBTree::balance(Node node, std::vector<pm::PmOffset> &discard)
+{
+    // Okasaki's four red-red patterns under a black node. Each match
+    // rebuilds the local triangle as red(black, black).
+    if (node.color == Black) {
+        auto rebuild = [&](const Node &a, const Node &b, const Node &c,
+                           std::uint64_t t1, std::uint64_t t2,
+                           std::uint64_t t3, std::uint64_t t4) {
+            // Result: red b over black a (t1,t2) and black c (t3,t4).
+            Node left_child;
+            left_child.key = a.key;
+            left_child.valPtr = a.valPtr;
+            left_child.left = t1;
+            left_child.right = t2;
+            left_child.color = Black;
+            Node right_child;
+            right_child.key = c.key;
+            right_child.valPtr = c.valPtr;
+            right_child.left = t3;
+            right_child.right = t4;
+            right_child.color = Black;
+            Node top;
+            top.key = b.key;
+            top.valPtr = b.valPtr;
+            top.left = storeNode(left_child);
+            top.right = storeNode(right_child);
+            top.color = Red;
+            return storeNode(top);
+        };
+
+        if (node.left != pm::kNullOffset) {
+            Node l = loadNode(node.left);
+            if (l.color == Red) {
+                if (l.left != pm::kNullOffset) {
+                    Node ll = loadNode(l.left);
+                    if (ll.color == Red) {
+                        discard.push_back(node.left);
+                        discard.push_back(l.left);
+                        return rebuild(ll, l, node, ll.left, ll.right,
+                                       l.right, node.right);
+                    }
+                }
+                if (l.right != pm::kNullOffset) {
+                    Node lr = loadNode(l.right);
+                    if (lr.color == Red) {
+                        discard.push_back(node.left);
+                        discard.push_back(l.right);
+                        return rebuild(l, lr, node, l.left, lr.left,
+                                       lr.right, node.right);
+                    }
+                }
+            }
+        }
+        if (node.right != pm::kNullOffset) {
+            Node r = loadNode(node.right);
+            if (r.color == Red) {
+                if (r.left != pm::kNullOffset) {
+                    Node rl = loadNode(r.left);
+                    if (rl.color == Red) {
+                        discard.push_back(node.right);
+                        discard.push_back(r.left);
+                        return rebuild(node, rl, r, node.left, rl.left,
+                                       rl.right, r.right);
+                    }
+                }
+                if (r.right != pm::kNullOffset) {
+                    Node rr = loadNode(r.right);
+                    if (rr.color == Red) {
+                        discard.push_back(node.right);
+                        discard.push_back(r.right);
+                        return rebuild(node, r, rr, node.left, r.left,
+                                       rr.left, rr.right);
+                    }
+                }
+            }
+        }
+    }
+    return storeNode(node);
+}
+
+pm::PmOffset
+PmRBTree::insertInto(pm::PmOffset off, const std::string &key,
+                     const Bytes &value,
+                     std::vector<pm::PmOffset> &discard)
+{
+    if (off == pm::kNullOffset) {
+        Node node{};
+        node.key = writeBlob(heap_, key);
+        node.valPtr = writeSizedBlob(heap_, value);
+        node.left = node.right = pm::kNullOffset;
+        node.color = Red;
+        return storeNode(node);
+    }
+
+    Node node = loadNode(off);
+    int cmp = compareKey(heap_, key, node.key);
+    if (cmp == 0) {
+        // Fast path: atomic value-pointer swap, no path copy.
+        pm::PmOffset new_val = writeSizedBlob(heap_, value);
+        heap_.fence();
+        std::uint64_t slot = off + offsetof(Node, valPtr);
+        pm::PmOffset old_val = node.valPtr;
+        heap_.writeObj<std::uint64_t>(slot, new_val);
+        heap_.flush(slot, 8);
+        heap_.fence();
+        freeSizedBlob(heap_, old_val);
+        inPlace_ = true;
+        replaced_ = true;
+        return off;
+    }
+
+    Node copy = node;
+    if (cmp < 0) {
+        pm::PmOffset child = insertInto(node.left, key, value, discard);
+        if (inPlace_)
+            return off;
+        copy.left = child;
+    } else {
+        pm::PmOffset child = insertInto(node.right, key, value, discard);
+        if (inPlace_)
+            return off;
+        copy.right = child;
+    }
+    discard.push_back(off);
+    return balance(copy, discard);
+}
+
+void
+PmRBTree::put(const std::string &key, const Bytes &value)
+{
+    inPlace_ = false;
+    replaced_ = false;
+    StoreHeader header = loadHeader();
+    std::vector<pm::PmOffset> discard;
+    pm::PmOffset new_root =
+        insertInto(header.root, key, value, discard);
+    if (inPlace_)
+        return;
+
+    // The root is always black (Okasaki's final blackening step).
+    Node root = loadNode(new_root);
+    if (root.color != Black) {
+        root.color = Black;
+        discard.push_back(new_root);
+        new_root = storeNode(root);
+    }
+    commitRoot(new_root, replaced_ ? 0 : +1, discard);
+}
+
+std::optional<Bytes>
+PmRBTree::get(const std::string &key) const
+{
+    pm::PmOffset cursor = loadHeader().root;
+    while (cursor != pm::kNullOffset) {
+        Node node = loadNode(cursor);
+        int cmp = compareKey(heap_, key, node.key);
+        if (cmp == 0)
+            return readSizedBlob(heap_, node.valPtr);
+        cursor = cmp < 0 ? node.left : node.right;
+    }
+    return std::nullopt;
+}
+
+std::tuple<pm::PmOffset, PmRBTree::Node>
+PmRBTree::takeMin(pm::PmOffset off, std::vector<pm::PmOffset> &discard)
+{
+    Node node = loadNode(off);
+    discard.push_back(off);
+    if (node.left == pm::kNullOffset)
+        return {node.right, node};
+    auto [child, min_node] = takeMin(node.left, discard);
+    Node copy = node;
+    copy.left = child;
+    return {storeNode(copy), min_node};
+}
+
+std::pair<pm::PmOffset, bool>
+PmRBTree::eraseFrom(pm::PmOffset off, const std::string &key,
+                    std::vector<pm::PmOffset> &discard)
+{
+    if (off == pm::kNullOffset)
+        return {off, false};
+    Node node = loadNode(off);
+    int cmp = compareKey(heap_, key, node.key);
+
+    Node copy = node;
+    if (cmp < 0) {
+        auto [child, found] = eraseFrom(node.left, key, discard);
+        if (!found)
+            return {off, false};
+        copy.left = child;
+        discard.push_back(off);
+        return {storeNode(copy), true};
+    }
+    if (cmp > 0) {
+        auto [child, found] = eraseFrom(node.right, key, discard);
+        if (!found)
+            return {off, false};
+        copy.right = child;
+        discard.push_back(off);
+        return {storeNode(copy), true};
+    }
+
+    // Found: CoW BST delete (colors carried over, no recoloring).
+    freeBlob(heap_, node.key);
+    freeSizedBlob(heap_, node.valPtr);
+    discard.push_back(off);
+    if (node.left == pm::kNullOffset)
+        return {node.right, true};
+    if (node.right == pm::kNullOffset)
+        return {node.left, true};
+
+    auto [new_right, min_node] = takeMin(node.right, discard);
+    copy.key = min_node.key;
+    copy.valPtr = min_node.valPtr;
+    copy.right = new_right;
+    return {storeNode(copy), true};
+}
+
+bool
+PmRBTree::erase(const std::string &key)
+{
+    StoreHeader header = loadHeader();
+    std::vector<pm::PmOffset> discard;
+    auto [new_root, found] = eraseFrom(header.root, key, discard);
+    if (!found)
+        return false;
+    commitRoot(new_root, -1, discard);
+    return true;
+}
+
+bool
+PmRBTree::validateNode(pm::PmOffset off, const std::string *lo,
+                       const std::string *hi, bool parent_red) const
+{
+    if (off == pm::kNullOffset)
+        return true;
+    Node node = loadNode(off);
+    std::string k = readBlobString(heap_, node.key);
+    if (lo && !(*lo < k))
+        return false;
+    if (hi && !(k < *hi))
+        return false;
+    if (parent_red && node.color == Red)
+        return false;
+    return validateNode(node.left, lo, &k, node.color == Red) &&
+           validateNode(node.right, &k, hi, node.color == Red);
+}
+
+bool
+PmRBTree::validate() const
+{
+    return validateNode(loadHeader().root, nullptr, nullptr, false);
+}
+
+unsigned
+PmRBTree::heightOf(pm::PmOffset off) const
+{
+    if (off == pm::kNullOffset)
+        return 0;
+    Node node = loadNode(off);
+    return 1 + std::max(heightOf(node.left), heightOf(node.right));
+}
+
+unsigned
+PmRBTree::height() const
+{
+    return heightOf(loadHeader().root);
+}
+
+} // namespace pmnet::kv

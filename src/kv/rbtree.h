@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Persistent copy-on-write red-black tree (PMDK "rbtree" analogue).
+ *
+ * Inserts use Okasaki-style functional rebalancing: the root-to-leaf
+ * path is copied, red-red violations are rotated away on the way back
+ * up, all new nodes are persisted, and the mutation linearizes with a
+ * single root swap in the store header.
+ *
+ * Value overwrites take the atomic value-pointer-swap fast path.
+ *
+ * Deletes are CoW binary-search-tree deletes *without* recoloring:
+ * lookups and ordering remain correct, but black-height balance can
+ * degrade under sustained delete-heavy load (documented trade-off;
+ * the paper's workloads are insert/update/read dominated, and
+ * subsequent Okasaki inserts tolerate arbitrary colorings).
+ */
+
+#ifndef PMNET_KV_RBTREE_H
+#define PMNET_KV_RBTREE_H
+
+#include <vector>
+
+#include "kv/store_base.h"
+
+namespace pmnet::kv {
+
+/** Persistent CoW red-black tree. */
+class PmRBTree : public StoreBase
+{
+  public:
+    explicit PmRBTree(pm::PmHeap &heap);
+    PmRBTree(pm::PmHeap &heap, pm::PmOffset header_offset);
+
+    void put(const std::string &key, const Bytes &value) override;
+    std::optional<Bytes> get(const std::string &key) const override;
+    bool erase(const std::string &key) override;
+
+    /** Ordering + red-red invariant check (test aid). */
+    bool validate() const;
+
+    /** Longest root-to-leaf path (test aid). */
+    unsigned height() const;
+
+  private:
+    enum Color : std::uint8_t { Red = 0, Black = 1 };
+
+    struct Node
+    {
+        BlobRef key;
+        std::uint64_t valPtr;
+        std::uint64_t left;
+        std::uint64_t right;
+        std::uint8_t color;
+        std::uint8_t pad[7];
+    };
+
+    Node loadNode(pm::PmOffset off) const;
+    pm::PmOffset storeNode(const Node &node);
+
+    /** CoW insert; returns new subtree root. Sets inPlace_ when the
+     *  fast path (value swap) triggered. */
+    pm::PmOffset insertInto(pm::PmOffset off, const std::string &key,
+                            const Bytes &value,
+                            std::vector<pm::PmOffset> &discard);
+
+    /** Okasaki balance: fixes red-red child/grandchild patterns of a
+     *  black node, given the (already stored) candidate node. */
+    pm::PmOffset balance(Node node,
+                         std::vector<pm::PmOffset> &discard);
+
+    std::pair<pm::PmOffset, bool>
+    eraseFrom(pm::PmOffset off, const std::string &key,
+              std::vector<pm::PmOffset> &discard);
+
+    /** Detach the minimum node of a subtree (CoW). */
+    std::tuple<pm::PmOffset, Node>
+    takeMin(pm::PmOffset off, std::vector<pm::PmOffset> &discard);
+
+    bool validateNode(pm::PmOffset off, const std::string *lo,
+                      const std::string *hi, bool parent_red) const;
+
+    unsigned heightOf(pm::PmOffset off) const;
+
+    void commitRoot(pm::PmOffset new_root, std::int64_t delta,
+                    std::vector<pm::PmOffset> &discard);
+
+    bool inPlace_ = false;
+    bool replaced_ = false;
+};
+
+} // namespace pmnet::kv
+
+#endif // PMNET_KV_RBTREE_H

@@ -1,0 +1,203 @@
+#include "kv/skiplist.h"
+
+#include "common/logging.h"
+
+namespace pmnet::kv {
+
+PmSkipList::PmSkipList(pm::PmHeap &heap)
+    : StoreBase(heap, KvKind::SkipList), rng_(0x534B4C495354ull)
+{
+    Node sentinel{};
+    sentinel.level = kMaxLevel;
+    for (unsigned i = 0; i < kMaxLevel; i++)
+        sentinel.next[i] = pm::kNullOffset;
+    head_ = heap_.alloc(sizeof(Node));
+    heap_.writeObj(head_, sentinel);
+    heap_.flush(head_, sizeof(Node));
+
+    StoreHeader header = loadHeader();
+    header.aux = head_;
+    commitHeader(header);
+}
+
+PmSkipList::PmSkipList(pm::PmHeap &heap, pm::PmOffset header_offset)
+    : StoreBase(heap, header_offset, KvKind::SkipList),
+      rng_(0x534B4C495354ull)
+{
+    head_ = loadHeader().aux;
+}
+
+std::uint64_t
+PmSkipList::packPrefix(const std::string &key)
+{
+    std::uint64_t prefix = 0;
+    for (std::size_t i = 0; i < 8; i++) {
+        prefix <<= 8;
+        if (i < key.size())
+            prefix |= static_cast<std::uint8_t>(key[i]);
+    }
+    return prefix;
+}
+
+int
+PmSkipList::compareWithNode(const std::string &key, std::uint64_t prefix,
+                            const Node &node) const
+{
+    if (prefix < node.keyPrefix)
+        return -1;
+    if (prefix > node.keyPrefix)
+        return 1;
+    // Prefixes tie: only now pay for the out-of-line key read. Short
+    // keys (< 8 bytes) are fully decided by the prefix.
+    if (key.size() <= 8 && node.key.length <= 8)
+        return 0;
+    return compareKey(heap_, key, node.key);
+}
+
+unsigned
+PmSkipList::randomLevel()
+{
+    unsigned level = 1;
+    while (level < kMaxLevel && rng_.nextBool(0.5))
+        level++;
+    return level;
+}
+
+void
+PmSkipList::bumpCount(std::int64_t delta)
+{
+    StoreHeader header = loadHeader();
+    header.count = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(header.count) + delta);
+    commitHeader(header);
+}
+
+void
+PmSkipList::findPredecessors(const std::string &key,
+                             pm::PmOffset preds[kMaxLevel]) const
+{
+    std::uint64_t prefix = packPrefix(key);
+    pm::PmOffset cursor = head_;
+    Node node = heap_.readObj<Node>(cursor);
+    for (int level = kMaxLevel - 1; level >= 0; level--) {
+        for (;;) {
+            pm::PmOffset next = node.next[level];
+            if (next == pm::kNullOffset)
+                break;
+            Node next_node = heap_.readObj<Node>(next);
+            if (compareWithNode(key, prefix, next_node) <= 0)
+                break;
+            cursor = next;
+            node = next_node;
+        }
+        preds[static_cast<unsigned>(level)] = cursor;
+    }
+}
+
+void
+PmSkipList::put(const std::string &key, const Bytes &value)
+{
+    pm::PmOffset preds[kMaxLevel];
+    findPredecessors(key, preds);
+
+    Node pred0 = heap_.readObj<Node>(preds[0]);
+    pm::PmOffset candidate = pred0.next[0];
+    if (candidate != pm::kNullOffset) {
+        Node existing = heap_.readObj<Node>(candidate);
+        if (compareWithNode(key, packPrefix(key), existing) == 0) {
+            pm::PmOffset old_val = existing.valPtr;
+            pm::PmOffset new_val = writeSizedBlob(heap_, value);
+            heap_.fence();
+            heap_.writeObj<std::uint64_t>(
+                candidate + offsetof(Node, valPtr), new_val);
+            heap_.flush(candidate + offsetof(Node, valPtr), 8);
+            heap_.fence();
+            freeSizedBlob(heap_, old_val);
+            return;
+        }
+    }
+
+    unsigned level = randomLevel();
+    Node node{};
+    node.key = writeBlob(heap_, key);
+    node.keyPrefix = packPrefix(key);
+    node.valPtr = writeSizedBlob(heap_, value);
+    node.level = level;
+    for (unsigned i = 0; i < kMaxLevel; i++) {
+        node.next[i] = i < level
+                           ? heap_.readObj<Node>(preds[i]).next[i]
+                           : pm::kNullOffset;
+    }
+    pm::PmOffset node_off = heap_.alloc(sizeof(Node));
+    heap_.writeObj(node_off, node);
+    heap_.flush(node_off, sizeof(Node));
+    heap_.fence();
+
+    // Linearization: level-0 link.
+    heap_.writeObj<std::uint64_t>(preds[0] + offsetof(Node, next), node_off);
+    heap_.flush(preds[0] + offsetof(Node, next), 8);
+    heap_.fence();
+
+    // Acceleration links (persisted lazily; searches verify level 0).
+    for (unsigned i = 1; i < level; i++) {
+        std::uint64_t slot =
+            preds[i] + offsetof(Node, next) + 8ull * i;
+        heap_.writeObj<std::uint64_t>(slot, node_off);
+        heap_.flush(slot, 8);
+    }
+    heap_.fence();
+    bumpCount(+1);
+}
+
+std::optional<Bytes>
+PmSkipList::get(const std::string &key) const
+{
+    pm::PmOffset preds[kMaxLevel];
+    findPredecessors(key, preds);
+    Node pred0 = heap_.readObj<Node>(preds[0]);
+    pm::PmOffset candidate = pred0.next[0];
+    if (candidate == pm::kNullOffset)
+        return std::nullopt;
+    Node node = heap_.readObj<Node>(candidate);
+    if (compareWithNode(key, packPrefix(key), node) != 0)
+        return std::nullopt;
+    return readSizedBlob(heap_, node.valPtr);
+}
+
+bool
+PmSkipList::erase(const std::string &key)
+{
+    pm::PmOffset preds[kMaxLevel];
+    findPredecessors(key, preds);
+    Node pred0 = heap_.readObj<Node>(preds[0]);
+    pm::PmOffset victim = pred0.next[0];
+    if (victim == pm::kNullOffset)
+        return false;
+    Node node = heap_.readObj<Node>(victim);
+    if (compareWithNode(key, packPrefix(key), node) != 0)
+        return false;
+
+    // Unlink the acceleration levels first (searches stay correct),
+    // then linearize on the level-0 unlink.
+    for (unsigned i = node.level; i-- > 1;) {
+        Node pred = heap_.readObj<Node>(preds[i]);
+        if (pred.next[i] != victim)
+            continue;
+        std::uint64_t slot = preds[i] + offsetof(Node, next) + 8ull * i;
+        heap_.writeObj<std::uint64_t>(slot, node.next[i]);
+        heap_.flush(slot, 8);
+    }
+    heap_.fence();
+    heap_.writeObj<std::uint64_t>(preds[0] + offsetof(Node, next),
+                                  node.next[0]);
+    heap_.flush(preds[0] + offsetof(Node, next), 8);
+    heap_.fence();
+
+    freeBlob(heap_, node.key);
+    freeSizedBlob(heap_, node.valPtr);
+    heap_.free(victim, sizeof(Node));
+    bumpCount(-1);
+    return true;
+}
+
+} // namespace pmnet::kv

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Persistent skip list (PMDK "skiplist" workload analogue).
+ *
+ * Nodes embed a fixed tower of forward pointers (kMaxLevel). The
+ * level-0 list is the source of truth: insertion linearizes on the
+ * level-0 predecessor swap, and upper-level links are persisted
+ * afterwards as an acceleration structure only. Searches descend the
+ * tower but always verify along level 0, so a crash between the
+ * level-0 link and the tower links cannot lose or duplicate keys.
+ *
+ * Tower heights are drawn from a deterministic per-store PRNG
+ * (p = 1/2) seeded at creation, keeping runs reproducible.
+ */
+
+#ifndef PMNET_KV_SKIPLIST_H
+#define PMNET_KV_SKIPLIST_H
+
+#include "common/rng.h"
+#include "kv/store_base.h"
+
+namespace pmnet::kv {
+
+/** Persistent skip list keyed by byte strings. */
+class PmSkipList : public StoreBase
+{
+  public:
+    static constexpr unsigned kMaxLevel = 16;
+
+    explicit PmSkipList(pm::PmHeap &heap);
+    PmSkipList(pm::PmHeap &heap, pm::PmOffset header_offset);
+
+    void put(const std::string &key, const Bytes &value) override;
+    std::optional<Bytes> get(const std::string &key) const override;
+    bool erase(const std::string &key) override;
+
+  private:
+    struct Node
+    {
+        BlobRef key;
+        /**
+         * First 8 key bytes, big-endian packed so unsigned compare is
+         * lexicographic — most probes skip the out-of-line key blob
+         * read entirely (a standard PM-index optimization).
+         */
+        std::uint64_t keyPrefix;
+        std::uint64_t valPtr;
+        std::uint32_t level;
+        std::uint32_t pad;
+        std::uint64_t next[kMaxLevel];
+    };
+
+    /** Pack the first 8 bytes of @p key for prefix comparison. */
+    static std::uint64_t packPrefix(const std::string &key);
+
+    /**
+     * Compare @p key (with precomputed @p prefix) against @p node,
+     * touching the key blob only when the prefixes tie.
+     */
+    int compareWithNode(const std::string &key, std::uint64_t prefix,
+                        const Node &node) const;
+
+    /**
+     * Find the predecessor node offset at every level for @p key.
+     * preds[0] is always exact (level-0 verified).
+     */
+    void findPredecessors(const std::string &key,
+                          pm::PmOffset preds[kMaxLevel]) const;
+
+
+    unsigned randomLevel();
+    void bumpCount(std::int64_t delta);
+
+    pm::PmOffset head_; ///< sentinel node with a full tower
+    Rng rng_;
+};
+
+} // namespace pmnet::kv
+
+#endif // PMNET_KV_SKIPLIST_H

@@ -1,0 +1,54 @@
+#include "kv/store_base.h"
+
+#include "common/logging.h"
+
+namespace pmnet::kv {
+
+const char *
+kvKindName(KvKind kind)
+{
+    switch (kind) {
+      case KvKind::Hashmap: return "hashmap";
+      case KvKind::BTree: return "btree";
+      case KvKind::CTree: return "ctree";
+      case KvKind::RBTree: return "rbtree";
+      case KvKind::SkipList: return "skiplist";
+    }
+    return "unknown";
+}
+
+StoreBase::StoreBase(pm::PmHeap &heap, KvKind store_kind) : heap_(heap)
+{
+    headerOff_ = heap_.alloc(sizeof(StoreHeader));
+    StoreHeader header;
+    header.kind = static_cast<std::uint32_t>(store_kind);
+    commitHeader(header);
+}
+
+StoreBase::StoreBase(pm::PmHeap &heap, pm::PmOffset header_offset,
+                     KvKind expected_kind)
+    : heap_(heap), headerOff_(header_offset)
+{
+    StoreHeader header = loadHeader();
+    if (header.kind != static_cast<std::uint32_t>(expected_kind))
+        fatal("KvStore: header at %llu has kind %u, expected %u (%s)",
+              static_cast<unsigned long long>(header_offset), header.kind,
+              static_cast<std::uint32_t>(expected_kind),
+              kvKindName(expected_kind));
+}
+
+StoreHeader
+StoreBase::loadHeader() const
+{
+    return heap_.readObj<StoreHeader>(headerOff_);
+}
+
+void
+StoreBase::commitHeader(const StoreHeader &header)
+{
+    heap_.writeObj(headerOff_, header);
+    heap_.flush(headerOff_, sizeof(StoreHeader));
+    heap_.fence();
+}
+
+} // namespace pmnet::kv

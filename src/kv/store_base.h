@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared persistent-header plumbing for the five KV structures.
+ *
+ * Every store owns a 40-byte persistent header:
+ *   { kind, extra, root, count, aux }
+ * root/count are committed together with a single flush+fence — the
+ * structure's linearization point for mutations that change the root
+ * (CoW trees) or the element count.
+ */
+
+#ifndef PMNET_KV_STORE_BASE_H
+#define PMNET_KV_STORE_BASE_H
+
+#include "kv/blob.h"
+#include "kv/kv_store.h"
+
+namespace pmnet::kv {
+
+/** Persistent per-store header. */
+struct StoreHeader
+{
+    std::uint32_t kind = 0;
+    std::uint32_t extra = 0; ///< structure-specific (e.g. bucket bits)
+    std::uint64_t root = pm::kNullOffset;
+    std::uint64_t count = 0;
+    std::uint64_t aux = pm::kNullOffset; ///< structure-specific pointer
+};
+
+/** Base class implementing header management. */
+class StoreBase : public KvStore
+{
+  public:
+    pm::PmOffset headerOffset() const override { return headerOff_; }
+
+    KvKind
+    kind() const override
+    {
+        return static_cast<KvKind>(loadHeader().kind);
+    }
+
+    std::uint64_t size() const override { return loadHeader().count; }
+
+  protected:
+    /** Create a fresh header. */
+    StoreBase(pm::PmHeap &heap, KvKind store_kind);
+
+    /** Open an existing header. */
+    StoreBase(pm::PmHeap &heap, pm::PmOffset header_offset,
+              KvKind expected_kind);
+
+    StoreHeader loadHeader() const;
+
+    /** Persist the whole header (flush + fence): linearization point. */
+    void commitHeader(const StoreHeader &header);
+
+    pm::PmHeap &heap_;
+    pm::PmOffset headerOff_;
+};
+
+} // namespace pmnet::kv
+
+#endif // PMNET_KV_STORE_BASE_H

@@ -1,0 +1,144 @@
+#include "net/link.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pmnet::net {
+
+Link *
+Node::linkAt(int port) const
+{
+    if (port < 0 || port >= portCount())
+        panic("%s: bad port %d (have %d)", name().c_str(), port,
+              portCount());
+    return ports_[static_cast<std::size_t>(port)];
+}
+
+int
+Node::attachLink(Link *link)
+{
+    ports_.push_back(link);
+    return portCount() - 1;
+}
+
+void
+Node::send(int port, PacketPtr pkt)
+{
+    if (!up_)
+        return;
+    linkAt(port)->transmit(*this, std::move(pkt));
+}
+
+void
+Node::powerFail()
+{
+    up_ = false;
+    onPowerFail();
+}
+
+void
+Node::powerRestore()
+{
+    up_ = true;
+    onPowerRestore();
+}
+
+Link::Link(sim::Simulator &simulator, std::string object_name, Node &end_a,
+           Node &end_b, LinkConfig config)
+    : SimObject(simulator, std::move(object_name)), config_(config),
+      endA_(&end_a), endB_(&end_b), lossRng_(config.lossSeed)
+{
+    if (&end_a == &end_b)
+        fatal("%s: cannot connect a node to itself", name().c_str());
+    portOnA_ = end_a.attachLink(this);
+    portOnB_ = end_b.attachLink(this);
+    dirs_[0] = Direction{endB_, portOnB_, 0, 0}; // A -> B
+    dirs_[1] = Direction{endA_, portOnA_, 0, 0}; // B -> A
+}
+
+Link::Direction &
+Link::directionFrom(const Node &from)
+{
+    if (&from == endA_)
+        return dirs_[0];
+    if (&from == endB_)
+        return dirs_[1];
+    panic("%s: node %s is not an endpoint", name().c_str(),
+          from.name().c_str());
+}
+
+int
+Link::portOn(const Node &node) const
+{
+    if (&node == endA_)
+        return portOnA_;
+    if (&node == endB_)
+        return portOnB_;
+    panic("%s: node %s is not an endpoint", name().c_str(),
+          node.name().c_str());
+}
+
+Node &
+Link::peerOf(const Node &node) const
+{
+    if (&node == endA_)
+        return *endB_;
+    if (&node == endB_)
+        return *endA_;
+    panic("%s: node %s is not an endpoint", name().c_str(),
+          node.name().c_str());
+}
+
+void
+Link::dropNext(const Node &from, int n)
+{
+    directionFrom(from).dropNext += n;
+}
+
+bool
+Link::transmit(const Node &from, PacketPtr pkt)
+{
+    Direction &dir = directionFrom(from);
+    std::size_t size = pkt->wireSize();
+
+    // Injected loss: the packet occupies the line as usual but never
+    // arrives (it is "corrupted on the wire").
+    bool lose = false;
+    if (dir.dropNext > 0) {
+        dir.dropNext--;
+        lose = true;
+    } else if (config_.lossRate > 0.0 &&
+               lossRng_.nextBool(config_.lossRate)) {
+        lose = true;
+    }
+    if (lose) {
+        losses_++;
+        return true;
+    }
+
+    if (dir.queuedBytes + size > config_.queueBytes) {
+        drops_++;
+        return false;
+    }
+
+    Tick now = simulator().now();
+    Tick depart = std::max(now, dir.lineFreeAt);
+    TickDelta serialize = serializationDelay(size, config_.gbps);
+    dir.lineFreeAt = depart + serialize;
+    dir.queuedBytes += size;
+
+    Tick arrive = depart + serialize + config_.propagation;
+    Node *to = dir.to;
+    int to_port = dir.toPort;
+    simulator().scheduleAt(arrive, [this, &dir, to, to_port, size,
+                                    pkt = std::move(pkt)]() {
+        dir.queuedBytes -= size;
+        bytesCarried_ += size;
+        if (to->isUp())
+            to->receive(pkt, to_port);
+    });
+    return true;
+}
+
+} // namespace pmnet::net

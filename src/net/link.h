@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Point-to-point full-duplex link with a bandwidth, a propagation
+ * delay and a bounded egress queue per direction.
+ *
+ * Serialization is modeled by keeping a per-direction "line free at"
+ * time: a packet departs at max(now, line_free) and occupies the line
+ * for wireSize/bandwidth. Queued-but-untransmitted bytes beyond the
+ * queue capacity are tail-dropped. This is what produces the paper's
+ * Fig 16 shape — flat latency until offered load reaches 10 Gbps, then
+ * a queueing spike.
+ */
+
+#ifndef PMNET_NET_LINK_H
+#define PMNET_NET_LINK_H
+
+#include <array>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "net/node.h"
+
+namespace pmnet::net {
+
+/** Static link parameters. */
+struct LinkConfig
+{
+    /** Line rate in Gbit/s. */
+    double gbps = 10.0;
+    /** One-way propagation delay. */
+    TickDelta propagation = nanoseconds(300);
+    /** Max bytes waiting for the line per direction (tail drop). */
+    std::size_t queueBytes = 2 * 1024 * 1024;
+    /** Random per-packet loss probability (failure experiments). */
+    double lossRate = 0.0;
+    /** Seed for the loss process. */
+    std::uint64_t lossSeed = 0x4C4F5353;
+};
+
+/** A duplex link between exactly two nodes. */
+class Link : public sim::SimObject
+{
+  public:
+    Link(sim::Simulator &simulator, std::string object_name,
+         Node &end_a, Node &end_b, LinkConfig config = {});
+
+    /**
+     * Enqueue @p pkt for transmission away from @p from.
+     * @return false if the egress queue overflowed (packet dropped).
+     */
+    bool transmit(const Node &from, PacketPtr pkt);
+
+    /** Port index of this link on node @p node. */
+    int portOn(const Node &node) const;
+
+    /** The node on the other end of the link from @p node. */
+    Node &peerOf(const Node &node) const;
+
+    const LinkConfig &config() const { return config_; }
+
+    /** Packets dropped due to egress-queue overflow. */
+    std::uint64_t drops() const { return drops_; }
+
+    /** Packets lost to injected loss (random or dropNext). */
+    std::uint64_t losses() const { return losses_; }
+
+    /**
+     * Deterministically drop the next @p n packets transmitted away
+     * from @p from (loss-injection for the Fig 7b tests).
+     */
+    void dropNext(const Node &from, int n);
+
+    /** Total bytes that finished serialization onto the wire. */
+    std::uint64_t bytesCarried() const { return bytesCarried_; }
+
+  private:
+    struct Direction
+    {
+        Node *to = nullptr;
+        int toPort = -1;
+        Tick lineFreeAt = 0;
+        std::size_t queuedBytes = 0;
+        int dropNext = 0;
+    };
+
+    /** Direction whose traffic flows away from @p from. */
+    Direction &directionFrom(const Node &from);
+
+    LinkConfig config_;
+    Node *endA_;
+    Node *endB_;
+    int portOnA_;
+    int portOnB_;
+    std::array<Direction, 2> dirs_;
+    std::uint64_t drops_ = 0;
+    std::uint64_t losses_ = 0;
+    std::uint64_t bytesCarried_ = 0;
+    Rng lossRng_;
+};
+
+} // namespace pmnet::net
+
+#endif // PMNET_NET_LINK_H

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Network node base class: anything with ports that can send and
+ * receive packets (hosts, switches, PMNet devices).
+ *
+ * Nodes also carry the power-failure surface used by the recovery
+ * experiments: a failed node silently drops traffic until restored,
+ * and subclasses override onPowerFail()/onPowerRestore() to model what
+ * their volatile vs. persistent state does across the outage.
+ */
+
+#ifndef PMNET_NET_NODE_H
+#define PMNET_NET_NODE_H
+
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace pmnet::net {
+
+class Link;
+
+/** A device in the topology, identified by NodeId. */
+class Node : public sim::SimObject
+{
+  public:
+    Node(sim::Simulator &simulator, std::string object_name, NodeId node_id)
+        : SimObject(simulator, std::move(object_name)), id_(node_id)
+    {}
+
+    NodeId id() const { return id_; }
+
+    /** Number of attached links. */
+    int portCount() const { return static_cast<int>(ports_.size()); }
+
+    /** Link attached at @p port. @pre port is valid. */
+    Link *linkAt(int port) const;
+
+    /**
+     * Called by Link when a packet arrives. @p in_port is the local
+     * port it arrived on. Not called while the node is failed.
+     */
+    virtual void receive(PacketPtr pkt, int in_port) = 0;
+
+    /** Transmit @p pkt on @p port. No-op while failed. */
+    void send(int port, PacketPtr pkt);
+
+    /** @name Failure injection
+     *  @{
+     */
+    bool isUp() const { return up_; }
+
+    /** Cut power: volatile state is lost, traffic drops. */
+    void powerFail();
+
+    /** Restore power and invoke recovery behaviour. */
+    void powerRestore();
+    /** @} */
+
+  protected:
+    /** Subclass hook: discard volatile state. */
+    virtual void onPowerFail() {}
+
+    /** Subclass hook: run recovery (persistent state survives). */
+    virtual void onPowerRestore() {}
+
+  private:
+    friend class Link;
+
+    /** Registers @p link and returns the new port index. */
+    int attachLink(Link *link);
+
+    NodeId id_;
+    bool up_ = true;
+    std::vector<Link *> ports_;
+};
+
+} // namespace pmnet::net
+
+#endif // PMNET_NET_NODE_H

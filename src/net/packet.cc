@@ -1,0 +1,180 @@
+#include "net/packet.h"
+
+#include "common/crc32.h"
+#include "common/logging.h"
+
+namespace pmnet::net {
+
+const char *
+packetTypeName(PacketType type)
+{
+    switch (type) {
+      case PacketType::UpdateReq: return "update-req";
+      case PacketType::BypassReq: return "bypass-req";
+      case PacketType::PmnetAck: return "pmnet-ack";
+      case PacketType::ServerAck: return "server-ack";
+      case PacketType::Retrans: return "retrans";
+      case PacketType::Response: return "response";
+      case PacketType::RecoveryPoll: return "recovery-poll";
+      case PacketType::Heartbeat: return "heartbeat";
+      case PacketType::HeartbeatAck: return "heartbeat-ack";
+    }
+    return "unknown";
+}
+
+void
+PmnetHeader::serialize(Bytes &out) const
+{
+    ByteWriter writer(out);
+    writer.writeU8(static_cast<std::uint8_t>(type));
+    writer.writeU16(sessionId);
+    writer.writeU32(seqNum);
+    writer.writeU32(hashVal);
+}
+
+std::optional<PmnetHeader>
+PmnetHeader::parse(ByteReader &reader)
+{
+    PmnetHeader header;
+    std::uint8_t raw_type = reader.readU8();
+    header.sessionId = reader.readU16();
+    header.seqNum = reader.readU32();
+    header.hashVal = reader.readU32();
+    if (!reader.ok())
+        return std::nullopt;
+    if (raw_type < 1 ||
+        raw_type > static_cast<std::uint8_t>(PacketType::HeartbeatAck)) {
+        return std::nullopt;
+    }
+    header.type = static_cast<PacketType>(raw_type);
+    return header;
+}
+
+std::uint32_t
+PmnetHeader::computeHash(PacketType type, std::uint16_t session_id,
+                         std::uint32_t seq_num, NodeId src, NodeId dst)
+{
+    struct __attribute__((packed))
+    {
+        std::uint8_t type;
+        std::uint16_t session;
+        std::uint32_t seq;
+        std::uint32_t src;
+        std::uint32_t dst;
+    } fields{static_cast<std::uint8_t>(type), session_id, seq_num, src,
+             dst};
+    return crc32(&fields, sizeof(fields));
+}
+
+std::size_t
+Packet::wireSize() const
+{
+    std::size_t size = kEnvelopeBytes + payload.size();
+    if (pmnet)
+        size += PmnetHeader::kWireSize;
+    return size;
+}
+
+Bytes
+Packet::serializePayload() const
+{
+    Bytes out;
+    if (pmnet)
+        pmnet->serialize(out);
+    ByteWriter writer(out);
+    writer.writeBytes(payload.data(), payload.size());
+    return out;
+}
+
+bool
+Packet::parsePayload(const Bytes &wire)
+{
+    ByteReader reader(wire);
+    auto header = PmnetHeader::parse(reader);
+    if (!header)
+        return false;
+    pmnet = *header;
+    payload = reader.readBytes(reader.remaining());
+    return reader.ok();
+}
+
+bool
+Packet::verifyHash() const
+{
+    if (!pmnet)
+        return false;
+    std::uint32_t expected = PmnetHeader::computeHash(
+        pmnet->type, pmnet->sessionId, pmnet->seqNum, src, dst);
+    return expected == pmnet->hashVal;
+}
+
+PacketPtr
+makePmnetPacket(NodeId src, NodeId dst, PacketType type,
+                std::uint16_t session_id, std::uint32_t seq_num,
+                Bytes payload, std::uint64_t request_id)
+{
+    auto pkt = std::make_shared<Packet>();
+    pkt->src = src;
+    pkt->dst = dst;
+    pkt->srcPort = kPmnetPortLow;
+    pkt->dstPort = kPmnetPortLow;
+    PmnetHeader header;
+    header.type = type;
+    header.sessionId = session_id;
+    header.seqNum = seq_num;
+    header.hashVal =
+        PmnetHeader::computeHash(type, session_id, seq_num, src, dst);
+    pkt->pmnet = header;
+    pkt->payload = std::move(payload);
+    pkt->requestId = request_id;
+    return pkt;
+}
+
+PacketPtr
+makeRefPacket(NodeId src, NodeId dst, PacketType type,
+              std::uint16_t session_id, std::uint32_t seq_num,
+              std::uint32_t referenced_hash, std::uint64_t request_id)
+{
+    auto pkt = std::make_shared<Packet>();
+    pkt->src = src;
+    pkt->dst = dst;
+    pkt->srcPort = kPmnetPortLow;
+    pkt->dstPort = kPmnetPortLow;
+    PmnetHeader header;
+    header.type = type;
+    header.sessionId = session_id;
+    header.seqNum = seq_num;
+    header.hashVal = referenced_hash;
+    pkt->pmnet = header;
+    pkt->requestId = request_id;
+    return pkt;
+}
+
+PacketPtr
+makePlainPacket(NodeId src, NodeId dst, Bytes payload,
+                std::uint64_t request_id)
+{
+    auto pkt = std::make_shared<Packet>();
+    pkt->src = src;
+    pkt->dst = dst;
+    pkt->srcPort = 40000;
+    pkt->dstPort = 40000;
+    pkt->payload = std::move(payload);
+    pkt->requestId = request_id;
+    return pkt;
+}
+
+std::string
+describe(const Packet &pkt)
+{
+    if (!pkt.pmnet) {
+        return formatMessage("plain %u->%u %zuB", pkt.src, pkt.dst,
+                             pkt.payload.size());
+    }
+    return formatMessage("%s s%u q%u %u->%u %zuB",
+                         packetTypeName(pkt.pmnet->type),
+                         pkt.pmnet->sessionId, pkt.pmnet->seqNum, pkt.src,
+                         pkt.dst, pkt.payload.size());
+}
+
+} // namespace pmnet::net

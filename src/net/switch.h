@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Store-and-forward switching.
+ *
+ * ForwardingNode holds a destination-to-port routing table (filled in
+ * by Topology::computeRoutes via BFS) and the common forward helper.
+ * BasicSwitch is the plain datacenter switch from the paper's testbed
+ * (sub-microsecond forwarding latency, no application logic); the
+ * PMNet device in src/pmnet extends ForwardingNode with the MAT
+ * pipeline.
+ */
+
+#ifndef PMNET_NET_SWITCH_H
+#define PMNET_NET_SWITCH_H
+
+#include <unordered_map>
+
+#include "net/link.h"
+#include "net/node.h"
+
+namespace pmnet::net {
+
+/** A node that forwards packets toward destinations by NodeId. */
+class ForwardingNode : public Node
+{
+  public:
+    using Node::Node;
+
+    /** Install (or replace) the route for @p dst. */
+    void setRoute(NodeId dst, int port) { routes_[dst] = port; }
+
+    /**
+     * Output port for @p dst.
+     * @return -1 when the destination is unknown (packet is dropped
+     *         and counted).
+     */
+    int routeFor(NodeId dst) const;
+
+    /** Packets dropped because no route existed. */
+    std::uint64_t unroutable() const { return unroutable_; }
+
+  protected:
+    /**
+     * Send @p pkt toward its destination. Drops (and counts) packets
+     * with no route.
+     */
+    void forward(PacketPtr pkt);
+
+  private:
+    std::unordered_map<NodeId, int> routes_;
+    mutable std::uint64_t unroutable_ = 0;
+};
+
+/** Plain switch: forwards every packet after a fixed latency. */
+class BasicSwitch : public ForwardingNode
+{
+  public:
+    BasicSwitch(sim::Simulator &simulator, std::string object_name,
+                NodeId node_id, TickDelta forward_latency = nanoseconds(500))
+        : ForwardingNode(simulator, std::move(object_name), node_id),
+          forwardLatency_(forward_latency)
+    {}
+
+    void receive(PacketPtr pkt, int in_port) override;
+
+    std::uint64_t packetsForwarded() const { return forwarded_; }
+
+  private:
+    TickDelta forwardLatency_;
+    std::uint64_t forwarded_ = 0;
+};
+
+} // namespace pmnet::net
+
+#endif // PMNET_NET_SWITCH_H

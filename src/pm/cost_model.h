@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Timing model for persistent-memory media.
+ *
+ * Two PM instances exist in the reproduced system:
+ *  - the *server's* Optane-like DIMMs, whose per-operation costs are
+ *    accrued by PmHeap while the KV data structures execute for real;
+ *  - the *network device's* battery-backed DRAM (paper Section V-A:
+ *    273 ns write via the FPGA DMA engine, ~2.5 GB/s), modeled by
+ *    PmLogStore + LogQueue.
+ *
+ * Constants default to the paper's numbers (Sec V-A, VII) and to the
+ * published Optane characterization the paper cites [107].
+ */
+
+#ifndef PMNET_PM_COST_MODEL_H
+#define PMNET_PM_COST_MODEL_H
+
+#include <cstdint>
+
+#include "common/time.h"
+
+namespace pmnet::pm {
+
+/** Cache-line granularity used for flush/read accounting. */
+inline constexpr std::size_t kCacheLine = 64;
+
+/** Per-operation costs of server-side persistent memory. */
+struct CostModel
+{
+    /** Read latency per cache line (media read, uncached). */
+    TickDelta readPerLine = nanoseconds(169);
+    /** Store into the cache hierarchy (effectively free vs. PM). */
+    TickDelta writePerLine = nanoseconds(5);
+    /** clwb/clflushopt issue cost per line. */
+    TickDelta flushPerLine = nanoseconds(90);
+    /** sfence drain when at least one flushed line is outstanding. */
+    TickDelta fenceDrain = nanoseconds(500);
+    /** sfence with nothing outstanding. */
+    TickDelta fenceEmpty = nanoseconds(20);
+
+    /** Lines spanned by a byte range (accounting helper). */
+    static std::size_t
+    linesSpanned(std::uint64_t offset, std::size_t len)
+    {
+        if (len == 0)
+            return 0;
+        std::uint64_t first = offset / kCacheLine;
+        std::uint64_t last = (offset + len - 1) / kCacheLine;
+        return static_cast<std::size_t>(last - first + 1);
+    }
+};
+
+/** Parameters of the network device's logging PM (Section V-A). */
+struct DevicePmConfig
+{
+    /** Write latency of the on-board battery-backed DRAM. */
+    TickDelta writeLatency = nanoseconds(273);
+    /** Read latency (log replay during recovery). */
+    TickDelta readLatency = nanoseconds(200);
+    /** Sustained bandwidth in GB/s (per-DIMM Optane-like). */
+    double bandwidthGBps = 2.5;
+    /** Total log capacity in bytes (2 GB board DRAM). */
+    std::uint64_t capacityBytes = 2ull << 30;
+    /** Bytes reserved per log slot (one MTU-sized packet + metadata). */
+    std::uint32_t slotBytes = 2048;
+
+    /** Time for one log write of @p bytes (latency + transfer). */
+    TickDelta
+    writeTime(std::size_t bytes) const
+    {
+        return writeLatency +
+               static_cast<TickDelta>(static_cast<double>(bytes) /
+                                      bandwidthGBps);
+    }
+
+    /** Time for one log read of @p bytes. */
+    TickDelta
+    readTime(std::size_t bytes) const
+    {
+        return readLatency +
+               static_cast<TickDelta>(static_cast<double>(bytes) /
+                                      bandwidthGBps);
+    }
+
+    /** Number of direct-mapped log slots. */
+    std::uint64_t slotCount() const { return capacityBytes / slotBytes; }
+};
+
+/**
+ * Bandwidth-delay-product sizing from the paper (Equations 1 and 2).
+ * Returns bits.
+ */
+constexpr double
+bdpBits(double delay_seconds, double bandwidth_gbps)
+{
+    return delay_seconds * bandwidth_gbps * 1e9;
+}
+
+} // namespace pmnet::pm
+
+#endif // PMNET_PM_COST_MODEL_H

@@ -1,0 +1,65 @@
+#include "pm/log_queue.h"
+
+#include <algorithm>
+
+namespace pmnet::pm {
+
+LogQueue::LogQueue(std::size_t capacity_bytes, DevicePmConfig config)
+    : capacity_(capacity_bytes), config_(config)
+{
+}
+
+void
+LogQueue::expire(Tick now)
+{
+    while (!pending_.empty() && pending_.front().done <= now) {
+        backlog_ -= pending_.front().bytes;
+        pending_.pop_front();
+    }
+}
+
+std::optional<Tick>
+LogQueue::admit(std::size_t bytes, Tick now, TickDelta access_time)
+{
+    expire(now);
+    if (backlog_ + bytes > capacity_) {
+        rejected_++;
+        return std::nullopt;
+    }
+    Tick start = std::max(now, busyUntil_);
+    Tick done = start + access_time;
+    busyUntil_ = done;
+    pending_.push_back(Pending{done, bytes});
+    backlog_ += bytes;
+    admitted_++;
+    return done;
+}
+
+std::optional<Tick>
+LogQueue::admitWrite(std::size_t bytes, Tick now)
+{
+    return admit(bytes, now, config_.writeTime(bytes));
+}
+
+std::optional<Tick>
+LogQueue::admitRead(std::size_t bytes, Tick now)
+{
+    return admit(bytes, now, config_.readTime(bytes));
+}
+
+std::size_t
+LogQueue::backlogBytes(Tick now)
+{
+    expire(now);
+    return backlog_;
+}
+
+void
+LogQueue::clear()
+{
+    pending_.clear();
+    backlog_ = 0;
+    busyUntil_ = 0;
+}
+
+} // namespace pmnet::pm

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * SRAM log queues decoupling the MAT pipeline from PM latency
+ * (paper Section IV-B2 and the BDP sizing of Section V-A).
+ *
+ * The device cannot stall the line while a 273 ns PM write completes,
+ * so PM accesses are buffered in small SRAM queues (4 KB each for
+ * reads and writes in the paper's prototype). A queue admits a request
+ * if its byte backlog fits; otherwise the packet must bypass logging.
+ * Completion times serialize through the queue: each access starts
+ * when the previous one finished.
+ */
+
+#ifndef PMNET_PM_LOG_QUEUE_H
+#define PMNET_PM_LOG_QUEUE_H
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "common/time.h"
+#include "pm/cost_model.h"
+
+namespace pmnet::pm {
+
+/** One direction (read or write) of the PM access buffering. */
+class LogQueue
+{
+  public:
+    /**
+     * @param capacity_bytes SRAM buffer size (4 KB default per paper).
+     * @param config timing of the backing PM.
+     */
+    explicit LogQueue(std::size_t capacity_bytes = 4096,
+                      DevicePmConfig config = {});
+
+    /**
+     * Try to admit an access of @p bytes at time @p now.
+     *
+     * @return the tick at which the PM access completes, or
+     *         std::nullopt when the SRAM buffer is full (caller must
+     *         bypass logging for this packet).
+     */
+    std::optional<Tick> admitWrite(std::size_t bytes, Tick now);
+
+    /** Same admission logic with the read-latency cost. */
+    std::optional<Tick> admitRead(std::size_t bytes, Tick now);
+
+    /** Bytes currently queued (after expiring completed accesses). */
+    std::size_t backlogBytes(Tick now);
+
+    std::size_t capacityBytes() const { return capacity_; }
+
+    /** Accesses rejected because the buffer was full. */
+    std::uint64_t rejected() const { return rejected_; }
+
+    /** Accesses admitted. */
+    std::uint64_t admitted() const { return admitted_; }
+
+    /** Drop all queued accesses (device power failure: SRAM is lost). */
+    void clear();
+
+  private:
+    std::optional<Tick> admit(std::size_t bytes, Tick now,
+                              TickDelta access_time);
+    void expire(Tick now);
+
+    struct Pending
+    {
+        Tick done;
+        std::size_t bytes;
+    };
+
+    std::size_t capacity_;
+    DevicePmConfig config_;
+    std::deque<Pending> pending_;
+    std::size_t backlog_ = 0;
+    Tick busyUntil_ = 0;
+    std::uint64_t rejected_ = 0;
+    std::uint64_t admitted_ = 0;
+};
+
+} // namespace pmnet::pm
+
+#endif // PMNET_PM_LOG_QUEUE_H

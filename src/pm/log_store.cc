@@ -1,0 +1,94 @@
+#include "pm/log_store.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pmnet::pm {
+
+PmLogStore::PmLogStore(DevicePmConfig config) : config_(config)
+{
+    std::uint64_t slot_count = config_.slotCount();
+    if (slot_count == 0)
+        fatal("PmLogStore: capacity %llu smaller than one slot (%u)",
+              static_cast<unsigned long long>(config_.capacityBytes),
+              config_.slotBytes);
+    slots_.resize(static_cast<std::size_t>(slot_count));
+}
+
+std::size_t
+PmLogStore::indexFor(std::uint32_t hash) const
+{
+    return static_cast<std::size_t>(hash % slots_.size());
+}
+
+LogInsertResult
+PmLogStore::insert(std::uint32_t hash, net::PacketPtr pkt, Tick now)
+{
+    if (pkt->wireSize() > config_.slotBytes) {
+        return LogInsertResult::TooLarge;
+    }
+    Slot &slot = slots_[indexFor(hash)];
+    if (slot.valid) {
+        if (slot.entry.hashVal == hash) {
+            insertDuplicate++;
+            return LogInsertResult::Duplicate;
+        }
+        insertCollision++;
+        return LogInsertResult::Collision;
+    }
+    slot.valid = true;
+    slot.entry = LogEntry{hash, std::move(pkt), now};
+    live_++;
+    highWater = std::max(highWater, live_);
+    insertOk++;
+    return LogInsertResult::Ok;
+}
+
+const LogEntry *
+PmLogStore::lookup(std::uint32_t hash) const
+{
+    const Slot &slot = slots_[indexFor(hash)];
+    if (!slot.valid || slot.entry.hashVal != hash)
+        return nullptr;
+    return &slot.entry;
+}
+
+bool
+PmLogStore::slotFree(std::uint32_t hash) const
+{
+    return !slots_[indexFor(hash)].valid;
+}
+
+bool
+PmLogStore::erase(std::uint32_t hash)
+{
+    Slot &slot = slots_[indexFor(hash)];
+    if (!slot.valid || slot.entry.hashVal != hash)
+        return false;
+    slot.valid = false;
+    slot.entry = {};
+    live_--;
+    return true;
+}
+
+void
+PmLogStore::forEach(const std::function<void(const LogEntry &)> &fn) const
+{
+    for (const Slot &slot : slots_) {
+        if (slot.valid)
+            fn(slot.entry);
+    }
+}
+
+void
+PmLogStore::clear()
+{
+    for (Slot &slot : slots_) {
+        slot.valid = false;
+        slot.entry = {};
+    }
+    live_ = 0;
+}
+
+} // namespace pmnet::pm

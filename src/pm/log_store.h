@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The network device's persistent request log (paper Section IV-B).
+ *
+ * A direct-mapped array of slots indexed by the PMNet header's HashVal
+ * (hardware-style indexing: hash modulo slot count). Each slot holds
+ * one logged update-request packet. Per the paper:
+ *
+ *  - collision with a live entry, or a full log, means the packet is
+ *    forwarded *without* logging (and without an early ACK);
+ *  - a server-ACK invalidates the matching entry;
+ *  - recovery reads surviving entries back out and resends them.
+ *
+ * Contents are persistent: a device power failure does not clear
+ * committed slots (insertion timing/queueing is modeled separately by
+ * LogQueue + the device pipeline).
+ */
+
+#ifndef PMNET_PM_LOG_STORE_H
+#define PMNET_PM_LOG_STORE_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/packet.h"
+#include "pm/cost_model.h"
+
+namespace pmnet::pm {
+
+/** One occupied log slot. */
+struct LogEntry
+{
+    std::uint32_t hashVal = 0;
+    net::PacketPtr packet;
+    Tick loggedAt = 0;
+};
+
+/** Outcome of an insertion attempt. */
+enum class LogInsertResult {
+    Ok,        ///< entry committed
+    Collision, ///< slot occupied by a different live request
+    Duplicate, ///< same request already logged (idempotent)
+    TooLarge,  ///< packet exceeds the slot size
+};
+
+/** HashVal-indexed persistent log. */
+class PmLogStore
+{
+  public:
+    explicit PmLogStore(DevicePmConfig config = {});
+
+    /** Attempt to log @p pkt under @p hash. */
+    LogInsertResult insert(std::uint32_t hash, net::PacketPtr pkt,
+                           Tick now);
+
+    /** Entry for @p hash, or nullptr when the slot is empty/mismatched. */
+    const LogEntry *lookup(std::uint32_t hash) const;
+
+    /** True when the direct-mapped slot for @p hash is unoccupied. */
+    bool slotFree(std::uint32_t hash) const;
+
+    /**
+     * Invalidate the entry for @p hash.
+     * @return true if a matching entry existed.
+     */
+    bool erase(std::uint32_t hash);
+
+    /** Visit every live entry (recovery resend scan). */
+    void forEach(const std::function<void(const LogEntry &)> &fn) const;
+
+    /** Live entries. */
+    std::uint64_t size() const { return live_; }
+
+    /** Total slots. */
+    std::uint64_t capacity() const { return slots_.size(); }
+
+    bool full() const { return live_ == capacity(); }
+
+    /** Drop every entry (fresh device). */
+    void clear();
+
+    const DevicePmConfig &config() const { return config_; }
+
+    /** @name Occupancy statistics
+     *  @{
+     */
+    std::uint64_t insertOk = 0;
+    std::uint64_t insertCollision = 0;
+    std::uint64_t insertDuplicate = 0;
+    std::uint64_t highWater = 0;
+    /** @} */
+
+  private:
+    struct Slot
+    {
+        bool valid = false;
+        LogEntry entry;
+    };
+
+    std::size_t indexFor(std::uint32_t hash) const;
+
+    DevicePmConfig config_;
+    std::vector<Slot> slots_;
+    std::uint64_t live_ = 0;
+};
+
+} // namespace pmnet::pm
+
+#endif // PMNET_PM_LOG_STORE_H

@@ -1,0 +1,195 @@
+#include "pm/pm_heap.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace pmnet::pm {
+
+PmHeap::PmHeap(std::uint64_t capacity_bytes, CostModel model)
+    : capacity_(capacity_bytes), model_(model)
+{
+    if (capacity_bytes < kHeaderSize + 1024)
+        fatal("PmHeap: capacity %llu too small",
+              static_cast<unsigned long long>(capacity_bytes));
+    volatileImage_.assign(capacity_, 0);
+    durableImage_.assign(capacity_, 0);
+    Header header{kMagic, kHeaderSize, kNullOffset};
+    storeHeader(header);
+    fence();
+    // Construction cost is not part of any request.
+    accrued_ = 0;
+    counts_ = {};
+}
+
+void
+PmHeap::checkRange(PmOffset offset, std::size_t len) const
+{
+    if (offset > capacity_ || len > capacity_ - offset)
+        panic("PmHeap: access [%llu, +%zu) out of bounds (capacity %llu)",
+              static_cast<unsigned long long>(offset), len,
+              static_cast<unsigned long long>(capacity_));
+}
+
+PmHeap::Header
+PmHeap::loadHeader() const
+{
+    Header header;
+    std::memcpy(&header, volatileImage_.data(), sizeof(header));
+    return header;
+}
+
+void
+PmHeap::storeHeader(const Header &header)
+{
+    write(0, &header, sizeof(header));
+    flush(0, sizeof(header));
+}
+
+PmOffset
+PmHeap::alloc(std::uint64_t size)
+{
+    if (size == 0)
+        panic("PmHeap::alloc: zero-sized allocation");
+    std::uint64_t rounded = (size + 15) & ~15ull;
+
+    counts_.allocs++;
+
+    // Exact-size free-list reuse first.
+    auto it = freeLists_.find(rounded);
+    if (it != freeLists_.end() && !it->second.empty()) {
+        PmOffset off = it->second.back();
+        it->second.pop_back();
+        freeBytes_ -= rounded;
+        return off;
+    }
+
+    Header header = loadHeader();
+    if (header.bump + rounded > capacity_)
+        fatal("PmHeap: out of memory (capacity %llu, requested %llu)",
+              static_cast<unsigned long long>(capacity_),
+              static_cast<unsigned long long>(rounded));
+    PmOffset off = header.bump;
+    header.bump += rounded;
+    // Persist the bump pointer before handing out the block so the
+    // block cannot be re-allocated over after a crash.
+    storeHeader(header);
+    fence();
+    return off;
+}
+
+void
+PmHeap::free(PmOffset offset, std::uint64_t size)
+{
+    if (offset == kNullOffset)
+        return;
+    std::uint64_t rounded = (size + 15) & ~15ull;
+    checkRange(offset, rounded);
+    freeLists_[rounded].push_back(offset);
+    freeBytes_ += rounded;
+}
+
+void
+PmHeap::write(PmOffset offset, const void *data, std::size_t len)
+{
+    checkRange(offset, len);
+    std::memcpy(volatileImage_.data() + offset, data, len);
+    std::size_t lines = CostModel::linesSpanned(offset, len);
+    counts_.writeLines += lines;
+    accrued_ += model_.writePerLine * static_cast<TickDelta>(lines);
+}
+
+void
+PmHeap::read(PmOffset offset, void *out, std::size_t len) const
+{
+    checkRange(offset, len);
+    std::memcpy(out, volatileImage_.data() + offset, len);
+    std::size_t lines = CostModel::linesSpanned(offset, len);
+    counts_.readLines += lines;
+    accrued_ += model_.readPerLine * static_cast<TickDelta>(lines);
+}
+
+void
+PmHeap::flush(PmOffset offset, std::size_t len)
+{
+    checkRange(offset, len);
+    if (len == 0)
+        return;
+    // clwb semantics: capture the line content as of flush time,
+    // rounded out to cache-line boundaries.
+    PmOffset first = offset / kCacheLine * kCacheLine;
+    PmOffset end = offset + len;
+    PmOffset last = (end + kCacheLine - 1) / kCacheLine * kCacheLine;
+    if (last > capacity_)
+        last = capacity_;
+    Bytes content(volatileImage_.begin() + static_cast<long>(first),
+                  volatileImage_.begin() + static_cast<long>(last));
+    staged_.emplace_back(first, std::move(content));
+
+    std::size_t lines = CostModel::linesSpanned(offset, len);
+    counts_.flushLines += lines;
+    accrued_ += model_.flushPerLine * static_cast<TickDelta>(lines);
+}
+
+void
+PmHeap::fence()
+{
+    counts_.fences++;
+    if (staged_.empty()) {
+        accrued_ += model_.fenceEmpty;
+        return;
+    }
+    for (const auto &[off, bytes] : staged_) {
+        std::memcpy(durableImage_.data() + off, bytes.data(),
+                    bytes.size());
+    }
+    staged_.clear();
+    accrued_ += model_.fenceDrain;
+}
+
+void
+PmHeap::setRoot(PmOffset new_root)
+{
+    Header header = loadHeader();
+    header.root = new_root;
+    storeHeader(header);
+    fence();
+}
+
+PmOffset
+PmHeap::root() const
+{
+    Header header;
+    std::memcpy(&header, volatileImage_.data(), sizeof(header));
+    return header.root;
+}
+
+void
+PmHeap::crash()
+{
+    staged_.clear();
+    volatileImage_ = durableImage_;
+    // Volatile allocator metadata (free lists) is lost.
+    freeLists_.clear();
+    freeBytes_ = 0;
+    Header header = loadHeader();
+    if (header.magic != kMagic)
+        panic("PmHeap: durable header corrupted across crash");
+}
+
+TickDelta
+PmHeap::drainCost()
+{
+    TickDelta cost = accrued_;
+    accrued_ = 0;
+    return cost;
+}
+
+std::uint64_t
+PmHeap::bytesInUse() const
+{
+    Header header = loadHeader();
+    return header.bump - kHeaderSize - freeBytes_;
+}
+
+} // namespace pmnet::pm

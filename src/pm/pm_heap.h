@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Emulated server-side persistent memory heap.
+ *
+ * The KV data structures in src/kv run *for real* on this heap: they
+ * store bytes at offsets, follow the PMDK discipline (store, flush,
+ * fence) and can be recovered after a simulated crash. Two images are
+ * kept:
+ *
+ *  - the volatile image — what loads observe (caches + PM);
+ *  - the durable image — what survives a power failure.
+ *
+ * write() updates only the volatile image. flush() stages the current
+ * volatile content of a range (clwb semantics: the line's value at
+ * flush time); fence() applies staged ranges to the durable image.
+ * crash() discards the volatile image in favour of the durable one, so
+ * any structure that skipped a flush or fence will visibly lose data —
+ * this is what the crash-recovery property tests exercise.
+ *
+ * Every operation also accrues simulated time per the CostModel; the
+ * server host drains this accrual to charge request-processing time.
+ *
+ * A 64-byte persistent header holds the allocator bump pointer and the
+ * root object offset (like a PMDK pool root), so recovery can re-find
+ * the data structures.
+ */
+
+#ifndef PMNET_PM_PM_HEAP_H
+#define PMNET_PM_PM_HEAP_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "pm/cost_model.h"
+
+namespace pmnet::pm {
+
+/** Offset into the heap; 0 is never a valid object address. */
+using PmOffset = std::uint64_t;
+
+/** Null object offset. */
+inline constexpr PmOffset kNullOffset = 0;
+
+/** Counters describing the PM work a code region performed. */
+struct PmOpCounts
+{
+    std::uint64_t readLines = 0;
+    std::uint64_t writeLines = 0;
+    std::uint64_t flushLines = 0;
+    std::uint64_t fences = 0;
+    std::uint64_t allocs = 0;
+};
+
+/** Byte-addressable persistent heap with crash emulation. */
+class PmHeap
+{
+  public:
+    /**
+     * @param capacity_bytes total pool size.
+     * @param model per-operation timing.
+     */
+    explicit PmHeap(std::uint64_t capacity_bytes = 64ull << 20,
+                    CostModel model = {});
+
+    /** @name Allocation
+     *  @{
+     */
+
+    /**
+     * Allocate @p size bytes (16-byte aligned). The bump pointer is
+     * persisted before the call returns, so post-crash allocations
+     * never overwrite pre-crash reachable data.
+     * Calls fatal() when the pool is exhausted.
+     */
+    PmOffset alloc(std::uint64_t size);
+
+    /**
+     * Return a block to the (volatile) free list. Freed blocks may
+     * leak across a crash — matching a non-transactional PMDK
+     * allocator — but are reused within a run.
+     */
+    void free(PmOffset offset, std::uint64_t size);
+    /** @} */
+
+    /** @name Data access
+     *  @{
+     */
+
+    /** Store bytes (volatile until flushed + fenced). */
+    void write(PmOffset offset, const void *data, std::size_t len);
+
+    /** Load bytes from the volatile image. */
+    void read(PmOffset offset, void *out, std::size_t len) const;
+
+    /** clwb: stage the current content of the range for persistence. */
+    void flush(PmOffset offset, std::size_t len);
+
+    /** sfence: make all staged ranges durable. */
+    void fence();
+
+    /** write + flush in one call (clwb-sized helper). */
+    void
+    writeFlush(PmOffset offset, const void *data, std::size_t len)
+    {
+        write(offset, data, len);
+        flush(offset, len);
+    }
+
+    /** Typed helpers for trivially copyable records. */
+    template <typename T>
+    void
+    writeObj(PmOffset offset, const T &value)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        write(offset, &value, sizeof(T));
+    }
+
+    template <typename T>
+    T
+    readObj(PmOffset offset) const
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        T value;
+        read(offset, &value, sizeof(T));
+        return value;
+    }
+
+    template <typename T>
+    void
+    persistObj(PmOffset offset, const T &value)
+    {
+        writeObj(offset, value);
+        flush(offset, sizeof(T));
+        fence();
+    }
+    /** @} */
+
+    /** @name Pool root (survives crashes)
+     *  @{
+     */
+    void setRoot(PmOffset root);
+    PmOffset root() const;
+    /** @} */
+
+    /** @name Crash emulation
+     *  @{
+     */
+
+    /**
+     * Simulate a power failure: the volatile image reverts to the
+     * durable one and staged-but-unfenced ranges are lost.
+     */
+    void crash();
+    /** @} */
+
+    /** @name Cost accounting
+     *  @{
+     */
+
+    /** Accrued simulated time since the last drain. */
+    TickDelta accruedCost() const { return accrued_; }
+
+    /** Return accrued time and reset the accumulator. */
+    TickDelta drainCost();
+
+    /** Op counters since construction. */
+    const PmOpCounts &counts() const { return counts_; }
+
+    const CostModel &model() const { return model_; }
+    /** @} */
+
+    std::uint64_t capacity() const { return capacity_; }
+
+    /** Bytes currently allocated (bump minus freelist). */
+    std::uint64_t bytesInUse() const;
+
+  private:
+    struct Header
+    {
+        std::uint64_t magic;
+        std::uint64_t bump;
+        std::uint64_t root;
+    };
+
+    static constexpr std::uint64_t kMagic = 0x504D4E4554504Dull;
+    static constexpr std::uint64_t kHeaderSize = 64;
+
+    void checkRange(PmOffset offset, std::size_t len) const;
+    Header loadHeader() const;
+    void storeHeader(const Header &header);
+
+    std::uint64_t capacity_;
+    CostModel model_;
+    Bytes volatileImage_;
+    Bytes durableImage_;
+    /** Ranges staged by flush(), applied to durable at fence(). */
+    std::vector<std::pair<PmOffset, Bytes>> staged_;
+    /** Volatile free lists keyed by block size. */
+    std::map<std::uint64_t, std::vector<PmOffset>> freeLists_;
+    std::uint64_t freeBytes_ = 0;
+
+    mutable TickDelta accrued_ = 0;
+    mutable PmOpCounts counts_;
+};
+
+} // namespace pmnet::pm
+
+#endif // PMNET_PM_PM_HEAP_H

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Application-payload codec used by the in-switch read cache.
+ *
+ * The paper's read cache (Section IV-D) understands the GET/SET
+ * interface of key-value workloads. The device itself stays agnostic
+ * of any specific application wire format: the testbed injects a
+ * CacheCodec implementation (provided by src/apps for the KV protocol)
+ * and workloads with complex queries (Twitter, TPCC) simply run
+ * without a codec, i.e. uncached — exactly the paper's scoping of the
+ * caching experiment.
+ */
+
+#ifndef PMNET_PMNET_CACHE_CODEC_H
+#define PMNET_PMNET_CACHE_CODEC_H
+
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace pmnet::pmnetdev {
+
+/** A parsed update: which key it writes and the new value bytes. */
+struct ParsedUpdate
+{
+    std::string key;
+    Bytes value;
+};
+
+/** Interface the device uses to interpret application payloads. */
+class CacheCodec
+{
+  public:
+    virtual ~CacheCodec() = default;
+
+    /** Parse an update-req payload; nullopt when not a cacheable SET. */
+    virtual std::optional<ParsedUpdate>
+    parseUpdate(const Bytes &payload) const = 0;
+
+    /** Parse a bypass-req payload; returns the key of a GET. */
+    virtual std::optional<std::string>
+    parseRead(const Bytes &payload) const = 0;
+
+    /**
+     * Parse a server read Response; returns the key/value it carries
+     * so a passing response can populate the cache.
+     */
+    virtual std::optional<ParsedUpdate>
+    parseReadResponse(const Bytes &payload) const = 0;
+
+    /** Build the Response payload for a cache hit on @p key. */
+    virtual Bytes makeReadResponse(const std::string &key,
+                                   const Bytes &value) const = 0;
+};
+
+} // namespace pmnet::pmnetdev
+
+#endif // PMNET_PMNET_CACHE_CODEC_H

@@ -1,0 +1,412 @@
+#include "pmnet/device.h"
+
+#include "common/logging.h"
+
+namespace pmnet::pmnetdev {
+
+using net::PacketPtr;
+using net::PacketType;
+
+PmnetDevice::PmnetDevice(sim::Simulator &simulator,
+                         std::string object_name, net::NodeId node_id,
+                         DeviceConfig config)
+    : ForwardingNode(simulator, std::move(object_name), node_id),
+      config_(config), store_(config.pm),
+      writeQueue_(config.logQueueBytes, config.pm),
+      readQueue_(config.logQueueBytes, config.pm),
+      cache_(config.cacheCapacity)
+{
+}
+
+void
+PmnetDevice::enableCache(const CacheCodec *codec)
+{
+    codec_ = codec;
+}
+
+void
+PmnetDevice::traceEvent(const char *what, const net::Packet &pkt)
+{
+    if (trace_)
+        trace_->record(now(), formatMessage("%s %s", what,
+                                            net::describe(pkt).c_str()));
+}
+
+void
+PmnetDevice::scheduleGuarded(TickDelta delay, std::function<void()> fn)
+{
+    std::uint64_t epoch = epoch_;
+    schedule(delay, [this, epoch, fn = std::move(fn)]() {
+        if (epoch == epoch_ && isUp())
+            fn();
+    });
+}
+
+void
+PmnetDevice::receive(PacketPtr pkt, int in_port)
+{
+    (void)in_port;
+    scheduleGuarded(config_.pipelineLatency,
+                    [this, pkt = std::move(pkt)]() { process(pkt); });
+}
+
+void
+PmnetDevice::process(PacketPtr pkt)
+{
+    // Ingress stage: non-PMNet traffic is plain-forwarded.
+    if (!pkt->isPmnet() || !net::isPmnetPort(pkt->dstPort)) {
+        stats.nonPmnetForwarded++;
+        forward(std::move(pkt));
+        return;
+    }
+
+    switch (pkt->pmnet->type) {
+      case PacketType::UpdateReq:
+        handleUpdateReq(pkt);
+        break;
+      case PacketType::BypassReq:
+        handleBypassReq(pkt);
+        break;
+      case PacketType::PmnetAck:
+        // ACK from another PMNet: forward along its path.
+        forward(std::move(pkt));
+        break;
+      case PacketType::ServerAck:
+        handleServerAck(pkt);
+        break;
+      case PacketType::Retrans:
+        handleRetrans(pkt);
+        break;
+      case PacketType::Response:
+        handleResponse(pkt);
+        break;
+      case PacketType::RecoveryPoll:
+        handleRecoveryPoll(pkt);
+        break;
+      case PacketType::Heartbeat:
+        // Another device's probe passing through.
+        forward(std::move(pkt));
+        break;
+      case PacketType::HeartbeatAck:
+        handleHeartbeatAck(pkt);
+        break;
+    }
+}
+
+void
+PmnetDevice::enableHeartbeat(net::NodeId server)
+{
+    heartbeatEnabled_ = true;
+    heartbeatServer_ = server;
+    heartbeatMisses_ = 0;
+    heartbeatAckSeen_ = true; // grace for the first interval
+    heartbeatTick();
+}
+
+void
+PmnetDevice::heartbeatTick()
+{
+    if (!heartbeatEnabled_ || !isUp())
+        return;
+
+    // Evaluate the previous interval.
+    if (heartbeatAckSeen_) {
+        heartbeatMisses_ = 0;
+    } else if (++heartbeatMisses_ >= config_.heartbeatMissThreshold &&
+               !serverDown_) {
+        serverDown_ = true;
+        stats.serverDownEvents++;
+        debug("%s: server %u declared down after %u missed heartbeats",
+              name().c_str(), heartbeatServer_, heartbeatMisses_);
+    }
+    heartbeatAckSeen_ = false;
+
+    stats.heartbeatsSent++;
+    forward(net::makeRefPacket(id(), heartbeatServer_,
+                               PacketType::Heartbeat, 0,
+                               static_cast<std::uint32_t>(
+                                   stats.heartbeatsSent),
+                               0));
+    scheduleGuarded(config_.heartbeatInterval,
+                    [this]() { heartbeatTick(); });
+}
+
+void
+PmnetDevice::handleHeartbeatAck(const net::PacketPtr &pkt)
+{
+    if (pkt->dst != id()) {
+        forward(pkt);
+        return;
+    }
+    stats.heartbeatAcks++;
+    heartbeatAckSeen_ = true;
+    if (serverDown_) {
+        // The server is back: replay our log for it (Fig 3, steps
+        // 6-7) without waiting for a RecoveryPoll.
+        serverDown_ = false;
+        heartbeatMisses_ = 0;
+        stats.serverUpEvents++;
+        auto hashes = std::make_shared<std::vector<std::uint32_t>>();
+        net::NodeId server = heartbeatServer_;
+        store_.forEach([&](const pm::LogEntry &entry) {
+            if (entry.packet->dst == server)
+                hashes->push_back(entry.hashVal);
+        });
+        recoveryResendNext(std::move(hashes), 0, server);
+    }
+}
+
+std::optional<ParsedUpdate>
+PmnetDevice::parsedKeyOf(const net::Packet &pkt) const
+{
+    if (!codec_)
+        return std::nullopt;
+    return codec_->parseUpdate(pkt.payload);
+}
+
+void
+PmnetDevice::handleUpdateReq(const PacketPtr &pkt)
+{
+    stats.updatesSeen++;
+
+    // Egress: the request is always forwarded to the server right
+    // away — logging happens in parallel, off the forwarding path.
+    forward(pkt);
+
+    const net::PmnetHeader &header = *pkt->pmnet;
+
+    // The HashVal doubles as an integrity check (Section IV-A1);
+    // corrupt headers are forwarded but never logged or early-ACKed.
+    if (!pkt->verifyHash()) {
+        stats.bypassBadHash++;
+        traceEvent("bad-hash bypass", *pkt);
+        return;
+    }
+
+    bool logged = false;
+    const pm::LogEntry *existing = store_.lookup(header.hashVal);
+    if (existing) {
+        // Duplicate of an already-persisted packet (client resend
+        // after a lost ACK): it is persistent, so re-ACK immediately.
+        stats.updatesReAcked++;
+        stats.acksSent++;
+        auto ack = net::makeRefPacket(id(), pkt->src, PacketType::PmnetAck,
+                                      header.sessionId, header.seqNum,
+                                      header.hashVal, pkt->requestId);
+        forward(std::move(ack));
+        logged = true;
+    } else if (pkt->wireSize() > config_.pm.slotBytes) {
+        stats.bypassTooLarge++;
+    } else if (store_.full()) {
+        stats.bypassQueueFull++;
+    } else if (!store_.slotFree(header.hashVal)) {
+        stats.bypassCollision++;
+    } else if (auto done = writeQueue_.admitWrite(pkt->wireSize(), now())) {
+        logged = true;
+        scheduleGuarded(*done - now(), [this, pkt]() {
+            const net::PmnetHeader &h = *pkt->pmnet;
+            auto result = store_.insert(h.hashVal, pkt, now());
+            if (result != pm::LogInsertResult::Ok &&
+                result != pm::LogInsertResult::Duplicate) {
+                // Lost a race for the slot while queued; the client
+                // will fall back to the server ACK.
+                stats.bypassStoreRace++;
+                traceEvent("slot-race bypass", *pkt);
+                return;
+            }
+            stats.updatesLogged++;
+            stats.acksSent++;
+            traceEvent("logged+ack", *pkt);
+            auto ack = net::makeRefPacket(id(), pkt->src,
+                                          PacketType::PmnetAck,
+                                          h.sessionId, h.seqNum, h.hashVal,
+                                          pkt->requestId);
+            forward(std::move(ack));
+        });
+    } else {
+        stats.bypassQueueFull++;
+    }
+
+    // Read-cache maintenance (T1/T3/T4/T5 and the bypassed case).
+    if (auto parsed = parsedKeyOf(*pkt)) {
+        cache_.onUpdate(parsed->key, parsed->value, logged);
+        if (!logged) {
+            // Bounded side table: under sustained collisions, losing
+            // an old mapping only costs a cache entry staying Stale
+            // until eviction — never correctness.
+            if (unloggedKeys_.size() >= 4 * config_.cacheCapacity)
+                unloggedKeys_.clear();
+            unloggedKeys_[header.hashVal] = parsed->key;
+        }
+    }
+}
+
+void
+PmnetDevice::handleBypassReq(const PacketPtr &pkt)
+{
+    if (codec_) {
+        if (auto key = codec_->parseRead(pkt->payload)) {
+            if (const Bytes *value = cache_.lookup(*key)) {
+                // Cache hit: answer directly with a Response that
+                // looks exactly like the server's (Fig 10, step 3).
+                stats.cacheResponses++;
+                auto resp = std::make_shared<net::Packet>();
+                resp->src = pkt->dst; // answer on the server's behalf
+                resp->dst = pkt->src;
+                resp->srcPort = net::kPmnetPortLow;
+                resp->dstPort = net::kPmnetPortLow;
+                net::PmnetHeader h;
+                h.type = PacketType::Response;
+                h.sessionId = pkt->pmnet->sessionId;
+                h.seqNum = pkt->pmnet->seqNum;
+                h.hashVal = pkt->pmnet->hashVal;
+                resp->pmnet = h;
+                resp->payload = codec_->makeReadResponse(*key, *value);
+                resp->requestId = pkt->requestId;
+                forward(std::move(resp));
+                return;
+            }
+        }
+    }
+    forward(pkt);
+}
+
+void
+PmnetDevice::handleServerAck(const PacketPtr &pkt)
+{
+    stats.serverAcks++;
+    const net::PmnetHeader &header = *pkt->pmnet;
+
+    if (const pm::LogEntry *entry = store_.lookup(header.hashVal)) {
+        // Drive the cache transition before the entry disappears.
+        if (auto parsed = parsedKeyOf(*entry->packet))
+            cache_.onServerAck(parsed->key);
+        store_.erase(header.hashVal);
+        stats.invalidations++;
+        traceEvent("invalidate", *pkt);
+    } else if (codec_) {
+        auto it = unloggedKeys_.find(header.hashVal);
+        if (it != unloggedKeys_.end()) {
+            cache_.onServerAck(it->second);
+            unloggedKeys_.erase(it);
+        }
+    }
+    // The ACK continues toward the client (the next PMNet on the path
+    // may hold its own copy of the log entry).
+    forward(pkt);
+}
+
+void
+PmnetDevice::handleRetrans(const PacketPtr &pkt)
+{
+    stats.retransSeen++;
+    const net::PmnetHeader &header = *pkt->pmnet;
+    const pm::LogEntry *entry = store_.lookup(header.hashVal);
+    if (entry) {
+        if (auto done = readQueue_.admitRead(entry->packet->wireSize(),
+                                             now())) {
+            stats.retransServed++;
+            traceEvent("retrans-served", *pkt);
+            net::PacketPtr logged = entry->packet;
+            scheduleGuarded(*done - now(), [this, logged]() {
+                forward(logged);
+            });
+            return; // drop the Retrans; it is satisfied from the log
+        }
+    }
+    stats.retransForwarded++;
+    forward(pkt);
+}
+
+void
+PmnetDevice::handleResponse(const PacketPtr &pkt)
+{
+    if (codec_) {
+        if (auto parsed = codec_->parseReadResponse(pkt->payload))
+            cache_.onReadResponse(parsed->key, parsed->value);
+    }
+    forward(pkt);
+}
+
+void
+PmnetDevice::handleRecoveryPoll(const PacketPtr &pkt)
+{
+    if (pkt->dst != id()) {
+        forward(pkt);
+        return;
+    }
+    stats.recoveryPolls++;
+    net::NodeId server = pkt->src;
+    auto hashes = std::make_shared<std::vector<std::uint32_t>>();
+    store_.forEach([&](const pm::LogEntry &entry) {
+        if (entry.packet->dst == server)
+            hashes->push_back(entry.hashVal);
+    });
+    recoveryResendNext(std::move(hashes), 0, server);
+}
+
+void
+PmnetDevice::recoveryResendNext(
+    std::shared_ptr<std::vector<std::uint32_t>> hashes, std::size_t index,
+    net::NodeId server)
+{
+    // Skip entries invalidated since the scan.
+    while (index < hashes->size() && !store_.lookup((*hashes)[index]))
+        index++;
+    if (index >= hashes->size())
+        return;
+
+    const pm::LogEntry *entry = store_.lookup((*hashes)[index]);
+    auto done = readQueue_.admitRead(entry->packet->wireSize(), now());
+    if (!done) {
+        scheduleGuarded(config_.recoveryRetryGap,
+                        [this, hashes, index, server]() {
+                            recoveryResendNext(hashes, index, server);
+                        });
+        return;
+    }
+    net::PacketPtr logged = entry->packet;
+    scheduleGuarded(*done - now(), [this, hashes, index, server, logged]() {
+        stats.recoveryResent++;
+        traceEvent("replay", *logged);
+        forward(logged);
+        recoveryResendNext(hashes, index + 1, server);
+    });
+}
+
+void
+PmnetDevice::replaceUnit()
+{
+    if (isUp())
+        powerFail();
+    store_.clear();
+    powerRestore();
+}
+
+void
+PmnetDevice::onPowerFail()
+{
+    // SRAM queues, the cache and all in-flight pipeline work are
+    // volatile; the committed log slots in PM survive.
+    epoch_++;
+    writeQueue_.clear();
+    readQueue_.clear();
+    cache_.clear();
+    unloggedKeys_.clear();
+}
+
+void
+PmnetDevice::onPowerRestore()
+{
+    // The log is intact in PM and the pipeline restarts empty.
+    // Recovery resends are driven by the server's RecoveryPoll or by
+    // the heartbeat monitor, which resumes probing now.
+    if (heartbeatEnabled_) {
+        heartbeatMisses_ = 0;
+        heartbeatAckSeen_ = true;
+        serverDown_ = false;
+        heartbeatTick();
+    }
+}
+
+} // namespace pmnet::pmnetdev

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * The PMNet programmable network device (paper Sections IV-B and V-A).
+ *
+ * A ForwardingNode whose match-action pipeline implements in-network
+ * data persistence:
+ *
+ *  - update-req packets are forwarded immediately and, in parallel,
+ *    written to the device's persistent log (PmLogStore) through the
+ *    SRAM write queue (LogQueue). When the PM write completes, the
+ *    device generates a PMNet-ACK back to the client. Collisions,
+ *    full logs, full queues and oversized packets all degrade to
+ *    "forward without logging" — the client then falls back to the
+ *    server's own ACK, exactly the paper's behaviour.
+ *  - bypass-req packets are forwarded untouched (unless the read
+ *    cache, when enabled, can serve them).
+ *  - server-ACKs invalidate the matching log entry and continue
+ *    toward the client.
+ *  - Retrans requests are served from the log when possible and only
+ *    otherwise travel all the way to the client.
+ *  - RecoveryPoll packets (from a recovering server) trigger a log
+ *    scan that re-sends every logged request destined to that server,
+ *    paced by the PM read queue.
+ *  - everything else is plain-forwarded.
+ *
+ * The same class implements PMNet-Switch and PMNet-NIC: the only
+ * difference is where the topology places it (ToR switch vs.
+ * bump-in-the-wire in front of the server), as in the paper.
+ *
+ * Power-failure semantics: committed log entries survive; the SRAM
+ * queues and any in-flight (unacknowledged) log writes, the read
+ * cache, and all pending pipeline work are lost.
+ */
+
+#ifndef PMNET_PMNET_DEVICE_H
+#define PMNET_PMNET_DEVICE_H
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/trace.h"
+#include "net/switch.h"
+#include "pm/log_queue.h"
+#include "pm/log_store.h"
+#include "pmnet/cache_codec.h"
+#include "pmnet/read_cache.h"
+
+namespace pmnet::pmnetdev {
+
+/** Tunable parameters of one PMNet device. */
+struct DeviceConfig
+{
+    /** Ingress+egress match-action pipeline latency. */
+    TickDelta pipelineLatency = nanoseconds(500);
+    /** Device PM (log) parameters: 273 ns write, 2 GB, 2 KB slots. */
+    pm::DevicePmConfig pm;
+    /** SRAM log-queue size per direction (Section V-A: 4 KB). */
+    std::size_t logQueueBytes = 4096;
+    /** Read-cache entry capacity (only used when a codec is set). */
+    std::size_t cacheCapacity = 65536;
+    /** Retry gap when the recovery scan finds the read queue full. */
+    TickDelta recoveryRetryGap = microseconds(1);
+
+    /** @name Heartbeat failure detection (Fig 3, Section IV-E)
+     * When enabled (via enableHeartbeat), the device probes the
+     * server every heartbeatInterval; after heartbeatMissThreshold
+     * consecutive misses the server is declared down, and the first
+     * ack after an outage triggers an automatic log replay.
+     *  @{
+     */
+    TickDelta heartbeatInterval = microseconds(100);
+    unsigned heartbeatMissThreshold = 3;
+    /** @} */
+};
+
+/** Observable event counters of one device. */
+struct DeviceStats
+{
+    std::uint64_t updatesSeen = 0;
+    std::uint64_t updatesLogged = 0;
+    std::uint64_t updatesReAcked = 0;    ///< duplicate already persistent
+    std::uint64_t bypassCollision = 0;
+    std::uint64_t bypassQueueFull = 0;
+    std::uint64_t bypassStoreRace = 0;
+    std::uint64_t bypassTooLarge = 0;
+    std::uint64_t bypassBadHash = 0;
+    std::uint64_t acksSent = 0;
+    std::uint64_t serverAcks = 0;
+    std::uint64_t invalidations = 0;
+    std::uint64_t retransSeen = 0;
+    std::uint64_t retransServed = 0;
+    std::uint64_t retransForwarded = 0;
+    std::uint64_t cacheResponses = 0;
+    std::uint64_t recoveryPolls = 0;
+    std::uint64_t recoveryResent = 0;
+    std::uint64_t nonPmnetForwarded = 0;
+    std::uint64_t heartbeatsSent = 0;
+    std::uint64_t heartbeatAcks = 0;
+    std::uint64_t serverDownEvents = 0;
+    std::uint64_t serverUpEvents = 0;
+};
+
+/** A PM-integrated programmable switch/NIC. */
+class PmnetDevice : public net::ForwardingNode
+{
+  public:
+    PmnetDevice(sim::Simulator &simulator, std::string object_name,
+                net::NodeId node_id, DeviceConfig config = {});
+
+    /**
+     * Enable the in-switch read cache (Section IV-D). @p codec stays
+     * owned by the caller and must outlive the device.
+     */
+    void enableCache(const CacheCodec *codec);
+
+    void receive(net::PacketPtr pkt, int in_port) override;
+
+    /**
+     * Permanent hardware failure + replacement (Section IV-E2): the
+     * unit comes back up with an *empty* persistent log — whatever it
+     * held is only recoverable from the other replicas in the chain.
+     */
+    void replaceUnit();
+
+    /**
+     * Start probing @p server with heartbeats (Fig 3): the device
+     * detects the server's failure itself and replays its log as
+     * soon as the server answers again — no server-initiated
+     * RecoveryPoll required.
+     */
+    void enableHeartbeat(net::NodeId server);
+
+    /** True while the monitored server is considered failed. */
+    bool serverConsideredDown() const { return serverDown_; }
+
+    /**
+     * Attach an event trace (owned by the caller; nullptr detaches).
+     * Records log/bypass/ACK/invalidate/retrans/replay decisions.
+     */
+    void setTrace(TraceRing *trace) { trace_ = trace; }
+
+    const pm::PmLogStore &logStore() const { return store_; }
+    const pm::LogQueue &writeQueue() const { return writeQueue_; }
+    const pm::LogQueue &readQueue() const { return readQueue_; }
+    ReadCache &cache() { return cache_; }
+    const DeviceConfig &config() const { return config_; }
+
+    DeviceStats stats;
+
+  protected:
+    void onPowerFail() override;
+    void onPowerRestore() override;
+
+  private:
+    void process(net::PacketPtr pkt);
+    void handleUpdateReq(const net::PacketPtr &pkt);
+    void handleBypassReq(const net::PacketPtr &pkt);
+    void handleServerAck(const net::PacketPtr &pkt);
+    void handleRetrans(const net::PacketPtr &pkt);
+    void handleResponse(const net::PacketPtr &pkt);
+    void handleRecoveryPoll(const net::PacketPtr &pkt);
+
+    /** Continue the recovery resend chain over @p hashes. */
+    void recoveryResendNext(std::shared_ptr<std::vector<std::uint32_t>> hashes,
+                            std::size_t index, net::NodeId server);
+
+    /**
+     * Schedule @p fn guarded by the device epoch: it silently does
+     * nothing if the device lost power in between.
+     */
+    void scheduleGuarded(TickDelta delay, std::function<void()> fn);
+
+    /** Application key of an update payload, if parseable. */
+    std::optional<ParsedUpdate> parsedKeyOf(const net::Packet &pkt) const;
+
+    DeviceConfig config_;
+    pm::PmLogStore store_;
+    pm::LogQueue writeQueue_;
+    pm::LogQueue readQueue_;
+    ReadCache cache_;
+    const CacheCodec *codec_ = nullptr;
+
+    /**
+     * Keys of updates that bypassed logging, so the matching
+     * server-ACK can still drive the cache's T6 transition. Volatile.
+     */
+    std::unordered_map<std::uint32_t, std::string> unloggedKeys_;
+
+    /** Bumped on power failure to invalidate in-flight callbacks. */
+    std::uint64_t epoch_ = 0;
+
+    /** Optional event trace. */
+    TraceRing *trace_ = nullptr;
+
+    /** Record into the trace if one is attached. */
+    void traceEvent(const char *what, const net::Packet &pkt);
+
+    /** @name Heartbeat state
+     *  @{
+     */
+    void heartbeatTick();
+    void handleHeartbeatAck(const net::PacketPtr &pkt);
+
+    bool heartbeatEnabled_ = false;
+    net::NodeId heartbeatServer_ = net::kInvalidNode;
+    unsigned heartbeatMisses_ = 0;
+    bool heartbeatAckSeen_ = false;
+    bool serverDown_ = false;
+    /** @} */
+};
+
+} // namespace pmnet::pmnetdev
+
+#endif // PMNET_PMNET_DEVICE_H

@@ -1,0 +1,160 @@
+#include "pmnet/read_cache.h"
+
+#include "common/logging.h"
+
+namespace pmnet::pmnetdev {
+
+const char *
+cacheStateName(CacheState state)
+{
+    switch (state) {
+      case CacheState::Invalid: return "Invalid";
+      case CacheState::Pending: return "Pending";
+      case CacheState::Persisted: return "Persisted";
+      case CacheState::Stale: return "Stale";
+    }
+    return "unknown";
+}
+
+ReadCache::ReadCache(std::size_t capacity) : capacity_(capacity)
+{
+    if (capacity == 0)
+        fatal("ReadCache: capacity must be positive");
+}
+
+ReadCache::Entry &
+ReadCache::touch(const std::string &key)
+{
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+        lru_.erase(it->second.lruPos);
+        lru_.push_front(key);
+        it->second.lruPos = lru_.begin();
+        return it->second;
+    }
+    lru_.push_front(key);
+    Entry entry;
+    entry.lruPos = lru_.begin();
+    auto [pos, inserted] = entries_.emplace(key, std::move(entry));
+    (void)inserted;
+    evictIfNeeded();
+    return pos->second;
+}
+
+void
+ReadCache::evictIfNeeded()
+{
+    while (entries_.size() > capacity_ && !lru_.empty()) {
+        // Scan from the LRU end for an evictable (non-in-flight) entry.
+        auto victim = lru_.end();
+        bool found = false;
+        // Never evict the front (the entry being touched right now).
+        for (auto it = std::prev(lru_.end()); it != lru_.begin(); --it) {
+            auto entry_it = entries_.find(*it);
+            CacheState state = entry_it->second.state;
+            if (state == CacheState::Invalid ||
+                state == CacheState::Persisted) {
+                victim = it;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            break; // everything is in flight; allow temporary overflow
+        entries_.erase(*victim);
+        lru_.erase(victim);
+        evictions++;
+    }
+}
+
+void
+ReadCache::onUpdate(const std::string &key, const Bytes &value, bool logged)
+{
+    Entry &entry = touch(key);
+    if (!logged) {
+        // An unlogged (bypassed) update is in flight: whatever we have
+        // may be stale, and the in-flight value is not persisted in the
+        // network, so the entry must not serve reads.
+        if (entry.state != CacheState::Invalid)
+            entry.state = CacheState::Stale;
+        else
+            entries_.erase(key), lru_.pop_front();
+        return;
+    }
+    switch (entry.state) {
+      case CacheState::Invalid:    // T1
+      case CacheState::Persisted:  // T3
+        entry.state = CacheState::Pending;
+        entry.value = value;
+        break;
+      case CacheState::Pending:    // T4: two in-flight updates
+        entry.state = CacheState::Stale;
+        entry.value.clear();
+        break;
+      case CacheState::Stale:      // T5
+        break;
+    }
+}
+
+void
+ReadCache::onServerAck(const std::string &key)
+{
+    auto it = entries_.find(key);
+    if (it == entries_.end())
+        return;
+    switch (it->second.state) {
+      case CacheState::Pending: // T2
+        it->second.state = CacheState::Persisted;
+        break;
+      case CacheState::Stale:   // T6
+        it->second.state = CacheState::Invalid;
+        it->second.value.clear();
+        break;
+      case CacheState::Invalid:
+      case CacheState::Persisted:
+        break; // make-up or duplicate ACKs are harmless
+    }
+}
+
+void
+ReadCache::onReadResponse(const std::string &key, const Bytes &value)
+{
+    Entry &entry = touch(key);
+    // Only fill entries with no in-flight update: a Pending entry is
+    // newer than the server's reply and a Stale one cannot be trusted
+    // to match any specific in-flight version.
+    if (entry.state == CacheState::Invalid) {
+        entry.state = CacheState::Persisted;
+        entry.value = value;
+    }
+}
+
+const Bytes *
+ReadCache::lookup(const std::string &key)
+{
+    auto it = entries_.find(key);
+    if (it == entries_.end() || (it->second.state != CacheState::Pending &&
+                                 it->second.state != CacheState::Persisted)) {
+        misses++;
+        return nullptr;
+    }
+    hits++;
+    Entry &entry = touch(key);
+    return &entry.value;
+}
+
+CacheState
+ReadCache::stateOf(const std::string &key) const
+{
+    auto it = entries_.find(key);
+    return it == entries_.end() ? CacheState::Invalid : it->second.state;
+}
+
+void
+ReadCache::clear()
+{
+    entries_.clear();
+    lru_.clear();
+}
+
+} // namespace pmnet::pmnetdev

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The four-state in-switch read cache (paper Section IV-D, Fig 11).
+ *
+ * Each entry, indexed by application key, is in one of four states:
+ *
+ *  - Invalid:   no usable value.
+ *  - Pending:   the value of an update logged by PMNet but not yet
+ *               committed by the server. Serves reads.
+ *  - Persisted: the value the server has committed. Serves reads.
+ *  - Stale:     multiple updates are in flight (or an update bypassed
+ *               logging), so the cached value may be behind. Does not
+ *               serve reads; cleared to Invalid by the next
+ *               server-ACK (T6).
+ *
+ * Transitions T1-T6 follow Fig 11; onUpdate() additionally handles the
+ * reproduction's "update could not be logged" case by marking the
+ * entry Stale, which preserves the invariant that a served value is
+ * never older than the server's committed value and is itself either
+ * logged or committed.
+ *
+ * Capacity is bounded with LRU eviction; entries in Pending/Stale are
+ * never evicted (their state is needed for consistency when the
+ * server-ACK arrives), matching the log's role as the cache's backing
+ * persistence.
+ */
+
+#ifndef PMNET_PMNET_READ_CACHE_H
+#define PMNET_PMNET_READ_CACHE_H
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "common/bytes.h"
+
+namespace pmnet::pmnetdev {
+
+/** Entry states from Fig 11. */
+enum class CacheState : std::uint8_t { Invalid, Pending, Persisted, Stale };
+
+const char *cacheStateName(CacheState state);
+
+/** Key-indexed, LRU-bounded cache with the Fig 11 state machine. */
+class ReadCache
+{
+  public:
+    explicit ReadCache(std::size_t capacity = 65536);
+
+    /**
+     * An update-req for @p key passed through the device.
+     *
+     * @param logged true when the device logged the request (and so
+     *               will early-ACK it); false when it bypassed.
+     */
+    void onUpdate(const std::string &key, const Bytes &value, bool logged);
+
+    /** A server-ACK for an update to @p key passed through. */
+    void onServerAck(const std::string &key);
+
+    /** A server read Response for @p key passed through (cache fill). */
+    void onReadResponse(const std::string &key, const Bytes &value);
+
+    /**
+     * Look up @p key for a read.
+     * @return the value when the entry may serve reads
+     *         (Pending/Persisted), nullptr otherwise.
+     */
+    const Bytes *lookup(const std::string &key);
+
+    /** Current state of @p key (Invalid when absent). */
+    CacheState stateOf(const std::string &key) const;
+
+    std::size_t size() const { return entries_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+    /** Drop everything (device power failure). */
+    void clear();
+
+    /** @name Statistics
+     *  @{
+     */
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    /** @} */
+
+  private:
+    struct Entry
+    {
+        CacheState state = CacheState::Invalid;
+        Bytes value;
+        std::list<std::string>::iterator lruPos;
+    };
+
+    Entry &touch(const std::string &key);
+    void evictIfNeeded();
+
+    std::size_t capacity_;
+    std::unordered_map<std::string, Entry> entries_;
+    /** LRU order, most recent at front. */
+    std::list<std::string> lru_;
+};
+
+} // namespace pmnet::pmnetdev
+
+#endif // PMNET_PMNET_READ_CACHE_H

@@ -1,0 +1,66 @@
+#include "sim/simulator.h"
+
+#include "common/logging.h"
+
+namespace pmnet::sim {
+
+void
+EventHandle::cancel()
+{
+    if (cancelled_)
+        *cancelled_ = true;
+}
+
+bool
+EventHandle::pending() const
+{
+    return cancelled_ && !*cancelled_;
+}
+
+EventHandle
+Simulator::schedule(TickDelta delay, EventFn fn)
+{
+    if (delay < 0)
+        panic("Simulator::schedule: negative delay %lld",
+              static_cast<long long>(delay));
+    return scheduleAt(now_ + delay, std::move(fn));
+}
+
+EventHandle
+Simulator::scheduleAt(Tick when, EventFn fn)
+{
+    if (when < now_)
+        panic("Simulator::scheduleAt: time %lld is in the past (now %lld)",
+              static_cast<long long>(when), static_cast<long long>(now_));
+    auto cancelled = std::make_shared<bool>(false);
+    queue_.push(Record{when, nextSeq_++, std::move(fn), cancelled});
+    return EventHandle(std::move(cancelled));
+}
+
+std::uint64_t
+Simulator::run(Tick until)
+{
+    std::uint64_t fired = 0;
+    stopRequested_ = false;
+    while (!queue_.empty() && !stopRequested_) {
+        const Record &top = queue_.top();
+        if (top.when > until)
+            break;
+        // Move the record out before popping so the callback may
+        // schedule further events (which mutates the queue).
+        Record record = top;
+        queue_.pop();
+        if (*record.cancelled)
+            continue;
+        *record.cancelled = true; // fired events are no longer pending
+        now_ = record.when;
+        record.fn();
+        fired++;
+        executed_++;
+    }
+    if (queue_.empty() && now_ < until && until != kTickMax)
+        now_ = until;
+    return fired;
+}
+
+} // namespace pmnet::sim

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Discrete-event simulation core.
+ *
+ * Every component of the reproduced testbed (hosts, links, switches,
+ * PMNet devices, PM media) advances time by scheduling callbacks on a
+ * single Simulator. Events at the same tick fire in scheduling order,
+ * which makes runs fully deterministic for a given seed.
+ */
+
+#ifndef PMNET_SIM_SIMULATOR_H
+#define PMNET_SIM_SIMULATOR_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace pmnet::sim {
+
+/** Callback type executed when an event fires. */
+using EventFn = std::function<void()>;
+
+/**
+ * Handle to a scheduled event, used for cancellation (e.g. client
+ * timeout timers disarmed when the ACK arrives). Default-constructed
+ * handles are inert.
+ */
+class EventHandle
+{
+  public:
+    EventHandle() = default;
+
+    /** Prevent the event from firing. Safe to call repeatedly. */
+    void cancel();
+
+    /** True if the event is still scheduled and not cancelled. */
+    bool pending() const;
+
+  private:
+    friend class Simulator;
+    explicit EventHandle(std::shared_ptr<bool> cancelled)
+        : cancelled_(std::move(cancelled))
+    {}
+
+    std::shared_ptr<bool> cancelled_;
+};
+
+/**
+ * The event-driven simulator.
+ *
+ * Single-threaded: components call schedule()/scheduleAt() and the
+ * driver calls run(). Time never moves backwards.
+ */
+class Simulator
+{
+  public:
+    Simulator() = default;
+
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule @p fn to run @p delay ns from now.
+     * @pre delay >= 0.
+     */
+    EventHandle schedule(TickDelta delay, EventFn fn);
+
+    /**
+     * Schedule @p fn at absolute time @p when.
+     * @pre when >= now().
+     */
+    EventHandle scheduleAt(Tick when, EventFn fn);
+
+    /**
+     * Run until the queue is empty or the time limit is reached.
+     * @param until stop once the next event would fire after this tick
+     *              (kTickMax = run to completion).
+     * @return number of events executed.
+     */
+    std::uint64_t run(Tick until = kTickMax);
+
+    /** Request run() to return after the current event completes. */
+    void stop() { stopRequested_ = true; }
+
+    /** True if no events remain. */
+    bool idle() const { return queue_.empty(); }
+
+    /** Total events executed so far. */
+    std::uint64_t eventsExecuted() const { return executed_; }
+
+  private:
+    struct Record
+    {
+        Tick when;
+        std::uint64_t seq;
+        EventFn fn;
+        std::shared_ptr<bool> cancelled;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Record &a, const Record &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+    bool stopRequested_ = false;
+    std::priority_queue<Record, std::vector<Record>, Later> queue_;
+};
+
+/**
+ * Base class for named simulation components. Provides convenient
+ * access to the shared Simulator and a stable name for diagnostics.
+ */
+class SimObject
+{
+  public:
+    SimObject(Simulator &simulator, std::string object_name)
+        : sim_(simulator), name_(std::move(object_name))
+    {}
+
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    const std::string &name() const { return name_; }
+    Simulator &simulator() { return sim_; }
+    Tick now() const { return sim_.now(); }
+
+  protected:
+    EventHandle
+    schedule(TickDelta delay, EventFn fn)
+    {
+        return sim_.schedule(delay, std::move(fn));
+    }
+
+  private:
+    Simulator &sim_;
+    std::string name_;
+};
+
+} // namespace pmnet::sim
+
+#endif // PMNET_SIM_SIMULATOR_H

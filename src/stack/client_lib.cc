@@ -1,0 +1,327 @@
+#include "stack/client_lib.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pmnet::stack {
+
+using net::PacketPtr;
+using net::PacketType;
+
+ClientLib::ClientLib(Host &host, ClientConfig config)
+    : host_(host), config_(config)
+{
+    if (config_.server == net::kInvalidNode)
+        fatal("ClientLib(%s): no server configured", host.name().c_str());
+    if (config_.replicationDegree == 0)
+        fatal("ClientLib(%s): replicationDegree must be >= 1",
+              host.name().c_str());
+    host_.setAppReceive([this](PacketPtr pkt) { onReceive(pkt); });
+}
+
+void
+ClientLib::startSession()
+{
+    sessionOpen_ = true;
+}
+
+void
+ClientLib::endSession()
+{
+    sessionOpen_ = false;
+    for (auto &[id, req] : requests_)
+        req.timer.cancel();
+    requests_.clear();
+    hashToRequest_.clear();
+}
+
+std::uint64_t
+ClientLib::newRequestId()
+{
+    return (static_cast<std::uint64_t>(host_.id()) << 40) | nextRequest_++;
+}
+
+void
+ClientLib::sendUpdate(Bytes payload, UpdateDone done)
+{
+    if (!sessionOpen_)
+        fatal("ClientLib(%s): sendUpdate before startSession",
+              host_.name().c_str());
+    stats.updatesSent++;
+
+    std::uint64_t request_id = newRequestId();
+    Request req;
+    req.id = request_id;
+    req.isUpdate = true;
+    req.updateDone = std::move(done);
+    req.firstSeq = nextUpdateSeq_;
+
+    // Fragment into MTU-sized packets, one SeqNum each (Sec IV-A3).
+    std::size_t total = payload.size();
+    std::size_t frag_count =
+        total == 0 ? 1 : (total + config_.mtuPayload - 1) /
+                             config_.mtuPayload;
+    std::vector<PacketPtr> burst;
+    for (std::size_t i = 0; i < frag_count; i++) {
+        std::size_t begin = i * config_.mtuPayload;
+        std::size_t end = std::min(total, begin + config_.mtuPayload);
+        Bytes chunk(payload.begin() + static_cast<long>(begin),
+                    payload.begin() + static_cast<long>(end));
+        std::uint32_t seq = nextUpdateSeq_++;
+        auto pkt_mut = std::make_shared<net::Packet>(
+            *net::makePmnetPacket(host_.id(), config_.server,
+                                  PacketType::UpdateReq, config_.sessionId,
+                                  seq, std::move(chunk), request_id));
+        pkt_mut->fragment = static_cast<std::uint32_t>(i);
+        pkt_mut->fragmentCount = static_cast<std::uint32_t>(frag_count);
+        PacketPtr pkt = pkt_mut;
+        req.fragments.push_back(Fragment{pkt, {}, false});
+        hashToRequest_[req.fragments.back().packet->pmnet->hashVal] =
+            request_id;
+        burst.push_back(std::move(pkt));
+    }
+
+    auto [it, inserted] = requests_.emplace(request_id, std::move(req));
+    (void)inserted;
+    armTimer(it->second);
+    host_.appSend(std::move(burst));
+}
+
+void
+ClientLib::bypass(Bytes payload, BypassDone done)
+{
+    if (!sessionOpen_)
+        fatal("ClientLib(%s): bypass before startSession",
+              host_.name().c_str());
+    if (payload.size() > config_.mtuPayload)
+        fatal("ClientLib(%s): bypass payload %zu exceeds MTU payload %zu",
+              host_.name().c_str(), payload.size(), config_.mtuPayload);
+    stats.bypassSent++;
+
+    std::uint64_t request_id = newRequestId();
+    std::uint32_t seq = nextBypassSeq_++;
+    PacketPtr pkt = net::makePmnetPacket(host_.id(), config_.server,
+                                         PacketType::BypassReq,
+                                         config_.sessionId, seq,
+                                         std::move(payload), request_id);
+
+    Request req;
+    req.id = request_id;
+    req.isUpdate = false;
+    req.bypassDone = std::move(done);
+    req.firstSeq = seq;
+    req.fragments.push_back(Fragment{pkt, {}, false});
+    hashToRequest_[pkt->pmnet->hashVal] = request_id;
+
+    auto [it, inserted] = requests_.emplace(request_id, std::move(req));
+    (void)inserted;
+    armTimer(it->second);
+    host_.appSend({pkt});
+}
+
+ClientLib::Request *
+ClientLib::requestForHash(std::uint32_t hash, std::uint32_t seq,
+                          std::size_t *index_out)
+{
+    auto hash_it = hashToRequest_.find(hash);
+    if (hash_it == hashToRequest_.end())
+        return nullptr;
+    auto req_it = requests_.find(hash_it->second);
+    if (req_it == requests_.end())
+        return nullptr;
+    Request &req = req_it->second;
+    if (seq < req.firstSeq ||
+        seq - req.firstSeq >= req.fragments.size())
+        return nullptr; // stale/corrupt reference
+    std::size_t index = seq - req.firstSeq;
+    // Guard against (astronomically rare) CRC collisions across
+    // outstanding requests.
+    if (req.fragments[index].packet->pmnet->hashVal != hash)
+        return nullptr;
+    if (index_out)
+        *index_out = index;
+    return &req;
+}
+
+bool
+ClientLib::fragmentComplete(const Request &req, const Fragment &frag) const
+{
+    if (frag.serverAcked)
+        return true;
+    return req.isUpdate &&
+           frag.pmnetAckers.size() >= config_.replicationDegree;
+}
+
+void
+ClientLib::onReceive(const PacketPtr &pkt)
+{
+    if (!pkt->isPmnet())
+        return;
+    switch (pkt->pmnet->type) {
+      case PacketType::PmnetAck:
+        handlePmnetAck(*pkt);
+        break;
+      case PacketType::ServerAck:
+        handleServerAck(*pkt);
+        break;
+      case PacketType::Response:
+        handleResponse(*pkt);
+        break;
+      case PacketType::Retrans:
+        handleRetrans(*pkt);
+        break;
+      default:
+        debug("%s: unexpected %s at client", host_.name().c_str(),
+              net::describe(*pkt).c_str());
+        break;
+    }
+}
+
+void
+ClientLib::handlePmnetAck(const net::Packet &pkt)
+{
+    if (pkt.pmnet->sessionId != config_.sessionId)
+        return;
+    std::size_t index = 0;
+    Request *req =
+        requestForHash(pkt.pmnet->hashVal, pkt.pmnet->seqNum, &index);
+    if (!req || !req->isUpdate)
+        return;
+    req->fragments[index].pmnetAckers.insert(pkt.src);
+    maybeComplete(req->id);
+}
+
+void
+ClientLib::handleServerAck(const net::Packet &pkt)
+{
+    if (pkt.pmnet->sessionId != config_.sessionId)
+        return;
+    std::size_t index = 0;
+    Request *req =
+        requestForHash(pkt.pmnet->hashVal, pkt.pmnet->seqNum, &index);
+    if (!req)
+        return;
+    req->fragments[index].serverAcked = true;
+    maybeComplete(req->id);
+}
+
+void
+ClientLib::handleResponse(const net::Packet &pkt)
+{
+    if (pkt.pmnet->sessionId != config_.sessionId)
+        return;
+    // The response references the request's first fragment's hash,
+    // which is unique across the update and bypass sequence spaces.
+    Request *req =
+        requestForHash(pkt.pmnet->hashVal, pkt.pmnet->seqNum, nullptr);
+    if (!req)
+        return;
+    req->responseReceived = true;
+    req->response = pkt.payload;
+    if (!req->isUpdate) {
+        // A Response also implies the server processed the request.
+        for (Fragment &frag : req->fragments)
+            frag.serverAcked = true;
+    }
+    maybeComplete(req->id);
+}
+
+void
+ClientLib::handleRetrans(const net::Packet &pkt)
+{
+    // No device on the path had the packet logged; resend it ourselves.
+    if (pkt.pmnet->sessionId != config_.sessionId)
+        return;
+    std::size_t index = 0;
+    Request *req =
+        requestForHash(pkt.pmnet->hashVal, pkt.pmnet->seqNum, &index);
+    if (!req)
+        return; // already completed and garbage collected
+    stats.retransAnswered++;
+    stats.packetsResent++;
+    host_.appSend({req->fragments[index].packet});
+}
+
+void
+ClientLib::maybeComplete(std::uint64_t request_id)
+{
+    auto it = requests_.find(request_id);
+    if (it == requests_.end())
+        return;
+    Request &req = it->second;
+
+    if (req.isUpdate) {
+        bool all_pmnet = true;
+        for (const Fragment &frag : req.fragments) {
+            if (!fragmentComplete(req, frag))
+                return;
+            all_pmnet &= !frag.serverAcked;
+        }
+        stats.updatesCompleted++;
+        if (all_pmnet)
+            stats.completedByPmnetAck++;
+        else
+            stats.completedByServerAck++;
+    } else {
+        if (!req.responseReceived)
+            return;
+        stats.bypassCompleted++;
+    }
+
+    req.timer.cancel();
+    for (const Fragment &frag : req.fragments)
+        hashToRequest_.erase(frag.packet->pmnet->hashVal);
+
+    // Detach before invoking: the callback usually issues the next
+    // request immediately.
+    UpdateDone update_done = std::move(req.updateDone);
+    BypassDone bypass_done = std::move(req.bypassDone);
+    Bytes response = std::move(req.response);
+    bool is_update = req.isUpdate;
+    requests_.erase(it);
+
+    if (is_update) {
+        if (update_done)
+            update_done();
+    } else {
+        if (bypass_done)
+            bypass_done(response);
+    }
+}
+
+void
+ClientLib::armTimer(Request &req)
+{
+    std::uint64_t request_id = req.id;
+    req.timer = host_.simulator().schedule(
+        config_.retryTimeout,
+        [this, request_id]() { onTimeout(request_id); });
+}
+
+void
+ClientLib::onTimeout(std::uint64_t request_id)
+{
+    auto it = requests_.find(request_id);
+    if (it == requests_.end())
+        return;
+    Request &req = it->second;
+    stats.timeouts++;
+
+    std::vector<PacketPtr> resend;
+    for (const Fragment &frag : req.fragments) {
+        if (!fragmentComplete(req, frag))
+            resend.push_back(frag.packet);
+    }
+    if (!req.isUpdate && !req.responseReceived && resend.empty())
+        resend.push_back(req.fragments.front().packet);
+
+    if (!resend.empty()) {
+        stats.packetsResent += resend.size();
+        req.resends++;
+        host_.appSend(std::move(resend));
+    }
+    armTimer(req);
+}
+
+} // namespace pmnet::stack

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * The PMNet client software library (paper Table I and Section V-B).
+ *
+ * Mirrors the paper's interface:
+ *
+ *   PMNet_send_update()  -> ClientLib::sendUpdate()
+ *   PMNet_bypass()       -> ClientLib::bypass()
+ *   PMNet_start_session()-> ClientLib::startSession()
+ *   PMNet_end_session()  -> ClientLib::endSession()
+ *
+ * Responsibilities (Sections IV-A3, IV-A4 and IV-C):
+ *  - fragment requests larger than the MTU, one SeqNum per packet;
+ *  - collect per-packet PMNet-ACKs; a fragment is complete once
+ *    `replicationDegree` distinct PMNet devices have acknowledged it
+ *    *or* the server itself has (the fallback when the device could
+ *    not log the packet — collision, full log, full queue);
+ *  - time out and resend unacknowledged fragments (reliable delivery
+ *    over UDP);
+ *  - answer server-originated Retrans requests that no device could
+ *    serve from its log;
+ *  - complete bypass requests on the server's (or cache's) Response.
+ *
+ * The same completion rule covers the Client-Server baseline: with no
+ * PMNet device on the path, fragments only ever complete through
+ * server-ACKs.
+ */
+
+#ifndef PMNET_STACK_CLIENT_LIB_H
+#define PMNET_STACK_CLIENT_LIB_H
+
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "stack/host.h"
+
+namespace pmnet::stack {
+
+/** Per-client protocol parameters. */
+struct ClientConfig
+{
+    /** Destination server. */
+    net::NodeId server = net::kInvalidNode;
+    /** Session identifier (unique per client connection). */
+    std::uint16_t sessionId = 0;
+    /** Max application payload bytes per packet (MTU minus headers). */
+    std::size_t mtuPayload = 1400;
+    /** Resend timer for incomplete requests. */
+    TickDelta retryTimeout = microseconds(500);
+    /**
+     * Number of distinct PMNet devices that must acknowledge a
+     * fragment before it counts as persisted in the network
+     * (Section IV-C; 1 without replication).
+     */
+    unsigned replicationDegree = 1;
+};
+
+/** Aggregate client-side protocol statistics. */
+struct ClientStats
+{
+    std::uint64_t updatesSent = 0;
+    std::uint64_t bypassSent = 0;
+    std::uint64_t updatesCompleted = 0;
+    std::uint64_t bypassCompleted = 0;
+    std::uint64_t completedByPmnetAck = 0;
+    std::uint64_t completedByServerAck = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t packetsResent = 0;
+    std::uint64_t retransAnswered = 0;
+};
+
+/** The client-side PMNet library. One instance per client host. */
+class ClientLib
+{
+  public:
+    ClientLib(Host &host, ClientConfig config);
+
+    /** Completion callback for updates. */
+    using UpdateDone = std::function<void()>;
+    /** Completion callback for bypass requests (carries the reply). */
+    using BypassDone = std::function<void(const Bytes &response)>;
+
+    /** Open the session (resets sequence numbering). */
+    void startSession();
+
+    /** Close the session. Outstanding requests are abandoned. */
+    void endSession();
+
+    /**
+     * Send an update request; @p done fires when the update is
+     * persistent (in-network or on the server).
+     */
+    void sendUpdate(Bytes payload, UpdateDone done);
+
+    /**
+     * Send a read/synchronization request that must be processed by
+     * the server (or the in-switch cache); never logged or
+     * early-ACKed. Must fit in one MTU payload.
+     */
+    void bypass(Bytes payload, BypassDone done);
+
+    /** Requests (of both kinds) still in flight. */
+    std::size_t outstanding() const { return requests_.size(); }
+
+    const ClientConfig &config() const { return config_; }
+    ClientStats stats;
+
+  private:
+    struct Fragment
+    {
+        net::PacketPtr packet;
+        std::set<net::NodeId> pmnetAckers;
+        bool serverAcked = false;
+    };
+
+    struct Request
+    {
+        std::uint64_t id = 0;
+        bool isUpdate = true;
+        std::uint32_t firstSeq = 0;
+        std::vector<Fragment> fragments;
+        UpdateDone updateDone;
+        BypassDone bypassDone;
+        bool responseReceived = false;
+        Bytes response;
+        sim::EventHandle timer;
+        std::uint64_t resends = 0;
+    };
+
+    void onReceive(const net::PacketPtr &pkt);
+    void handlePmnetAck(const net::Packet &pkt);
+    void handleServerAck(const net::Packet &pkt);
+    void handleResponse(const net::Packet &pkt);
+    void handleRetrans(const net::Packet &pkt);
+
+    /**
+     * Resolve an incoming control packet to its request + fragment
+     * index via the referenced HashVal (unique across the update and
+     * bypass sequence spaces because the packet type is hashed).
+     * @return nullptr when the request already completed.
+     */
+    Request *requestForHash(std::uint32_t hash, std::uint32_t seq,
+                            std::size_t *index_out);
+    bool fragmentComplete(const Request &req, const Fragment &frag) const;
+    void maybeComplete(std::uint64_t request_id);
+    void armTimer(Request &req);
+    void onTimeout(std::uint64_t request_id);
+    std::uint64_t newRequestId();
+
+    Host &host_;
+    ClientConfig config_;
+    bool sessionOpen_ = false;
+    /**
+     * Updates and bypass requests number independently: the update
+     * stream must stay contiguous for the server's redo-log ordering
+     * (Section IV-A4), while bypass requests may be answered by the
+     * in-switch cache and never reach the server at all.
+     */
+    std::uint32_t nextUpdateSeq_ = 1;
+    std::uint32_t nextBypassSeq_ = 1;
+    std::uint64_t nextRequest_ = 1;
+    std::unordered_map<std::uint64_t, Request> requests_;
+    /** Fragment HashVal -> owning request. */
+    std::unordered_map<std::uint32_t, std::uint64_t> hashToRequest_;
+};
+
+} // namespace pmnet::stack
+
+#endif // PMNET_STACK_CLIENT_LIB_H

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * End host: a network node with a stack timing model and an
+ * application callback surface.
+ *
+ * The host charges the StackProfile costs on the way in and out, then
+ * hands packets to the application layer (ClientLib or ServerLib).
+ * Stack crossings are modeled as pipelined delays (the testbed
+ * machines have many cores), not as a serial resource — the serial
+ * resources in the reproduction are the wire (Link) and the server's
+ * worker pool (ServerLib).
+ */
+
+#ifndef PMNET_STACK_HOST_H
+#define PMNET_STACK_HOST_H
+
+#include <functional>
+#include <vector>
+
+#include "net/node.h"
+#include "stack/stack_model.h"
+
+namespace pmnet::stack {
+
+/** A client or server machine. */
+class Host : public net::Node
+{
+  public:
+    Host(sim::Simulator &simulator, std::string object_name,
+         net::NodeId node_id, StackProfile profile = {});
+
+    /** Packets delivered to the app after the RX stack crossing. */
+    using AppReceiveFn = std::function<void(net::PacketPtr)>;
+
+    void setAppReceive(AppReceiveFn fn) { appReceive_ = std::move(fn); }
+
+    /** App-level power-failure hooks (volatile app state handling). */
+    void
+    setPowerHooks(std::function<void()> on_fail,
+                  std::function<void()> on_restore)
+    {
+        appPowerFail_ = std::move(on_fail);
+        appPowerRestore_ = std::move(on_restore);
+    }
+
+    /**
+     * Send one burst of packets (one request or one reply batch)
+     * through the TX stack. Packet i leaves the NIC at
+     *   now + txBase + i*txPerPacket + txPerByte * bytes(0..i).
+     * @pre the host has exactly one attached link (single-homed).
+     */
+    void appSend(std::vector<net::PacketPtr> pkts);
+
+    const StackProfile &profile() const { return profile_; }
+    void setProfile(const StackProfile &profile) { profile_ = profile; }
+
+    void receive(net::PacketPtr pkt, int in_port) override;
+
+    /** Total packets the app has sent / received. */
+    std::uint64_t packetsSent() const { return sent_; }
+    std::uint64_t packetsReceived() const { return received_; }
+
+  protected:
+    void onPowerFail() override;
+    void onPowerRestore() override;
+
+  private:
+    StackProfile profile_;
+    AppReceiveFn appReceive_;
+    std::function<void()> appPowerFail_;
+    std::function<void()> appPowerRestore_;
+    std::uint64_t epoch_ = 0;
+    std::uint64_t sent_ = 0;
+    std::uint64_t received_ = 0;
+};
+
+} // namespace pmnet::stack
+
+#endif // PMNET_STACK_HOST_H

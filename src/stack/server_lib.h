@@ -1,0 +1,213 @@
+/**
+ * @file
+ * The PMNet server software library (paper Table I, Sections IV-A4,
+ * IV-E and V-B).
+ *
+ * Responsibilities:
+ *  - per-session reorder buffering: requests are delivered to the
+ *    application handler strictly in SeqNum order (Fig 7a);
+ *  - fragment reassembly of MTU-split requests (Section IV-A3);
+ *  - loss detection: a persistent gap triggers Retrans requests that
+ *    PMNet devices can answer from their logs (Fig 7b);
+ *  - duplicate suppression with make-up server-ACKs, so resent or
+ *    replayed requests are applied exactly once (Section IV-E1);
+ *  - durability: the per-session applied-sequence watermark lives in
+ *    the server's persistent memory and is fenced before the
+ *    server-ACK leaves, making the ACK mean "committed";
+ *  - crash recovery: on restore, the watermarks are reloaded from PM
+ *    and a RecoveryPoll is sent to every PMNet device so logged
+ *    requests are replayed in order (Fig 3, Fig 7c);
+ *  - a bounded worker pool models the server's request-processing
+ *    concurrency (Table II: 20 cores); requests from one session are
+ *    processed serially, different sessions in parallel.
+ *
+ * The application plugs in as a Handler that performs the real work
+ * (e.g. a KV-store operation on the PmHeap) and reports the simulated
+ * service time to charge.
+ */
+
+#ifndef PMNET_STACK_SERVER_LIB_H
+#define PMNET_STACK_SERVER_LIB_H
+
+#include <deque>
+#include <set>
+#include <map>
+#include <optional>
+
+#include "pm/pm_heap.h"
+#include "stack/host.h"
+
+namespace pmnet::stack {
+
+/** Server-side protocol and processing parameters. */
+struct ServerConfig
+{
+    /** User-space dispatch cost per request (socket + demux). */
+    TickDelta dispatchLatency = microseconds(16);
+    /** Concurrent request-processing workers. */
+    int workers = 20;
+    /** How long a gap may stand before Retrans requests are sent. */
+    TickDelta reorderWindow = microseconds(30);
+    /** Minimum gap between repeated Retrans for the same SeqNum. */
+    TickDelta retransInterval = microseconds(200);
+    /** Sessions the persistent watermark table can hold. */
+    std::uint32_t maxSessions = 1024;
+    /** Replies cached per session for duplicate bypass requests. */
+    std::size_t replyCachePerSession = 32;
+
+    /** @name Server-side logging alternative (paper Fig 17b / Fig 18)
+     * When ackOnArrival is set, the server logs the raw request to
+     * its local PM right after the RX stack and acknowledges the
+     * client immediately, moving only the *processing* time off the
+     * critical path. arrivalAckExtraDelay models the replication
+     * round among logging servers in the 3-way variant.
+     *  @{
+     */
+    bool ackOnArrival = false;
+    TickDelta arrivalLogDelay = nanoseconds(400);
+    TickDelta arrivalAckExtraDelay = 0;
+    /** @} */
+};
+
+/** Aggregate server-side statistics. */
+struct ServerStats
+{
+    std::uint64_t updatesApplied = 0;
+    std::uint64_t bypassApplied = 0;
+    std::uint64_t duplicatesDropped = 0;
+    std::uint64_t makeupAcks = 0;
+    std::uint64_t replayedReplies = 0;
+    std::uint64_t retransRequested = 0;
+    std::uint64_t acksSent = 0;
+    std::uint64_t responsesSent = 0;
+    std::uint64_t recoveries = 0;
+};
+
+/** The server-side PMNet library. One instance per server host. */
+class ServerLib
+{
+  public:
+    /** What the application handler did with a request. */
+    struct HandlerResult
+    {
+        /** Simulated processing time beyond the dispatch cost. */
+        TickDelta cost = 0;
+        /** Reply payload (mandatory for bypass requests). */
+        std::optional<Bytes> response;
+    };
+
+    /**
+     * Application request handler. Executes the real work
+     * synchronously and returns its simulated cost.
+     */
+    using Handler = std::function<HandlerResult(
+        std::uint16_t session, bool is_update, const Bytes &payload)>;
+
+    ServerLib(Host &host, pm::PmHeap &heap, ServerConfig config = {});
+
+    void setHandler(Handler handler) { handler_ = std::move(handler); }
+
+    /** Devices to poll with RecoveryPoll after a restart. */
+    void setDevices(std::vector<net::NodeId> devices);
+
+    /** Hook invoked after a power-restore (app re-roots its data). */
+    void setRecoveryHook(std::function<void()> hook);
+
+    /** @name Application persistent root
+     * The heap root holds the library superblock; the application's
+     * own root object is registered through these.
+     *  @{
+     */
+    void setAppRoot(pm::PmOffset root);
+    pm::PmOffset appRoot() const;
+    /** @} */
+
+    /** Persisted applied watermark of @p session (0 = nothing). */
+    std::uint32_t appliedSeq(std::uint16_t session) const;
+
+    /** Requests queued but not yet processed (all sessions). */
+    std::size_t backlog() const;
+
+    const ServerConfig &config() const { return config_; }
+    ServerStats stats;
+
+  private:
+    struct ReadyRequest
+    {
+        std::uint16_t session = 0;
+        bool isUpdate = true;
+        std::uint32_t firstSeq = 0;
+        std::uint32_t lastSeq = 0;
+        std::vector<std::uint32_t> fragHashes;
+        Bytes payload;
+        std::uint64_t requestId = 0;
+        net::NodeId client = net::kInvalidNode;
+    };
+
+    struct Session
+    {
+        std::uint32_t applied = 0;      ///< persisted watermark
+        std::uint32_t nextExpected = 1; ///< assembly watermark
+        net::NodeId client = net::kInvalidNode;
+        std::map<std::uint32_t, net::PacketPtr> pending;
+        std::deque<ReadyRequest> ready;
+        bool busy = false;
+        bool queued = false;
+        sim::EventHandle gapTimer;
+        std::map<std::uint32_t, Tick> retransAskedAt;
+        /**
+         * Bypass sequence space (independent of the update stream):
+         * replyCache remembers answered bypass seqs for duplicate
+         * replay; bypassInFlight dedups retransmits of a bypass that
+         * is still queued or in service.
+         */
+        std::map<std::uint32_t, Bytes> replyCache;
+        std::set<std::uint32_t> bypassInFlight;
+    };
+
+    void onReceive(const net::PacketPtr &pkt);
+    Session &sessionFor(std::uint16_t sid);
+    void handleDuplicate(Session &session, const net::Packet &pkt);
+    void handleBypassArrival(std::uint16_t sid, Session &session,
+                             const net::PacketPtr &pkt);
+    void tryAssemble(std::uint16_t sid, Session &session);
+    void scheduleGapCheck(std::uint16_t sid);
+    void gapCheck(std::uint16_t sid);
+    void enqueueRunnable(std::uint16_t sid);
+    void pump();
+    void finishRequest(std::uint16_t sid, const ReadyRequest &req,
+                       HandlerResult result);
+    void persistApplied(std::uint16_t sid, std::uint32_t seq);
+    void initSuperblock();
+    void onPowerFailApp();
+    void onPowerRestoreApp();
+
+    Host &host_;
+    pm::PmHeap &heap_;
+    ServerConfig config_;
+    Handler handler_;
+    std::vector<net::NodeId> devices_;
+    std::function<void()> recoveryHook_;
+
+    std::map<std::uint16_t, Session> sessions_;
+    std::deque<std::uint16_t> runnable_;
+    int busyWorkers_ = 0;
+    std::uint64_t epoch_ = 0;
+
+    struct Superblock
+    {
+        std::uint64_t magic;
+        std::uint64_t tableOff;
+        std::uint32_t maxSessions;
+        std::uint32_t pad;
+        std::uint64_t appRoot;
+    };
+    static constexpr std::uint64_t kSuperMagic = 0x504D4E4554535256ull;
+
+    pm::PmOffset superOff_ = pm::kNullOffset;
+    pm::PmOffset tableOff_ = pm::kNullOffset;
+};
+
+} // namespace pmnet::stack
+
+#endif // PMNET_STACK_SERVER_LIB_H

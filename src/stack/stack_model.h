@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Parametric host network-stack timing (paper Fig 2 and Section VI).
+ *
+ * A request crosses four stack instances per RTT: client TX, server
+ * RX, server TX, client RX. Each crossing costs a per-call base (the
+ * syscall + protocol processing), a smaller per-extra-packet cost
+ * (fragments of one request are pipelined) and a per-byte copy cost.
+ *
+ * Two calibrated profiles exist: the kernel UDP/TCP stack of the
+ * paper's testbed and the libVMA user-space stack of Section VI-B7.
+ * The absolute values are chosen so the baseline microbenchmark RTT
+ * and the PMNet RTT land near the paper's measurements (Fig 18:
+ * ~21.5 us PMNet vs ~60 us client-server at 100 B); see
+ * testbed/config.h for the calibration story.
+ */
+
+#ifndef PMNET_STACK_STACK_MODEL_H
+#define PMNET_STACK_STACK_MODEL_H
+
+#include "common/time.h"
+
+namespace pmnet::stack {
+
+/** Latency parameters of one host's network stack. */
+struct StackProfile
+{
+    /** TX: first packet of an app send call. */
+    TickDelta txBase = microseconds(9.0);
+    /** TX: each additional packet in the same call. */
+    TickDelta txPerPacket = microseconds(1.0);
+    /** TX: per payload byte (copy in/out of the kernel). */
+    double txPerByte = 4.0;
+    /** RX: per received packet until app delivery. */
+    TickDelta rxBase = microseconds(9.0);
+    /** RX: per payload byte. */
+    double rxPerByte = 4.0;
+
+    /** Scale every cost (e.g. the 9% TCP-to-UDP conversion tax). */
+    StackProfile
+    scaled(double factor) const
+    {
+        StackProfile p = *this;
+        p.txBase = static_cast<TickDelta>(p.txBase * factor);
+        p.txPerPacket = static_cast<TickDelta>(p.txPerPacket * factor);
+        p.txPerByte *= factor;
+        p.rxBase = static_cast<TickDelta>(p.rxBase * factor);
+        p.rxPerByte *= factor;
+        return p;
+    }
+
+    /** Kernel stack on the client machines (Haswell, Table II). */
+    static StackProfile
+    kernelClient()
+    {
+        return StackProfile{microseconds(9.0), microseconds(1.0), 7.0,
+                            microseconds(9.0), 7.0};
+    }
+
+    /** Kernel stack on the server (Cascade Lake, Table II). */
+    static StackProfile
+    kernelServer()
+    {
+        return StackProfile{microseconds(14.0), microseconds(1.0), 2.0,
+                            microseconds(14.0), 2.0};
+    }
+
+    /** Kernel TCP stack, client side (the unconverted baselines of
+     *  Redis/Twitter/TPCC, Section VI-A3). */
+    static StackProfile
+    tcpClient()
+    {
+        return StackProfile{microseconds(12.0), microseconds(1.2), 5.0,
+                            microseconds(12.0), 5.0};
+    }
+
+    /** Kernel TCP stack, server side. */
+    static StackProfile
+    tcpServer()
+    {
+        return StackProfile{microseconds(22.0), microseconds(1.2), 3.0,
+                            microseconds(22.0), 3.0};
+    }
+
+    /** libVMA user-space stack, client side (Section VI-B7). */
+    static StackProfile
+    vmaClient()
+    {
+        return StackProfile{microseconds(1.8), microseconds(0.3), 1.5,
+                            microseconds(1.8), 1.5};
+    }
+
+    /** libVMA user-space stack, server side. */
+    static StackProfile
+    vmaServer()
+    {
+        return StackProfile{microseconds(3.0), microseconds(0.3), 1.0,
+                            microseconds(3.0), 1.0};
+    }
+};
+
+} // namespace pmnet::stack
+
+#endif // PMNET_STACK_STACK_MODEL_H

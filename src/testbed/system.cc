@@ -1,0 +1,279 @@
+#include "testbed/system.h"
+
+#include "common/logging.h"
+
+namespace pmnet::testbed {
+
+const char *
+systemModeName(SystemMode mode)
+{
+    switch (mode) {
+      case SystemMode::ClientServer: return "client-server";
+      case SystemMode::PmnetSwitch: return "pmnet-switch";
+      case SystemMode::PmnetNic: return "pmnet-nic";
+      case SystemMode::ClientSideLogging: return "client-side-logging";
+      case SystemMode::ServerSideLogging: return "server-side-logging";
+    }
+    return "unknown";
+}
+
+Testbed::Testbed(TestbedConfig config)
+    : config_(std::move(config)), rng_(config_.seed)
+{
+    if (config_.clientCount <= 0)
+        fatal("Testbed: clientCount must be positive");
+    if (config_.replicationDegree == 0)
+        fatal("Testbed: replicationDegree must be >= 1");
+    if (!config_.workload) {
+        config_.workload = [](std::uint16_t session) {
+            apps::YcsbConfig ycsb;
+            return apps::makeYcsbWorkload(ycsb, session);
+        };
+    }
+
+    buildTopology();
+    buildServerApp();
+    buildClients();
+    installHandler();
+}
+
+Testbed::~Testbed() = default;
+
+void
+Testbed::buildTopology()
+{
+    topo_ = std::make_unique<net::Topology>(sim_);
+
+    serverHost_ = &topo_->addNode<stack::Host>("server",
+                                               config_.serverProfile());
+
+    bool pmnet_mode = config_.mode == SystemMode::PmnetSwitch ||
+                      config_.mode == SystemMode::PmnetNic;
+    unsigned device_count =
+        pmnet_mode ? (config_.mode == SystemMode::PmnetNic
+                          ? 1
+                          : config_.replicationDegree)
+                   : 0;
+
+    auto &tor = topo_->addNode<net::BasicSwitch>(
+        "tor", config_.plainSwitchLatency);
+
+    // Clients hang off the merge/ToR switch.
+    for (int i = 0; i < config_.clientCount; i++) {
+        auto &host = topo_->addNode<stack::Host>(
+            "client" + std::to_string(i), config_.clientProfile());
+        topo_->connect(host, tor, config_.link);
+        clients_.push_back(Client{&host, nullptr});
+    }
+
+    // Chain PMNet devices between the switch and the server.
+    net::Node *tail = &tor;
+    for (unsigned d = 0; d < device_count; d++) {
+        auto &dev = topo_->addNode<pmnetdev::PmnetDevice>(
+            "pmnet" + std::to_string(d), config_.device);
+        topo_->connect(*tail, dev, config_.link);
+        devices_.push_back(&dev);
+        tail = &dev;
+    }
+
+    net::LinkConfig last = config_.link;
+    if (config_.mode == SystemMode::PmnetNic) {
+        // Bump-in-the-wire: the device sits on the server's NIC slot.
+        last.propagation = nanoseconds(50);
+    }
+    topo_->connect(*tail, *serverHost_, last);
+
+    topo_->computeRoutes();
+
+    if (config_.cacheEnabled) {
+        if (devices_.empty())
+            fatal("Testbed: cacheEnabled requires a PMNet mode");
+        // The device adjacent to the server is the rack's ToR in the
+        // paper's caching setup (Section IV-D).
+        devices_.back()->enableCache(&codec_);
+    }
+}
+
+void
+Testbed::buildServerApp()
+{
+    heap_ = std::make_unique<pm::PmHeap>(config_.heapBytes);
+
+    stack::ServerConfig server_config = config_.server;
+    server_config.dispatchLatency = config_.dispatchLatency();
+    if (config_.mode == SystemMode::ServerSideLogging) {
+        server_config.ackOnArrival = true;
+        server_config.arrivalAckExtraDelay =
+            config_.replicationDegree > 1
+                ? config_.serverLogReplicationDelay
+                : 0;
+    }
+
+    serverLib_ = std::make_unique<stack::ServerLib>(*serverHost_, *heap_,
+                                                    server_config);
+    if (config_.deviceHeartbeat) {
+        // Devices detect the failure themselves and replay on their
+        // own; the server never polls.
+        for (auto *dev : devices_)
+            dev->enableHeartbeat(serverHost_->id());
+    } else {
+        std::vector<net::NodeId> device_ids;
+        for (auto *dev : devices_)
+            device_ids.push_back(dev->id());
+        serverLib_->setDevices(std::move(device_ids));
+    }
+
+    if (config_.serverKind == ServerKind::CommandStore) {
+        store_ = std::make_unique<apps::CommandStore>(*heap_,
+                                                      config_.storeKind);
+        serverLib_->setAppRoot(store_->persistentRoot());
+        serverLib_->setRecoveryHook([this]() {
+            store_ = std::make_unique<apps::CommandStore>(
+                *heap_, serverLib_->appRoot());
+        });
+
+        // Preload the dataset offline (not simulated, not charged).
+        Rng populate_rng = rng_.split();
+        auto seed_workload = config_.workload(0);
+        seed_workload->populate(*store_, populate_rng);
+        heap_->drainCost();
+    }
+}
+
+void
+Testbed::installHandler()
+{
+    serverLib_->setHandler(
+        [this](std::uint16_t session, bool is_update,
+               const Bytes &payload) -> stack::ServerLib::HandlerResult {
+            stack::ServerLib::HandlerResult result;
+            if (config_.serverKind == ServerKind::Ideal) {
+                result.cost = config_.idealHandlerCost;
+                if (is_update)
+                    result.cost += config_.serverReplicationCommitDelay;
+                else
+                    result.response = apps::encodeResponse(
+                        apps::RespStatus::Ok, "OK");
+                return result;
+            }
+            auto cmd = apps::decodeCommand(payload);
+            if (!cmd) {
+                result.response = apps::encodeResponse(
+                    apps::RespStatus::Error, "malformed");
+                return result;
+            }
+            Bytes response = store_->executeToResponse(*cmd, session);
+            result.cost += config_.appOverhead;
+            if (!is_update)
+                result.response = std::move(response);
+            // Baseline server-side replication (Fig 21): committing
+            // includes syncing the replicas before the ACK leaves.
+            if (is_update)
+                result.cost += config_.serverReplicationCommitDelay;
+            return result;
+        });
+}
+
+void
+Testbed::buildClients()
+{
+    for (int i = 0; i < config_.clientCount; i++) {
+        stack::ClientConfig client_config = config_.clientDefaults;
+        client_config.server = serverHost_->id();
+        client_config.sessionId = static_cast<std::uint16_t>(i + 1);
+        client_config.replicationDegree =
+            config_.mode == SystemMode::PmnetSwitch
+                ? config_.replicationDegree
+                : 1;
+        clients_[static_cast<std::size_t>(i)].lib =
+            std::make_unique<stack::ClientLib>(
+                *clients_[static_cast<std::size_t>(i)].host,
+                client_config);
+    }
+
+    DriverSinks sinks;
+    sinks.updateLatency = &updateLatency_;
+    sinks.readLatency = &readLatency_;
+    sinks.allLatency = &allLatency_;
+    sinks.meter = &meter_;
+    sinks.measuring = &measuring_;
+
+    for (int i = 0; i < config_.clientCount; i++) {
+        std::uint16_t session = static_cast<std::uint16_t>(i + 1);
+        drivers_.push_back(std::make_unique<ClientDriver>(
+            sim_, *clients_[static_cast<std::size_t>(i)].lib,
+            config_.workload(session), rng_.split(), sinks, config_));
+    }
+}
+
+stack::ClientLib &
+Testbed::clientLib(std::size_t i)
+{
+    return *clients_[i].lib;
+}
+
+void
+Testbed::startDrivers()
+{
+    if (driversStarted_)
+        return;
+    driversStarted_ = true;
+    TickDelta stagger = 0;
+    for (auto &driver : drivers_) {
+        driver->start(microseconds(1) + stagger);
+        stagger += nanoseconds(350);
+    }
+}
+
+void
+Testbed::beginMeasurement()
+{
+    updateLatency_.clear();
+    readLatency_.clear();
+    allLatency_.clear();
+    measuring_ = true;
+    meter_.start(sim_.now());
+}
+
+RunResults
+Testbed::endMeasurement()
+{
+    meter_.stop(sim_.now());
+    measuring_ = false;
+
+    RunResults results;
+    results.opsPerSecond = meter_.completed() > 0
+                               ? meter_.opsPerSecond()
+                               : 0.0;
+    results.updateLatency = updateLatency_;
+    results.readLatency = readLatency_;
+    results.allLatency = allLatency_;
+    for (const auto &driver : drivers_)
+        results.lockConflicts += driver->lockConflicts();
+    for (auto *dev : devices_) {
+        results.cacheResponses += dev->stats.cacheResponses;
+        results.updatesLogged += dev->stats.updatesLogged;
+    }
+    return results;
+}
+
+RunResults
+Testbed::run(TickDelta warmup, TickDelta measure)
+{
+    startDrivers();
+    sim_.run(sim_.now() + warmup);
+    beginMeasurement();
+    sim_.run(sim_.now() + measure);
+    return endMeasurement();
+}
+
+std::uint64_t
+Testbed::totalCompleted() const
+{
+    std::uint64_t total = 0;
+    for (const auto &driver : drivers_)
+        total += driver->completedRequests();
+    return total;
+}
+
+} // namespace pmnet::testbed

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Full-system assembly: builds the topology, hosts, PMNet devices,
+ * software libraries and drivers for one experiment configuration,
+ * and runs warmup + measurement windows.
+ *
+ * Topologies (paper Section VI-A1):
+ *
+ *   ClientServer / *SideLogging:
+ *     clients -- ToR switch -- server
+ *
+ *   PmnetSwitch (replicationDegree R chains R devices, Fig 9a):
+ *     clients -- merge switch -- PMNet#1 -- ... -- PMNet#R -- server
+ *
+ *   PmnetNic (bump-in-the-wire, Microsoft-style):
+ *     clients -- ToR switch -- PMNet-NIC == server   (50 ns wire)
+ *
+ * Failure injection for the recovery experiments drives Node power
+ * hooks: the server's ServerLib reloads its PM state and polls every
+ * device with RecoveryPoll; devices lose SRAM queues but keep logs.
+ */
+
+#ifndef PMNET_TESTBED_SYSTEM_H
+#define PMNET_TESTBED_SYSTEM_H
+
+#include "net/topology.h"
+#include "testbed/driver.h"
+
+namespace pmnet::testbed {
+
+/** Snapshot of one measured window. */
+struct RunResults
+{
+    double opsPerSecond = 0;
+    LatencySeries updateLatency;
+    LatencySeries readLatency;
+    LatencySeries allLatency;
+    std::uint64_t lockConflicts = 0;
+    std::uint64_t cacheResponses = 0;
+    std::uint64_t updatesLogged = 0;
+};
+
+/** One assembled system under test. */
+class Testbed
+{
+  public:
+    explicit Testbed(TestbedConfig config);
+    ~Testbed();
+
+    Testbed(const Testbed &) = delete;
+    Testbed &operator=(const Testbed &) = delete;
+
+    /**
+     * Start all drivers (staggered), run @p warmup, then measure for
+     * @p measure simulated time and return the window's results.
+     */
+    RunResults run(TickDelta warmup, TickDelta measure);
+
+    /** @name Manual control (failure/recovery experiments)
+     *  @{
+     */
+    void startDrivers();
+    void beginMeasurement();
+    RunResults endMeasurement();
+    sim::Simulator &simulator() { return sim_; }
+    /** @} */
+
+    /** @name Component access
+     *  @{
+     */
+    stack::Host &serverHost() { return *serverHost_; }
+    stack::ServerLib &serverLib() { return *serverLib_; }
+    pm::PmHeap &serverHeap() { return *heap_; }
+    apps::CommandStore *commandStore() { return store_.get(); }
+    std::size_t deviceCount() const { return devices_.size(); }
+    pmnetdev::PmnetDevice &device(std::size_t i) { return *devices_[i]; }
+    std::size_t clientCount() const { return clients_.size(); }
+    stack::ClientLib &clientLib(std::size_t i);
+    ClientDriver &driver(std::size_t i) { return *drivers_[i]; }
+    const TestbedConfig &config() const { return config_; }
+    /** @} */
+
+    /** Total requests completed by every driver. */
+    std::uint64_t totalCompleted() const;
+
+  private:
+    struct Client
+    {
+        stack::Host *host = nullptr;
+        std::unique_ptr<stack::ClientLib> lib;
+    };
+
+    void buildTopology();
+    void buildServerApp();
+    void buildClients();
+    void installHandler();
+
+    TestbedConfig config_;
+    sim::Simulator sim_;
+    std::unique_ptr<net::Topology> topo_;
+
+    stack::Host *serverHost_ = nullptr;
+    std::unique_ptr<pm::PmHeap> heap_;
+    std::unique_ptr<stack::ServerLib> serverLib_;
+    std::unique_ptr<apps::CommandStore> store_;
+    apps::KvCacheCodec codec_;
+
+    std::vector<pmnetdev::PmnetDevice *> devices_;
+    std::vector<Client> clients_;
+    std::vector<std::unique_ptr<ClientDriver>> drivers_;
+
+    LatencySeries updateLatency_;
+    LatencySeries readLatency_;
+    LatencySeries allLatency_;
+    ThroughputMeter meter_;
+    bool measuring_ = false;
+    bool driversStarted_ = false;
+
+    Rng rng_;
+};
+
+} // namespace pmnet::testbed
+
+#endif // PMNET_TESTBED_SYSTEM_H

@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Unit tests for src/common: time helpers, RNG + distributions,
+ * CRC-32, byte serialization and the statistics collectors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/bytes.h"
+#include "common/crc32.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/time.h"
+
+namespace pmnet {
+namespace {
+
+// --------------------------------------------------------------- time
+
+TEST(Time, ConstructionHelpers)
+{
+    EXPECT_EQ(nanoseconds(42), 42);
+    EXPECT_EQ(microseconds(1.5), 1500);
+    EXPECT_EQ(milliseconds(2.0), 2'000'000);
+    EXPECT_EQ(seconds(1.0), 1'000'000'000);
+}
+
+TEST(Time, Conversions)
+{
+    EXPECT_DOUBLE_EQ(toMicroseconds(1500), 1.5);
+    EXPECT_DOUBLE_EQ(toMilliseconds(2'000'000), 2.0);
+    EXPECT_DOUBLE_EQ(toSeconds(500'000'000), 0.5);
+}
+
+TEST(Time, SerializationDelay)
+{
+    // 1250 bytes at 10 Gbps = 1 us.
+    EXPECT_EQ(serializationDelay(1250, 10.0), 1000);
+    // 100 Gbps is 10x faster.
+    EXPECT_EQ(serializationDelay(1250, 100.0), 100);
+    EXPECT_EQ(serializationDelay(0, 10.0), 0);
+}
+
+// ---------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; i++)
+        same += (a() == b());
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, NextUIntInBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; i++)
+        EXPECT_LT(rng.nextUInt(17), 17u);
+}
+
+TEST(Rng, NextIntCoversRangeInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; i++) {
+        std::int64_t v = rng.nextInt(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= (v == -3);
+        saw_hi |= (v == 3);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; i++) {
+        double v = rng.nextDouble();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, NextBoolProbability)
+{
+    Rng rng(13);
+    int hits = 0;
+    for (int i = 0; i < 10000; i++)
+        hits += rng.nextBool(0.25);
+    EXPECT_NEAR(hits / 10000.0, 0.25, 0.02);
+    EXPECT_FALSE(rng.nextBool(0.0));
+    EXPECT_TRUE(rng.nextBool(1.0));
+}
+
+TEST(Rng, SplitStreamsAreIndependent)
+{
+    Rng a(17);
+    Rng b = a.split();
+    int same = 0;
+    for (int i = 0; i < 64; i++)
+        same += (a() == b());
+    EXPECT_LT(same, 4);
+}
+
+TEST(Zipfian, InBounds)
+{
+    Rng rng(3);
+    ZipfianGenerator zipf(1000);
+    for (int i = 0; i < 5000; i++)
+        EXPECT_LT(zipf.next(rng), 1000u);
+}
+
+TEST(Zipfian, SkewFavorsLowItems)
+{
+    Rng rng(5);
+    ZipfianGenerator zipf(10000, 0.99);
+    std::map<std::uint64_t, int> counts;
+    const int n = 50000;
+    for (int i = 0; i < n; i++)
+        counts[zipf.next(rng)]++;
+    // Item 0 should be far more popular than a mid-range item.
+    EXPECT_GT(counts[0], 20 * (counts[5000] + 1));
+    // The hottest 100 items should hold a large share of draws.
+    int hot = 0;
+    for (std::uint64_t i = 0; i < 100; i++)
+        hot += counts[i];
+    EXPECT_GT(hot, n / 3);
+}
+
+TEST(Zipfian, UniformWhenThetaZero)
+{
+    Rng rng(19);
+    ZipfianGenerator zipf(100, 0.0);
+    std::map<std::uint64_t, int> counts;
+    for (int i = 0; i < 100000; i++)
+        counts[zipf.next(rng)]++;
+    for (std::uint64_t i = 0; i < 100; i += 13)
+        EXPECT_NEAR(counts[i], 1000, 250);
+}
+
+TEST(Exponential, MeanApproximation)
+{
+    Rng rng(23);
+    ExponentialGenerator gen(5000.0);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; i++)
+        sum += static_cast<double>(gen.next(rng));
+    EXPECT_NEAR(sum / n, 5000.0, 200.0);
+}
+
+TEST(Exponential, AlwaysPositive)
+{
+    Rng rng(29);
+    ExponentialGenerator gen(2.0);
+    for (int i = 0; i < 1000; i++)
+        EXPECT_GE(gen.next(rng), 1);
+}
+
+// -------------------------------------------------------------- crc32
+
+TEST(Crc32, KnownVector)
+{
+    // The canonical CRC-32 check value.
+    EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyIsZero)
+{
+    EXPECT_EQ(crc32("", 0), 0u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot)
+{
+    const char *data = "hello, pmnet world";
+    std::uint32_t whole = crc32(data, 18);
+    std::uint32_t partial = crc32Update(0, data, 7);
+    partial = crc32Update(partial, data + 7, 11);
+    EXPECT_EQ(whole, partial);
+}
+
+TEST(Crc32, SensitiveToSingleBit)
+{
+    std::uint8_t a[4] = {1, 2, 3, 4};
+    std::uint8_t b[4] = {1, 2, 3, 5};
+    EXPECT_NE(crc32(a, 4), crc32(b, 4));
+}
+
+// -------------------------------------------------------------- bytes
+
+TEST(Bytes, RoundTripScalars)
+{
+    Bytes buf;
+    ByteWriter writer(buf);
+    writer.writeU8(0xAB);
+    writer.writeU16(0xBEEF);
+    writer.writeU32(0xDEADBEEF);
+    writer.writeU64(0x0123456789ABCDEFull);
+    writer.writeString("pmnet");
+
+    ByteReader reader(buf);
+    EXPECT_EQ(reader.readU8(), 0xAB);
+    EXPECT_EQ(reader.readU16(), 0xBEEF);
+    EXPECT_EQ(reader.readU32(), 0xDEADBEEFu);
+    EXPECT_EQ(reader.readU64(), 0x0123456789ABCDEFull);
+    EXPECT_EQ(reader.readString(), "pmnet");
+    EXPECT_TRUE(reader.ok());
+    EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(Bytes, TruncatedReadSetsNotOk)
+{
+    Bytes buf;
+    ByteWriter writer(buf);
+    writer.writeU16(7);
+
+    ByteReader reader(buf);
+    reader.readU32();
+    EXPECT_FALSE(reader.ok());
+    EXPECT_EQ(reader.remaining(), 0u);
+    // Once not-ok, everything reads as zero.
+    EXPECT_EQ(reader.readU8(), 0);
+}
+
+TEST(Bytes, TruncatedStringSetsNotOk)
+{
+    Bytes buf;
+    ByteWriter writer(buf);
+    writer.writeU32(100); // claims 100 bytes, none present
+
+    ByteReader reader(buf);
+    EXPECT_EQ(reader.readString(), "");
+    EXPECT_FALSE(reader.ok());
+}
+
+TEST(Bytes, ReadBytesExact)
+{
+    Bytes buf = {1, 2, 3, 4, 5};
+    ByteReader reader(buf);
+    Bytes head = reader.readBytes(2);
+    EXPECT_EQ(head, (Bytes{1, 2}));
+    EXPECT_EQ(reader.remaining(), 3u);
+    Bytes rest = reader.readBytes(reader.remaining());
+    EXPECT_EQ(rest, (Bytes{3, 4, 5}));
+    EXPECT_TRUE(reader.ok());
+}
+
+// -------------------------------------------------------------- stats
+
+TEST(LatencySeries, MeanAndPercentiles)
+{
+    LatencySeries series;
+    for (int i = 1; i <= 100; i++)
+        series.add(i * 10);
+    EXPECT_DOUBLE_EQ(series.mean(), 505.0);
+    EXPECT_EQ(series.percentile(50), 500);
+    EXPECT_EQ(series.percentile(99), 990);
+    EXPECT_EQ(series.percentile(100), 1000);
+    EXPECT_EQ(series.min(), 10);
+    EXPECT_EQ(series.max(), 1000);
+}
+
+TEST(LatencySeries, PercentileUnaffectedByInsertOrder)
+{
+    LatencySeries a, b;
+    for (int i = 1; i <= 50; i++)
+        a.add(i);
+    for (int i = 50; i >= 1; i--)
+        b.add(i);
+    EXPECT_EQ(a.percentile(90), b.percentile(90));
+    EXPECT_EQ(a.percentile(10), b.percentile(10));
+}
+
+TEST(LatencySeries, CdfMonotonic)
+{
+    LatencySeries series;
+    Rng rng(31);
+    for (int i = 0; i < 1000; i++)
+        series.add(static_cast<TickDelta>(rng.nextUInt(100000)));
+    auto cdf = series.cdf(20);
+    ASSERT_EQ(cdf.size(), 20u);
+    for (std::size_t i = 1; i < cdf.size(); i++) {
+        EXPECT_GE(cdf[i].first, cdf[i - 1].first);
+        EXPECT_GT(cdf[i].second, cdf[i - 1].second);
+    }
+    EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(LatencySeries, ClearResets)
+{
+    LatencySeries series;
+    series.add(5);
+    series.clear();
+    EXPECT_TRUE(series.empty());
+}
+
+TEST(ThroughputMeter, OpsPerSecond)
+{
+    ThroughputMeter meter;
+    meter.start(seconds(1.0));
+    for (int i = 0; i < 500; i++)
+        meter.complete();
+    meter.stop(seconds(2.0));
+    EXPECT_DOUBLE_EQ(meter.opsPerSecond(), 500.0);
+}
+
+TEST(TablePrinter, FormatsNumbers)
+{
+    EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(TablePrinter::fmt(10.0, 0), "10");
+}
+
+} // namespace
+} // namespace pmnet

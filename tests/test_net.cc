@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Unit tests for the network substrate: PMNet header encoding, packet
+ * integrity, link timing/queueing, switch forwarding and topology
+ * route computation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/link.h"
+#include "net/packet.h"
+#include "net/switch.h"
+#include "net/topology.h"
+
+namespace pmnet::net {
+namespace {
+
+// A terminal node that records everything it receives.
+class SinkNode : public Node
+{
+  public:
+    using Node::Node;
+    std::vector<PacketPtr> got;
+    std::vector<Tick> at;
+
+    void
+    receive(PacketPtr pkt, int in_port) override
+    {
+        (void)in_port;
+        got.push_back(std::move(pkt));
+        at.push_back(now());
+    }
+};
+
+// ------------------------------------------------------------- header
+
+TEST(PmnetHeader, SerializeParseRoundTrip)
+{
+    PmnetHeader header;
+    header.type = PacketType::ServerAck;
+    header.sessionId = 42;
+    header.seqNum = 123456;
+    header.hashVal = 0xCAFEBABE;
+
+    Bytes wire;
+    header.serialize(wire);
+    EXPECT_EQ(wire.size(), PmnetHeader::kWireSize);
+
+    ByteReader reader(wire);
+    auto parsed = PmnetHeader::parse(reader);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, header);
+}
+
+TEST(PmnetHeader, ParseRejectsTruncation)
+{
+    Bytes wire = {1, 2, 3};
+    ByteReader reader(wire);
+    EXPECT_FALSE(PmnetHeader::parse(reader).has_value());
+}
+
+TEST(PmnetHeader, ParseRejectsUnknownType)
+{
+    Bytes wire(PmnetHeader::kWireSize, 0);
+    wire[0] = 99;
+    ByteReader reader(wire);
+    EXPECT_FALSE(PmnetHeader::parse(reader).has_value());
+}
+
+TEST(PmnetHeader, HashDependsOnAllFields)
+{
+    std::uint32_t base = PmnetHeader::computeHash(PacketType::UpdateReq,
+                                                  1, 2, 3, 4);
+    EXPECT_NE(base, PmnetHeader::computeHash(PacketType::BypassReq, 1, 2,
+                                             3, 4));
+    EXPECT_NE(base,
+              PmnetHeader::computeHash(PacketType::UpdateReq, 9, 2, 3, 4));
+    EXPECT_NE(base,
+              PmnetHeader::computeHash(PacketType::UpdateReq, 1, 9, 3, 4));
+    EXPECT_NE(base,
+              PmnetHeader::computeHash(PacketType::UpdateReq, 1, 2, 9, 4));
+    EXPECT_NE(base,
+              PmnetHeader::computeHash(PacketType::UpdateReq, 1, 2, 3, 9));
+}
+
+// ------------------------------------------------------------- packet
+
+TEST(Packet, MakePmnetPacketIsIntact)
+{
+    PacketPtr pkt = makePmnetPacket(5, 9, PacketType::UpdateReq, 3, 77,
+                                    Bytes{1, 2, 3});
+    EXPECT_TRUE(pkt->isPmnet());
+    EXPECT_TRUE(pkt->verifyHash());
+    EXPECT_TRUE(isPmnetPort(pkt->dstPort));
+    EXPECT_EQ(pkt->payload, (Bytes{1, 2, 3}));
+}
+
+TEST(Packet, HashDetectsEndpointTampering)
+{
+    Packet pkt = *makePmnetPacket(5, 9, PacketType::UpdateReq, 3, 77,
+                                  Bytes{1, 2, 3});
+    pkt.dst = 10; // mis-delivered / spoofed destination
+    EXPECT_FALSE(pkt.verifyHash());
+}
+
+TEST(Packet, WireSizeAccountsForHeaders)
+{
+    PacketPtr plain = makePlainPacket(1, 2, Bytes(100));
+    EXPECT_EQ(plain->wireSize(), Packet::kEnvelopeBytes + 100);
+    PacketPtr tagged = makePmnetPacket(1, 2, PacketType::UpdateReq, 0, 1,
+                                       Bytes(100));
+    EXPECT_EQ(tagged->wireSize(),
+              Packet::kEnvelopeBytes + PmnetHeader::kWireSize + 100);
+}
+
+TEST(Packet, PayloadSerializeParseRoundTrip)
+{
+    PacketPtr pkt = makePmnetPacket(1, 2, PacketType::BypassReq, 7, 33,
+                                    Bytes{9, 8, 7, 6});
+    Bytes wire = pkt->serializePayload();
+
+    Packet rebuilt;
+    rebuilt.src = 1;
+    rebuilt.dst = 2;
+    ASSERT_TRUE(rebuilt.parsePayload(wire));
+    EXPECT_EQ(rebuilt.pmnet->seqNum, 33u);
+    EXPECT_EQ(rebuilt.payload, (Bytes{9, 8, 7, 6}));
+    EXPECT_TRUE(rebuilt.verifyHash());
+}
+
+TEST(Packet, RefPacketCarriesReferencedHash)
+{
+    PacketPtr ref = makeRefPacket(2, 1, PacketType::ServerAck, 7, 33,
+                                  0xABCD);
+    EXPECT_EQ(ref->pmnet->hashVal, 0xABCDu);
+}
+
+// --------------------------------------------------------------- link
+
+TEST(Link, DeliversWithSerializationAndPropagation)
+{
+    sim::Simulator sim;
+    SinkNode a(sim, "a", 0), b(sim, "b", 1);
+    LinkConfig config;
+    config.gbps = 10.0;
+    config.propagation = 300;
+    Link link(sim, "l", a, b, config);
+
+    PacketPtr pkt = makePlainPacket(0, 1, Bytes(1204)); // 1250B on wire
+    EXPECT_TRUE(link.transmit(a, pkt));
+    sim.run();
+    ASSERT_EQ(b.got.size(), 1u);
+    // 1250B at 10 Gbps = 1000ns serialization + 300ns propagation.
+    EXPECT_EQ(b.at[0], 1300);
+}
+
+TEST(Link, BackToBackPacketsSerializeSequentially)
+{
+    sim::Simulator sim;
+    SinkNode a(sim, "a", 0), b(sim, "b", 1);
+    LinkConfig config;
+    config.gbps = 10.0;
+    config.propagation = 0;
+    Link link(sim, "l", a, b, config);
+
+    PacketPtr pkt = makePlainPacket(0, 1, Bytes(1204));
+    link.transmit(a, pkt);
+    link.transmit(a, pkt);
+    sim.run();
+    ASSERT_EQ(b.got.size(), 2u);
+    EXPECT_EQ(b.at[0], 1000);
+    EXPECT_EQ(b.at[1], 2000); // queued behind the first
+}
+
+TEST(Link, FullDuplexDirectionsIndependent)
+{
+    sim::Simulator sim;
+    SinkNode a(sim, "a", 0), b(sim, "b", 1);
+    LinkConfig config;
+    config.gbps = 10.0;
+    config.propagation = 0;
+    Link link(sim, "l", a, b, config);
+
+    PacketPtr fwd = makePlainPacket(0, 1, Bytes(1204));
+    PacketPtr rev = makePlainPacket(1, 0, Bytes(1204));
+    link.transmit(a, fwd);
+    link.transmit(b, rev);
+    sim.run();
+    ASSERT_EQ(a.got.size(), 1u);
+    ASSERT_EQ(b.got.size(), 1u);
+    EXPECT_EQ(a.at[0], 1000); // no cross-direction queueing
+    EXPECT_EQ(b.at[0], 1000);
+}
+
+TEST(Link, QueueOverflowDrops)
+{
+    sim::Simulator sim;
+    SinkNode a(sim, "a", 0), b(sim, "b", 1);
+    LinkConfig config;
+    config.gbps = 10.0;
+    config.queueBytes = 3000;
+    Link link(sim, "l", a, b, config);
+
+    PacketPtr pkt = makePlainPacket(0, 1, Bytes(1204)); // 1250B
+    EXPECT_TRUE(link.transmit(a, pkt));
+    EXPECT_TRUE(link.transmit(a, pkt));
+    EXPECT_FALSE(link.transmit(a, pkt)); // 3750 > 3000
+    EXPECT_EQ(link.drops(), 1u);
+    sim.run();
+    EXPECT_EQ(b.got.size(), 2u);
+}
+
+TEST(Link, DownNodeLosesPacket)
+{
+    sim::Simulator sim;
+    SinkNode a(sim, "a", 0), b(sim, "b", 1);
+    Link link(sim, "l", a, b);
+
+    b.powerFail();
+    link.transmit(a, makePlainPacket(0, 1, Bytes(10)));
+    sim.run();
+    EXPECT_TRUE(b.got.empty());
+
+    b.powerRestore();
+    link.transmit(a, makePlainPacket(0, 1, Bytes(10)));
+    sim.run();
+    EXPECT_EQ(b.got.size(), 1u);
+}
+
+TEST(Link, BytesCarriedCounts)
+{
+    sim::Simulator sim;
+    SinkNode a(sim, "a", 0), b(sim, "b", 1);
+    Link link(sim, "l", a, b);
+    PacketPtr pkt = makePlainPacket(0, 1, Bytes(54)); // 100B on wire
+    link.transmit(a, pkt);
+    sim.run();
+    EXPECT_EQ(link.bytesCarried(), 100u);
+}
+
+// ------------------------------------------------------------- switch
+
+TEST(Switch, ForwardsByRoute)
+{
+    sim::Simulator sim;
+    Topology topo(sim);
+    auto &host_a = topo.addNode<SinkNode>("ha");
+    auto &host_b = topo.addNode<SinkNode>("hb");
+    auto &sw = topo.addNode<BasicSwitch>("sw");
+    topo.connect(host_a, sw);
+    topo.connect(host_b, sw);
+    topo.computeRoutes();
+
+    host_a.send(0, makePlainPacket(host_a.id(), host_b.id(), Bytes(10)));
+    sim.run();
+    ASSERT_EQ(host_b.got.size(), 1u);
+    EXPECT_EQ(sw.packetsForwarded(), 1u);
+}
+
+TEST(Switch, UnroutableDropsAndCounts)
+{
+    sim::Simulator sim;
+    Topology topo(sim);
+    auto &host_a = topo.addNode<SinkNode>("ha");
+    auto &sw = topo.addNode<BasicSwitch>("sw");
+    topo.connect(host_a, sw);
+    topo.computeRoutes();
+
+    host_a.send(0, makePlainPacket(host_a.id(), 99, Bytes(10)));
+    sim.run();
+    EXPECT_EQ(sw.unroutable(), 1u);
+}
+
+TEST(Topology, MultiHopRoutes)
+{
+    sim::Simulator sim;
+    Topology topo(sim);
+    auto &host_a = topo.addNode<SinkNode>("ha");
+    auto &sw1 = topo.addNode<BasicSwitch>("sw1");
+    auto &sw2 = topo.addNode<BasicSwitch>("sw2");
+    auto &host_b = topo.addNode<SinkNode>("hb");
+    topo.connect(host_a, sw1);
+    topo.connect(sw1, sw2);
+    topo.connect(sw2, host_b);
+    topo.computeRoutes();
+
+    host_a.send(0, makePlainPacket(host_a.id(), host_b.id(), Bytes(10)));
+    sim.run();
+    ASSERT_EQ(host_b.got.size(), 1u);
+    EXPECT_EQ(sw1.packetsForwarded(), 1u);
+    EXPECT_EQ(sw2.packetsForwarded(), 1u);
+}
+
+TEST(Topology, RoutesBothDirections)
+{
+    sim::Simulator sim;
+    Topology topo(sim);
+    auto &host_a = topo.addNode<SinkNode>("ha");
+    auto &sw = topo.addNode<BasicSwitch>("sw");
+    auto &host_b = topo.addNode<SinkNode>("hb");
+    topo.connect(host_a, sw);
+    topo.connect(sw, host_b);
+    topo.computeRoutes();
+
+    host_a.send(0, makePlainPacket(host_a.id(), host_b.id(), Bytes(1)));
+    host_b.send(0, makePlainPacket(host_b.id(), host_a.id(), Bytes(1)));
+    sim.run();
+    EXPECT_EQ(host_a.got.size(), 1u);
+    EXPECT_EQ(host_b.got.size(), 1u);
+}
+
+TEST(Topology, NodeLookup)
+{
+    sim::Simulator sim;
+    Topology topo(sim);
+    auto &host_a = topo.addNode<SinkNode>("ha");
+    EXPECT_EQ(&topo.node(host_a.id()), &host_a);
+    EXPECT_EQ(topo.nodeCount(), 1u);
+}
+
+} // namespace
+} // namespace pmnet::net

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests for the in-switch read cache's four-state machine
+ * (paper Fig 11, transitions T1-T6) and its LRU bound.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pmnet/read_cache.h"
+
+namespace pmnet::pmnetdev {
+namespace {
+
+Bytes
+val(const char *text)
+{
+    const auto *p = reinterpret_cast<const std::uint8_t *>(text);
+    return Bytes(p, p + std::char_traits<char>::length(text));
+}
+
+TEST(ReadCache, StartsInvalid)
+{
+    ReadCache cache;
+    EXPECT_EQ(cache.stateOf("k"), CacheState::Invalid);
+    EXPECT_EQ(cache.lookup("k"), nullptr);
+    EXPECT_EQ(cache.misses, 1u);
+}
+
+TEST(ReadCache, T1_LoggedUpdateMakesPending)
+{
+    ReadCache cache;
+    cache.onUpdate("k", val("v1"), true);
+    EXPECT_EQ(cache.stateOf("k"), CacheState::Pending);
+    const Bytes *got = cache.lookup("k");
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(*got, val("v1"));
+    EXPECT_EQ(cache.hits, 1u);
+}
+
+TEST(ReadCache, T2_ServerAckMakesPersisted)
+{
+    ReadCache cache;
+    cache.onUpdate("k", val("v1"), true);
+    cache.onServerAck("k");
+    EXPECT_EQ(cache.stateOf("k"), CacheState::Persisted);
+    ASSERT_NE(cache.lookup("k"), nullptr);
+}
+
+TEST(ReadCache, T3_PersistedUpdateBackToPending)
+{
+    ReadCache cache;
+    cache.onUpdate("k", val("v1"), true);
+    cache.onServerAck("k");
+    cache.onUpdate("k", val("v2"), true);
+    EXPECT_EQ(cache.stateOf("k"), CacheState::Pending);
+    EXPECT_EQ(*cache.lookup("k"), val("v2"));
+}
+
+TEST(ReadCache, T4_SecondInFlightUpdateMakesStale)
+{
+    ReadCache cache;
+    cache.onUpdate("k", val("v1"), true);
+    cache.onUpdate("k", val("v2"), true);
+    EXPECT_EQ(cache.stateOf("k"), CacheState::Stale);
+    EXPECT_EQ(cache.lookup("k"), nullptr) << "stale must not serve";
+}
+
+TEST(ReadCache, T5_StaleStaysStaleOnUpdate)
+{
+    ReadCache cache;
+    cache.onUpdate("k", val("v1"), true);
+    cache.onUpdate("k", val("v2"), true);
+    cache.onUpdate("k", val("v3"), true);
+    EXPECT_EQ(cache.stateOf("k"), CacheState::Stale);
+}
+
+TEST(ReadCache, T6_StaleServerAckMakesInvalid)
+{
+    ReadCache cache;
+    cache.onUpdate("k", val("v1"), true);
+    cache.onUpdate("k", val("v2"), true);
+    cache.onServerAck("k");
+    EXPECT_EQ(cache.stateOf("k"), CacheState::Invalid);
+    EXPECT_EQ(cache.lookup("k"), nullptr);
+}
+
+TEST(ReadCache, StaleToInvalidToPendingFullCycle)
+{
+    ReadCache cache;
+    cache.onUpdate("k", val("v1"), true);
+    cache.onUpdate("k", val("v2"), true); // Stale
+    cache.onServerAck("k");               // Invalid (T6)
+    cache.onServerAck("k");               // stray ACK: stays Invalid
+    EXPECT_EQ(cache.stateOf("k"), CacheState::Invalid);
+    cache.onUpdate("k", val("v3"), true); // T1 again
+    EXPECT_EQ(*cache.lookup("k"), val("v3"));
+}
+
+TEST(ReadCache, ReadResponseFillsInvalidOnly)
+{
+    ReadCache cache;
+    cache.onReadResponse("k", val("server"));
+    EXPECT_EQ(cache.stateOf("k"), CacheState::Persisted);
+    EXPECT_EQ(*cache.lookup("k"), val("server"));
+
+    // A Pending entry is newer than any server response.
+    cache.onUpdate("p", val("new"), true);
+    cache.onReadResponse("p", val("old"));
+    EXPECT_EQ(*cache.lookup("p"), val("new"));
+}
+
+TEST(ReadCache, UnloggedUpdateInvalidatesServing)
+{
+    ReadCache cache;
+    cache.onUpdate("k", val("v1"), true);
+    cache.onServerAck("k"); // Persisted
+    cache.onUpdate("k", val("v2"), false); // bypassed logging
+    EXPECT_EQ(cache.stateOf("k"), CacheState::Stale);
+    EXPECT_EQ(cache.lookup("k"), nullptr);
+    cache.onServerAck("k"); // T6
+    EXPECT_EQ(cache.stateOf("k"), CacheState::Invalid);
+}
+
+TEST(ReadCache, UnloggedUpdateOnAbsentKeyLeavesNoEntry)
+{
+    ReadCache cache;
+    cache.onUpdate("k", val("v"), false);
+    EXPECT_EQ(cache.stateOf("k"), CacheState::Invalid);
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ReadCache, ServerAckForUnknownKeyIsHarmless)
+{
+    ReadCache cache;
+    cache.onServerAck("nothing");
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ReadCache, LruEvictsPersistedEntries)
+{
+    ReadCache cache(4);
+    for (int i = 0; i < 8; i++) {
+        std::string key = "k" + std::to_string(i);
+        cache.onUpdate(key, val("v"), true);
+        cache.onServerAck(key); // Persisted -> evictable
+    }
+    EXPECT_LE(cache.size(), 4u);
+    EXPECT_GT(cache.evictions, 0u);
+    // The most recent entries survive.
+    EXPECT_NE(cache.lookup("k7"), nullptr);
+    EXPECT_EQ(cache.stateOf("k0"), CacheState::Invalid);
+}
+
+TEST(ReadCache, InFlightEntriesNotEvicted)
+{
+    ReadCache cache(2);
+    cache.onUpdate("a", val("v"), true); // Pending (in flight)
+    cache.onUpdate("b", val("v"), true); // Pending
+    cache.onUpdate("c", val("v"), true); // would need eviction
+    // Pending entries must survive until their server-ACK.
+    EXPECT_EQ(cache.stateOf("a"), CacheState::Pending);
+    EXPECT_EQ(cache.stateOf("b"), CacheState::Pending);
+    EXPECT_EQ(cache.stateOf("c"), CacheState::Pending);
+    EXPECT_GE(cache.size(), 3u) << "overflow allowed while in flight";
+}
+
+TEST(ReadCache, ClearDropsEverything)
+{
+    ReadCache cache;
+    cache.onUpdate("k", val("v"), true);
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.stateOf("k"), CacheState::Invalid);
+}
+
+TEST(ReadCache, StateNames)
+{
+    EXPECT_STREQ(cacheStateName(CacheState::Invalid), "Invalid");
+    EXPECT_STREQ(cacheStateName(CacheState::Pending), "Pending");
+    EXPECT_STREQ(cacheStateName(CacheState::Persisted), "Persisted");
+    EXPECT_STREQ(cacheStateName(CacheState::Stale), "Stale");
+}
+
+} // namespace
+} // namespace pmnet::pmnetdev

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Unit tests for the discrete-event simulator core.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace pmnet::sim {
+namespace {
+
+TEST(Simulator, StartsAtZeroAndIdle)
+{
+    Simulator sim;
+    EXPECT_EQ(sim.now(), 0);
+    EXPECT_TRUE(sim.idle());
+    EXPECT_EQ(sim.run(), 0u);
+}
+
+TEST(Simulator, EventsFireInTimeOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule(300, [&]() { order.push_back(3); });
+    sim.schedule(100, [&]() { order.push_back(1); });
+    sim.schedule(200, [&]() { order.push_back(2); });
+    EXPECT_EQ(sim.run(), 3u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sim.now(), 300);
+}
+
+TEST(Simulator, SameTickFifoOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 10; i++)
+        sim.schedule(50, [&order, i]() { order.push_back(i); });
+    sim.run();
+    for (int i = 0; i < 10; i++)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, NestedScheduling)
+{
+    Simulator sim;
+    std::vector<Tick> fired;
+    sim.schedule(10, [&]() {
+        fired.push_back(sim.now());
+        sim.schedule(5, [&]() { fired.push_back(sim.now()); });
+    });
+    sim.run();
+    EXPECT_EQ(fired, (std::vector<Tick>{10, 15}));
+}
+
+TEST(Simulator, ZeroDelayFiresAtCurrentTime)
+{
+    Simulator sim;
+    bool inner = false;
+    sim.schedule(7, [&]() {
+        sim.schedule(0, [&]() { inner = true; });
+    });
+    sim.run();
+    EXPECT_TRUE(inner);
+    EXPECT_EQ(sim.now(), 7);
+}
+
+TEST(Simulator, RunUntilStopsBeforeLaterEvents)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.schedule(100, [&]() { fired++; });
+    sim.schedule(200, [&]() { fired++; });
+    EXPECT_EQ(sim.run(150), 1u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.run(), 1u);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, CancelPreventsFiring)
+{
+    Simulator sim;
+    bool fired = false;
+    EventHandle handle = sim.schedule(10, [&]() { fired = true; });
+    EXPECT_TRUE(handle.pending());
+    handle.cancel();
+    EXPECT_FALSE(handle.pending());
+    sim.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, HandleNotPendingAfterFiring)
+{
+    Simulator sim;
+    EventHandle handle = sim.schedule(10, []() {});
+    sim.run();
+    EXPECT_FALSE(handle.pending());
+}
+
+TEST(Simulator, DefaultHandleIsInert)
+{
+    EventHandle handle;
+    EXPECT_FALSE(handle.pending());
+    handle.cancel(); // must not crash
+}
+
+TEST(Simulator, StopRequestHalts)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.schedule(1, [&]() {
+        fired++;
+        sim.stop();
+    });
+    sim.schedule(2, [&]() { fired++; });
+    sim.run();
+    EXPECT_EQ(fired, 1);
+    sim.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, EventsExecutedAccumulates)
+{
+    Simulator sim;
+    for (int i = 0; i < 5; i++)
+        sim.schedule(i, []() {});
+    sim.run();
+    EXPECT_EQ(sim.eventsExecuted(), 5u);
+}
+
+TEST(Simulator, ManyEventsStressOrder)
+{
+    Simulator sim;
+    Tick last = -1;
+    bool monotonic = true;
+    for (int i = 0; i < 10000; i++) {
+        Tick when = (i * 7919) % 1000;
+        sim.schedule(when, [&, when]() {
+            if (sim.now() < last)
+                monotonic = false;
+            last = sim.now();
+            (void)when;
+        });
+    }
+    sim.run();
+    EXPECT_TRUE(monotonic);
+}
+
+TEST(SimObject, NameAndScheduling)
+{
+    Simulator sim;
+
+    struct Probe : SimObject
+    {
+        using SimObject::SimObject;
+        int fired = 0;
+        void
+        arm()
+        {
+            schedule(5, [this]() { fired++; });
+        }
+    };
+
+    Probe probe(sim, "probe0");
+    EXPECT_EQ(probe.name(), "probe0");
+    probe.arm();
+    sim.run();
+    EXPECT_EQ(probe.fired, 1);
+    EXPECT_EQ(probe.now(), 5);
+}
+
+} // namespace
+} // namespace pmnet::sim

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Wire-format robustness: every decoder must survive arbitrary bytes
+ * (no crashes, no reads past the end — verified under ASan in the
+ * sanitizer build) and round-trip what the encoders produce, even at
+ * size extremes. A malformed packet must never take down the data
+ * plane or the server.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/kv_protocol.h"
+#include "common/rng.h"
+#include "net/packet.h"
+
+namespace pmnet {
+namespace {
+
+Bytes
+randomBytes(Rng &rng, std::size_t max_len)
+{
+    Bytes out(rng.nextUInt(max_len + 1));
+    for (auto &byte : out)
+        byte = static_cast<std::uint8_t>(rng.nextUInt(256));
+    return out;
+}
+
+TEST(WireFuzz, PmnetHeaderParseNeverCrashes)
+{
+    Rng rng(0x4845);
+    for (int i = 0; i < 5000; i++) {
+        Bytes junk = randomBytes(rng, 32);
+        ByteReader reader(junk);
+        auto header = net::PmnetHeader::parse(reader);
+        if (header) {
+            // Anything accepted must carry a known type.
+            EXPECT_GE(static_cast<int>(header->type), 1);
+            EXPECT_LE(static_cast<int>(header->type), 9);
+        }
+    }
+}
+
+TEST(WireFuzz, PacketPayloadParseNeverCrashes)
+{
+    Rng rng(0x504B);
+    int accepted = 0;
+    for (int i = 0; i < 5000; i++) {
+        Bytes junk = randomBytes(rng, 200);
+        net::Packet pkt;
+        pkt.src = 1;
+        pkt.dst = 2;
+        accepted += pkt.parsePayload(junk);
+    }
+    // Random bytes occasionally form a syntactically valid header;
+    // the hash check must reject essentially all of those.
+    (void)accepted;
+}
+
+TEST(WireFuzz, CommandDecodeNeverCrashes)
+{
+    Rng rng(0x434D);
+    for (int i = 0; i < 5000; i++) {
+        Bytes junk = randomBytes(rng, 300);
+        auto cmd = apps::decodeCommand(junk);
+        if (cmd) {
+            EXPECT_FALSE(cmd->args.empty());
+        }
+    }
+}
+
+TEST(WireFuzz, ResponseDecodeNeverCrashes)
+{
+    Rng rng(0x5253);
+    for (int i = 0; i < 5000; i++) {
+        Bytes junk = randomBytes(rng, 300);
+        (void)apps::decodeResponse(junk);
+    }
+}
+
+TEST(WireFuzz, TruncationsOfValidEncodingsRejectedCleanly)
+{
+    apps::Command cmd{{"SET", "some-key", std::string(500, 'v')}};
+    Bytes full = apps::encodeCommand(cmd);
+    for (std::size_t cut = 0; cut < full.size(); cut += 7) {
+        Bytes truncated(full.begin(),
+                        full.begin() + static_cast<long>(cut));
+        EXPECT_FALSE(apps::decodeCommand(truncated).has_value())
+            << "cut at " << cut;
+    }
+    // The full encoding still decodes.
+    EXPECT_TRUE(apps::decodeCommand(full).has_value());
+}
+
+TEST(WireFuzz, CommandRoundTripExtremes)
+{
+    // Empty strings, long strings, many args, binary-ish content.
+    apps::Command cmd;
+    cmd.args = {"V", "", std::string(10000, 'x'),
+                std::string("\x01\x7f \x62in", 6)};
+    for (int i = 0; i < 60; i++)
+        cmd.args.push_back("arg" + std::to_string(i));
+    auto decoded = apps::decodeCommand(apps::encodeCommand(cmd));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->args, cmd.args);
+}
+
+TEST(WireFuzz, ResponseRoundTripExtremes)
+{
+    auto decoded = apps::decodeResponse(apps::encodeGetResponse(
+        apps::RespStatus::Ok, std::string(200, 'k'),
+        std::string(5000, 'v')));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->key.size(), 200u);
+    EXPECT_EQ(decoded->value.size(), 5000u);
+}
+
+TEST(WireFuzz, MutatedValidPacketsNeverVerify)
+{
+    // Flip each byte of a valid serialized header: the CRC must catch
+    // every single-byte corruption of the covered fields.
+    Rng rng(0x4D55);
+    net::PacketPtr pkt = net::makePmnetPacket(
+        3, 4, net::PacketType::UpdateReq, 7, 42, Bytes(20));
+    Bytes wire = pkt->serializePayload();
+    for (std::size_t pos = 0; pos < net::PmnetHeader::kWireSize;
+         pos++) {
+        Bytes mutated = wire;
+        mutated[pos] ^= static_cast<std::uint8_t>(
+            1 + rng.nextUInt(255));
+        net::Packet rebuilt;
+        rebuilt.src = 3;
+        rebuilt.dst = 4;
+        if (rebuilt.parsePayload(mutated)) {
+            EXPECT_FALSE(rebuilt.verifyHash())
+                << "undetected corruption at byte " << pos;
+        }
+    }
+}
+
+} // namespace
+} // namespace pmnet

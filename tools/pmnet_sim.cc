@@ -1,0 +1,312 @@
+/**
+ * @file
+ * pmnet_sim — command-line front end to the testbed.
+ *
+ * Runs one system configuration and prints a latency/throughput
+ * report plus device statistics. Every option maps 1:1 onto
+ * TestbedConfig; see --help.
+ *
+ * Examples:
+ *   pmnet_sim --mode pmnet-switch --clients 16 --workload tpcc
+ *   pmnet_sim --mode client-server --workload ycsb --update-ratio 0.5
+ *   pmnet_sim --mode pmnet-switch --cache --replication 3 --vma
+ *   pmnet_sim --mode pmnet-switch --fail-server-at-ms 20
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "testbed/system.h"
+
+using namespace pmnet;
+
+namespace {
+
+struct Options
+{
+    testbed::SystemMode mode = testbed::SystemMode::PmnetSwitch;
+    int clients = 8;
+    std::string workload = "ycsb";
+    std::string structure = "hashmap";
+    double updateRatio = 1.0;
+    std::size_t valueSize = 100;
+    unsigned replication = 1;
+    bool cache = false;
+    bool vma = false;
+    bool heartbeat = false;
+    int traceEvents = 0;
+    bool ideal = false;
+    double warmupMs = 3;
+    double measureMs = 30;
+    double failServerAtMs = -1;
+    double outageMs = 1;
+    std::uint64_t seed = 42;
+};
+
+[[noreturn]] void
+usage(int code)
+{
+    std::printf(
+        "pmnet_sim — PMNet in-network persistence simulator\n\n"
+        "  --mode M             client-server | pmnet-switch | pmnet-nic |\n"
+        "                       client-side-logging | server-side-logging\n"
+        "  --clients N          closed-loop client count (default 8)\n"
+        "  --workload W         ycsb | redis | twitter | tpcc (default ycsb)\n"
+        "  --structure S        hashmap | btree | ctree | rbtree | skiplist\n"
+        "  --update-ratio R     0..1 (default 1.0)\n"
+        "  --value-size B       update payload bytes (default 100)\n"
+        "  --replication K      chained PMNet devices / ack quorum\n"
+        "  --cache              enable the in-switch read cache\n"
+        "  --vma                libVMA-style user-space stacks\n"
+        "  --heartbeat          device-driven failure detection\n"
+        "  --trace N            print the last N device events\n"
+        "  --ideal              ideal request handler (no real store)\n"
+        "  --warmup-ms T        warmup window (default 3)\n"
+        "  --measure-ms T       measurement window (default 30)\n"
+        "  --fail-server-at-ms T  inject a server power failure\n"
+        "  --outage-ms T        outage duration (default 1)\n"
+        "  --seed N             RNG seed (default 42)\n");
+    std::exit(code);
+}
+
+testbed::SystemMode
+parseMode(const std::string &text)
+{
+    if (text == "client-server")
+        return testbed::SystemMode::ClientServer;
+    if (text == "pmnet-switch")
+        return testbed::SystemMode::PmnetSwitch;
+    if (text == "pmnet-nic")
+        return testbed::SystemMode::PmnetNic;
+    if (text == "client-side-logging")
+        return testbed::SystemMode::ClientSideLogging;
+    if (text == "server-side-logging")
+        return testbed::SystemMode::ServerSideLogging;
+    fatal("unknown mode '%s'", text.c_str());
+}
+
+kv::KvKind
+parseStructure(const std::string &text)
+{
+    if (text == "hashmap")
+        return kv::KvKind::Hashmap;
+    if (text == "btree")
+        return kv::KvKind::BTree;
+    if (text == "ctree")
+        return kv::KvKind::CTree;
+    if (text == "rbtree")
+        return kv::KvKind::RBTree;
+    if (text == "skiplist")
+        return kv::KvKind::SkipList;
+    fatal("unknown structure '%s'", text.c_str());
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opts;
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            fatal("missing value for %s", argv[i]);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h")
+            usage(0);
+        else if (arg == "--mode")
+            opts.mode = parseMode(need(i));
+        else if (arg == "--clients")
+            opts.clients = std::atoi(need(i));
+        else if (arg == "--workload")
+            opts.workload = need(i);
+        else if (arg == "--structure")
+            opts.structure = need(i);
+        else if (arg == "--update-ratio")
+            opts.updateRatio = std::atof(need(i));
+        else if (arg == "--value-size")
+            opts.valueSize =
+                static_cast<std::size_t>(std::atoll(need(i)));
+        else if (arg == "--replication")
+            opts.replication =
+                static_cast<unsigned>(std::atoi(need(i)));
+        else if (arg == "--cache")
+            opts.cache = true;
+        else if (arg == "--vma")
+            opts.vma = true;
+        else if (arg == "--heartbeat")
+            opts.heartbeat = true;
+        else if (arg == "--trace")
+            opts.traceEvents = std::atoi(need(i));
+        else if (arg == "--ideal")
+            opts.ideal = true;
+        else if (arg == "--warmup-ms")
+            opts.warmupMs = std::atof(need(i));
+        else if (arg == "--measure-ms")
+            opts.measureMs = std::atof(need(i));
+        else if (arg == "--fail-server-at-ms")
+            opts.failServerAtMs = std::atof(need(i));
+        else if (arg == "--outage-ms")
+            opts.outageMs = std::atof(need(i));
+        else if (arg == "--seed")
+            opts.seed =
+                static_cast<std::uint64_t>(std::atoll(need(i)));
+        else
+            fatal("unknown option '%s' (try --help)", arg.c_str());
+    }
+    return opts;
+}
+
+benchutil::WorkloadSpec
+specFor(const Options &opts)
+{
+    for (const auto &spec : benchutil::paperWorkloads()) {
+        if (spec.name == opts.workload)
+            return spec;
+    }
+    if (opts.workload == "ycsb") {
+        benchutil::WorkloadSpec spec;
+        spec.name = "ycsb";
+        return spec;
+    }
+    fatal("unknown workload '%s'", opts.workload.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts = parseArgs(argc, argv);
+    benchutil::WorkloadSpec spec = specFor(opts);
+
+    testbed::TestbedConfig config;
+    config.mode = opts.mode;
+    config.clientCount = opts.clients;
+    config.replicationDegree = opts.replication;
+    config.cacheEnabled = opts.cache;
+    config.vmaStack = opts.vma;
+    config.deviceHeartbeat = opts.heartbeat;
+    config.seed = opts.seed;
+    config.tcpWorkload = spec.tcp;
+    config.appOverhead = spec.appOverhead;
+    config.storeKind = opts.workload == "ycsb"
+                           ? parseStructure(opts.structure)
+                           : spec.kind;
+    config.serverKind = opts.ideal ? testbed::ServerKind::Ideal
+                                   : testbed::ServerKind::CommandStore;
+    config.workload = spec.factory(opts.updateRatio, opts.valueSize);
+
+    testbed::Testbed bed(std::move(config));
+    auto &sim = bed.simulator();
+
+    TraceRing trace(static_cast<std::size_t>(
+        opts.traceEvents > 0 ? opts.traceEvents : 1));
+    if (opts.traceEvents > 0 && bed.deviceCount() > 0)
+        bed.device(0).setTrace(&trace);
+
+    std::printf("pmnet_sim: mode=%s clients=%d workload=%s "
+                "structure=%s update-ratio=%.2f repl=%u cache=%d "
+                "vma=%d seed=%llu\n\n",
+                testbed::systemModeName(opts.mode), opts.clients,
+                opts.workload.c_str(), opts.structure.c_str(),
+                opts.updateRatio, opts.replication, opts.cache,
+                opts.vma,
+                static_cast<unsigned long long>(opts.seed));
+
+    if (opts.failServerAtMs >= 0) {
+        sim.schedule(milliseconds(opts.failServerAtMs), [&]() {
+            std::printf("[%.3f ms] injecting server power failure "
+                        "(%.1f ms outage)\n",
+                        toMilliseconds(sim.now()), opts.outageMs);
+            bed.serverHost().powerFail();
+            sim.schedule(milliseconds(opts.outageMs), [&]() {
+                std::printf("[%.3f ms] server restored, recovery "
+                            "begins\n",
+                            toMilliseconds(sim.now()));
+                bed.serverHost().powerRestore();
+            });
+        });
+    }
+
+    auto results = bed.run(milliseconds(opts.warmupMs),
+                           milliseconds(opts.measureMs));
+
+    std::printf("throughput: %.0f ops/s over %.1f ms "
+                "(%zu measured requests)\n",
+                results.opsPerSecond, opts.measureMs,
+                results.allLatency.count());
+    auto report = [](const char *label, const LatencySeries &series) {
+        if (series.empty())
+            return;
+        std::printf("%-8s mean %7.1f us   p50 %7.1f   p90 %7.1f   "
+                    "p99 %7.1f   max %7.1f\n",
+                    label,
+                    toMicroseconds(
+                        static_cast<TickDelta>(series.mean())),
+                    toMicroseconds(series.percentile(50)),
+                    toMicroseconds(series.percentile(90)),
+                    toMicroseconds(series.percentile(99)),
+                    toMicroseconds(series.max()));
+    };
+    report("updates:", results.updateLatency);
+    report("reads:", results.readLatency);
+
+    if (results.lockConflicts)
+        std::printf("lock conflicts: %llu\n",
+                    static_cast<unsigned long long>(
+                        results.lockConflicts));
+
+    for (std::size_t d = 0; d < bed.deviceCount(); d++) {
+        const auto &stats = bed.device(d).stats;
+        std::printf("\npmnet device #%zu: seen %llu, logged %llu, "
+                    "acks %llu, invalidations %llu, bypass "
+                    "(coll/full/large) %llu/%llu/%llu",
+                    d + 1,
+                    static_cast<unsigned long long>(stats.updatesSeen),
+                    static_cast<unsigned long long>(
+                        stats.updatesLogged),
+                    static_cast<unsigned long long>(stats.acksSent),
+                    static_cast<unsigned long long>(
+                        stats.invalidations),
+                    static_cast<unsigned long long>(
+                        stats.bypassCollision),
+                    static_cast<unsigned long long>(
+                        stats.bypassQueueFull),
+                    static_cast<unsigned long long>(
+                        stats.bypassTooLarge));
+        if (opts.cache && d + 1 == bed.deviceCount()) {
+            auto &cache = bed.device(d).cache();
+            std::printf(", cache hits/misses %llu/%llu",
+                        static_cast<unsigned long long>(cache.hits),
+                        static_cast<unsigned long long>(cache.misses));
+        }
+        std::printf("\n  log: %llu live entries (high-water %llu of "
+                    "%llu slots)\n",
+                    static_cast<unsigned long long>(
+                        bed.device(d).logStore().size()),
+                    static_cast<unsigned long long>(
+                        bed.device(d).logStore().highWater),
+                    static_cast<unsigned long long>(
+                        bed.device(d).logStore().capacity()));
+    }
+
+    if (opts.failServerAtMs >= 0 && bed.deviceCount() > 0)
+        std::printf("\nrecovery replayed %llu logged requests\n",
+                    static_cast<unsigned long long>(
+                        bed.device(0).stats.recoveryResent));
+
+    if (opts.traceEvents > 0 && bed.deviceCount() > 0) {
+        std::printf("\nlast %zu device #1 events (of %llu recorded):\n",
+                    trace.size(),
+                    static_cast<unsigned long long>(trace.recorded()));
+        trace.forEach([](const TraceRing::Event &event) {
+            std::printf("  [%9.3f us] %s\n",
+                        toMicroseconds(event.when), event.text.c_str());
+        });
+    }
+    return 0;
+}
