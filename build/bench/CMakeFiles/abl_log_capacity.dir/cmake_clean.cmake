@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_log_capacity.dir/abl_log_capacity.cc.o"
+  "CMakeFiles/abl_log_capacity.dir/abl_log_capacity.cc.o.d"
+  "abl_log_capacity"
+  "abl_log_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_log_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_queue_sizing.dir/abl_queue_sizing.cc.o"
+  "CMakeFiles/abl_queue_sizing.dir/abl_queue_sizing.cc.o.d"
+  "abl_queue_sizing"
+  "abl_queue_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_queue_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

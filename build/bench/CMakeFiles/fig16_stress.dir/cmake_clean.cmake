@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_stress.dir/fig16_stress.cc.o"
+  "CMakeFiles/fig16_stress.dir/fig16_stress.cc.o.d"
+  "fig16_stress"
+  "fig16_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

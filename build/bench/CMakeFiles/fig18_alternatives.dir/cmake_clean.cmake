@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_alternatives.dir/fig18_alternatives.cc.o"
+  "CMakeFiles/fig18_alternatives.dir/fig18_alternatives.cc.o.d"
+  "fig18_alternatives"
+  "fig18_alternatives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_alternatives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

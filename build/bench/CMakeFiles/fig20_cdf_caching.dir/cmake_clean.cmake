@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_cdf_caching.dir/fig20_cdf_caching.cc.o"
+  "CMakeFiles/fig20_cdf_caching.dir/fig20_cdf_caching.cc.o.d"
+  "fig20_cdf_caching"
+  "fig20_cdf_caching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_cdf_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

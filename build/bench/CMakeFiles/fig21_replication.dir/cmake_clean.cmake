@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_replication.dir/fig21_replication.cc.o"
+  "CMakeFiles/fig21_replication.dir/fig21_replication.cc.o.d"
+  "fig21_replication"
+  "fig21_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

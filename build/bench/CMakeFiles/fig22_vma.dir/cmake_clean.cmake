@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig22_vma.dir/fig22_vma.cc.o"
+  "CMakeFiles/fig22_vma.dir/fig22_vma.cc.o.d"
+  "fig22_vma"
+  "fig22_vma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_vma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

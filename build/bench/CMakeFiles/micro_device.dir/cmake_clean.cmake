@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_device.dir/micro_device.cc.o"
+  "CMakeFiles/micro_device.dir/micro_device.cc.o.d"
+  "micro_device"
+  "micro_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_kv.cc" "bench/CMakeFiles/micro_kv.dir/micro_kv.cc.o" "gcc" "bench/CMakeFiles/micro_kv.dir/micro_kv.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kv/CMakeFiles/pmnet_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/pm/CMakeFiles/pmnet_pm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pmnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pmnet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pmnet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_bdp_sizing.dir/tab_bdp_sizing.cc.o"
+  "CMakeFiles/tab_bdp_sizing.dir/tab_bdp_sizing.cc.o.d"
+  "tab_bdp_sizing"
+  "tab_bdp_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_bdp_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

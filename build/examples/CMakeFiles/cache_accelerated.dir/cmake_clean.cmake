@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_accelerated.dir/cache_accelerated.cpp.o"
+  "CMakeFiles/cache_accelerated.dir/cache_accelerated.cpp.o.d"
+  "cache_accelerated"
+  "cache_accelerated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_accelerated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

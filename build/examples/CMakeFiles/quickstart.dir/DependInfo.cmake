@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/testbed/CMakeFiles/pmnet_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/pmnet_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/pmnet_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/stack/CMakeFiles/pmnet_stack.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmnet/CMakeFiles/pmnet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pm/CMakeFiles/pmnet_pm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pmnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pmnet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pmnet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmnet_apps.dir/command_store.cc.o"
+  "CMakeFiles/pmnet_apps.dir/command_store.cc.o.d"
+  "CMakeFiles/pmnet_apps.dir/kv_protocol.cc.o"
+  "CMakeFiles/pmnet_apps.dir/kv_protocol.cc.o.d"
+  "CMakeFiles/pmnet_apps.dir/workloads.cc.o"
+  "CMakeFiles/pmnet_apps.dir/workloads.cc.o.d"
+  "libpmnet_apps.a"
+  "libpmnet_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmnet_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmnet_common.dir/crc32.cc.o"
+  "CMakeFiles/pmnet_common.dir/crc32.cc.o.d"
+  "CMakeFiles/pmnet_common.dir/logging.cc.o"
+  "CMakeFiles/pmnet_common.dir/logging.cc.o.d"
+  "CMakeFiles/pmnet_common.dir/rng.cc.o"
+  "CMakeFiles/pmnet_common.dir/rng.cc.o.d"
+  "CMakeFiles/pmnet_common.dir/stats.cc.o"
+  "CMakeFiles/pmnet_common.dir/stats.cc.o.d"
+  "libpmnet_common.a"
+  "libpmnet_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmnet_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpmnet_common.a"
+)

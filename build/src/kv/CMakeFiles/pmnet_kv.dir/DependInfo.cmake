@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kv/blob.cc" "src/kv/CMakeFiles/pmnet_kv.dir/blob.cc.o" "gcc" "src/kv/CMakeFiles/pmnet_kv.dir/blob.cc.o.d"
+  "/root/repo/src/kv/btree.cc" "src/kv/CMakeFiles/pmnet_kv.dir/btree.cc.o" "gcc" "src/kv/CMakeFiles/pmnet_kv.dir/btree.cc.o.d"
+  "/root/repo/src/kv/ctree.cc" "src/kv/CMakeFiles/pmnet_kv.dir/ctree.cc.o" "gcc" "src/kv/CMakeFiles/pmnet_kv.dir/ctree.cc.o.d"
+  "/root/repo/src/kv/hashmap.cc" "src/kv/CMakeFiles/pmnet_kv.dir/hashmap.cc.o" "gcc" "src/kv/CMakeFiles/pmnet_kv.dir/hashmap.cc.o.d"
+  "/root/repo/src/kv/kv_store.cc" "src/kv/CMakeFiles/pmnet_kv.dir/kv_store.cc.o" "gcc" "src/kv/CMakeFiles/pmnet_kv.dir/kv_store.cc.o.d"
+  "/root/repo/src/kv/rbtree.cc" "src/kv/CMakeFiles/pmnet_kv.dir/rbtree.cc.o" "gcc" "src/kv/CMakeFiles/pmnet_kv.dir/rbtree.cc.o.d"
+  "/root/repo/src/kv/skiplist.cc" "src/kv/CMakeFiles/pmnet_kv.dir/skiplist.cc.o" "gcc" "src/kv/CMakeFiles/pmnet_kv.dir/skiplist.cc.o.d"
+  "/root/repo/src/kv/store_base.cc" "src/kv/CMakeFiles/pmnet_kv.dir/store_base.cc.o" "gcc" "src/kv/CMakeFiles/pmnet_kv.dir/store_base.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pm/CMakeFiles/pmnet_pm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pmnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pmnet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pmnet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

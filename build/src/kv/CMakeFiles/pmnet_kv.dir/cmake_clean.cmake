@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmnet_kv.dir/blob.cc.o"
+  "CMakeFiles/pmnet_kv.dir/blob.cc.o.d"
+  "CMakeFiles/pmnet_kv.dir/btree.cc.o"
+  "CMakeFiles/pmnet_kv.dir/btree.cc.o.d"
+  "CMakeFiles/pmnet_kv.dir/ctree.cc.o"
+  "CMakeFiles/pmnet_kv.dir/ctree.cc.o.d"
+  "CMakeFiles/pmnet_kv.dir/hashmap.cc.o"
+  "CMakeFiles/pmnet_kv.dir/hashmap.cc.o.d"
+  "CMakeFiles/pmnet_kv.dir/kv_store.cc.o"
+  "CMakeFiles/pmnet_kv.dir/kv_store.cc.o.d"
+  "CMakeFiles/pmnet_kv.dir/rbtree.cc.o"
+  "CMakeFiles/pmnet_kv.dir/rbtree.cc.o.d"
+  "CMakeFiles/pmnet_kv.dir/skiplist.cc.o"
+  "CMakeFiles/pmnet_kv.dir/skiplist.cc.o.d"
+  "CMakeFiles/pmnet_kv.dir/store_base.cc.o"
+  "CMakeFiles/pmnet_kv.dir/store_base.cc.o.d"
+  "libpmnet_kv.a"
+  "libpmnet_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmnet_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

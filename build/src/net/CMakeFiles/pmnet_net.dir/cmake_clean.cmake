@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmnet_net.dir/link.cc.o"
+  "CMakeFiles/pmnet_net.dir/link.cc.o.d"
+  "CMakeFiles/pmnet_net.dir/packet.cc.o"
+  "CMakeFiles/pmnet_net.dir/packet.cc.o.d"
+  "CMakeFiles/pmnet_net.dir/switch.cc.o"
+  "CMakeFiles/pmnet_net.dir/switch.cc.o.d"
+  "CMakeFiles/pmnet_net.dir/topology.cc.o"
+  "CMakeFiles/pmnet_net.dir/topology.cc.o.d"
+  "libpmnet_net.a"
+  "libpmnet_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmnet_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

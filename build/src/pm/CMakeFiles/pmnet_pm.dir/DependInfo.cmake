@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pm/log_queue.cc" "src/pm/CMakeFiles/pmnet_pm.dir/log_queue.cc.o" "gcc" "src/pm/CMakeFiles/pmnet_pm.dir/log_queue.cc.o.d"
+  "/root/repo/src/pm/log_store.cc" "src/pm/CMakeFiles/pmnet_pm.dir/log_store.cc.o" "gcc" "src/pm/CMakeFiles/pmnet_pm.dir/log_store.cc.o.d"
+  "/root/repo/src/pm/pm_heap.cc" "src/pm/CMakeFiles/pmnet_pm.dir/pm_heap.cc.o" "gcc" "src/pm/CMakeFiles/pmnet_pm.dir/pm_heap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pmnet_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pmnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pmnet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

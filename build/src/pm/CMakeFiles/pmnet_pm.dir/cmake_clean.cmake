@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmnet_pm.dir/log_queue.cc.o"
+  "CMakeFiles/pmnet_pm.dir/log_queue.cc.o.d"
+  "CMakeFiles/pmnet_pm.dir/log_store.cc.o"
+  "CMakeFiles/pmnet_pm.dir/log_store.cc.o.d"
+  "CMakeFiles/pmnet_pm.dir/pm_heap.cc.o"
+  "CMakeFiles/pmnet_pm.dir/pm_heap.cc.o.d"
+  "libpmnet_pm.a"
+  "libpmnet_pm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmnet_pm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

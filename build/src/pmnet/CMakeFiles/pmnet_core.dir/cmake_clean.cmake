@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmnet_core.dir/device.cc.o"
+  "CMakeFiles/pmnet_core.dir/device.cc.o.d"
+  "CMakeFiles/pmnet_core.dir/read_cache.cc.o"
+  "CMakeFiles/pmnet_core.dir/read_cache.cc.o.d"
+  "libpmnet_core.a"
+  "libpmnet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmnet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmnet_sim.dir/simulator.cc.o"
+  "CMakeFiles/pmnet_sim.dir/simulator.cc.o.d"
+  "libpmnet_sim.a"
+  "libpmnet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmnet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

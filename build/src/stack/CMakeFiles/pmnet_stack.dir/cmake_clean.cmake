@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmnet_stack.dir/client_lib.cc.o"
+  "CMakeFiles/pmnet_stack.dir/client_lib.cc.o.d"
+  "CMakeFiles/pmnet_stack.dir/host.cc.o"
+  "CMakeFiles/pmnet_stack.dir/host.cc.o.d"
+  "CMakeFiles/pmnet_stack.dir/server_lib.cc.o"
+  "CMakeFiles/pmnet_stack.dir/server_lib.cc.o.d"
+  "libpmnet_stack.a"
+  "libpmnet_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmnet_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmnet_testbed.dir/driver.cc.o"
+  "CMakeFiles/pmnet_testbed.dir/driver.cc.o.d"
+  "CMakeFiles/pmnet_testbed.dir/system.cc.o"
+  "CMakeFiles/pmnet_testbed.dir/system.cc.o.d"
+  "libpmnet_testbed.a"
+  "libpmnet_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmnet_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

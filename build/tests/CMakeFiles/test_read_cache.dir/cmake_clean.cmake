@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_read_cache.dir/test_read_cache.cc.o"
+  "CMakeFiles/test_read_cache.dir/test_read_cache.cc.o.d"
+  "test_read_cache"
+  "test_read_cache.pdb"
+  "test_read_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_read_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

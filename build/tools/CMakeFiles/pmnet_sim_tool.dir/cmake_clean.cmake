@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmnet_sim_tool.dir/pmnet_sim.cc.o"
+  "CMakeFiles/pmnet_sim_tool.dir/pmnet_sim.cc.o.d"
+  "pmnet_sim"
+  "pmnet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmnet_sim_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
