@@ -10,12 +10,130 @@
 #define PMNET_BENCH_BENCH_UTIL_H
 
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "testbed/system.h"
 
 namespace pmnet::benchutil {
+
+/**
+ * Machine-readable bench output (the `--json <path>` flag).
+ *
+ * Every bench binary accepts `--json <path>`; when given, each printed
+ * row is mirrored as one JSON object into an array at @p path so a
+ * perf trajectory can be tracked across PRs (`BENCH_*.json`).
+ * Also parses `--smoke`, which benches use to shrink their grid to a
+ * few milliseconds of simulated time for the bench-smoke CTest target.
+ */
+class BenchJson
+{
+  public:
+    BenchJson(const char *bench_name, int argc, char **argv)
+        : bench_(bench_name)
+    {
+        for (int i = 1; i < argc; i++) {
+            if (std::strcmp(argv[i], "--json") == 0) {
+                if (i + 1 < argc) {
+                    path_ = argv[++i];
+                } else {
+                    std::fprintf(stderr,
+                                 "warning: --json requires a path; "
+                                 "no JSON will be written\n");
+                }
+            } else if (std::strcmp(argv[i], "--smoke") == 0) {
+                smoke_ = true;
+            }
+        }
+    }
+
+    ~BenchJson() { write(); }
+
+    BenchJson(const BenchJson &) = delete;
+    BenchJson &operator=(const BenchJson &) = delete;
+
+    /** True when the binary was invoked with `--smoke`. */
+    bool smoke() const { return smoke_; }
+
+    /** True when rows will be written to a file. */
+    bool enabled() const { return !path_.empty(); }
+
+    /** Start a new result row. Subsequent field() calls land in it. */
+    void
+    beginRow()
+    {
+        rows_.emplace_back();
+        field("bench", bench_);
+    }
+
+    void
+    field(const std::string &key, const std::string &value)
+    {
+        rows_.back().emplace_back(key, quote(value));
+    }
+
+    void
+    field(const std::string &key, double value)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.6g", value);
+        rows_.back().emplace_back(key, buf);
+    }
+
+    void
+    field(const std::string &key, std::uint64_t value)
+    {
+        rows_.back().emplace_back(key, std::to_string(value));
+    }
+
+    /** Write the collected rows; harmless without `--json`. */
+    void
+    write()
+    {
+        if (path_.empty() || written_)
+            return;
+        std::FILE *f = std::fopen(path_.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "bench: cannot write %s\n",
+                         path_.c_str());
+            return;
+        }
+        std::fprintf(f, "[\n");
+        for (std::size_t r = 0; r < rows_.size(); r++) {
+            std::fprintf(f, "  {");
+            for (std::size_t i = 0; i < rows_[r].size(); i++)
+                std::fprintf(f, "%s\"%s\": %s", i ? ", " : "",
+                             rows_[r][i].first.c_str(),
+                             rows_[r][i].second.c_str());
+            std::fprintf(f, "}%s\n", r + 1 < rows_.size() ? "," : "");
+        }
+        std::fprintf(f, "]\n");
+        std::fclose(f);
+        written_ = true;
+    }
+
+  private:
+    static std::string
+    quote(const std::string &raw)
+    {
+        std::string out = "\"";
+        for (char c : raw) {
+            if (c == '"' || c == '\\')
+                out += '\\';
+            out += c;
+        }
+        out += '"';
+        return out;
+    }
+
+    std::string bench_;
+    std::string path_;
+    bool smoke_ = false;
+    bool written_ = false;
+    std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+};
 
 /** One evaluated workload (paper Section VI-A2). */
 struct WorkloadSpec

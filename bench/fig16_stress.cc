@@ -6,9 +6,13 @@
  * (ideal handler). Paper expectations: latency flat at low load for
  * all three systems, PMNet consistently below the baseline, and a
  * latency spike as offered load reaches the 10 Gbps physical limit.
+ *
+ * The client-count x system grid (33 independent simulations) runs
+ * through the parallel sweep harness.
  */
 
 #include "bench_util.h"
+#include "testbed/sweep.h"
 
 using namespace pmnet;
 using namespace pmnet::benchutil;
@@ -22,8 +26,8 @@ struct Point
     double p99_us;
 };
 
-Point
-measure(testbed::SystemMode mode, int clients)
+testbed::TestbedConfig
+pointConfig(testbed::SystemMode mode, int clients)
 {
     testbed::TestbedConfig config;
     config.mode = mode;
@@ -35,9 +39,12 @@ measure(testbed::SystemMode mode, int clients)
         ycsb.valueSize = 1000;
         return apps::makeYcsbWorkload(ycsb, session);
     };
-    testbed::Testbed bed(std::move(config));
-    auto results = bed.run(milliseconds(2), milliseconds(20));
+    return config;
+}
 
+Point
+toPoint(const testbed::RunResults &results)
+{
     Point point;
     // Offered bandwidth = completed requests x on-wire request size.
     double wire_bits =
@@ -54,8 +61,9 @@ measure(testbed::SystemMode mode, int clients)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchJson json("fig16_stress", argc, argv);
     printHeader("Fig 16: bandwidth vs latency under stress (1000B)",
                 "Fig 16 (Section VI-B1)",
                 "flat latency until the 10 Gbps limit, then a spike; "
@@ -65,10 +73,32 @@ main()
                         "sw Gbps", "sw mean(us)", "sw p99(us)",
                         "nic Gbps", "nic mean(us)"});
 
-    for (int clients : {1, 2, 4, 8, 16, 24, 32, 48, 64, 96, 128}) {
-        Point cs = measure(testbed::SystemMode::ClientServer, clients);
-        Point sw = measure(testbed::SystemMode::PmnetSwitch, clients);
-        Point nic = measure(testbed::SystemMode::PmnetNic, clients);
+    std::vector<int> client_counts = {1, 2, 4, 8, 16, 24, 32, 48, 64,
+                                      96, 128};
+    TickDelta warmup = milliseconds(2);
+    TickDelta measure = milliseconds(20);
+    if (json.smoke()) {
+        client_counts = {1, 2};
+        warmup = milliseconds(0.2);
+        measure = milliseconds(1);
+    }
+
+    std::vector<testbed::TestbedConfig> configs;
+    for (int clients : client_counts) {
+        configs.push_back(
+            pointConfig(testbed::SystemMode::ClientServer, clients));
+        configs.push_back(
+            pointConfig(testbed::SystemMode::PmnetSwitch, clients));
+        configs.push_back(
+            pointConfig(testbed::SystemMode::PmnetNic, clients));
+    }
+    auto results = testbed::runSweep(std::move(configs), warmup, measure);
+
+    std::size_t at = 0;
+    for (int clients : client_counts) {
+        Point cs = toPoint(results[at++]);
+        Point sw = toPoint(results[at++]);
+        Point nic = toPoint(results[at++]);
         table.addRow({std::to_string(clients),
                       TablePrinter::fmt(cs.gbps),
                       TablePrinter::fmt(cs.mean_us, 1),
@@ -77,6 +107,16 @@ main()
                       TablePrinter::fmt(sw.p99_us, 1),
                       TablePrinter::fmt(nic.gbps),
                       TablePrinter::fmt(nic.mean_us, 1)});
+
+        json.beginRow();
+        json.field("clients", static_cast<std::uint64_t>(clients));
+        json.field("cs_gbps", cs.gbps);
+        json.field("cs_mean_us", cs.mean_us);
+        json.field("sw_gbps", sw.gbps);
+        json.field("sw_mean_us", sw.mean_us);
+        json.field("sw_p99_us", sw.p99_us);
+        json.field("nic_gbps", nic.gbps);
+        json.field("nic_mean_us", nic.mean_us);
     }
     table.print();
     return 0;

@@ -11,18 +11,23 @@
  *    percentile (reads still pay the full RTT);
  *  - 50% updates with cache: the benefit continues past p50 because
  *    cache hits serve most reads sub-RTT; mean latency 3.36x better.
+ *
+ * The workload x system grid runs through the parallel sweep harness;
+ * each job's latency series is aggregated positionally afterwards, so
+ * the printed CDFs match the old serial loop exactly.
  */
 
 #include "bench_util.h"
+#include "testbed/sweep.h"
 
 using namespace pmnet;
 using namespace pmnet::benchutil;
 
 namespace {
 
-LatencySeries
-allLatency(const WorkloadSpec &spec, testbed::SystemMode mode,
-           bool cache, double update_ratio)
+testbed::TestbedConfig
+pointConfig(const WorkloadSpec &spec, testbed::SystemMode mode,
+            bool cache, double update_ratio)
 {
     testbed::TestbedConfig config;
     config.mode = mode;
@@ -38,9 +43,7 @@ allLatency(const WorkloadSpec &spec, testbed::SystemMode mode,
         ycsb.updateRatio = update_ratio;
         return apps::makeYcsbWorkload(ycsb, session);
     };
-    testbed::Testbed bed(std::move(config));
-    auto results = bed.run(milliseconds(3), milliseconds(25));
-    return results.allLatency;
+    return config;
 }
 
 void
@@ -55,39 +58,71 @@ printCdf(const char *label, const LatencySeries &series)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchJson json("fig20_cdf_caching", argc, argv);
     printHeader("Fig 20: request latency CDF with and without caching",
                 "Fig 20 (Section VI-B4)",
                 "mean 3.36x with cache; p99 3.23x at 100% updates; "
                 "50th-percentile knee without cache at 50% updates");
 
-    for (double ratio : {1.0, 0.5}) {
+    std::vector<double> update_ratios = {1.0, 0.5};
+    auto workloads = kvWorkloads();
+    TickDelta warmup = milliseconds(3);
+    TickDelta measure = milliseconds(25);
+    if (json.smoke()) {
+        update_ratios = {1.0};
+        workloads.resize(1);
+        warmup = milliseconds(0.2);
+        measure = milliseconds(1);
+    }
+
+    for (double ratio : update_ratios) {
         std::printf("--- %.0f%% update requests ---\n", ratio * 100);
+
+        // Three systems per workload, swept in parallel.
+        std::vector<testbed::TestbedConfig> configs;
+        for (const WorkloadSpec &spec : workloads) {
+            configs.push_back(pointConfig(
+                spec, testbed::SystemMode::ClientServer, false, ratio));
+            configs.push_back(pointConfig(
+                spec, testbed::SystemMode::PmnetSwitch, false, ratio));
+            configs.push_back(pointConfig(
+                spec, testbed::SystemMode::PmnetSwitch, true, ratio));
+        }
+        auto results =
+            testbed::runSweep(std::move(configs), warmup, measure);
+
         // Aggregate over the KV workloads as the figure does.
         LatencySeries base, pmnet, cached;
-        for (const WorkloadSpec &spec : kvWorkloads()) {
-            LatencySeries base_series = allLatency(
-                spec, testbed::SystemMode::ClientServer, false, ratio);
-            for (TickDelta v : base_series.samples())
+        std::size_t at = 0;
+        for (std::size_t w = 0; w < workloads.size(); w++) {
+            for (TickDelta v : results[at++].allLatency.samples())
                 base.add(v);
-            LatencySeries pmnet_series = allLatency(
-                spec, testbed::SystemMode::PmnetSwitch, false, ratio);
-            for (TickDelta v : pmnet_series.samples())
+            for (TickDelta v : results[at++].allLatency.samples())
                 pmnet.add(v);
-            LatencySeries cached_series = allLatency(
-                spec, testbed::SystemMode::PmnetSwitch, true, ratio);
-            for (TickDelta v : cached_series.samples())
+            for (TickDelta v : results[at++].allLatency.samples())
                 cached.add(v);
         }
         printCdf("client-server", base);
         printCdf("pmnet", pmnet);
         printCdf("pmnet + cache", cached);
-        std::printf("p99 speedup (pmnet):        %.2fx\n",
-                    static_cast<double>(base.percentile(99)) /
-                        static_cast<double>(pmnet.percentile(99)));
+        double p99_speedup = static_cast<double>(base.percentile(99)) /
+                             static_cast<double>(pmnet.percentile(99));
+        double mean_speedup = base.mean() / cached.mean();
+        std::printf("p99 speedup (pmnet):        %.2fx\n", p99_speedup);
         std::printf("mean speedup (pmnet+cache): %.2fx\n\n",
-                    base.mean() / cached.mean());
+                    mean_speedup);
+
+        json.beginRow();
+        json.field("update_ratio", ratio);
+        json.field("base_mean_us", us(base.mean()));
+        json.field("pmnet_mean_us", us(pmnet.mean()));
+        json.field("cached_mean_us", us(cached.mean()));
+        json.field("base_p99_us", us(base.percentile(99)));
+        json.field("pmnet_p99_us", us(pmnet.percentile(99)));
+        json.field("p99_speedup_pmnet", p99_speedup);
+        json.field("mean_speedup_cached", mean_speedup);
     }
     return 0;
 }

@@ -129,14 +129,15 @@ Link::transmit(const Node &from, PacketPtr pkt)
     dir.queuedBytes += size;
 
     Tick arrive = depart + serialize + config_.propagation;
-    Node *to = dir.to;
-    int to_port = dir.toPort;
-    simulator().scheduleAt(arrive, [this, &dir, to, to_port, size,
+    // Keep the capture list at 40 bytes so the event callback stays in
+    // the scheduler's inline small-buffer storage (no heap per hop);
+    // the destination node/port are re-read from dir on delivery.
+    simulator().scheduleAt(arrive, [this, &dir, size,
                                     pkt = std::move(pkt)]() {
         dir.queuedBytes -= size;
         bytesCarried_ += size;
-        if (to->isUp())
-            to->receive(pkt, to_port);
+        if (dir.to->isUp())
+            dir.to->receive(pkt, dir.toPort);
     });
     return true;
 }

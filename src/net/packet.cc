@@ -1,9 +1,231 @@
 #include "net/packet.h"
 
+#include <vector>
+
 #include "common/crc32.h"
 #include "common/logging.h"
 
 namespace pmnet::net {
+
+/**
+ * Backing store of the pool, shared between the thread-local PacketPool
+ * front and every outstanding packet's deleter, so released packets
+ * always have a live free-list to return to (or, after the pool front
+ * is gone, are deleted on the Impl's destruction path).
+ *
+ * Lifetime is tracked manually instead of with shared_ptr: every
+ * acquisition and release happens on the pool's own thread (the
+ * PacketPool contract), so a plain counter of outstanding control
+ * blocks avoids two-to-six atomic refcount operations per packet —
+ * which would otherwise cost more than the allocation being saved.
+ * The control-block deallocation is the last pool touch in a packet's
+ * destruction sequence, so `outstandingCtrl` counts control blocks:
+ * when the pool front is gone and the count reaches zero, the Impl
+ * frees itself.
+ */
+struct PacketPool::Impl
+{
+    /** Free-list growth beyond this point just deletes (bounds memory
+     *  after a burst); generously above any steady-state in-flight
+     *  count seen in the testbed. */
+    static constexpr std::size_t kMaxParked = 8192;
+
+    /** Payload capacity worth keeping warm; jumbo one-off buffers are
+     *  dropped on release rather than parked. */
+    static constexpr std::size_t kMaxKeptPayload = 16 * 1024;
+
+    std::vector<Packet *> free;
+    Stats stats;
+    bool open = true; ///< false once the PacketPool front is destroyed
+
+    /**
+     * Recycled shared_ptr control blocks. Every pooled packet's
+     * control block has the same size (deleter + allocator layout is
+     * fixed), so a single size class covers the steady state and the
+     * shared_ptr constructor stops hitting operator new entirely.
+     */
+    std::vector<void *> ctrlFree;
+    std::size_t ctrlBlockSize = 0;
+    std::uint64_t outstandingCtrl = 0;
+
+    ~Impl()
+    {
+        for (Packet *p : free)
+            delete p;
+        for (void *block : ctrlFree)
+            ::operator delete(block);
+    }
+
+    void *
+    ctrlAlloc(std::size_t bytes)
+    {
+        outstandingCtrl++;
+        if (ctrlBlockSize == 0)
+            ctrlBlockSize = bytes;
+        if (bytes == ctrlBlockSize && !ctrlFree.empty()) {
+            void *block = ctrlFree.back();
+            ctrlFree.pop_back();
+            return block;
+        }
+        return ::operator new(bytes);
+    }
+
+    void
+    ctrlRelease(void *block, std::size_t bytes)
+    {
+        outstandingCtrl--;
+        if (open && bytes == ctrlBlockSize &&
+            ctrlFree.size() < kMaxParked) {
+            ctrlFree.push_back(block);
+            return;
+        }
+        ::operator delete(block);
+        if (!open && outstandingCtrl == 0)
+            delete this; // last straggler packet gone: self-destruct
+    }
+
+    void
+    release(Packet *pkt)
+    {
+        stats.released++;
+        if (!open || free.size() >= kMaxParked ||
+            pkt->payload.capacity() > kMaxKeptPayload) {
+            delete pkt;
+            return;
+        }
+        // Scrub to the default-constructed state so no header or
+        // payload bytes leak into the next acquisition.
+        pkt->src = kInvalidNode;
+        pkt->dst = kInvalidNode;
+        pkt->srcPort = 0;
+        pkt->dstPort = 0;
+        pkt->pmnet.reset();
+        pkt->payload.clear(); // keeps capacity warm
+        pkt->requestId = 0;
+        pkt->fragment = 0;
+        pkt->fragmentCount = 1;
+        free.push_back(pkt);
+    }
+};
+
+namespace {
+
+/** Refcount-zero hook returning the packet to its pool. */
+struct PoolDeleter
+{
+    PacketPool::Impl *impl;
+
+    void
+    operator()(Packet *pkt) const
+    {
+        impl->release(pkt);
+    }
+};
+
+/**
+ * Allocator handed to the shared_ptr constructor so control blocks
+ * come from (and return to) the pool's arena. Holds a raw Impl
+ * pointer: the Impl stays alive while any control block it allocated
+ * is outstanding (see Impl's lifetime comment), and the standard's
+ * deallocation path invokes deallocate as the final act, which is
+ * exactly when the Impl may self-destruct.
+ */
+template <typename T>
+struct CtrlArenaAlloc
+{
+    using value_type = T;
+
+    PacketPool::Impl *impl;
+
+    explicit CtrlArenaAlloc(PacketPool::Impl *i) : impl(i) {}
+
+    template <typename U>
+    CtrlArenaAlloc(const CtrlArenaAlloc<U> &other) : impl(other.impl)
+    {}
+
+    T *
+    allocate(std::size_t n)
+    {
+        return static_cast<T *>(impl->ctrlAlloc(n * sizeof(T)));
+    }
+
+    void
+    deallocate(T *p, std::size_t n)
+    {
+        impl->ctrlRelease(p, n * sizeof(T));
+    }
+
+    template <typename U>
+    bool
+    operator==(const CtrlArenaAlloc<U> &other) const
+    {
+        return impl == other.impl;
+    }
+};
+
+} // namespace
+
+PacketPool::PacketPool() : impl_(new Impl) {}
+
+PacketPool::~PacketPool()
+{
+    if (impl_->outstandingCtrl == 0) {
+        delete impl_;
+        return;
+    }
+    // Packets still in flight: the Impl lingers (closed) and deletes
+    // itself when the last control block is returned.
+    impl_->open = false;
+}
+
+PacketPool &
+PacketPool::local()
+{
+    static thread_local PacketPool pool;
+    return pool;
+}
+
+MutPacketPtr
+PacketPool::acquire()
+{
+    Packet *pkt;
+    if (!impl_->free.empty()) {
+        pkt = impl_->free.back();
+        impl_->free.pop_back();
+        impl_->stats.reused++;
+    } else {
+        pkt = new Packet;
+        impl_->stats.allocated++;
+    }
+    return MutPacketPtr(pkt, PoolDeleter{impl_},
+                        CtrlArenaAlloc<Packet>(impl_));
+}
+
+const PacketPool::Stats &
+PacketPool::stats() const
+{
+    return impl_->stats;
+}
+
+std::size_t
+PacketPool::freeCount() const
+{
+    return impl_->free.size();
+}
+
+void
+PacketPool::trim()
+{
+    for (Packet *p : impl_->free)
+        delete p;
+    impl_->free.clear();
+}
+
+MutPacketPtr
+makePacket()
+{
+    return PacketPool::local().acquire();
+}
 
 const char *
 packetTypeName(PacketType type)
@@ -108,12 +330,12 @@ Packet::verifyHash() const
     return expected == pmnet->hashVal;
 }
 
-PacketPtr
-makePmnetPacket(NodeId src, NodeId dst, PacketType type,
-                std::uint16_t session_id, std::uint32_t seq_num,
-                Bytes payload, std::uint64_t request_id)
+MutPacketPtr
+makePmnetPacketMut(NodeId src, NodeId dst, PacketType type,
+                   std::uint16_t session_id, std::uint32_t seq_num,
+                   Bytes payload, std::uint64_t request_id)
 {
-    auto pkt = std::make_shared<Packet>();
+    MutPacketPtr pkt = PacketPool::local().acquire();
     pkt->src = src;
     pkt->dst = dst;
     pkt->srcPort = kPmnetPortLow;
@@ -131,11 +353,20 @@ makePmnetPacket(NodeId src, NodeId dst, PacketType type,
 }
 
 PacketPtr
-makeRefPacket(NodeId src, NodeId dst, PacketType type,
-              std::uint16_t session_id, std::uint32_t seq_num,
-              std::uint32_t referenced_hash, std::uint64_t request_id)
+makePmnetPacket(NodeId src, NodeId dst, PacketType type,
+                std::uint16_t session_id, std::uint32_t seq_num,
+                Bytes payload, std::uint64_t request_id)
 {
-    auto pkt = std::make_shared<Packet>();
+    return makePmnetPacketMut(src, dst, type, session_id, seq_num,
+                              std::move(payload), request_id);
+}
+
+MutPacketPtr
+makeRefPacketMut(NodeId src, NodeId dst, PacketType type,
+                 std::uint16_t session_id, std::uint32_t seq_num,
+                 std::uint32_t referenced_hash, std::uint64_t request_id)
+{
+    MutPacketPtr pkt = PacketPool::local().acquire();
     pkt->src = src;
     pkt->dst = dst;
     pkt->srcPort = kPmnetPortLow;
@@ -151,10 +382,19 @@ makeRefPacket(NodeId src, NodeId dst, PacketType type,
 }
 
 PacketPtr
+makeRefPacket(NodeId src, NodeId dst, PacketType type,
+              std::uint16_t session_id, std::uint32_t seq_num,
+              std::uint32_t referenced_hash, std::uint64_t request_id)
+{
+    return makeRefPacketMut(src, dst, type, session_id, seq_num,
+                            referenced_hash, request_id);
+}
+
+PacketPtr
 makePlainPacket(NodeId src, NodeId dst, Bytes payload,
                 std::uint64_t request_id)
 {
-    auto pkt = std::make_shared<Packet>();
+    MutPacketPtr pkt = PacketPool::local().acquire();
     pkt->src = src;
     pkt->dst = dst;
     pkt->srcPort = 40000;

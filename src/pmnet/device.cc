@@ -250,7 +250,7 @@ PmnetDevice::handleBypassReq(const PacketPtr &pkt)
                 // Cache hit: answer directly with a Response that
                 // looks exactly like the server's (Fig 10, step 3).
                 stats.cacheResponses++;
-                auto resp = std::make_shared<net::Packet>();
+                net::MutPacketPtr resp = net::makePacket();
                 resp->src = pkt->dst; // answer on the server's behalf
                 resp->dst = pkt->src;
                 resp->srcPort = net::kPmnetPortLow;

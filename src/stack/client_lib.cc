@@ -69,10 +69,9 @@ ClientLib::sendUpdate(Bytes payload, UpdateDone done)
         Bytes chunk(payload.begin() + static_cast<long>(begin),
                     payload.begin() + static_cast<long>(end));
         std::uint32_t seq = nextUpdateSeq_++;
-        auto pkt_mut = std::make_shared<net::Packet>(
-            *net::makePmnetPacket(host_.id(), config_.server,
-                                  PacketType::UpdateReq, config_.sessionId,
-                                  seq, std::move(chunk), request_id));
+        net::MutPacketPtr pkt_mut = net::makePmnetPacketMut(
+            host_.id(), config_.server, PacketType::UpdateReq,
+            config_.sessionId, seq, std::move(chunk), request_id);
         pkt_mut->fragment = static_cast<std::uint32_t>(i);
         pkt_mut->fragmentCount = static_cast<std::uint32_t>(frag_count);
         PacketPtr pkt = pkt_mut;

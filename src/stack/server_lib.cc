@@ -202,9 +202,9 @@ ServerLib::handleBypassArrival(std::uint16_t sid, Session &session,
         stats.duplicatesDropped++;
         stats.replayedReplies++;
         stats.responsesSent++;
-        auto resp = std::make_shared<net::Packet>(*net::makeRefPacket(
+        net::MutPacketPtr resp = net::makeRefPacketMut(
             host_.id(), pkt->src, PacketType::Response, header.sessionId,
-            header.seqNum, header.hashVal, pkt->requestId));
+            header.seqNum, header.hashVal, pkt->requestId);
         resp->payload = cached->second;
         host_.appSend({resp});
         return;
@@ -438,9 +438,9 @@ ServerLib::finishRequest(std::uint16_t sid, const ReadyRequest &req,
     if (result.response || !req.isUpdate) {
         Bytes body = result.response.value_or(Bytes{});
         stats.responsesSent++;
-        auto resp = std::make_shared<net::Packet>(*net::makeRefPacket(
+        net::MutPacketPtr resp = net::makeRefPacketMut(
             host_.id(), req.client, PacketType::Response, sid,
-            req.firstSeq, req.fragHashes.front(), req.requestId));
+            req.firstSeq, req.fragHashes.front(), req.requestId);
         resp->payload = body;
         out.push_back(resp);
         if (!req.isUpdate) {

@@ -1,0 +1,79 @@
+#include "testbed/sweep.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+namespace pmnet::testbed {
+
+unsigned
+sweepThreadCount(unsigned requested)
+{
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv("PMNET_SWEEP_THREADS")) {
+        long parsed = std::strtol(env, nullptr, 10);
+        if (parsed > 0)
+            return static_cast<unsigned>(parsed);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+std::vector<RunResults>
+runSweepJobs(std::vector<SweepJob> jobs, unsigned threads)
+{
+    std::vector<RunResults> results(jobs.size());
+    if (jobs.empty())
+        return results;
+
+    unsigned workers = sweepThreadCount(threads);
+    if (workers > jobs.size())
+        workers = static_cast<unsigned>(jobs.size());
+
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < jobs.size(); i++)
+            results[i] = jobs[i]();
+        return results;
+    }
+
+    // Work-stealing by atomic ticket: completion order is arbitrary,
+    // result placement is positional, and each job's simulation state
+    // is private, so parallel and serial execution are bit-identical.
+    std::atomic<std::size_t> next{0};
+    auto worker = [&]() {
+        for (;;) {
+            std::size_t i = next.fetch_add(1);
+            if (i >= jobs.size())
+                return;
+            results[i] = jobs[i]();
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; w++)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+    return results;
+}
+
+std::vector<RunResults>
+runSweep(std::vector<TestbedConfig> configs, TickDelta warmup,
+         TickDelta measure, unsigned threads)
+{
+    std::vector<SweepJob> jobs;
+    jobs.reserve(configs.size());
+    for (TestbedConfig &config : configs) {
+        jobs.push_back([config = std::move(config), warmup,
+                        measure]() mutable {
+            Testbed bed(std::move(config));
+            return bed.run(warmup, measure);
+        });
+    }
+    return runSweepJobs(std::move(jobs), threads);
+}
+
+} // namespace pmnet::testbed

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Parallel sweep harness: runs independent testbed configurations
+ * (workload x update-ratio x load-point grids) across CPU cores.
+ *
+ * Determinism contract: each job owns a private Simulator, Rng and
+ * thread-local PacketPool, and the harness never perturbs a job's
+ * seed, so a given configuration produces bit-identical stats whether
+ * it runs serially, on one worker, or interleaved with any other jobs
+ * on many workers. Results are collected positionally: result[i]
+ * always corresponds to job[i] regardless of completion order.
+ *
+ * Thread count resolution: explicit argument > PMNET_SWEEP_THREADS
+ * environment variable > std::thread::hardware_concurrency().
+ */
+
+#ifndef PMNET_TESTBED_SWEEP_H
+#define PMNET_TESTBED_SWEEP_H
+
+#include <functional>
+#include <vector>
+
+#include "testbed/system.h"
+
+namespace pmnet::testbed {
+
+/** One independent unit of sweep work producing a RunResults. */
+using SweepJob = std::function<RunResults()>;
+
+/** Resolve the worker count (0 = auto; always >= 1). */
+unsigned sweepThreadCount(unsigned requested = 0);
+
+/**
+ * Execute @p jobs across @p threads workers; result order matches job
+ * order. With one job or one worker this degenerates to a plain
+ * serial loop on the calling thread (no threads spawned).
+ */
+std::vector<RunResults> runSweepJobs(std::vector<SweepJob> jobs,
+                                     unsigned threads = 0);
+
+/**
+ * Convenience wrapper: assemble a Testbed per config and run
+ * warmup + measurement, in parallel.
+ */
+std::vector<RunResults> runSweep(std::vector<TestbedConfig> configs,
+                                 TickDelta warmup, TickDelta measure,
+                                 unsigned threads = 0);
+
+} // namespace pmnet::testbed
+
+#endif // PMNET_TESTBED_SWEEP_H

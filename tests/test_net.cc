@@ -135,6 +135,127 @@ TEST(Packet, RefPacketCarriesReferencedHash)
     EXPECT_EQ(ref->pmnet->hashVal, 0xABCDu);
 }
 
+// --------------------------------------------------------------- pool
+
+TEST(PacketPool, ReusesReleasedPackets)
+{
+    PacketPool &pool = PacketPool::local();
+    auto before = pool.stats();
+
+    Packet *raw;
+    {
+        MutPacketPtr pkt = pool.acquire();
+        raw = pkt.get();
+        pkt->payload.assign(64, 0xee);
+    }
+    MutPacketPtr again = pool.acquire();
+    EXPECT_EQ(again.get(), raw) << "free-list should hand back the "
+                                   "released packet";
+    EXPECT_EQ(pool.stats().reused, before.reused + 1);
+    EXPECT_EQ(pool.stats().released, before.released + 1);
+}
+
+TEST(PacketPool, ReleasedStateDoesNotLeakIntoReuse)
+{
+    PacketPool &pool = PacketPool::local();
+    {
+        MutPacketPtr dirty = pool.acquire();
+        dirty->src = 3;
+        dirty->dst = 9;
+        dirty->srcPort = 1234;
+        dirty->dstPort = 4321;
+        PmnetHeader h;
+        h.type = PacketType::Retrans;
+        h.sessionId = 77;
+        h.seqNum = 88;
+        h.hashVal = 99;
+        dirty->pmnet = h;
+        dirty->payload.assign(500, 0x5a);
+        dirty->requestId = 424242;
+        dirty->fragment = 3;
+        dirty->fragmentCount = 4;
+    }
+    MutPacketPtr clean = pool.acquire();
+    EXPECT_EQ(clean->src, kInvalidNode);
+    EXPECT_EQ(clean->dst, kInvalidNode);
+    EXPECT_EQ(clean->srcPort, 0);
+    EXPECT_EQ(clean->dstPort, 0);
+    EXPECT_FALSE(clean->pmnet.has_value());
+    EXPECT_TRUE(clean->payload.empty());
+    EXPECT_EQ(clean->requestId, 0u);
+    EXPECT_EQ(clean->fragment, 0u);
+    EXPECT_EQ(clean->fragmentCount, 1u);
+}
+
+TEST(PacketPool, BuildersDrawFromThePool)
+{
+    PacketPool &pool = PacketPool::local();
+    { PacketPtr warm = makePmnetPacket(1, 2, PacketType::UpdateReq, 1,
+                                       1, Bytes(10, 1)); }
+    auto before = pool.stats();
+    {
+        PacketPtr pkt = makeRefPacket(1, 2, PacketType::ServerAck, 1, 2,
+                                      0xfeed);
+        EXPECT_EQ(pkt->pmnet->hashVal, 0xfeedu);
+    }
+    EXPECT_GT(pool.stats().reused, before.reused);
+}
+
+TEST(PacketPool, FuzzAllocReleaseCyclesStayPristine)
+{
+    PacketPool &pool = PacketPool::local();
+    std::uint64_t rng = 0x123456789ull;
+    auto next = [&rng]() {
+        rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+        return rng >> 33;
+    };
+
+    std::vector<MutPacketPtr> held;
+    for (int cycle = 0; cycle < 5000; cycle++) {
+        MutPacketPtr pkt = pool.acquire();
+
+        // The pool must never leak a previous life's state.
+        ASSERT_EQ(pkt->src, kInvalidNode);
+        ASSERT_FALSE(pkt->pmnet.has_value());
+        ASSERT_TRUE(pkt->payload.empty());
+        ASSERT_EQ(pkt->requestId, 0u);
+
+        // Dirty it with a random shape.
+        pkt->src = static_cast<NodeId>(next() % 64);
+        pkt->dst = static_cast<NodeId>(next() % 64);
+        pkt->payload.assign(next() % 1500, static_cast<std::uint8_t>(
+                                               next() & 0xff));
+        pkt->requestId = next();
+        if (next() % 2) {
+            PmnetHeader h;
+            h.type = PacketType::UpdateReq;
+            h.seqNum = static_cast<std::uint32_t>(next());
+            pkt->pmnet = h;
+        }
+
+        // Randomly hold some packets to interleave lifetimes.
+        if (next() % 3 == 0)
+            held.push_back(std::move(pkt));
+        if (held.size() > 32)
+            held.erase(held.begin(),
+                       held.begin() + static_cast<long>(next() % 16));
+    }
+    held.clear();
+
+    const auto &stats = pool.stats();
+    EXPECT_GT(stats.reused, 4000u) << "steady state should recycle";
+}
+
+TEST(PacketPool, PacketsSurvivePoolTrim)
+{
+    PacketPool &pool = PacketPool::local();
+    MutPacketPtr pkt = pool.acquire();
+    pkt->payload.assign(8, 0x11);
+    pool.trim();
+    EXPECT_EQ(pool.freeCount(), 0u);
+    EXPECT_EQ(pkt->payload.size(), 8u); // outstanding packet untouched
+}
+
 // --------------------------------------------------------------- link
 
 TEST(Link, DeliversWithSerializationAndPropagation)

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "sim/simulator.h"
@@ -146,6 +147,142 @@ TEST(Simulator, ManyEventsStressOrder)
     }
     sim.run();
     EXPECT_TRUE(monotonic);
+}
+
+// ------------------------------------------- slab/generation details
+
+TEST(Simulator, StaleHandleAfterSlotReuseIsNoOp)
+{
+    Simulator sim;
+    bool victim_fired = false;
+
+    // Schedule and cancel: the slot returns to the free-list.
+    EventHandle stale = sim.schedule(10, [&]() { victim_fired = true; });
+    stale.cancel();
+
+    // The next schedule recycles the same slot under a new generation.
+    bool reused_fired = false;
+    EventHandle fresh = sim.schedule(20, [&]() { reused_fired = true; });
+
+    // The stale handle must neither report pending nor cancel the
+    // recycled slot's new occupant.
+    EXPECT_FALSE(stale.pending());
+    stale.cancel();
+    EXPECT_TRUE(fresh.pending());
+
+    sim.run();
+    EXPECT_FALSE(victim_fired);
+    EXPECT_TRUE(reused_fired);
+}
+
+TEST(Simulator, StaleHandleAfterFireAndReuseIsNoOp)
+{
+    Simulator sim;
+    EventHandle first = sim.schedule(1, []() {});
+    sim.run();
+
+    // Firing released the slot; a new event takes it over.
+    bool second_fired = false;
+    sim.schedule(1, [&]() { second_fired = true; });
+    EXPECT_FALSE(first.pending());
+    first.cancel(); // must not touch the new occupant
+    sim.run();
+    EXPECT_TRUE(second_fired);
+}
+
+TEST(Simulator, SameTickFifoSurvivesFreeListRecycling)
+{
+    Simulator sim;
+    std::vector<int> order;
+
+    // Churn the free-list so later schedules reuse earlier slots in
+    // arbitrary slab positions.
+    std::vector<EventHandle> doomed;
+    for (int i = 0; i < 8; i++)
+        doomed.push_back(sim.schedule(50, [&]() { order.push_back(-1); }));
+    for (auto &handle : doomed)
+        handle.cancel();
+
+    for (int i = 0; i < 8; i++)
+        sim.schedule(50, [&order, i]() { order.push_back(i); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(Simulator, SlabRecyclesInsteadOfGrowing)
+{
+    Simulator sim;
+    // Sequential schedule/fire cycles must recycle one slot, not grow
+    // the slab per event.
+    for (int i = 0; i < 1000; i++)
+        sim.schedule(i, []() {});
+    sim.run();
+    std::size_t after_burst = sim.slabSize();
+    for (int i = 0; i < 10000; i++) {
+        sim.schedule(1, []() {});
+        sim.run();
+    }
+    EXPECT_EQ(sim.slabSize(), after_burst);
+}
+
+TEST(Simulator, StopMidEventLeavesRestRunnableInOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule(5, [&]() {
+        order.push_back(0);
+        sim.stop();
+    });
+    sim.schedule(5, [&]() { order.push_back(1); });
+    sim.schedule(5, [&]() { order.push_back(2); });
+
+    EXPECT_EQ(sim.run(), 1u);
+    EXPECT_FALSE(sim.idle());
+    EXPECT_EQ(sim.now(), 5);
+
+    // The same-tick events left behind still fire in FIFO order.
+    EXPECT_EQ(sim.run(), 2u);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+    EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, CancelledEventsDoNotCountAsLive)
+{
+    Simulator sim;
+    EventHandle h1 = sim.schedule(10, []() {});
+    EventHandle h2 = sim.schedule(20, []() {});
+    EXPECT_EQ(sim.pendingEvents(), 2u);
+    h1.cancel();
+    h2.cancel();
+    EXPECT_TRUE(sim.idle());
+    EXPECT_EQ(sim.run(), 0u);
+}
+
+TEST(EventCallback, LargeCapturesFallBackToHeap)
+{
+    // Captures beyond the inline budget must still work (heap path).
+    Simulator sim;
+    struct Big
+    {
+        char bytes[200];
+    } big{};
+    big.bytes[0] = 42;
+    char seen = 0;
+    sim.schedule(1, [big, &seen]() { seen = big.bytes[0]; });
+    sim.run();
+    EXPECT_EQ(seen, 42);
+}
+
+TEST(EventCallback, MoveOnlyCaptureSupported)
+{
+    Simulator sim;
+    auto payload = std::make_unique<int>(7);
+    int seen = 0;
+    sim.schedule(1, [payload = std::move(payload), &seen]() {
+        seen = *payload;
+    });
+    sim.run();
+    EXPECT_EQ(seen, 7);
 }
 
 TEST(SimObject, NameAndScheduling)

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "testbed/sweep.h"
 #include "testbed/system.h"
 
 namespace pmnet::testbed {
@@ -150,6 +151,64 @@ TEST(Measurement, DeterministicForSeed)
     EXPECT_EQ(a.allLatency.count(), b.allLatency.count());
     EXPECT_NE(a.allLatency.samples(), c.allLatency.samples())
         << "different seed must differ";
+}
+
+TEST(Sweep, ParallelRunMatchesSerialExactly)
+{
+    auto mk = []() {
+        auto config = tinyConfig(SystemMode::PmnetSwitch);
+        config.clientCount = 4;
+        config.seed = 7;
+        return config;
+    };
+
+    // Serial reference runs on the calling thread.
+    RunResults serial_a, serial_b;
+    {
+        Testbed bed(mk());
+        serial_a = bed.run(milliseconds(2), milliseconds(5));
+    }
+    {
+        Testbed bed(mk());
+        serial_b = bed.run(milliseconds(2), milliseconds(5));
+    }
+
+    // The same two configs through the harness, forced onto worker
+    // threads (even on a single-core host).
+    auto swept = runSweep({mk(), mk()}, milliseconds(2),
+                          milliseconds(5), 2);
+    ASSERT_EQ(swept.size(), 2u);
+
+    for (const RunResults &par : swept) {
+        EXPECT_DOUBLE_EQ(par.opsPerSecond, serial_a.opsPerSecond)
+            << "sweep must not perturb a fixed-seed run";
+        EXPECT_EQ(par.allLatency.samples(), serial_a.allLatency.samples());
+        EXPECT_EQ(par.updatesLogged, serial_a.updatesLogged);
+    }
+    EXPECT_EQ(serial_a.allLatency.samples(),
+              serial_b.allLatency.samples());
+}
+
+TEST(Sweep, ResultsAreOrderedByJob)
+{
+    // Distinguishable jobs: different client counts give different
+    // throughput; results must land at their job's index.
+    std::vector<TestbedConfig> configs;
+    for (int clients : {1, 3}) {
+        auto config = tinyConfig(SystemMode::PmnetSwitch);
+        config.clientCount = clients;
+        configs.push_back(std::move(config));
+    }
+    auto swept = runSweep(std::move(configs), milliseconds(1),
+                          milliseconds(5), 2);
+    ASSERT_EQ(swept.size(), 2u);
+    EXPECT_GT(swept[1].opsPerSecond, swept[0].opsPerSecond);
+}
+
+TEST(Sweep, ThreadCountResolution)
+{
+    EXPECT_GE(sweepThreadCount(0), 1u);
+    EXPECT_EQ(sweepThreadCount(5), 5u);
 }
 
 TEST(Measurement, IdealHandlerFasterThanRealStore)
