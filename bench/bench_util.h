@@ -26,7 +26,10 @@ namespace pmnet::benchutil {
  * row is mirrored as one JSON object into an array at @p path so a
  * perf trajectory can be tracked across PRs (`BENCH_*.json`).
  * Also parses `--smoke`, which benches use to shrink their grid to a
- * few milliseconds of simulated time for the bench-smoke CTest target.
+ * few milliseconds of simulated time for the bench-smoke CTest target,
+ * and `--exact`, which switches the big sweep benches (fig16/19/20)
+ * from streaming (histogram) latency stats back to exact raw-sample
+ * storage — for byte-identical comparison against older revisions.
  */
 class BenchJson
 {
@@ -45,6 +48,8 @@ class BenchJson
                 }
             } else if (std::strcmp(argv[i], "--smoke") == 0) {
                 smoke_ = true;
+            } else if (std::strcmp(argv[i], "--exact") == 0) {
+                exact_ = true;
             }
         }
     }
@@ -56,6 +61,16 @@ class BenchJson
 
     /** True when the binary was invoked with `--smoke`. */
     bool smoke() const { return smoke_; }
+
+    /** True when the binary was invoked with `--exact`. */
+    bool exactStats() const { return exact_; }
+
+    /** Stats mode for benches that default to streaming collection. */
+    StatsMode
+    statsMode() const
+    {
+        return exact_ ? StatsMode::Exact : StatsMode::Streaming;
+    }
 
     /** True when rows will be written to a file. */
     bool enabled() const { return !path_.empty(); }
@@ -131,6 +146,7 @@ class BenchJson
     std::string bench_;
     std::string path_;
     bool smoke_ = false;
+    bool exact_ = false;
     bool written_ = false;
     std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
 };

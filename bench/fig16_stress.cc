@@ -92,6 +92,10 @@ main(int argc, char **argv)
         configs.push_back(
             pointConfig(testbed::SystemMode::PmnetNic, clients));
     }
+    // Streaming histograms by default (millions of samples across the
+    // grid); `--exact` restores raw-sample collection.
+    for (auto &config : configs)
+        config.statsMode = json.statsMode();
     auto results = testbed::runSweep(std::move(configs), warmup, measure);
 
     std::size_t at = 0;

@@ -79,6 +79,10 @@ main(int argc, char **argv)
                 spec, testbed::SystemMode::PmnetSwitch, ratio));
         }
     }
+    // Streaming histograms by default (millions of samples across the
+    // grid); `--exact` restores raw-sample collection.
+    for (auto &config : configs)
+        config.statsMode = json.statsMode();
     auto results = testbed::runSweep(std::move(configs), warmup, measure);
 
     std::vector<double> mean_speedup(ratios.size(), 0.0);

@@ -11,6 +11,7 @@
 #ifndef PMNET_COMMON_BYTES_H
 #define PMNET_COMMON_BYTES_H
 
+#include <bit>
 #include <cstdint>
 #include <cstring>
 #include <string>
@@ -29,25 +30,40 @@ class ByteWriter
 
     void writeU8(std::uint8_t v) { out_.push_back(v); }
 
+    // Multi-byte writes stage the little-endian image on the stack and
+    // append it with one insert (one capacity check instead of one per
+    // byte) — header/command encoding is a per-packet hot path.
+
     void
     writeU16(std::uint16_t v)
     {
-        writeU8(static_cast<std::uint8_t>(v));
-        writeU8(static_cast<std::uint8_t>(v >> 8));
+        const std::uint8_t b[2] = {static_cast<std::uint8_t>(v),
+                                   static_cast<std::uint8_t>(v >> 8)};
+        writeBytes(b, sizeof(b));
     }
 
     void
     writeU32(std::uint32_t v)
     {
-        writeU16(static_cast<std::uint16_t>(v));
-        writeU16(static_cast<std::uint16_t>(v >> 16));
+        const std::uint8_t b[4] = {static_cast<std::uint8_t>(v),
+                                   static_cast<std::uint8_t>(v >> 8),
+                                   static_cast<std::uint8_t>(v >> 16),
+                                   static_cast<std::uint8_t>(v >> 24)};
+        writeBytes(b, sizeof(b));
     }
 
     void
     writeU64(std::uint64_t v)
     {
-        writeU32(static_cast<std::uint32_t>(v));
-        writeU32(static_cast<std::uint32_t>(v >> 32));
+        const std::uint8_t b[8] = {static_cast<std::uint8_t>(v),
+                                   static_cast<std::uint8_t>(v >> 8),
+                                   static_cast<std::uint8_t>(v >> 16),
+                                   static_cast<std::uint8_t>(v >> 24),
+                                   static_cast<std::uint8_t>(v >> 32),
+                                   static_cast<std::uint8_t>(v >> 40),
+                                   static_cast<std::uint8_t>(v >> 48),
+                                   static_cast<std::uint8_t>(v >> 56)};
+        writeBytes(b, sizeof(b));
     }
 
     void
@@ -96,28 +112,67 @@ class ByteReader
         return data_[pos_++];
     }
 
+    // Multi-byte reads do one bounds check and, on little-endian
+    // hosts, one unaligned memcpy load (compiled to a plain mov) —
+    // header parsing is a per-packet hot path.
+
     std::uint16_t
     readU16()
     {
-        std::uint16_t lo = readU8();
-        std::uint16_t hi = readU8();
-        return static_cast<std::uint16_t>(lo | (hi << 8));
+        if (!require(2))
+            return 0;
+        std::uint16_t v;
+        if constexpr (std::endian::native == std::endian::little) {
+            std::memcpy(&v, data_ + pos_, 2);
+        } else {
+            v = static_cast<std::uint16_t>(
+                data_[pos_] | (data_[pos_ + 1] << 8));
+        }
+        pos_ += 2;
+        return v;
     }
 
     std::uint32_t
     readU32()
     {
-        std::uint32_t lo = readU16();
-        std::uint32_t hi = readU16();
-        return lo | (hi << 16);
+        if (!require(4))
+            return 0;
+        std::uint32_t v;
+        if constexpr (std::endian::native == std::endian::little) {
+            std::memcpy(&v, data_ + pos_, 4);
+        } else {
+            v = static_cast<std::uint32_t>(data_[pos_]) |
+                (static_cast<std::uint32_t>(data_[pos_ + 1]) << 8) |
+                (static_cast<std::uint32_t>(data_[pos_ + 2]) << 16) |
+                (static_cast<std::uint32_t>(data_[pos_ + 3]) << 24);
+        }
+        pos_ += 4;
+        return v;
     }
 
     std::uint64_t
     readU64()
     {
-        std::uint64_t lo = readU32();
-        std::uint64_t hi = readU32();
-        return lo | (hi << 32);
+        if (!require(8))
+            return 0;
+        std::uint64_t v;
+        if constexpr (std::endian::native == std::endian::little) {
+            std::memcpy(&v, data_ + pos_, 8);
+        } else {
+            std::uint64_t lo = static_cast<std::uint32_t>(
+                data_[pos_] |
+                (static_cast<std::uint32_t>(data_[pos_ + 1]) << 8) |
+                (static_cast<std::uint32_t>(data_[pos_ + 2]) << 16) |
+                (static_cast<std::uint32_t>(data_[pos_ + 3]) << 24));
+            std::uint64_t hi = static_cast<std::uint32_t>(
+                data_[pos_ + 4] |
+                (static_cast<std::uint32_t>(data_[pos_ + 5]) << 8) |
+                (static_cast<std::uint32_t>(data_[pos_ + 6]) << 16) |
+                (static_cast<std::uint32_t>(data_[pos_ + 7]) << 24));
+            v = lo | (hi << 32);
+        }
+        pos_ += 8;
+        return v;
     }
 
     Bytes
@@ -130,6 +185,22 @@ class ByteReader
         return out;
     }
 
+    /**
+     * readBytes into an existing buffer, reusing its capacity (the
+     * packet-pool fast path: parsing into a recycled payload buffer
+     * allocates nothing at steady state). @p out must not alias the
+     * reader's input. Leaves @p out empty on truncation.
+     */
+    void
+    readBytesInto(Bytes &out, std::size_t len)
+    {
+        out.clear();
+        if (!require(len))
+            return;
+        out.insert(out.end(), data_ + pos_, data_ + pos_ + len);
+        pos_ += len;
+    }
+
     std::string
     readString()
     {
@@ -139,6 +210,17 @@ class ByteReader
         std::string out(reinterpret_cast<const char *>(data_ + pos_), len);
         pos_ += len;
         return out;
+    }
+
+    /** Current read position (valid for remaining() bytes). */
+    const std::uint8_t *peek() const { return data_ + pos_; }
+
+    /** Advance past @p n bytes (sets ok() false past the end). */
+    void
+    skip(std::size_t n)
+    {
+        if (require(n))
+            pos_ += n;
     }
 
     /** Remaining unread bytes. */

@@ -1,25 +1,45 @@
 #include "common/crc32.h"
 
 #include <array>
+#include <bit>
+#include <cstring>
 
 namespace pmnet {
 
 namespace {
 
-std::array<std::uint32_t, 256>
-makeTable()
+/**
+ * Slice-by-8 table set. Table 0 is the classic byte-at-a-time table;
+ * table k gives the effect of a byte after k further zero bytes have
+ * been folded in, so one iteration can consume 8 input bytes with
+ * eight independent lookups (Intel's slicing-by-8 construction, as
+ * used by zlib-ng and the Linux kernel).
+ */
+struct Tables
 {
-    std::array<std::uint32_t, 256> table{};
+    std::uint32_t t[8][256];
+};
+
+Tables
+makeTables()
+{
+    Tables tables{};
     for (std::uint32_t i = 0; i < 256; i++) {
         std::uint32_t c = i;
         for (int bit = 0; bit < 8; bit++)
             c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
-        table[i] = c;
+        tables.t[0][i] = c;
     }
-    return table;
+    for (int k = 1; k < 8; k++) {
+        for (std::uint32_t i = 0; i < 256; i++) {
+            std::uint32_t c = tables.t[k - 1][i];
+            tables.t[k][i] = tables.t[0][c & 0xFF] ^ (c >> 8);
+        }
+    }
+    return tables;
 }
 
-const std::array<std::uint32_t, 256> gTable = makeTable();
+const Tables gTables = makeTables();
 
 } // namespace
 
@@ -27,9 +47,30 @@ std::uint32_t
 crc32Update(std::uint32_t crc, const void *data, std::size_t len)
 {
     const auto *bytes = static_cast<const std::uint8_t *>(data);
+    const auto &t = gTables.t;
     crc = ~crc;
-    for (std::size_t i = 0; i < len; i++)
-        crc = gTable[(crc ^ bytes[i]) & 0xFF] ^ (crc >> 8);
+
+    // The 8-byte fold XORs the running CRC into the first word, which
+    // is only the correct polynomial arithmetic when the word's memory
+    // order matches the CRC's reflected bit order (little-endian).
+    // Big-endian hosts take the plain table loop below.
+    if constexpr (std::endian::native == std::endian::little) {
+        while (len >= 8) {
+            std::uint32_t lo, hi;
+            std::memcpy(&lo, bytes, 4);
+            std::memcpy(&hi, bytes + 4, 4);
+            lo ^= crc;
+            crc = t[7][lo & 0xFF] ^ t[6][(lo >> 8) & 0xFF] ^
+                  t[5][(lo >> 16) & 0xFF] ^ t[4][lo >> 24] ^
+                  t[3][hi & 0xFF] ^ t[2][(hi >> 8) & 0xFF] ^
+                  t[1][(hi >> 16) & 0xFF] ^ t[0][hi >> 24];
+            bytes += 8;
+            len -= 8;
+        }
+    }
+
+    while (len--)
+        crc = t[0][(crc ^ *bytes++) & 0xFF] ^ (crc >> 8);
     return ~crc;
 }
 
@@ -37,6 +78,19 @@ std::uint32_t
 crc32(const void *data, std::size_t len)
 {
     return crc32Update(0, data, len);
+}
+
+std::uint32_t
+crc32Reference(std::uint32_t crc, const void *data, std::size_t len)
+{
+    const auto *bytes = static_cast<const std::uint8_t *>(data);
+    crc = ~crc;
+    for (std::size_t i = 0; i < len; i++) {
+        crc ^= bytes[i];
+        for (int bit = 0; bit < 8; bit++)
+            crc = (crc & 1) ? (0xEDB88320u ^ (crc >> 1)) : (crc >> 1);
+    }
+    return ~crc;
 }
 
 } // namespace pmnet

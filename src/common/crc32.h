@@ -5,6 +5,12 @@
  * The PMNet header carries a CRC-32 HashVal computed by the sender's
  * network stack (paper Section IV-A1); the device uses it both as an
  * integrity check and as the index into the in-network log store.
+ *
+ * crc32Update is the hot-path implementation: slice-by-8 (eight
+ * 256-entry tables, 8 input bytes folded per iteration) on
+ * little-endian hosts, single-table byte-at-a-time elsewhere.
+ * crc32Reference is the bit-at-a-time definition of the polynomial,
+ * kept as the independent oracle the fast path is tested against.
  */
 
 #ifndef PMNET_COMMON_CRC32_H
@@ -21,6 +27,14 @@ std::uint32_t crc32Update(std::uint32_t crc, const void *data,
 
 /** One-shot CRC-32 of a byte range. */
 std::uint32_t crc32(const void *data, std::size_t len);
+
+/**
+ * Bit-at-a-time reference implementation (the polynomial's
+ * definition). Slow; exists so tests can cross-check the table-driven
+ * fast path against an independent oracle.
+ */
+std::uint32_t crc32Reference(std::uint32_t crc, const void *data,
+                             std::size_t len);
 
 } // namespace pmnet
 

@@ -9,9 +9,53 @@
 namespace pmnet {
 
 void
+LatencySeries::setMode(StatsMode mode)
+{
+    if (!empty())
+        panic("LatencySeries::setMode on a non-empty series");
+    mode_ = mode;
+}
+
+void
 LatencySeries::add(TickDelta sample)
 {
+    if (mode_ == StatsMode::Streaming) {
+        hist_.add(sample);
+        return;
+    }
     samples_.push_back(sample);
+    dirty_ = true;
+}
+
+void
+LatencySeries::merge(const LatencySeries &other)
+{
+    if (empty())
+        mode_ = other.mode_;
+    if (other.mode_ == StatsMode::Exact) {
+        for (TickDelta s : other.samples_)
+            add(s);
+        return;
+    }
+    if (mode_ == StatsMode::Exact)
+        panic("LatencySeries::merge: streaming source into a non-empty "
+              "exact series (raw samples unavailable)");
+    hist_.merge(other.hist_);
+}
+
+std::size_t
+LatencySeries::count() const
+{
+    if (mode_ == StatsMode::Streaming)
+        return static_cast<std::size_t>(hist_.count());
+    return samples_.size();
+}
+
+void
+LatencySeries::clear()
+{
+    samples_.clear();
+    hist_.clear();
     dirty_ = true;
 }
 
@@ -28,8 +72,10 @@ LatencySeries::ensureSorted() const
 double
 LatencySeries::mean() const
 {
-    if (samples_.empty())
+    if (empty())
         panic("LatencySeries::mean on empty series");
+    if (mode_ == StatsMode::Streaming)
+        return hist_.mean();
     double sum = 0.0;
     for (TickDelta s : samples_)
         sum += static_cast<double>(s);
@@ -39,10 +85,12 @@ LatencySeries::mean() const
 TickDelta
 LatencySeries::percentile(double p) const
 {
-    if (samples_.empty())
+    if (empty())
         panic("LatencySeries::percentile on empty series");
     if (p < 0.0 || p > 100.0)
         panic("LatencySeries::percentile: p=%f out of range", p);
+    if (mode_ == StatsMode::Streaming)
+        return hist_.percentile(p);
     ensureSorted();
     // Nearest-rank definition.
     std::size_t n = sorted_.size();
@@ -58,8 +106,10 @@ LatencySeries::percentile(double p) const
 TickDelta
 LatencySeries::min() const
 {
-    if (samples_.empty())
+    if (empty())
         panic("LatencySeries::min on empty series");
+    if (mode_ == StatsMode::Streaming)
+        return hist_.min();
     ensureSorted();
     return sorted_.front();
 }
@@ -67,8 +117,10 @@ LatencySeries::min() const
 TickDelta
 LatencySeries::max() const
 {
-    if (samples_.empty())
+    if (empty())
         panic("LatencySeries::max on empty series");
+    if (mode_ == StatsMode::Streaming)
+        return hist_.max();
     ensureSorted();
     return sorted_.back();
 }
@@ -77,8 +129,10 @@ std::vector<std::pair<TickDelta, double>>
 LatencySeries::cdf(std::size_t points) const
 {
     std::vector<std::pair<TickDelta, double>> out;
-    if (samples_.empty() || points == 0)
+    if (empty() || points == 0)
         return out;
+    if (mode_ == StatsMode::Streaming)
+        return hist_.cdf(points);
     ensureSorted();
     std::size_t n = sorted_.size();
     out.reserve(points);

@@ -2,10 +2,19 @@
  * @file
  * Measurement collection for the evaluation harness.
  *
- * LatencySeries stores raw samples (simulation scale makes this cheap)
- * so exact percentiles and CDFs can be extracted — the paper reports
- * mean, p50, p99 and full CDFs (Fig 20). ThroughputMeter converts
- * completed-request counts over simulated time into requests/second.
+ * LatencySeries records latency samples in one of two modes:
+ *
+ *  - Exact (default): every raw sample is stored, so percentiles and
+ *    CDFs are exact — what tests and small runs want, and what the
+ *    paper's CDF plots (Fig 20) are extracted from.
+ *  - Streaming: samples feed a log-bucketed Histogram (O(1) add,
+ *    fixed footprint, < 0.4% quantile error) — what the large
+ *    fig16/fig19/fig20 sweep grids opt into, where raw storage and
+ *    per-query re-sorting of millions of samples dominated the
+ *    measurement cost.
+ *
+ * ThroughputMeter converts completed-request counts over simulated
+ * time into requests/second.
  */
 
 #ifndef PMNET_COMMON_STATS_H
@@ -15,28 +24,54 @@
 #include <string>
 #include <vector>
 
+#include "common/histogram.h"
 #include "common/time.h"
 
 namespace pmnet {
+
+/** How a LatencySeries stores its samples. */
+enum class StatsMode {
+    Exact,     ///< raw samples, exact percentiles/CDF
+    Streaming, ///< log-bucketed histogram, bounded-error percentiles
+};
 
 /** A collection of latency samples with percentile/CDF extraction. */
 class LatencySeries
 {
   public:
+    LatencySeries() = default;
+    explicit LatencySeries(StatsMode mode) : mode_(mode) {}
+
+    StatsMode mode() const { return mode_; }
+
+    /** Switch storage mode. @pre no samples recorded yet. */
+    void setMode(StatsMode mode);
+
     /** Record one sample (in simulated ns). */
     void add(TickDelta sample);
 
+    /**
+     * Fold another series' samples into this one. An empty series
+     * adopts @p other's mode; merging a streaming source into a
+     * non-empty exact series is an error (raw samples are gone).
+     */
+    void merge(const LatencySeries &other);
+
     /** Number of recorded samples. */
-    std::size_t count() const { return samples_.size(); }
+    std::size_t count() const;
 
-    bool empty() const { return samples_.empty(); }
+    bool empty() const { return count() == 0; }
 
-    /** Arithmetic mean in ns. @pre not empty. */
+    /** Arithmetic mean in ns (exact in both modes). @pre not empty. */
     double mean() const;
 
-    /** Exact percentile (0 <= p <= 100) in ns. @pre not empty. */
+    /**
+     * Percentile (0 <= p <= 100) in ns: exact in Exact mode, within
+     * Histogram::kMaxRelativeError in Streaming mode. @pre not empty.
+     */
     TickDelta percentile(double p) const;
 
+    /** Extrema (exact in both modes). @pre not empty. */
     TickDelta min() const;
     TickDelta max() const;
 
@@ -46,16 +81,21 @@ class LatencySeries
      */
     std::vector<std::pair<TickDelta, double>> cdf(std::size_t points) const;
 
-    /** Discard all samples (e.g. after warm-up). */
-    void clear() { samples_.clear(); dirty_ = true; }
+    /** Discard all samples (e.g. after warm-up). Keeps the mode. */
+    void clear();
 
-    /** Raw access for custom analyses. */
+    /**
+     * Raw access for custom analyses. Only populated in Exact mode;
+     * a streaming series has no raw samples to expose.
+     */
     const std::vector<TickDelta> &samples() const { return samples_; }
 
   private:
     void ensureSorted() const;
 
+    StatsMode mode_ = StatsMode::Exact;
     std::vector<TickDelta> samples_;
+    Histogram hist_;
     mutable std::vector<TickDelta> sorted_;
     mutable bool dirty_ = true;
 };

@@ -244,31 +244,88 @@ packetTypeName(PacketType type)
     return "unknown";
 }
 
+namespace {
+
+inline void
+storeLe16(std::uint8_t *out, std::uint16_t v)
+{
+    out[0] = static_cast<std::uint8_t>(v);
+    out[1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+inline void
+storeLe32(std::uint8_t *out, std::uint32_t v)
+{
+    out[0] = static_cast<std::uint8_t>(v);
+    out[1] = static_cast<std::uint8_t>(v >> 8);
+    out[2] = static_cast<std::uint8_t>(v >> 16);
+    out[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+} // namespace
+
+PmnetHeader::WireBytes
+PmnetHeader::encode() const
+{
+    WireBytes out;
+    out[0] = static_cast<std::uint8_t>(type);
+    storeLe16(&out[1], sessionId);
+    storeLe32(&out[3], seqNum);
+    storeLe32(&out[7], hashVal);
+    return out;
+}
+
 void
 PmnetHeader::serialize(Bytes &out) const
 {
-    ByteWriter writer(out);
-    writer.writeU8(static_cast<std::uint8_t>(type));
-    writer.writeU16(sessionId);
-    writer.writeU32(seqNum);
-    writer.writeU32(hashVal);
+    WireBytes wire = encode();
+    out.insert(out.end(), wire.begin(), wire.end());
+}
+
+namespace {
+
+inline std::uint16_t
+loadLe16(const std::uint8_t *in)
+{
+    return static_cast<std::uint16_t>(in[0] | (in[1] << 8));
+}
+
+inline std::uint32_t
+loadLe32(const std::uint8_t *in)
+{
+    return static_cast<std::uint32_t>(in[0]) |
+           (static_cast<std::uint32_t>(in[1]) << 8) |
+           (static_cast<std::uint32_t>(in[2]) << 16) |
+           (static_cast<std::uint32_t>(in[3]) << 24);
+}
+
+} // namespace
+
+bool
+PmnetHeader::parse(const std::uint8_t *data, std::size_t len,
+                   PmnetHeader &out)
+{
+    if (len < kWireSize)
+        return false;
+    std::uint8_t raw_type = data[0];
+    if (raw_type < 1 ||
+        raw_type > static_cast<std::uint8_t>(PacketType::HeartbeatAck)) {
+        return false;
+    }
+    out.type = static_cast<PacketType>(raw_type);
+    out.sessionId = loadLe16(data + 1);
+    out.seqNum = loadLe32(data + 3);
+    out.hashVal = loadLe32(data + 7);
+    return true;
 }
 
 std::optional<PmnetHeader>
 PmnetHeader::parse(ByteReader &reader)
 {
     PmnetHeader header;
-    std::uint8_t raw_type = reader.readU8();
-    header.sessionId = reader.readU16();
-    header.seqNum = reader.readU32();
-    header.hashVal = reader.readU32();
-    if (!reader.ok())
+    if (!parse(reader.peek(), reader.remaining(), header))
         return std::nullopt;
-    if (raw_type < 1 ||
-        raw_type > static_cast<std::uint8_t>(PacketType::HeartbeatAck)) {
-        return std::nullopt;
-    }
-    header.type = static_cast<PacketType>(raw_type);
+    reader.skip(kWireSize);
     return header;
 }
 
@@ -276,16 +333,18 @@ std::uint32_t
 PmnetHeader::computeHash(PacketType type, std::uint16_t session_id,
                          std::uint32_t seq_num, NodeId src, NodeId dst)
 {
-    struct __attribute__((packed))
-    {
-        std::uint8_t type;
-        std::uint16_t session;
-        std::uint32_t seq;
-        std::uint32_t src;
-        std::uint32_t dst;
-    } fields{static_cast<std::uint8_t>(type), session_id, seq_num, src,
-             dst};
-    return crc32(&fields, sizeof(fields));
+    // Explicit little-endian stores, so the HashVal — which doubles as
+    // the device's log-store index — is identical on any host
+    // endianness or compiler (a packed host-order struct would flip
+    // the hashed bytes on big-endian). Golden values are pinned in
+    // tests/test_net.cc.
+    std::array<std::uint8_t, 15> fields;
+    fields[0] = static_cast<std::uint8_t>(type);
+    storeLe16(&fields[1], session_id);
+    storeLe32(&fields[3], seq_num);
+    storeLe32(&fields[7], src);
+    storeLe32(&fields[11], dst);
+    return crc32(fields.data(), fields.size());
 }
 
 std::size_t
@@ -297,27 +356,40 @@ Packet::wireSize() const
     return size;
 }
 
+std::size_t
+Packet::payloadWireSize() const
+{
+    return (pmnet ? PmnetHeader::kWireSize : 0) + payload.size();
+}
+
 Bytes
 Packet::serializePayload() const
 {
     Bytes out;
+    serializePayloadInto(out);
+    return out;
+}
+
+void
+Packet::serializePayloadInto(Bytes &out) const
+{
+    out.clear();
+    out.reserve(payloadWireSize());
     if (pmnet)
         pmnet->serialize(out);
-    ByteWriter writer(out);
-    writer.writeBytes(payload.data(), payload.size());
-    return out;
+    out.insert(out.end(), payload.begin(), payload.end());
 }
 
 bool
 Packet::parsePayload(const Bytes &wire)
 {
-    ByteReader reader(wire);
-    auto header = PmnetHeader::parse(reader);
-    if (!header)
+    PmnetHeader header;
+    if (!PmnetHeader::parse(wire.data(), wire.size(), header))
         return false;
-    pmnet = *header;
-    payload = reader.readBytes(reader.remaining());
-    return reader.ok();
+    pmnet = header;
+    // assign() reuses the (possibly pooled) payload buffer's capacity.
+    payload.assign(wire.begin() + PmnetHeader::kWireSize, wire.end());
+    return true;
 }
 
 bool

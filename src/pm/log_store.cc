@@ -1,6 +1,7 @@
 #include "pm/log_store.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/logging.h"
 
@@ -14,6 +15,7 @@ PmLogStore::PmLogStore(DevicePmConfig config) : config_(config)
               static_cast<unsigned long long>(config_.capacityBytes),
               config_.slotBytes);
     slots_.resize(static_cast<std::size_t>(slot_count));
+    occupied_.resize((slots_.size() + 63) / 64, 0);
 }
 
 std::size_t
@@ -22,13 +24,24 @@ PmLogStore::indexFor(std::uint32_t hash) const
     return static_cast<std::size_t>(hash % slots_.size());
 }
 
+void
+PmLogStore::markOccupied(std::size_t index, bool occupied)
+{
+    std::uint64_t bit = std::uint64_t{1} << (index % 64);
+    if (occupied)
+        occupied_[index / 64] |= bit;
+    else
+        occupied_[index / 64] &= ~bit;
+}
+
 LogInsertResult
 PmLogStore::insert(std::uint32_t hash, net::PacketPtr pkt, Tick now)
 {
     if (pkt->wireSize() > config_.slotBytes) {
         return LogInsertResult::TooLarge;
     }
-    Slot &slot = slots_[indexFor(hash)];
+    std::size_t index = indexFor(hash);
+    Slot &slot = slots_[index];
     if (slot.valid) {
         if (slot.entry.hashVal == hash) {
             insertDuplicate++;
@@ -39,6 +52,7 @@ PmLogStore::insert(std::uint32_t hash, net::PacketPtr pkt, Tick now)
     }
     slot.valid = true;
     slot.entry = LogEntry{hash, std::move(pkt), now};
+    markOccupied(index, true);
     live_++;
     highWater = std::max(highWater, live_);
     insertOk++;
@@ -63,11 +77,13 @@ PmLogStore::slotFree(std::uint32_t hash) const
 bool
 PmLogStore::erase(std::uint32_t hash)
 {
-    Slot &slot = slots_[indexFor(hash)];
+    std::size_t index = indexFor(hash);
+    Slot &slot = slots_[index];
     if (!slot.valid || slot.entry.hashVal != hash)
         return false;
     slot.valid = false;
     slot.entry = {};
+    markOccupied(index, false);
     live_--;
     return true;
 }
@@ -75,18 +91,31 @@ PmLogStore::erase(std::uint32_t hash)
 void
 PmLogStore::forEach(const std::function<void(const LogEntry &)> &fn) const
 {
-    for (const Slot &slot : slots_) {
-        if (slot.valid)
-            fn(slot.entry);
+    for (std::size_t word = 0; word < occupied_.size(); word++) {
+        std::uint64_t bits = occupied_[word];
+        while (bits != 0) {
+            int offset = std::countr_zero(bits);
+            bits &= bits - 1; // clear lowest set bit
+            fn(slots_[word * 64 + static_cast<std::size_t>(offset)].entry);
+        }
     }
 }
 
 void
 PmLogStore::clear()
 {
-    for (Slot &slot : slots_) {
-        slot.valid = false;
-        slot.entry = {};
+    // Same bitmap walk as forEach: only touch occupied slots.
+    for (std::size_t word = 0; word < occupied_.size(); word++) {
+        std::uint64_t bits = occupied_[word];
+        while (bits != 0) {
+            int offset = std::countr_zero(bits);
+            bits &= bits - 1;
+            Slot &slot =
+                slots_[word * 64 + static_cast<std::size_t>(offset)];
+            slot.valid = false;
+            slot.entry = {};
+        }
+        occupied_[word] = 0;
     }
     live_ = 0;
 }

@@ -147,6 +147,7 @@ PmnetDevice::handleHeartbeatAck(const net::PacketPtr &pkt)
         heartbeatMisses_ = 0;
         stats.serverUpEvents++;
         auto hashes = std::make_shared<std::vector<std::uint32_t>>();
+        hashes->reserve(store_.size());
         net::NodeId server = heartbeatServer_;
         store_.forEach([&](const pm::LogEntry &entry) {
             if (entry.packet->dst == server)
@@ -338,6 +339,7 @@ PmnetDevice::handleRecoveryPoll(const PacketPtr &pkt)
     stats.recoveryPolls++;
     net::NodeId server = pkt->src;
     auto hashes = std::make_shared<std::vector<std::uint32_t>>();
+    hashes->reserve(store_.size());
     store_.forEach([&](const pm::LogEntry &entry) {
         if (entry.packet->dst == server)
             hashes->push_back(entry.hashVal);

@@ -21,6 +21,7 @@
 #include <memory>
 
 #include "apps/workloads.h"
+#include "common/stats.h"
 #include "kv/kv_store.h"
 #include "net/link.h"
 #include "pmnet/device.h"
@@ -115,6 +116,14 @@ struct TestbedConfig
 
     /** Master seed; every client derives its own stream. */
     std::uint64_t seed = 42;
+
+    /**
+     * How the run's latency series store samples: Exact keeps every
+     * raw sample (exact percentiles/CDFs — tests, small runs);
+     * Streaming feeds a bounded-error histogram (the big sweep grids
+     * opt in to keep millions of samples O(1)-cheap to record).
+     */
+    StatsMode statsMode = StatsMode::Exact;
 
     // ------------------------------------------------ substrate knobs
 

@@ -24,6 +24,9 @@ Testbed::Testbed(TestbedConfig config)
         fatal("Testbed: clientCount must be positive");
     if (config_.replicationDegree == 0)
         fatal("Testbed: replicationDegree must be >= 1");
+    updateLatency_.setMode(config_.statsMode);
+    readLatency_.setMode(config_.statsMode);
+    allLatency_.setMode(config_.statsMode);
     if (!config_.workload) {
         config_.workload = [](std::uint16_t session) {
             apps::YcsbConfig ycsb;

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "net/packet.h"
 #include "pm/cost_model.h"
 #include "pm/log_queue.h"
@@ -252,6 +254,46 @@ TEST(PmLogStore, ForEachVisitsLiveEntries)
     int visited = 0;
     store.forEach([&](const LogEntry &) { visited++; });
     EXPECT_EQ(visited, 10);
+}
+
+TEST(PmLogStore, BitmapScanTracksInsertEraseChurn)
+{
+    // The occupancy-bitmap walk must stay exact through arbitrary
+    // insert/erase interleavings: visit exactly the live hash set.
+    DevicePmConfig config;
+    config.capacityBytes = 1 << 20;
+    PmLogStore store(config);
+
+    std::set<std::uint32_t> live;
+    for (std::uint32_t seq = 1; seq <= 200; seq++) {
+        auto pkt = updatePacket(seq);
+        if (store.insert(pkt->pmnet->hashVal, pkt, 0) ==
+            LogInsertResult::Ok) {
+            live.insert(pkt->pmnet->hashVal);
+        }
+        if (seq % 3 == 0 && !live.empty()) {
+            std::uint32_t victim = *live.begin();
+            EXPECT_TRUE(store.erase(victim));
+            live.erase(victim);
+        }
+    }
+
+    std::set<std::uint32_t> visited;
+    store.forEach([&](const LogEntry &entry) {
+        visited.insert(entry.hashVal);
+    });
+    EXPECT_EQ(visited, live);
+    EXPECT_EQ(store.size(), live.size());
+    EXPECT_DOUBLE_EQ(store.occupancy(),
+                     static_cast<double>(live.size()) /
+                         static_cast<double>(store.capacity()));
+
+    store.clear();
+    int after_clear = 0;
+    store.forEach([&](const LogEntry &) { after_clear++; });
+    EXPECT_EQ(after_clear, 0);
+    EXPECT_EQ(store.size(), 0u);
+    EXPECT_DOUBLE_EQ(store.occupancy(), 0.0);
 }
 
 TEST(PmLogStore, HighWaterTracksPeak)
