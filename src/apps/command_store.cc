@@ -20,6 +20,13 @@ toString(const Bytes &bytes)
     return std::string(bytes.begin(), bytes.end());
 }
 
+/** The command's key argument, hashed once for the whole command. */
+KeyRef
+keyArg(const Command &cmd)
+{
+    return KeyRef(std::string_view(cmd.args[1]));
+}
+
 } // namespace
 
 CommandStore::CommandStore(pm::PmHeap &heap, kv::KvKind kind)
@@ -49,7 +56,7 @@ CommandStore::typed(char type, const std::string &raw)
 }
 
 std::optional<std::string>
-CommandStore::load(const std::string &key)
+CommandStore::load(KeyRef key)
 {
     auto raw = store_->get(key);
     if (!raw)
@@ -58,7 +65,7 @@ CommandStore::load(const std::string &key)
 }
 
 void
-CommandStore::storeValue(const std::string &key, const std::string &value)
+CommandStore::storeValue(KeyRef key, const std::string &value)
 {
     store_->put(key, toBytes(value));
 }
@@ -159,7 +166,7 @@ CommandStore::doGet(const Command &cmd)
 {
     if (cmd.args.size() != 2)
         return {RespStatus::Error, "GET arity", ""};
-    auto value = load(cmd.args[1]);
+    auto value = load(keyArg(cmd));
     if (!value)
         return {RespStatus::Nil, "", cmd.args[1]};
     if (value->empty() || (*value)[0] != 'S')
@@ -172,7 +179,7 @@ CommandStore::doSet(const Command &cmd)
 {
     if (cmd.args.size() != 3)
         return {RespStatus::Error, "SET arity", ""};
-    storeValue(cmd.args[1], typed('S', cmd.args[2]));
+    storeValue(keyArg(cmd), typed('S', cmd.args[2]));
     return {RespStatus::Ok, "OK", ""};
 }
 
@@ -181,7 +188,7 @@ CommandStore::doDel(const Command &cmd)
 {
     if (cmd.args.size() != 2)
         return {RespStatus::Error, "DEL arity", ""};
-    bool erased = store_->erase(cmd.args[1]);
+    bool erased = store_->erase(keyArg(cmd));
     return {RespStatus::Ok, erased ? "1" : "0", ""};
 }
 
@@ -190,7 +197,7 @@ CommandStore::doExists(const Command &cmd)
 {
     if (cmd.args.size() != 2)
         return {RespStatus::Error, "EXISTS arity", ""};
-    return {RespStatus::Ok, load(cmd.args[1]) ? "1" : "0", ""};
+    return {RespStatus::Ok, load(keyArg(cmd)) ? "1" : "0", ""};
 }
 
 CommandStore::Result
@@ -198,15 +205,16 @@ CommandStore::doIncr(const Command &cmd, std::int64_t by)
 {
     if (cmd.args.size() < 2)
         return {RespStatus::Error, "INCR arity", ""};
+    KeyRef key = keyArg(cmd);
     std::int64_t current = 0;
-    if (auto value = load(cmd.args[1])) {
+    if (auto value = load(key)) {
         if (value->empty() || (*value)[0] != 'S')
             return {RespStatus::Error, "WRONGTYPE", ""};
         current = std::atoll(value->c_str() + 1);
     }
     current += by;
     std::string text = std::to_string(current);
-    storeValue(cmd.args[1], typed('S', text));
+    storeValue(key, typed('S', text));
     return {RespStatus::Ok, text, ""};
 }
 
@@ -215,8 +223,9 @@ CommandStore::doPush(const Command &cmd, bool front)
 {
     if (cmd.args.size() != 3)
         return {RespStatus::Error, "PUSH arity", ""};
+    KeyRef key = keyArg(cmd);
     std::vector<std::string> items;
-    if (auto value = load(cmd.args[1])) {
+    if (auto value = load(key)) {
         if (value->empty() || (*value)[0] != 'L')
             return {RespStatus::Error, "WRONGTYPE", ""};
         items = loadList(value->substr(1));
@@ -234,7 +243,7 @@ CommandStore::doPush(const Command &cmd, bool front)
                         items.begin() +
                             static_cast<long>(items.size() - kListCap));
     }
-    storeValue(cmd.args[1], encodeList(items, 'L'));
+    storeValue(key, encodeList(items, 'L'));
     return {RespStatus::Ok, std::to_string(items.size()), ""};
 }
 
@@ -243,7 +252,8 @@ CommandStore::doLpop(const Command &cmd)
 {
     if (cmd.args.size() != 2)
         return {RespStatus::Error, "LPOP arity", ""};
-    auto value = load(cmd.args[1]);
+    KeyRef key = keyArg(cmd);
+    auto value = load(key);
     if (!value)
         return {RespStatus::Nil, "", ""};
     if (value->empty() || (*value)[0] != 'L')
@@ -253,7 +263,7 @@ CommandStore::doLpop(const Command &cmd)
         return {RespStatus::Nil, "", ""};
     std::string popped = items.front();
     items.erase(items.begin());
-    storeValue(cmd.args[1], encodeList(items, 'L'));
+    storeValue(key, encodeList(items, 'L'));
     return {RespStatus::Ok, popped, ""};
 }
 
@@ -262,7 +272,7 @@ CommandStore::doLrange(const Command &cmd)
 {
     if (cmd.args.size() != 4)
         return {RespStatus::Error, "LRANGE arity", ""};
-    auto value = load(cmd.args[1]);
+    auto value = load(keyArg(cmd));
     if (!value)
         return {RespStatus::Nil, "", ""};
     if (value->empty() || (*value)[0] != 'L')
@@ -291,7 +301,7 @@ CommandStore::doLlen(const Command &cmd)
 {
     if (cmd.args.size() != 2)
         return {RespStatus::Error, "LLEN arity", ""};
-    auto value = load(cmd.args[1]);
+    auto value = load(keyArg(cmd));
     if (!value)
         return {RespStatus::Ok, "0", ""};
     if (value->empty() || (*value)[0] != 'L')
@@ -305,8 +315,9 @@ CommandStore::doSadd(const Command &cmd)
 {
     if (cmd.args.size() != 3)
         return {RespStatus::Error, "SADD arity", ""};
+    KeyRef key = keyArg(cmd);
     std::vector<std::string> items;
-    if (auto value = load(cmd.args[1])) {
+    if (auto value = load(key)) {
         if (value->empty() || (*value)[0] != 'T')
             return {RespStatus::Error, "WRONGTYPE", ""};
         items = loadList(value->substr(1));
@@ -315,7 +326,7 @@ CommandStore::doSadd(const Command &cmd)
         items.end())
         return {RespStatus::Ok, "0", ""};
     items.push_back(cmd.args[2]);
-    storeValue(cmd.args[1], encodeList(items, 'T'));
+    storeValue(key, encodeList(items, 'T'));
     return {RespStatus::Ok, "1", ""};
 }
 
@@ -324,7 +335,8 @@ CommandStore::doSrem(const Command &cmd)
 {
     if (cmd.args.size() != 3)
         return {RespStatus::Error, "SREM arity", ""};
-    auto value = load(cmd.args[1]);
+    KeyRef key = keyArg(cmd);
+    auto value = load(key);
     if (!value)
         return {RespStatus::Ok, "0", ""};
     if (value->empty() || (*value)[0] != 'T')
@@ -334,7 +346,7 @@ CommandStore::doSrem(const Command &cmd)
     if (it == items.end())
         return {RespStatus::Ok, "0", ""};
     items.erase(it);
-    storeValue(cmd.args[1], encodeList(items, 'T'));
+    storeValue(key, encodeList(items, 'T'));
     return {RespStatus::Ok, "1", ""};
 }
 
@@ -343,7 +355,7 @@ CommandStore::doSismember(const Command &cmd)
 {
     if (cmd.args.size() != 3)
         return {RespStatus::Error, "SISMEMBER arity", ""};
-    auto value = load(cmd.args[1]);
+    auto value = load(keyArg(cmd));
     if (!value)
         return {RespStatus::Ok, "0", ""};
     if (value->empty() || (*value)[0] != 'T')
@@ -359,7 +371,7 @@ CommandStore::doSmembers(const Command &cmd)
 {
     if (cmd.args.size() != 2)
         return {RespStatus::Error, "SMEMBERS arity", ""};
-    auto value = load(cmd.args[1]);
+    auto value = load(keyArg(cmd));
     if (!value)
         return {RespStatus::Nil, "", ""};
     if (value->empty() || (*value)[0] != 'T')
@@ -379,7 +391,7 @@ CommandStore::doScard(const Command &cmd)
 {
     if (cmd.args.size() != 2)
         return {RespStatus::Error, "SCARD arity", ""};
-    auto value = load(cmd.args[1]);
+    auto value = load(keyArg(cmd));
     if (!value)
         return {RespStatus::Ok, "0", ""};
     if (value->empty() || (*value)[0] != 'T')
@@ -393,8 +405,9 @@ CommandStore::doHset(const Command &cmd)
 {
     if (cmd.args.size() != 4)
         return {RespStatus::Error, "HSET arity", ""};
+    KeyRef key = keyArg(cmd);
     std::vector<std::string> pairs; // flattened field,value list
-    if (auto value = load(cmd.args[1])) {
+    if (auto value = load(key)) {
         if (value->empty() || (*value)[0] != 'H')
             return {RespStatus::Error, "WRONGTYPE", ""};
         pairs = loadList(value->substr(1));
@@ -411,7 +424,7 @@ CommandStore::doHset(const Command &cmd)
         pairs.push_back(cmd.args[2]);
         pairs.push_back(cmd.args[3]);
     }
-    storeValue(cmd.args[1], encodeList(pairs, 'H'));
+    storeValue(key, encodeList(pairs, 'H'));
     return {RespStatus::Ok, replaced ? "0" : "1", ""};
 }
 
@@ -420,7 +433,7 @@ CommandStore::doHget(const Command &cmd)
 {
     if (cmd.args.size() != 3)
         return {RespStatus::Error, "HGET arity", ""};
-    auto value = load(cmd.args[1]);
+    auto value = load(keyArg(cmd));
     if (!value)
         return {RespStatus::Nil, "", ""};
     if (value->empty() || (*value)[0] != 'H')
@@ -438,7 +451,8 @@ CommandStore::doHdel(const Command &cmd)
 {
     if (cmd.args.size() != 3)
         return {RespStatus::Error, "HDEL arity", ""};
-    auto value = load(cmd.args[1]);
+    KeyRef key = keyArg(cmd);
+    auto value = load(key);
     if (!value)
         return {RespStatus::Ok, "0", ""};
     if (value->empty() || (*value)[0] != 'H')
@@ -448,7 +462,7 @@ CommandStore::doHdel(const Command &cmd)
         if (pairs[i] == cmd.args[2]) {
             pairs.erase(pairs.begin() + static_cast<long>(i),
                         pairs.begin() + static_cast<long>(i) + 2);
-            storeValue(cmd.args[1], encodeList(pairs, 'H'));
+            storeValue(key, encodeList(pairs, 'H'));
             return {RespStatus::Ok, "1", ""};
         }
     }
@@ -461,8 +475,9 @@ CommandStore::doLock(const Command &cmd, std::uint16_t session)
     if (cmd.args.size() != 2)
         return {RespStatus::Error, "LOCK arity", ""};
     std::string key = "\x02lock:" + cmd.args[1];
+    KeyRef lockRef{std::string_view(key)};
     std::string owner = std::to_string(session);
-    if (auto value = load(key)) {
+    if (auto value = load(lockRef)) {
         std::string held = value->substr(1);
         if (held != owner)
             return {RespStatus::Locked, held, ""};
@@ -470,7 +485,7 @@ CommandStore::doLock(const Command &cmd, std::uint16_t session)
         // lock reply is lost across a crash and the client retries).
         return {RespStatus::Ok, "OK", ""};
     }
-    storeValue(key, typed('S', owner));
+    storeValue(lockRef, typed('S', owner));
     return {RespStatus::Ok, "OK", ""};
 }
 
@@ -480,13 +495,14 @@ CommandStore::doUnlock(const Command &cmd, std::uint16_t session)
     if (cmd.args.size() != 2)
         return {RespStatus::Error, "UNLOCK arity", ""};
     std::string key = "\x02lock:" + cmd.args[1];
+    KeyRef lockRef{std::string_view(key)};
     std::string owner = std::to_string(session);
-    auto value = load(key);
+    auto value = load(lockRef);
     if (!value)
         return {RespStatus::Ok, "OK", ""}; // already released (retry)
     if (value->substr(1) != owner)
         return {RespStatus::Locked, value->substr(1), ""};
-    store_->erase(key);
+    store_->erase(lockRef);
     return {RespStatus::Ok, "OK", ""};
 }
 

@@ -90,9 +90,13 @@ class CommandStore
     Result doLock(const Command &cmd, std::uint16_t session);
     Result doUnlock(const Command &cmd, std::uint16_t session);
 
-    /** Load a typed value; empty optional when absent. */
-    std::optional<std::string> load(const std::string &key);
-    void storeValue(const std::string &key, const std::string &typed);
+    /**
+     * Load a typed value; empty optional when absent. Takes a KeyRef
+     * so each command hashes its key exactly once, no matter how many
+     * load/store round-trips it performs.
+     */
+    std::optional<std::string> load(KeyRef key);
+    void storeValue(KeyRef key, const std::string &typed);
 
     std::vector<std::string> loadList(const std::string &raw) const;
     std::string encodeList(const std::vector<std::string> &items,

@@ -125,42 +125,61 @@ decodeResponse(const Bytes &wire)
 std::optional<pmnetdev::ParsedUpdate>
 KvCacheCodec::parseUpdate(const Bytes &payload) const
 {
-    auto cmd = decodeCommand(payload);
-    if (!cmd || cmd->args.size() != 3 || cmd->verb() != "SET")
+    // Zero-copy decode of exactly {"SET", key, value}: no Command, no
+    // string materialization — the returned views point into payload
+    // and the key hash is computed here, once per packet.
+    ByteReader reader(payload);
+    if (reader.readU16() != 3)
         return std::nullopt;
-    pmnetdev::ParsedUpdate parsed;
-    parsed.key = cmd->args[1];
-    parsed.value = Bytes(cmd->args[2].begin(), cmd->args[2].end());
-    return parsed;
+    std::string_view verb = reader.readStringView();
+    std::string_view key = reader.readStringView();
+    std::string_view value = reader.readStringView();
+    if (!reader.ok() || verb != "SET")
+        return std::nullopt;
+    return pmnetdev::ParsedUpdate{KeyRef(key), value};
 }
 
-std::optional<std::string>
+std::optional<KeyRef>
 KvCacheCodec::parseRead(const Bytes &payload) const
 {
-    auto cmd = decodeCommand(payload);
-    if (!cmd || cmd->args.size() != 2 || cmd->verb() != "GET")
+    ByteReader reader(payload);
+    if (reader.readU16() != 2)
         return std::nullopt;
-    return cmd->args[1];
+    std::string_view verb = reader.readStringView();
+    std::string_view key = reader.readStringView();
+    if (!reader.ok() || verb != "GET")
+        return std::nullopt;
+    return KeyRef(key);
 }
 
 std::optional<pmnetdev::ParsedUpdate>
 KvCacheCodec::parseReadResponse(const Bytes &payload) const
 {
-    auto resp = decodeResponse(payload);
-    if (!resp || resp->status != RespStatus::Ok || resp->key.empty())
+    ByteReader reader(payload);
+    std::uint8_t kind = reader.readU8();
+    std::uint8_t status = reader.readU8();
+    if (!reader.ok() || kind != static_cast<std::uint8_t>(RespKind::Get) ||
+        status != static_cast<std::uint8_t>(RespStatus::Ok))
         return std::nullopt;
-    pmnetdev::ParsedUpdate parsed;
-    parsed.key = resp->key;
-    parsed.value = Bytes(resp->value.begin(), resp->value.end());
-    return parsed;
+    std::string_view key = reader.readStringView();
+    std::string_view value = reader.readStringView();
+    if (!reader.ok() || key.empty())
+        return std::nullopt;
+    return pmnetdev::ParsedUpdate{KeyRef(key), value};
 }
 
 Bytes
-KvCacheCodec::makeReadResponse(const std::string &key,
+KvCacheCodec::makeReadResponse(std::string_view key,
                                const Bytes &value) const
 {
-    return encodeGetResponse(RespStatus::Ok, key,
-                             std::string(value.begin(), value.end()));
+    Bytes out;
+    ByteWriter writer(out);
+    writer.writeU8(static_cast<std::uint8_t>(RespKind::Get));
+    writer.writeU8(static_cast<std::uint8_t>(RespStatus::Ok));
+    writer.writeString(key);
+    writer.writeString(std::string_view(
+        reinterpret_cast<const char *>(value.data()), value.size()));
+    return out;
 }
 
 } // namespace pmnet::apps

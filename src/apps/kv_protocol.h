@@ -86,6 +86,10 @@ std::optional<Response> decodeResponse(const Bytes &wire);
  * CacheCodec over this protocol: SET fills, GET probes, GET responses
  * populate (paper Section IV-D: "key lookups using the GET/SET
  * interface").
+ *
+ * The parsers are zero-copy: they return views into the payload and
+ * never materialize a Command, so a cacheable packet costs one key
+ * hash and no allocation on the device.
  */
 class KvCacheCodec : public pmnetdev::CacheCodec
 {
@@ -93,13 +97,13 @@ class KvCacheCodec : public pmnetdev::CacheCodec
     std::optional<pmnetdev::ParsedUpdate>
     parseUpdate(const Bytes &payload) const override;
 
-    std::optional<std::string>
+    std::optional<KeyRef>
     parseRead(const Bytes &payload) const override;
 
     std::optional<pmnetdev::ParsedUpdate>
     parseReadResponse(const Bytes &payload) const override;
 
-    Bytes makeReadResponse(const std::string &key,
+    Bytes makeReadResponse(std::string_view key,
                            const Bytes &value) const override;
 };
 

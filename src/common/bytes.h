@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <cstring>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace pmnet {
@@ -75,7 +76,7 @@ class ByteWriter
 
     /** Length-prefixed (u32) string. */
     void
-    writeString(const std::string &s)
+    writeString(std::string_view s)
     {
         writeU32(static_cast<std::uint32_t>(s.size()));
         writeBytes(s.data(), s.size());
@@ -208,6 +209,23 @@ class ByteReader
         if (!require(len))
             return {};
         std::string out(reinterpret_cast<const char *>(data_ + pos_), len);
+        pos_ += len;
+        return out;
+    }
+
+    /**
+     * Zero-copy readString: a view into the reader's buffer (the
+     * per-packet parse fast path — no allocation). Valid only while
+     * the underlying buffer lives; empty view on truncation.
+     */
+    std::string_view
+    readStringView()
+    {
+        std::uint32_t len = readU32();
+        if (!require(len))
+            return {};
+        std::string_view out(reinterpret_cast<const char *>(data_ + pos_),
+                             len);
         pos_ += len;
         return out;
     }

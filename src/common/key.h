@@ -1,0 +1,344 @@
+/**
+ * @file
+ * The key fast path: hash once, carry the hash with the key.
+ *
+ * Every keyed lookup the data plane performs — the in-switch read
+ * cache on UPDATE/READ packets, the server KV store on applied
+ * requests — used to construct a std::string and re-hash it inside
+ * each container. KeyRef is a non-owning view plus a 64-bit hash
+ * computed exactly once, where the packet is parsed; every table on
+ * the request path accepts it directly (heterogeneous lookup), so a
+ * key is never copied and never hashed twice per packet.
+ *
+ * FlatKeyTable is the matching string-keyed open-addressing table:
+ * power-of-two slot array with linear probing and tombstone-free
+ * backward-shift deletion, entries in a stable slab addressed by
+ * 32-bit indices. The stable indices are what make an *intrusive* LRU
+ * possible on top (prev/next links stored in the entry itself — see
+ * pmnet::ReadCache), replacing the node-per-key std::list that
+ * allocated on every touch.
+ */
+
+#ifndef PMNET_COMMON_KEY_H
+#define PMNET_COMMON_KEY_H
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace pmnet {
+
+/**
+ * 64-bit key hash (MurmurHash64A). Strong bit diffusion so the low
+ * bits can index power-of-two tables directly, and cheap enough to
+ * run once per packet at parse time.
+ */
+inline std::uint64_t
+hashKey(const void *data, std::size_t len)
+{
+    constexpr std::uint64_t m = 0xC6A4A7935BD1E995ull;
+    constexpr int r = 47;
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    std::uint64_t h = 0x8445D61A4E774912ull ^ (len * m);
+
+    for (; len >= 8; p += 8, len -= 8) {
+        std::uint64_t k;
+        std::memcpy(&k, p, 8);
+        k *= m;
+        k ^= k >> r;
+        k *= m;
+        h ^= k;
+        h *= m;
+    }
+
+    std::uint64_t tail = 0;
+    switch (len) {
+      case 7: tail ^= std::uint64_t(p[6]) << 48; [[fallthrough]];
+      case 6: tail ^= std::uint64_t(p[5]) << 40; [[fallthrough]];
+      case 5: tail ^= std::uint64_t(p[4]) << 32; [[fallthrough]];
+      case 4: tail ^= std::uint64_t(p[3]) << 24; [[fallthrough]];
+      case 3: tail ^= std::uint64_t(p[2]) << 16; [[fallthrough]];
+      case 2: tail ^= std::uint64_t(p[1]) << 8;  [[fallthrough]];
+      case 1:
+        tail ^= std::uint64_t(p[0]);
+        h ^= tail;
+        h *= m;
+        break;
+      case 0:
+        break;
+    }
+
+    h ^= h >> r;
+    h *= m;
+    h ^= h >> r;
+    return h;
+}
+
+inline std::uint64_t
+hashKey(std::string_view key)
+{
+    return hashKey(key.data(), key.size());
+}
+
+/**
+ * A non-owning key view carrying its hash.
+ *
+ * Construction from bytes is the single point where the hash is
+ * computed; everything downstream (cache, KV store, tables) reuses
+ * it. The view must outlive the call it is passed to — typically it
+ * points into a packet payload or a caller-owned std::string.
+ */
+class KeyRef
+{
+  public:
+    KeyRef() = default;
+
+    /** Hash-once entry point (use at parse time). */
+    explicit KeyRef(std::string_view key)
+        : view_(key), hash_(hashKey(key)) {}
+
+    /** Re-wrap an already-hashed key (hash must be hashKey(key)). */
+    KeyRef(std::string_view key, std::uint64_t hash)
+        : view_(key), hash_(hash) {}
+
+    std::string_view view() const { return view_; }
+    std::uint64_t hash() const { return hash_; }
+
+    const char *data() const { return view_.data(); }
+    std::size_t size() const { return view_.size(); }
+
+    bool
+    operator==(const KeyRef &other) const
+    {
+        return hash_ == other.hash_ && view_ == other.view_;
+    }
+
+  private:
+    std::string_view view_;
+    std::uint64_t hash_ = 0;
+};
+
+/**
+ * String-keyed open-addressing hash table with stable entry indices.
+ *
+ * Layout: a power-of-two slot array of 32-bit entry indices (linear
+ * probing, tombstone-free backward-shift deletion) over a slab of
+ * entries {key, hash, value}. Erasing or growing never moves slab
+ * entries, so an Index handed out by find()/insert() stays valid
+ * until that entry is erased — which lets values embed intrusive
+ * links (LRU lists) keyed by Index.
+ *
+ * Lookup is heterogeneous by KeyRef: the caller's precomputed hash
+ * selects the probe window and prefilters candidates, so a probe
+ * costs one index load + one hash compare per step and the key bytes
+ * are only compared on a hash match.
+ */
+template <typename T>
+class FlatKeyTable
+{
+  public:
+    using Index = std::uint32_t;
+
+    /** Sentinel: not an entry (absent key, empty slot, null link). */
+    static constexpr Index kNil = 0xFFFFFFFFu;
+
+    struct Entry
+    {
+        std::string key;
+        std::uint64_t hash = 0;
+        T value{};
+    };
+
+    explicit FlatKeyTable(std::size_t min_slots = 16)
+    {
+        std::size_t n = 16;
+        while (n < min_slots)
+            n <<= 1;
+        slots_.assign(n, kNil);
+        mask_ = n - 1;
+    }
+
+    /** Index of @p key, or kNil. */
+    Index
+    find(KeyRef key) const
+    {
+        for (std::size_t i = key.hash() & mask_;; i = (i + 1) & mask_) {
+            Index idx = slots_[i];
+            if (idx == kNil)
+                return kNil;
+            const Entry &entry = entries_[idx];
+            if (entry.hash == key.hash() && entry.key == key.view())
+                return idx;
+        }
+    }
+
+    /**
+     * Find-or-insert @p key (value default-constructed on insert).
+     * @return {index, true} when inserted, {index, false} when found.
+     */
+    std::pair<Index, bool>
+    insert(KeyRef key)
+    {
+        // Keep load <= 3/4 so probe sequences stay short.
+        if ((live_ + 1) * 4 > slots_.size() * 3)
+            grow();
+        for (std::size_t i = key.hash() & mask_;; i = (i + 1) & mask_) {
+            Index idx = slots_[i];
+            if (idx == kNil) {
+                idx = allocEntry(key);
+                slots_[i] = idx;
+                live_++;
+                return {idx, true};
+            }
+            const Entry &entry = entries_[idx];
+            if (entry.hash == key.hash() && entry.key == key.view())
+                return {idx, false};
+        }
+    }
+
+    /** Erase @p key. @return true when it existed. */
+    bool
+    erase(KeyRef key)
+    {
+        for (std::size_t i = key.hash() & mask_;; i = (i + 1) & mask_) {
+            Index idx = slots_[i];
+            if (idx == kNil)
+                return false;
+            const Entry &entry = entries_[idx];
+            if (entry.hash == key.hash() && entry.key == key.view()) {
+                removeSlot(i);
+                freeEntry(idx);
+                return true;
+            }
+        }
+    }
+
+    /** Erase the entry at @p idx (must be live). */
+    void
+    eraseIndex(Index idx)
+    {
+        const Entry &entry = entries_[idx];
+        for (std::size_t i = entry.hash & mask_;; i = (i + 1) & mask_) {
+            if (slots_[i] == idx) {
+                removeSlot(i);
+                freeEntry(idx);
+                return;
+            }
+            if (slots_[i] == kNil)
+                panic("FlatKeyTable: eraseIndex of unreachable entry");
+        }
+    }
+
+    Entry &entry(Index idx) { return entries_[idx]; }
+    const Entry &entry(Index idx) const { return entries_[idx]; }
+
+    std::size_t size() const { return live_; }
+    bool empty() const { return live_ == 0; }
+    std::size_t slotCount() const { return slots_.size(); }
+
+    void
+    clear()
+    {
+        slots_.assign(slots_.size(), kNil);
+        entries_.clear();
+        freeList_.clear();
+        live_ = 0;
+    }
+
+    /** Visit every live entry (unspecified order). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (Index idx : slots_)
+            if (idx != kNil)
+                fn(entries_[idx]);
+    }
+
+  private:
+    Index
+    allocEntry(KeyRef key)
+    {
+        Index idx;
+        if (!freeList_.empty()) {
+            idx = freeList_.back();
+            freeList_.pop_back();
+        } else {
+            if (entries_.size() >= kNil)
+                fatal("FlatKeyTable: entry count exceeds 2^32-1");
+            idx = static_cast<Index>(entries_.size());
+            entries_.emplace_back();
+        }
+        Entry &entry = entries_[idx];
+        entry.key.assign(key.view()); // reuses freed capacity
+        entry.hash = key.hash();
+        return idx;
+    }
+
+    void
+    freeEntry(Index idx)
+    {
+        Entry &entry = entries_[idx];
+        entry.key.clear();
+        entry.hash = 0;
+        entry.value = T{};
+        freeList_.push_back(idx);
+        live_--;
+    }
+
+    /**
+     * Backward-shift deletion (Knuth 6.4, Algorithm R): close the gap
+     * at slot @p i by shifting later probe-chain members down, so no
+     * tombstones are ever needed.
+     */
+    void
+    removeSlot(std::size_t i)
+    {
+        std::size_t j = i;
+        for (;;) {
+            j = (j + 1) & mask_;
+            Index idx = slots_[j];
+            if (idx == kNil)
+                break;
+            std::size_t home = entries_[idx].hash & mask_;
+            // Shift down only if the element's probe path covers i:
+            // the cyclic distance home->j must reach back to i.
+            if (((j - home) & mask_) >= ((j - i) & mask_)) {
+                slots_[i] = idx;
+                i = j;
+            }
+        }
+        slots_[i] = kNil;
+    }
+
+    void
+    grow()
+    {
+        std::vector<Index> old = std::move(slots_);
+        slots_.assign(old.size() * 2, kNil);
+        mask_ = slots_.size() - 1;
+        // Re-place by stored hash: growth never re-reads key bytes.
+        for (Index idx : old) {
+            if (idx == kNil)
+                continue;
+            std::size_t i = entries_[idx].hash & mask_;
+            while (slots_[i] != kNil)
+                i = (i + 1) & mask_;
+            slots_[i] = idx;
+        }
+    }
+
+    std::vector<Index> slots_;
+    std::vector<Entry> entries_;
+    std::vector<Index> freeList_;
+    std::size_t mask_ = 0;
+    std::size_t live_ = 0;
+};
+
+} // namespace pmnet
+
+#endif // PMNET_COMMON_KEY_H

@@ -77,10 +77,49 @@ freeSizedBlob(pm::PmHeap &heap, pm::PmOffset offset)
 }
 
 int
-compareKey(const pm::PmHeap &heap, const std::string &key, BlobRef ref)
+compareKey(const pm::PmHeap &heap, std::string_view key, BlobRef ref)
 {
-    std::string stored = readBlobString(heap, ref);
-    return key.compare(stored) < 0 ? -1 : (key == stored ? 0 : 1);
+    // Reads the whole stored blob — no early exit — so the simulated
+    // PM lines touched are exactly those the old materializing
+    // (std::string) implementation read. Only the host-side
+    // allocation is gone; the modeled traffic is unchanged. Blobs up
+    // to 256 bytes (every key in practice) take a single read into a
+    // stack buffer, just like the old single readBlobString read.
+    std::size_t stored = ref.length;
+    int cmp = 0;
+    char buf[256];
+    if (stored <= sizeof(buf)) {
+        if (stored > 0)
+            heap.read(ref.offset, buf, stored);
+        std::size_t m = key.size() < stored ? key.size() : stored;
+        if (m > 0)
+            cmp = std::memcmp(key.data(), buf, m);
+    } else {
+        // Oversized keys: line-aligned chunks cover the same span as
+        // one whole-blob read, keeping the accrued line count equal.
+        for (std::size_t done = 0; done < stored;) {
+            std::size_t n = stored - done;
+            std::size_t to_line =
+                pm::kCacheLine - (ref.offset + done) % pm::kCacheLine;
+            if (n > to_line)
+                n = to_line;
+            heap.read(ref.offset + done, buf, n);
+            if (cmp == 0 && done < key.size()) {
+                std::size_t m = key.size() - done;
+                if (m > n)
+                    m = n;
+                int c = std::memcmp(key.data() + done, buf, m);
+                if (c != 0)
+                    cmp = c < 0 ? -1 : 1;
+            }
+            done += n;
+        }
+    }
+    if (cmp != 0)
+        return cmp < 0 ? -1 : 1;
+    if (key.size() == stored)
+        return 0;
+    return key.size() < stored ? -1 : 1;
 }
 
 } // namespace pmnet::kv

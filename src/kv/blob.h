@@ -12,6 +12,7 @@
 #define PMNET_KV_BLOB_H
 
 #include <string>
+#include <string_view>
 
 #include "common/bytes.h"
 #include "pm/pm_heap.h"
@@ -54,10 +55,11 @@ void freeBlob(pm::PmHeap &heap, BlobRef ref);
 
 /**
  * Three-way comparison of @p key against the blob at @p ref.
+ * Compares in place against the heap image in fixed-size chunks —
+ * no allocation, and unequal keys usually stop within one chunk.
  * @return <0, 0 or >0 in strcmp style.
  */
-int compareKey(const pm::PmHeap &heap, const std::string &key,
-               BlobRef ref);
+int compareKey(const pm::PmHeap &heap, std::string_view key, BlobRef ref);
 
 /** @name Self-sized blobs
  * A sized blob embeds its own length ([u32 len][bytes]) so it is

@@ -36,6 +36,11 @@ class PmBTree : public StoreBase
     explicit PmBTree(pm::PmHeap &heap);
     PmBTree(pm::PmHeap &heap, pm::PmOffset header_offset);
 
+    /** Comparison-ordered: KeyRef adapters from KvStore apply. */
+    using KvStore::put;
+    using KvStore::get;
+    using KvStore::erase;
+
     void put(const std::string &key, const Bytes &value) override;
     std::optional<Bytes> get(const std::string &key) const override;
     bool erase(const std::string &key) override;

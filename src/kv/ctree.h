@@ -31,6 +31,11 @@ class PmCTree : public StoreBase
     explicit PmCTree(pm::PmHeap &heap);
     PmCTree(pm::PmHeap &heap, pm::PmOffset header_offset);
 
+    /** Comparison-ordered: KeyRef adapters from KvStore apply. */
+    using KvStore::put;
+    using KvStore::get;
+    using KvStore::erase;
+
     void put(const std::string &key, const Bytes &value) override;
     std::optional<Bytes> get(const std::string &key) const override;
     bool erase(const std::string &key) override;

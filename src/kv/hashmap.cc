@@ -1,5 +1,7 @@
 #include "kv/hashmap.h"
 
+#include <cstring>
+
 #include "common/crc32.h"
 #include "common/logging.h"
 
@@ -31,10 +33,90 @@ PmHashmap::PmHashmap(pm::PmHeap &heap, pm::PmOffset header_offset)
 }
 
 std::uint64_t
-PmHashmap::bucketSlot(const std::string &key) const
+PmHashmap::bucketSlot(KeyRef key) const
 {
+    // crc32, not KeyRef's 64-bit hash: the bucket mapping is part of
+    // the persistent format and pins the simulated chain lengths.
     std::uint32_t hash = crc32(key.data(), key.size());
     return buckets_ + 8 * (hash & (bucketCount_ - 1));
+}
+
+PmHashmap::Walk
+PmHashmap::walkChain(std::uint64_t slot, KeyRef key) const
+{
+    Walk w;
+    w.chain = shadow_.findChain(slot);
+    std::size_t cached = w.chain ? w.chain->size() : 0;
+    ChainEntry staged[kStageMax];
+    std::size_t nstaged = 0;
+    pm::PmOffset cursor = heap_.readObj<std::uint64_t>(slot);
+    pm::PmOffset prev = pm::kNullOffset;
+    std::size_t i = 0;
+    bool found = false;
+    Node node{};
+
+    while (cursor != pm::kNullOffset) {
+        if (i < cached) {
+            const ChainEntry &e = (*w.chain)[i];
+            node = e.node;
+            if (e.forceCompare || e.hash == key.hash()) {
+                // The modeled server reads the node record either
+                // way; a hash match still needs the byte compare.
+                heap_.chargeRead(cursor, sizeof(Node));
+                found = compareKey(heap_, key.view(), e.node.key) == 0;
+            } else {
+                // Provably no match. The modeled walk still reads the
+                // node record and the stored key to compare it —
+                // charge those PM lines (precomputed at learn time),
+                // skip only the host-side byte work.
+                heap_.chargeReadLines(e.missLines);
+            }
+        } else {
+            // Beyond the shadowed prefix: do the real reads, and
+            // stage the entry in case this bucket earns a shadow.
+            node = heap_.readObj<Node>(cursor);
+            ChainEntry e;
+            e.node = node;
+            e.missLines = missLines(cursor, node);
+            std::size_t stored = node.key.length;
+            if (stored > 256) {
+                e.forceCompare = true;
+                found = compareKey(heap_, key.view(), node.key) == 0;
+            } else {
+                char buf[256];
+                if (stored > 0)
+                    heap_.read(node.key.offset, buf, stored);
+                e.hash = hashKey(buf, stored);
+                std::size_t m = key.size() < stored ? key.size() : stored;
+                int cmp = m > 0 ? std::memcmp(key.data(), buf, m) : 0;
+                found = cmp == 0 && key.size() == stored;
+            }
+            // An overflowing walk just stops learning this round; the
+            // staged entries still extend the prefix contiguously.
+            if (nstaged < kStageMax)
+                staged[nstaged++] = e;
+        }
+        if (found)
+            break;
+        prev = cursor;
+        cursor = node.next;
+        i++;
+    }
+
+    std::size_t visited = i + (found ? 1 : 0);
+    if (nstaged > 0 && (w.chain || visited >= kMinShadowDepth)) {
+        if (!w.chain)
+            w.chain = &shadow_.chain(slot);
+        for (std::size_t k = 0; k < nstaged; k++)
+            w.chain->push_back(staged[k]);
+    }
+
+    w.found = found;
+    w.pos = i;
+    w.off = cursor;
+    w.prevOff = prev;
+    w.node = node;
+    return w;
 }
 
 void
@@ -47,33 +129,31 @@ PmHashmap::bumpCount(std::int64_t delta)
 }
 
 void
-PmHashmap::put(const std::string &key, const Bytes &value)
+PmHashmap::put(KeyRef key, const Bytes &value)
 {
     std::uint64_t slot = bucketSlot(key);
-    pm::PmOffset cursor = heap_.readObj<std::uint64_t>(slot);
+    Walk w = walkChain(slot, key);
 
-    while (cursor != pm::kNullOffset) {
-        Node node = heap_.readObj<Node>(cursor);
-        if (compareKey(heap_, key, node.key) == 0) {
-            // In-place value replacement: persist the new blob, then
-            // atomically swap the 8-byte value pointer.
-            pm::PmOffset old_val = node.valPtr;
-            pm::PmOffset new_val = writeSizedBlob(heap_, value);
-            heap_.fence();
-            heap_.writeObj<std::uint64_t>(
-                cursor + offsetof(Node, valPtr), new_val);
-            heap_.flush(cursor + offsetof(Node, valPtr), 8);
-            heap_.fence();
-            freeSizedBlob(heap_, old_val);
-            return;
-        }
-        cursor = node.next;
+    if (w.found) {
+        // In-place value replacement: persist the new blob, then
+        // atomically swap the 8-byte value pointer.
+        pm::PmOffset old_val = w.node.valPtr;
+        pm::PmOffset new_val = writeSizedBlob(heap_, value);
+        heap_.fence();
+        heap_.writeObj<std::uint64_t>(w.off + offsetof(Node, valPtr),
+                                      new_val);
+        heap_.flush(w.off + offsetof(Node, valPtr), 8);
+        heap_.fence();
+        if (w.chain && w.pos < w.chain->size())
+            (*w.chain)[w.pos].node.valPtr = new_val;
+        freeSizedBlob(heap_, old_val);
+        return;
     }
 
     // Insert at head.
     pm::PmOffset head = heap_.readObj<std::uint64_t>(slot);
     Node node;
-    node.key = writeBlob(heap_, key);
+    node.key = writeBlob(heap_, key.data(), key.size());
     node.valPtr = writeSizedBlob(heap_, value);
     node.next = head;
     pm::PmOffset node_off = heap_.alloc(sizeof(Node));
@@ -84,46 +164,50 @@ PmHashmap::put(const std::string &key, const Bytes &value)
     heap_.writeObj<std::uint64_t>(slot, node_off);
     heap_.flush(slot, 8);
     heap_.fence();
+    if (Chain *chain = shadow_.findChain(slot)) {
+        ChainEntry e;
+        e.hash = key.hash();
+        e.missLines = missLines(node_off, node);
+        e.node = node;
+        chain->insert(chain->begin(), e);
+    }
     bumpCount(+1);
 }
 
 std::optional<Bytes>
-PmHashmap::get(const std::string &key) const
+PmHashmap::get(KeyRef key) const
 {
-    pm::PmOffset cursor =
-        heap_.readObj<std::uint64_t>(bucketSlot(key));
-    while (cursor != pm::kNullOffset) {
-        Node node = heap_.readObj<Node>(cursor);
-        if (compareKey(heap_, key, node.key) == 0)
-            return readSizedBlob(heap_, node.valPtr);
-        cursor = node.next;
-    }
+    Walk w = walkChain(bucketSlot(key), key);
+    if (w.found)
+        return readSizedBlob(heap_, w.node.valPtr);
     return std::nullopt;
 }
 
 bool
-PmHashmap::erase(const std::string &key)
+PmHashmap::erase(KeyRef key)
 {
-    std::uint64_t prev_slot = bucketSlot(key);
-    pm::PmOffset cursor = heap_.readObj<std::uint64_t>(prev_slot);
+    std::uint64_t slot = bucketSlot(key);
+    Walk w = walkChain(slot, key);
+    if (!w.found)
+        return false;
 
-    while (cursor != pm::kNullOffset) {
-        Node node = heap_.readObj<Node>(cursor);
-        if (compareKey(heap_, key, node.key) == 0) {
-            // Linearization: unlink via one pointer swap.
-            heap_.writeObj<std::uint64_t>(prev_slot, node.next);
-            heap_.flush(prev_slot, 8);
-            heap_.fence();
-            freeBlob(heap_, node.key);
-            freeSizedBlob(heap_, node.valPtr);
-            heap_.free(cursor, sizeof(Node));
-            bumpCount(-1);
-            return true;
-        }
-        prev_slot = cursor + offsetof(Node, next);
-        cursor = node.next;
+    // Linearization: unlink via one pointer swap.
+    std::uint64_t prev_slot =
+        w.pos == 0 ? slot : w.prevOff + offsetof(Node, next);
+    heap_.writeObj<std::uint64_t>(prev_slot, w.node.next);
+    heap_.flush(prev_slot, 8);
+    heap_.fence();
+    if (w.chain) {
+        if (w.pos > 0 && w.pos - 1 < w.chain->size())
+            (*w.chain)[w.pos - 1].node.next = w.node.next;
+        if (w.pos < w.chain->size())
+            w.chain->erase(w.chain->begin() + static_cast<long>(w.pos));
     }
-    return false;
+    freeBlob(heap_, w.node.key);
+    freeSizedBlob(heap_, w.node.valPtr);
+    heap_.free(w.off, sizeof(Node));
+    bumpCount(-1);
+    return true;
 }
 
 } // namespace pmnet::kv

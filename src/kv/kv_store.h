@@ -31,6 +31,7 @@
 #include <string>
 
 #include "common/bytes.h"
+#include "common/key.h"
 #include "pm/pm_heap.h"
 
 namespace pmnet::kv {
@@ -46,7 +47,16 @@ enum class KvKind : std::uint32_t {
 
 const char *kvKindName(KvKind kind);
 
-/** Uniform key-value API over any of the five structures. */
+/**
+ * Uniform key-value API over any of the five structures.
+ *
+ * Each operation has two entry points: the classic std::string form
+ * and a KeyRef form carrying the hash computed where the request was
+ * parsed. Hash-indexed structures (Hashmap) override the KeyRef form
+ * as their fast path; comparison-ordered structures (trees, skip
+ * list) ignore the hash and the default adapters below forward to
+ * the string form.
+ */
 class KvStore
 {
   public:
@@ -60,6 +70,31 @@ class KvStore
 
     /** Remove @p key. @return true if it existed. */
     virtual bool erase(const std::string &key) = 0;
+
+    /** @name Hash-once entry points
+     * Default adapters materialize a std::string; hash-indexed
+     * structures override them to use key.hash() directly and never
+     * copy the key on lookup paths.
+     *  @{
+     */
+    virtual void
+    put(KeyRef key, const Bytes &value)
+    {
+        put(std::string(key.view()), value);
+    }
+
+    virtual std::optional<Bytes>
+    get(KeyRef key) const
+    {
+        return get(std::string(key.view()));
+    }
+
+    virtual bool
+    erase(KeyRef key)
+    {
+        return erase(std::string(key.view()));
+    }
+    /** @} */
 
     /** Number of live keys (persisted counter). */
     virtual std::uint64_t size() const = 0;

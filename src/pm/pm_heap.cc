@@ -56,12 +56,22 @@ PmHeap::alloc(std::uint64_t size)
     counts_.allocs++;
 
     // Exact-size free-list reuse first.
-    auto it = freeLists_.find(rounded);
-    if (it != freeLists_.end() && !it->second.empty()) {
-        PmOffset off = it->second.back();
-        it->second.pop_back();
-        freeBytes_ -= rounded;
-        return off;
+    if (rounded <= kSmallClassMax) {
+        std::vector<PmOffset> &list = smallFree_[rounded >> 4];
+        if (!list.empty()) {
+            PmOffset off = list.back();
+            list.pop_back();
+            freeBytes_ -= rounded;
+            return off;
+        }
+    } else {
+        auto it = freeLists_.find(rounded);
+        if (it != freeLists_.end() && !it->second.empty()) {
+            PmOffset off = it->second.back();
+            it->second.pop_back();
+            freeBytes_ -= rounded;
+            return off;
+        }
     }
 
     Header header = loadHeader();
@@ -85,7 +95,10 @@ PmHeap::free(PmOffset offset, std::uint64_t size)
         return;
     std::uint64_t rounded = (size + 15) & ~15ull;
     checkRange(offset, rounded);
-    freeLists_[rounded].push_back(offset);
+    if (rounded <= kSmallClassMax)
+        smallFree_[rounded >> 4].push_back(offset);
+    else
+        freeLists_[rounded].push_back(offset);
     freeBytes_ += rounded;
 }
 
@@ -122,9 +135,11 @@ PmHeap::flush(PmOffset offset, std::size_t len)
     PmOffset last = (end + kCacheLine - 1) / kCacheLine * kCacheLine;
     if (last > capacity_)
         last = capacity_;
-    Bytes content(volatileImage_.begin() + static_cast<long>(first),
-                  volatileImage_.begin() + static_cast<long>(last));
-    staged_.emplace_back(first, std::move(content));
+    std::size_t pos = stageArena_.size();
+    stageArena_.insert(stageArena_.end(),
+                       volatileImage_.begin() + static_cast<long>(first),
+                       volatileImage_.begin() + static_cast<long>(last));
+    staged_.push_back(StagedRange{first, pos, last - first});
 
     std::size_t lines = CostModel::linesSpanned(offset, len);
     counts_.flushLines += lines;
@@ -139,11 +154,12 @@ PmHeap::fence()
         accrued_ += model_.fenceEmpty;
         return;
     }
-    for (const auto &[off, bytes] : staged_) {
-        std::memcpy(durableImage_.data() + off, bytes.data(),
-                    bytes.size());
+    for (const StagedRange &r : staged_) {
+        std::memcpy(durableImage_.data() + r.off,
+                    stageArena_.data() + r.pos, r.len);
     }
     staged_.clear();
+    stageArena_.clear();
     accrued_ += model_.fenceDrain;
 }
 
@@ -168,8 +184,11 @@ void
 PmHeap::crash()
 {
     staged_.clear();
+    stageArena_.clear();
     volatileImage_ = durableImage_;
     // Volatile allocator metadata (free lists) is lost.
+    for (std::vector<PmOffset> &list : smallFree_)
+        list.clear();
     freeLists_.clear();
     freeBytes_ = 0;
     Header header = loadHeader();

@@ -94,6 +94,28 @@ class PmHeap
     /** Load bytes from the volatile image. */
     void read(PmOffset offset, void *out, std::size_t len) const;
 
+    /**
+     * Account a read without copying any bytes. For callers that can
+     * prove the read's outcome by other means (e.g. a volatile hash
+     * index over persistent keys): the modeled device still performs
+     * the read, so its lines are charged exactly as read() would, but
+     * the host skips the byte work. Simulated behavior is identical
+     * by construction; only wall-clock time changes.
+     */
+    void
+    chargeRead(PmOffset offset, std::size_t len) const
+    {
+        chargeReadLines(CostModel::linesSpanned(offset, len));
+    }
+
+    /** Same, for a precomputed line count. */
+    void
+    chargeReadLines(std::size_t lines) const
+    {
+        counts_.readLines += lines;
+        accrued_ += model_.readPerLine * static_cast<TickDelta>(lines);
+    }
+
     /** clwb: stage the current content of the range for persistence. */
     void flush(PmOffset offset, std::size_t len);
 
@@ -195,9 +217,28 @@ class PmHeap
     CostModel model_;
     Bytes volatileImage_;
     Bytes durableImage_;
-    /** Ranges staged by flush(), applied to durable at fence(). */
-    std::vector<std::pair<PmOffset, Bytes>> staged_;
-    /** Volatile free lists keyed by block size. */
+    /**
+     * Ranges staged by flush(), applied to durable at fence(). The
+     * byte content lives in a flat arena reused across fences (clear
+     * keeps capacity), so steady-state flush/fence never allocates.
+     */
+    struct StagedRange
+    {
+        PmOffset off;
+        std::size_t pos;
+        std::size_t len;
+    };
+    std::vector<StagedRange> staged_;
+    Bytes stageArena_;
+    /**
+     * Volatile free lists keyed by (16-byte rounded) block size.
+     * Small classes are direct-indexed by size/16 — the hot path for
+     * the node/blob-sized blocks every keyed op recycles — with the
+     * ordered map as the fallback for large blocks.
+     */
+    static constexpr std::uint64_t kSmallClassMax = 512;
+    std::vector<std::vector<PmOffset>> smallFree_ =
+        std::vector<std::vector<PmOffset>>(kSmallClassMax / 16 + 1);
     std::map<std::uint64_t, std::vector<PmOffset>> freeLists_;
     std::uint64_t freeBytes_ = 0;
 

@@ -15,17 +15,25 @@
 #define PMNET_PMNET_CACHE_CODEC_H
 
 #include <optional>
-#include <string>
+#include <string_view>
 
 #include "common/bytes.h"
+#include "common/key.h"
 
 namespace pmnet::pmnetdev {
 
-/** A parsed update: which key it writes and the new value bytes. */
+/**
+ * A parsed update: which key it writes and the new value bytes.
+ *
+ * Both fields are zero-copy views into the parsed payload (valid only
+ * while it lives). The key is a KeyRef so its hash is computed exactly
+ * once, here at parse time, and reused by every table the packet
+ * touches downstream.
+ */
 struct ParsedUpdate
 {
-    std::string key;
-    Bytes value;
+    KeyRef key;
+    std::string_view value;
 };
 
 /** Interface the device uses to interpret application payloads. */
@@ -38,8 +46,8 @@ class CacheCodec
     virtual std::optional<ParsedUpdate>
     parseUpdate(const Bytes &payload) const = 0;
 
-    /** Parse a bypass-req payload; returns the key of a GET. */
-    virtual std::optional<std::string>
+    /** Parse a bypass-req payload; returns the (hashed) key of a GET. */
+    virtual std::optional<KeyRef>
     parseRead(const Bytes &payload) const = 0;
 
     /**
@@ -50,7 +58,7 @@ class CacheCodec
     parseReadResponse(const Bytes &payload) const = 0;
 
     /** Build the Response payload for a cache hit on @p key. */
-    virtual Bytes makeReadResponse(const std::string &key,
+    virtual Bytes makeReadResponse(std::string_view key,
                                    const Bytes &value) const = 0;
 };
 

@@ -146,12 +146,12 @@ PmnetDevice::handleHeartbeatAck(const net::PacketPtr &pkt)
         serverDown_ = false;
         heartbeatMisses_ = 0;
         stats.serverUpEvents++;
-        auto hashes = std::make_shared<std::vector<std::uint32_t>>();
-        hashes->reserve(store_.size());
+        std::vector<std::uint32_t> hashes;
+        hashes.reserve(store_.size());
         net::NodeId server = heartbeatServer_;
         store_.forEach([&](const pm::LogEntry &entry) {
             if (entry.packet->dst == server)
-                hashes->push_back(entry.hashVal);
+                hashes.push_back(entry.hashVal);
         });
         recoveryResendNext(std::move(hashes), 0, server);
     }
@@ -237,7 +237,9 @@ PmnetDevice::handleUpdateReq(const PacketPtr &pkt)
             // until eviction — never correctness.
             if (unloggedKeys_.size() >= 4 * config_.cacheCapacity)
                 unloggedKeys_.clear();
-            unloggedKeys_[header.hashVal] = parsed->key;
+            unloggedKeys_[header.hashVal] =
+                UnloggedKey{std::string(parsed->key.view()),
+                            parsed->key.hash()};
         }
     }
 }
@@ -262,7 +264,7 @@ PmnetDevice::handleBypassReq(const PacketPtr &pkt)
                 h.seqNum = pkt->pmnet->seqNum;
                 h.hashVal = pkt->pmnet->hashVal;
                 resp->pmnet = h;
-                resp->payload = codec_->makeReadResponse(*key, *value);
+                resp->payload = codec_->makeReadResponse(key->view(), *value);
                 resp->requestId = pkt->requestId;
                 forward(std::move(resp));
                 return;
@@ -288,7 +290,8 @@ PmnetDevice::handleServerAck(const PacketPtr &pkt)
     } else if (codec_) {
         auto it = unloggedKeys_.find(header.hashVal);
         if (it != unloggedKeys_.end()) {
-            cache_.onServerAck(it->second);
+            cache_.onServerAck(KeyRef(std::string_view(it->second.key),
+                                      it->second.hash));
             unloggedKeys_.erase(it);
         }
     }
@@ -338,41 +341,44 @@ PmnetDevice::handleRecoveryPoll(const PacketPtr &pkt)
     }
     stats.recoveryPolls++;
     net::NodeId server = pkt->src;
-    auto hashes = std::make_shared<std::vector<std::uint32_t>>();
-    hashes->reserve(store_.size());
+    std::vector<std::uint32_t> hashes;
+    hashes.reserve(store_.size());
     store_.forEach([&](const pm::LogEntry &entry) {
         if (entry.packet->dst == server)
-            hashes->push_back(entry.hashVal);
+            hashes.push_back(entry.hashVal);
     });
     recoveryResendNext(std::move(hashes), 0, server);
 }
 
 void
-PmnetDevice::recoveryResendNext(
-    std::shared_ptr<std::vector<std::uint32_t>> hashes, std::size_t index,
-    net::NodeId server)
+PmnetDevice::recoveryResendNext(std::vector<std::uint32_t> hashes,
+                                std::size_t index, net::NodeId server)
 {
     // Skip entries invalidated since the scan.
-    while (index < hashes->size() && !store_.lookup((*hashes)[index]))
+    while (index < hashes.size() && !store_.lookup(hashes[index]))
         index++;
-    if (index >= hashes->size())
+    if (index >= hashes.size())
         return;
 
-    const pm::LogEntry *entry = store_.lookup((*hashes)[index]);
+    const pm::LogEntry *entry = store_.lookup(hashes[index]);
     auto done = readQueue_.admitRead(entry->packet->wireSize(), now());
     if (!done) {
+        // The vector is moved through the continuation, not shared.
         scheduleGuarded(config_.recoveryRetryGap,
-                        [this, hashes, index, server]() {
-                            recoveryResendNext(hashes, index, server);
+                        [this, hashes = std::move(hashes), index,
+                         server]() mutable {
+                            recoveryResendNext(std::move(hashes), index,
+                                               server);
                         });
         return;
     }
     net::PacketPtr logged = entry->packet;
-    scheduleGuarded(*done - now(), [this, hashes, index, server, logged]() {
+    scheduleGuarded(*done - now(), [this, hashes = std::move(hashes), index,
+                                    server, logged]() mutable {
         stats.recoveryResent++;
         traceEvent("replay", *logged);
         forward(logged);
-        recoveryResendNext(hashes, index + 1, server);
+        recoveryResendNext(std::move(hashes), index + 1, server);
     });
 }
 

@@ -160,8 +160,12 @@ class PmnetDevice : public net::ForwardingNode
     void handleResponse(const net::PacketPtr &pkt);
     void handleRecoveryPoll(const net::PacketPtr &pkt);
 
-    /** Continue the recovery resend chain over @p hashes. */
-    void recoveryResendNext(std::shared_ptr<std::vector<std::uint32_t>> hashes,
+    /**
+     * Continue the recovery resend chain over @p hashes. The vector is
+     * owned by value and moved from lambda to lambda along the chain —
+     * no shared-pointer plumbing, exactly one allocation per scan.
+     */
+    void recoveryResendNext(std::vector<std::uint32_t> hashes,
                             std::size_t index, net::NodeId server);
 
     /**
@@ -183,8 +187,15 @@ class PmnetDevice : public net::ForwardingNode
     /**
      * Keys of updates that bypassed logging, so the matching
      * server-ACK can still drive the cache's T6 transition. Volatile.
+     * The key hash computed at parse time is kept alongside so the
+     * ACK path never rehashes.
      */
-    std::unordered_map<std::uint32_t, std::string> unloggedKeys_;
+    struct UnloggedKey
+    {
+        std::string key;
+        std::uint64_t hash;
+    };
+    std::unordered_map<std::uint32_t, UnloggedKey> unloggedKeys_;
 
     /** Bumped on power failure to invalidate in-flight callbacks. */
     std::uint64_t epoch_ = 0;

@@ -22,70 +22,96 @@ ReadCache::ReadCache(std::size_t capacity) : capacity_(capacity)
         fatal("ReadCache: capacity must be positive");
 }
 
-ReadCache::Entry &
-ReadCache::touch(const std::string &key)
+void
+ReadCache::unlink(Index idx)
 {
-    auto it = entries_.find(key);
-    if (it != entries_.end()) {
-        lru_.erase(it->second.lruPos);
-        lru_.push_front(key);
-        it->second.lruPos = lru_.begin();
-        return it->second;
-    }
-    lru_.push_front(key);
-    Entry entry;
-    entry.lruPos = lru_.begin();
-    auto [pos, inserted] = entries_.emplace(key, std::move(entry));
-    (void)inserted;
-    evictIfNeeded();
-    return pos->second;
+    Payload &entry = table_.entry(idx).value;
+    if (entry.lruPrev != kNil)
+        table_.entry(entry.lruPrev).value.lruNext = entry.lruNext;
+    else
+        lruHead_ = entry.lruNext;
+    if (entry.lruNext != kNil)
+        table_.entry(entry.lruNext).value.lruPrev = entry.lruPrev;
+    else
+        lruTail_ = entry.lruPrev;
+    entry.lruPrev = kNil;
+    entry.lruNext = kNil;
+}
+
+void
+ReadCache::pushFront(Index idx)
+{
+    Payload &entry = table_.entry(idx).value;
+    entry.lruPrev = kNil;
+    entry.lruNext = lruHead_;
+    if (lruHead_ != kNil)
+        table_.entry(lruHead_).value.lruPrev = idx;
+    lruHead_ = idx;
+    if (lruTail_ == kNil)
+        lruTail_ = idx;
+}
+
+ReadCache::Index
+ReadCache::touch(KeyRef key)
+{
+    auto [idx, inserted] = table_.insert(key);
+    if (!inserted)
+        unlink(idx);
+    pushFront(idx);
+    if (inserted)
+        evictIfNeeded();
+    return idx;
 }
 
 void
 ReadCache::evictIfNeeded()
 {
-    while (entries_.size() > capacity_ && !lru_.empty()) {
+    while (table_.size() > capacity_ && lruTail_ != kNil) {
         // Scan from the LRU end for an evictable (non-in-flight) entry.
-        auto victim = lru_.end();
-        bool found = false;
         // Never evict the front (the entry being touched right now).
-        for (auto it = std::prev(lru_.end()); it != lru_.begin(); --it) {
-            auto entry_it = entries_.find(*it);
-            CacheState state = entry_it->second.state;
+        Index victim = kNil;
+        for (Index cur = lruTail_; cur != lruHead_;
+             cur = table_.entry(cur).value.lruPrev) {
+            CacheState state = table_.entry(cur).value.state;
             if (state == CacheState::Invalid ||
                 state == CacheState::Persisted) {
-                victim = it;
-                found = true;
+                victim = cur;
                 break;
             }
         }
-        if (!found)
+        if (victim == kNil)
             break; // everything is in flight; allow temporary overflow
-        entries_.erase(*victim);
-        lru_.erase(victim);
+        unlink(victim);
+        table_.eraseIndex(victim);
         evictions++;
     }
 }
 
 void
-ReadCache::onUpdate(const std::string &key, const Bytes &value, bool logged)
+ReadCache::onUpdate(KeyRef key, std::string_view value, bool logged)
 {
-    Entry &entry = touch(key);
+    Index idx = touch(key);
+    Payload &entry = table_.entry(idx).value;
     if (!logged) {
         // An unlogged (bypassed) update is in flight: whatever we have
         // may be stale, and the in-flight value is not persisted in the
         // network, so the entry must not serve reads.
-        if (entry.state != CacheState::Invalid)
+        if (entry.state != CacheState::Invalid) {
             entry.state = CacheState::Stale;
-        else
-            entries_.erase(key), lru_.pop_front();
+        } else {
+            unlink(idx);
+            table_.eraseIndex(idx);
+        }
         return;
     }
     switch (entry.state) {
       case CacheState::Invalid:    // T1
       case CacheState::Persisted:  // T3
         entry.state = CacheState::Pending;
-        entry.value = value;
+        entry.value.assign(
+            reinterpret_cast<const std::uint8_t *>(value.data()),
+            reinterpret_cast<const std::uint8_t *>(value.data()) +
+                value.size());
         break;
       case CacheState::Pending:    // T4: two in-flight updates
         entry.state = CacheState::Stale;
@@ -97,18 +123,19 @@ ReadCache::onUpdate(const std::string &key, const Bytes &value, bool logged)
 }
 
 void
-ReadCache::onServerAck(const std::string &key)
+ReadCache::onServerAck(KeyRef key)
 {
-    auto it = entries_.find(key);
-    if (it == entries_.end())
+    Index idx = table_.find(key);
+    if (idx == kNil)
         return;
-    switch (it->second.state) {
+    Payload &entry = table_.entry(idx).value;
+    switch (entry.state) {
       case CacheState::Pending: // T2
-        it->second.state = CacheState::Persisted;
+        entry.state = CacheState::Persisted;
         break;
       case CacheState::Stale:   // T6
-        it->second.state = CacheState::Invalid;
-        it->second.value.clear();
+        entry.state = CacheState::Invalid;
+        entry.value.clear();
         break;
       case CacheState::Invalid:
       case CacheState::Persisted:
@@ -117,44 +144,55 @@ ReadCache::onServerAck(const std::string &key)
 }
 
 void
-ReadCache::onReadResponse(const std::string &key, const Bytes &value)
+ReadCache::onReadResponse(KeyRef key, std::string_view value)
 {
-    Entry &entry = touch(key);
+    Index idx = touch(key);
+    Payload &entry = table_.entry(idx).value;
     // Only fill entries with no in-flight update: a Pending entry is
     // newer than the server's reply and a Stale one cannot be trusted
     // to match any specific in-flight version.
     if (entry.state == CacheState::Invalid) {
         entry.state = CacheState::Persisted;
-        entry.value = value;
+        entry.value.assign(
+            reinterpret_cast<const std::uint8_t *>(value.data()),
+            reinterpret_cast<const std::uint8_t *>(value.data()) +
+                value.size());
     }
 }
 
 const Bytes *
-ReadCache::lookup(const std::string &key)
+ReadCache::lookup(KeyRef key)
 {
-    auto it = entries_.find(key);
-    if (it == entries_.end() || (it->second.state != CacheState::Pending &&
-                                 it->second.state != CacheState::Persisted)) {
+    Index idx = table_.find(key);
+    if (idx == kNil) {
+        misses++;
+        return nullptr;
+    }
+    CacheState state = table_.entry(idx).value.state;
+    if (state != CacheState::Pending && state != CacheState::Persisted) {
         misses++;
         return nullptr;
     }
     hits++;
-    Entry &entry = touch(key);
-    return &entry.value;
+    // Move to the LRU front; the slab index is stable, only links move.
+    unlink(idx);
+    pushFront(idx);
+    return &table_.entry(idx).value.value;
 }
 
 CacheState
-ReadCache::stateOf(const std::string &key) const
+ReadCache::stateOf(KeyRef key) const
 {
-    auto it = entries_.find(key);
-    return it == entries_.end() ? CacheState::Invalid : it->second.state;
+    Index idx = table_.find(key);
+    return idx == kNil ? CacheState::Invalid : table_.entry(idx).value.state;
 }
 
 void
 ReadCache::clear()
 {
-    entries_.clear();
-    lru_.clear();
+    table_.clear();
+    lruHead_ = kNil;
+    lruTail_ = kNil;
 }
 
 } // namespace pmnet::pmnetdev

@@ -23,17 +23,25 @@
  * never evicted (their state is needed for consistency when the
  * server-ACK arrives), matching the log's role as the cache's backing
  * persistence.
+ *
+ * Storage is the key fast path (common/key.h): one FlatKeyTable probe
+ * per operation using the KeyRef hash computed where the packet was
+ * parsed, and an LRU that is *intrusive* to the entry slab (prev/next
+ * are 32-bit slab indices) — a touch relinks two entries and performs
+ * zero allocations, where the previous std::unordered_map +
+ * std::list<std::string> design paid a list-node allocation and a
+ * second string hash on every touch.
  */
 
 #ifndef PMNET_PMNET_READ_CACHE_H
 #define PMNET_PMNET_READ_CACHE_H
 
 #include <cstdint>
-#include <list>
 #include <string>
-#include <unordered_map>
+#include <string_view>
 
 #include "common/bytes.h"
+#include "common/key.h"
 
 namespace pmnet::pmnetdev {
 
@@ -48,31 +56,64 @@ class ReadCache
   public:
     explicit ReadCache(std::size_t capacity = 65536);
 
+    /** @name Hot path (precomputed-hash keys, zero-copy values)
+     * The KeyRef (and value view) only need to live for the call.
+     *  @{
+     */
+
     /**
      * An update-req for @p key passed through the device.
      *
      * @param logged true when the device logged the request (and so
      *               will early-ACK it); false when it bypassed.
      */
-    void onUpdate(const std::string &key, const Bytes &value, bool logged);
+    void onUpdate(KeyRef key, std::string_view value, bool logged);
 
     /** A server-ACK for an update to @p key passed through. */
-    void onServerAck(const std::string &key);
+    void onServerAck(KeyRef key);
 
     /** A server read Response for @p key passed through (cache fill). */
-    void onReadResponse(const std::string &key, const Bytes &value);
+    void onReadResponse(KeyRef key, std::string_view value);
 
     /**
      * Look up @p key for a read.
      * @return the value when the entry may serve reads
-     *         (Pending/Persisted), nullptr otherwise.
+     *         (Pending/Persisted), nullptr otherwise. The pointer is
+     *         valid until the next non-const cache call.
      */
-    const Bytes *lookup(const std::string &key);
+    const Bytes *lookup(KeyRef key);
 
     /** Current state of @p key (Invalid when absent). */
-    CacheState stateOf(const std::string &key) const;
+    CacheState stateOf(KeyRef key) const;
+    /** @} */
 
-    std::size_t size() const { return entries_.size(); }
+    /** @name std::string adapters (tests and non-hot callers)
+     *  @{
+     */
+    void
+    onUpdate(const std::string &key, const Bytes &value, bool logged)
+    {
+        onUpdate(KeyRef(key), viewOf(value), logged);
+    }
+
+    void onServerAck(const std::string &key) { onServerAck(KeyRef(key)); }
+
+    void
+    onReadResponse(const std::string &key, const Bytes &value)
+    {
+        onReadResponse(KeyRef(key), viewOf(value));
+    }
+
+    const Bytes *lookup(const std::string &key) { return lookup(KeyRef(key)); }
+
+    CacheState
+    stateOf(const std::string &key) const
+    {
+        return stateOf(KeyRef(key));
+    }
+    /** @} */
+
+    std::size_t size() const { return table_.size(); }
     std::size_t capacity() const { return capacity_; }
 
     /** Drop everything (device power failure). */
@@ -87,20 +128,37 @@ class ReadCache
     /** @} */
 
   private:
-    struct Entry
+    /** Null slab index / list terminator. */
+    static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+    struct Payload
     {
         CacheState state = CacheState::Invalid;
         Bytes value;
-        std::list<std::string>::iterator lruPos;
+        /** Intrusive LRU links: slab indices, no allocation. */
+        std::uint32_t lruPrev = kNil;
+        std::uint32_t lruNext = kNil;
     };
 
-    Entry &touch(const std::string &key);
+    using Table = FlatKeyTable<Payload>;
+    using Index = Table::Index;
+
+    static std::string_view
+    viewOf(const Bytes &bytes)
+    {
+        return {reinterpret_cast<const char *>(bytes.data()), bytes.size()};
+    }
+
+    Index touch(KeyRef key);
     void evictIfNeeded();
+    void unlink(Index idx);
+    void pushFront(Index idx);
 
     std::size_t capacity_;
-    std::unordered_map<std::string, Entry> entries_;
-    /** LRU order, most recent at front. */
-    std::list<std::string> lru_;
+    Table table_;
+    /** LRU order: head is most recent, tail least recent. */
+    Index lruHead_ = kNil;
+    Index lruTail_ = kNil;
 };
 
 } // namespace pmnet::pmnetdev

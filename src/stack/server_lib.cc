@@ -86,22 +86,32 @@ std::size_t
 ServerLib::backlog() const
 {
     std::size_t total = 0;
-    for (const auto &[sid, session] : sessions_)
-        total += session.ready.size();
+    for (const auto &session : sessions_)
+        if (session)
+            total += session->ready.size();
     return total;
+}
+
+ServerLib::Session &
+ServerLib::sessionSlot(std::uint16_t sid)
+{
+    if (sessions_.size() <= sid)
+        sessions_.resize(static_cast<std::size_t>(sid) + 1);
+    if (!sessions_[sid])
+        sessions_[sid] = std::make_unique<Session>();
+    return *sessions_[sid];
 }
 
 ServerLib::Session &
 ServerLib::sessionFor(std::uint16_t sid)
 {
-    auto it = sessions_.find(sid);
-    if (it != sessions_.end())
-        return it->second;
-    Session session;
+    if (sid < sessions_.size() && sessions_[sid])
+        return *sessions_[sid];
+    Session &session = sessionSlot(sid);
     session.applied = appliedSeq(sid);
     heap_.drainCost(); // watermark lookup is bookkeeping, not service
     session.nextExpected = session.applied + 1;
-    return sessions_.emplace(sid, std::move(session)).first->second;
+    return session;
 }
 
 void
@@ -285,7 +295,7 @@ ServerLib::tryAssemble(std::uint16_t sid, Session &session)
 void
 ServerLib::scheduleGapCheck(std::uint16_t sid)
 {
-    Session &session = sessions_[sid];
+    Session &session = sessionSlot(sid);
     if (session.gapTimer.pending())
         return;
     std::uint64_t epoch = epoch_;
@@ -299,7 +309,7 @@ ServerLib::scheduleGapCheck(std::uint16_t sid)
 void
 ServerLib::gapCheck(std::uint16_t sid)
 {
-    Session &session = sessions_[sid];
+    Session &session = sessionSlot(sid);
     if (session.pending.empty())
         return;
 
@@ -347,7 +357,7 @@ ServerLib::gapCheck(std::uint16_t sid)
 void
 ServerLib::enqueueRunnable(std::uint16_t sid)
 {
-    Session &session = sessions_[sid];
+    Session &session = sessionSlot(sid);
     if (session.busy || session.queued || session.ready.empty())
         return;
     session.queued = true;
@@ -360,7 +370,7 @@ ServerLib::pump()
     while (busyWorkers_ < config_.workers && !runnable_.empty()) {
         std::uint16_t sid = runnable_.front();
         runnable_.pop_front();
-        Session &session = sessions_[sid];
+        Session &session = sessionSlot(sid);
         session.queued = false;
         if (session.busy || session.ready.empty())
             continue;
@@ -409,7 +419,7 @@ ServerLib::persistApplied(std::uint16_t sid, std::uint32_t seq)
     heap_.writeObj<std::uint32_t>(tableOff_ + 4ull * sid, seq);
     heap_.flush(tableOff_ + 4ull * sid, 4);
     heap_.fence();
-    Session &session = sessions_[sid];
+    Session &session = sessionSlot(sid);
     session.applied = seq;
 }
 
@@ -417,7 +427,7 @@ void
 ServerLib::finishRequest(std::uint16_t sid, const ReadyRequest &req,
                          HandlerResult result)
 {
-    Session &session = sessions_[sid];
+    Session &session = sessionSlot(sid);
     session.busy = false;
     busyWorkers_--;
 

@@ -30,6 +30,7 @@
 #define PMNET_STACK_SERVER_LIB_H
 
 #include <deque>
+#include <memory>
 #include <set>
 #include <map>
 #include <optional>
@@ -167,6 +168,7 @@ class ServerLib
 
     void onReceive(const net::PacketPtr &pkt);
     Session &sessionFor(std::uint16_t sid);
+    Session &sessionSlot(std::uint16_t sid);
     void handleDuplicate(Session &session, const net::Packet &pkt);
     void handleBypassArrival(std::uint16_t sid, Session &session,
                              const net::PacketPtr &pkt);
@@ -189,7 +191,14 @@ class ServerLib
     std::vector<net::NodeId> devices_;
     std::function<void()> recoveryHook_;
 
-    std::map<std::uint16_t, Session> sessions_;
+    /**
+     * Per-sid session table, indexed directly by the 16-bit session
+     * id: the per-packet session lookup is one bounds check and one
+     * pointer load instead of an ordered-map walk. Slots are created
+     * on first contact; ascending-sid iteration matches the previous
+     * std::map order.
+     */
+    std::vector<std::unique_ptr<Session>> sessions_;
     std::deque<std::uint16_t> runnable_;
     int busyWorkers_ = 0;
     std::uint64_t epoch_ = 0;

@@ -64,11 +64,14 @@ TEST(Protocol, ResponseRoundTrips)
 TEST(Codec, ParsesSetAndGetOnly)
 {
     KvCacheCodec codec;
-    auto set = codec.parseUpdate(
-        encodeCommand(Command{{"SET", "k", "v"}}));
+    // Parsed results are views into the payload, which must outlive
+    // them.
+    Bytes set_payload = encodeCommand(Command{{"SET", "k", "v"}});
+    auto set = codec.parseUpdate(set_payload);
     ASSERT_TRUE(set.has_value());
-    EXPECT_EQ(set->key, "k");
-    EXPECT_EQ(set->value, (Bytes{'v'}));
+    EXPECT_EQ(set->key.view(), "k");
+    EXPECT_EQ(set->key.hash(), hashKey("k", 1));
+    EXPECT_EQ(set->value, "v");
 
     EXPECT_FALSE(codec.parseUpdate(
                          encodeCommand(Command{{"LPUSH", "k", "v"}}))
@@ -76,9 +79,10 @@ TEST(Codec, ParsesSetAndGetOnly)
         << "only plain SETs are cacheable";
     EXPECT_FALSE(codec.parseUpdate(Bytes{1, 2, 3}).has_value());
 
-    auto get = codec.parseRead(encodeCommand(Command{{"GET", "k"}}));
+    Bytes get_payload = encodeCommand(Command{{"GET", "k"}});
+    auto get = codec.parseRead(get_payload);
     ASSERT_TRUE(get.has_value());
-    EXPECT_EQ(*get, "k");
+    EXPECT_EQ(get->view(), "k");
     EXPECT_FALSE(codec.parseRead(
                          encodeCommand(Command{{"LRANGE", "k", "0", "9"}}))
                      .has_value());
@@ -91,8 +95,8 @@ TEST(Codec, ResponseSymmetry)
     Bytes from_switch = codec.makeReadResponse("k", Bytes{'x', 'y'});
     auto parsed = codec.parseReadResponse(from_switch);
     ASSERT_TRUE(parsed.has_value());
-    EXPECT_EQ(parsed->key, "k");
-    EXPECT_EQ(parsed->value, (Bytes{'x', 'y'}));
+    EXPECT_EQ(parsed->key.view(), "k");
+    EXPECT_EQ(parsed->value, "xy");
 
     // Nil responses must not populate the cache.
     EXPECT_FALSE(codec.parseReadResponse(
@@ -251,8 +255,9 @@ TEST_F(CommandStoreTest, GetValueMatchesCodecCachedValue)
     store.execute(Command{{"SET", "k", "hello"}}, 1);
     Bytes server_resp =
         store.executeToResponse(Command{{"GET", "k"}}, 1);
-    Bytes switch_resp = codec.makeReadResponse(parsed->key,
-                                               parsed->value);
+    Bytes switch_resp = codec.makeReadResponse(
+        parsed->key.view(),
+        Bytes(parsed->value.begin(), parsed->value.end()));
     EXPECT_EQ(server_resp, switch_resp);
 }
 

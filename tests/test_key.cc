@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Tests for the key fast path: the hash-once KeyRef and the
+ * open-addressing FlatKeyTable (grow, erase-then-reinsert,
+ * backward-shift deletion under collision-heavy probe chains).
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "common/key.h"
+#include "common/rng.h"
+
+namespace pmnet {
+namespace {
+
+TEST(KeyRef, HashMatchesBytes)
+{
+    KeyRef a(std::string_view("user:12345"));
+    std::string owned = "user:12345";
+    KeyRef b{std::string_view(owned)};
+    EXPECT_EQ(a.hash(), b.hash());
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.hash(), hashKey("user:12345", 10));
+}
+
+TEST(KeyRef, PrecomputedHashIsTrusted)
+{
+    std::string key = "abc";
+    KeyRef direct{std::string_view(key)};
+    KeyRef rewrapped{std::string_view(key), direct.hash()};
+    EXPECT_EQ(direct, rewrapped);
+}
+
+TEST(KeyRef, DistinctKeysDistinctHashes)
+{
+    // Not a collision-resistance proof — a smoke check that the hash
+    // actually depends on content and length.
+    EXPECT_NE(KeyRef(std::string_view("a")).hash(),
+              KeyRef(std::string_view("b")).hash());
+    EXPECT_NE(KeyRef(std::string_view("ab")).hash(),
+              KeyRef(std::string_view("ba")).hash());
+    EXPECT_NE(KeyRef(std::string_view("a")).hash(),
+              KeyRef(std::string_view("a\0", 2)).hash());
+    EXPECT_NE(KeyRef(std::string_view("")).hash(), 0u);
+}
+
+TEST(KeyRef, EmptyKeyWorks)
+{
+    KeyRef empty{std::string_view("")};
+    EXPECT_EQ(empty.size(), 0u);
+    FlatKeyTable<int> table;
+    auto [idx, inserted] = table.insert(empty);
+    EXPECT_TRUE(inserted);
+    EXPECT_EQ(table.find(empty), idx);
+}
+
+// ------------------------------------------------------------------
+
+using Table = FlatKeyTable<std::uint64_t>;
+
+KeyRef
+kref(const std::string &key)
+{
+    return KeyRef(std::string_view(key));
+}
+
+TEST(FlatKeyTable, InsertFindErase)
+{
+    Table table;
+    EXPECT_EQ(table.find(kref("k")), Table::kNil);
+
+    auto [idx, inserted] = table.insert(kref("k"));
+    EXPECT_TRUE(inserted);
+    table.entry(idx).value = 42;
+    EXPECT_EQ(table.size(), 1u);
+
+    auto [idx2, inserted2] = table.insert(kref("k"));
+    EXPECT_FALSE(inserted2);
+    EXPECT_EQ(idx2, idx);
+    EXPECT_EQ(table.entry(table.find(kref("k"))).value, 42u);
+
+    EXPECT_TRUE(table.erase(kref("k")));
+    EXPECT_FALSE(table.erase(kref("k")));
+    EXPECT_EQ(table.find(kref("k")), Table::kNil);
+    EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(FlatKeyTable, GrowPreservesEntriesAndIndices)
+{
+    Table table(16);
+    std::vector<Table::Index> indices;
+    for (int i = 0; i < 1000; i++) {
+        auto [idx, inserted] = table.insert(kref("key" + std::to_string(i)));
+        ASSERT_TRUE(inserted);
+        table.entry(idx).value = static_cast<std::uint64_t>(i);
+        indices.push_back(idx);
+    }
+    EXPECT_GT(table.slotCount(), 1000u) << "table must have grown";
+    for (int i = 0; i < 1000; i++) {
+        Table::Index idx = table.find(kref("key" + std::to_string(i)));
+        ASSERT_NE(idx, Table::kNil) << i;
+        EXPECT_EQ(idx, indices[static_cast<std::size_t>(i)])
+            << "slab indices must be stable across growth";
+        EXPECT_EQ(table.entry(idx).value, static_cast<std::uint64_t>(i));
+    }
+}
+
+TEST(FlatKeyTable, EraseThenReinsertReusesSlab)
+{
+    Table table;
+    auto [a, ins_a] = table.insert(kref("a"));
+    table.insert(kref("b"));
+    EXPECT_TRUE(table.erase(kref("a")));
+    auto [c, ins_c] = table.insert(kref("c"));
+    EXPECT_TRUE(ins_c);
+    EXPECT_EQ(c, a) << "freed slab entry should be reused";
+    EXPECT_EQ(table.find(kref("c")), c);
+    EXPECT_EQ(table.find(kref("a")), Table::kNil);
+    EXPECT_EQ(table.entry(c).key, "c");
+    EXPECT_EQ(table.entry(c).value, 0u) << "reused entry starts clean";
+}
+
+TEST(FlatKeyTable, BackwardShiftKeepsProbeChainsReachable)
+{
+    // Load a small table close to its 3/4 limit so probe chains wrap
+    // and overlap, then delete from chain heads/middles and verify
+    // every survivor stays findable (the failure mode of naive
+    // open-addressing deletion without tombstones).
+    Table table(16);
+    std::vector<std::string> keys;
+    for (int i = 0; i < 12; i++)
+        keys.push_back("collide" + std::to_string(i));
+    for (const auto &key : keys)
+        table.insert(kref(key));
+    for (std::size_t victim = 0; victim < keys.size(); victim += 2)
+        EXPECT_TRUE(table.erase(kref(keys[victim])));
+    for (std::size_t i = 0; i < keys.size(); i++) {
+        if (i % 2 == 0)
+            EXPECT_EQ(table.find(kref(keys[i])), Table::kNil) << keys[i];
+        else
+            EXPECT_NE(table.find(kref(keys[i])), Table::kNil) << keys[i];
+    }
+}
+
+TEST(FlatKeyTable, EraseIndexRemovesTheRightEntry)
+{
+    Table table;
+    table.insert(kref("x"));
+    auto [y, ins] = table.insert(kref("y"));
+    table.insert(kref("z"));
+    table.eraseIndex(y);
+    EXPECT_EQ(table.find(kref("y")), Table::kNil);
+    EXPECT_NE(table.find(kref("x")), Table::kNil);
+    EXPECT_NE(table.find(kref("z")), Table::kNil);
+    EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(FlatKeyTable, ClearEmptiesEverything)
+{
+    Table table;
+    for (int i = 0; i < 100; i++)
+        table.insert(kref("k" + std::to_string(i)));
+    table.clear();
+    EXPECT_EQ(table.size(), 0u);
+    EXPECT_EQ(table.find(kref("k5")), Table::kNil);
+    auto [idx, inserted] = table.insert(kref("k5"));
+    EXPECT_TRUE(inserted);
+}
+
+TEST(FlatKeyTable, ForEachVisitsAllLiveEntries)
+{
+    Table table;
+    for (int i = 0; i < 50; i++) {
+        auto [idx, inserted] = table.insert(kref("k" + std::to_string(i)));
+        table.entry(idx).value = static_cast<std::uint64_t>(i);
+    }
+    for (int i = 0; i < 50; i += 3)
+        table.erase(kref("k" + std::to_string(i)));
+
+    std::uint64_t sum = 0, expect = 0, count = 0;
+    for (int i = 0; i < 50; i++)
+        if (i % 3 != 0)
+            expect += static_cast<std::uint64_t>(i);
+    table.forEach([&](const Table::Entry &entry) {
+        sum += entry.value;
+        count++;
+    });
+    EXPECT_EQ(sum, expect);
+    EXPECT_EQ(count, table.size());
+}
+
+TEST(FlatKeyTable, FuzzAgainstUnorderedMap)
+{
+    Table table;
+    std::unordered_map<std::string, std::uint64_t> reference;
+    Rng rng(20210607);
+
+    for (int op = 0; op < 50000; op++) {
+        std::string key = "key" + std::to_string(rng.nextUInt(700));
+        KeyRef keyRef = kref(key);
+        switch (rng.nextUInt(10)) {
+          case 0:
+          case 1:
+          case 2:
+          case 3: { // upsert
+            auto [idx, inserted] = table.insert(keyRef);
+            table.entry(idx).value = static_cast<std::uint64_t>(op);
+            reference[key] = static_cast<std::uint64_t>(op);
+            break;
+          }
+          case 4:
+          case 5: { // erase
+            bool erased = table.erase(keyRef);
+            EXPECT_EQ(erased, reference.erase(key) > 0) << key;
+            break;
+          }
+          default: { // lookup
+            Table::Index idx = table.find(keyRef);
+            auto it = reference.find(key);
+            if (it == reference.end()) {
+                EXPECT_EQ(idx, Table::kNil) << key;
+            } else {
+                ASSERT_NE(idx, Table::kNil) << key;
+                EXPECT_EQ(table.entry(idx).value, it->second) << key;
+            }
+            break;
+          }
+        }
+        ASSERT_EQ(table.size(), reference.size());
+    }
+
+    // Full sweep at the end: every surviving key findable, no extras.
+    std::uint64_t live = 0;
+    table.forEach([&](const Table::Entry &entry) {
+        auto it = reference.find(entry.key);
+        ASSERT_NE(it, reference.end()) << entry.key;
+        EXPECT_EQ(entry.value, it->second);
+        live++;
+    });
+    EXPECT_EQ(live, reference.size());
+}
+
+} // namespace
+} // namespace pmnet

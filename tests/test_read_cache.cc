@@ -164,6 +164,145 @@ TEST(ReadCache, InFlightEntriesNotEvicted)
     EXPECT_GE(cache.size(), 3u) << "overflow allowed while in flight";
 }
 
+// ---- Pinned pre-port semantics: the FlatKeyTable/intrusive-LRU port
+// must reproduce these observable behaviours bit-for-bit. ----
+
+TEST(ReadCache, LruEvictionOrderIsExact)
+{
+    ReadCache cache(4);
+    for (const char *key : {"a", "b", "c", "d"}) {
+        cache.onUpdate(key, val("v"), true);
+        cache.onServerAck(key); // Persisted -> evictable
+    }
+    // Recency now d,c,b,a; a lookup refreshes 'a': a,d,c,b.
+    ASSERT_NE(cache.lookup("a"), nullptr);
+    cache.onUpdate("e", val("v"), true);
+    // The scan starts at the LRU tail: 'b' is the exact victim.
+    EXPECT_EQ(cache.stateOf("b"), CacheState::Invalid);
+    EXPECT_EQ(cache.stateOf("a"), CacheState::Persisted);
+    EXPECT_EQ(cache.stateOf("c"), CacheState::Persisted);
+    EXPECT_EQ(cache.stateOf("d"), CacheState::Persisted);
+    EXPECT_EQ(cache.stateOf("e"), CacheState::Pending);
+    EXPECT_EQ(cache.evictions, 1u);
+    EXPECT_EQ(cache.size(), 4u);
+}
+
+TEST(ReadCache, EvictionSkipsInFlightTailAndTakesNextEvictable)
+{
+    ReadCache cache(3);
+    cache.onUpdate("p1", val("v"), true); // Pending: never evicted
+    cache.onUpdate("k1", val("v"), true);
+    cache.onServerAck("k1");              // Persisted
+    cache.onUpdate("k2", val("v"), true);
+    cache.onServerAck("k2");              // Persisted
+    // Recency k2,k1,p1 — tail p1 is in flight, so k1 is the victim.
+    cache.onUpdate("k3", val("v"), true);
+    EXPECT_EQ(cache.stateOf("k1"), CacheState::Invalid);
+    EXPECT_EQ(cache.stateOf("p1"), CacheState::Pending);
+    EXPECT_EQ(cache.stateOf("k2"), CacheState::Persisted);
+    EXPECT_EQ(cache.stateOf("k3"), CacheState::Pending);
+    EXPECT_EQ(cache.evictions, 1u);
+}
+
+TEST(ReadCache, EvictionDrainsOverflowOncePossible)
+{
+    ReadCache cache(2);
+    cache.onUpdate("a", val("v"), true); // Pending
+    cache.onUpdate("b", val("v"), true); // Pending
+    cache.onUpdate("c", val("v"), true); // Pending — overflow to 3
+    EXPECT_EQ(cache.size(), 3u);
+    EXPECT_EQ(cache.evictions, 0u);
+    // ACKing 'a' makes it Persisted; the next touch-driven insert
+    // evicts it (it is the only evictable non-front entry).
+    cache.onServerAck("a");
+    cache.onUpdate("d", val("v"), true);
+    EXPECT_EQ(cache.stateOf("a"), CacheState::Invalid);
+    // Still one over capacity (b, c, d all in flight).
+    EXPECT_EQ(cache.size(), 3u);
+    EXPECT_EQ(cache.evictions, 1u);
+}
+
+TEST(ReadCache, ReadResponseDoesNotOverwritePersisted)
+{
+    ReadCache cache;
+    cache.onUpdate("k", val("v1"), true);
+    cache.onServerAck("k"); // Persisted with v1
+    cache.onReadResponse("k", val("v2"));
+    EXPECT_EQ(cache.stateOf("k"), CacheState::Persisted);
+    EXPECT_EQ(*cache.lookup("k"), val("v1"))
+        << "only Invalid entries are filled by responses";
+}
+
+TEST(ReadCache, ReadResponseOnStaleStaysStale)
+{
+    ReadCache cache;
+    cache.onUpdate("k", val("v1"), true);
+    cache.onUpdate("k", val("v2"), true); // Stale
+    cache.onReadResponse("k", val("v3"));
+    EXPECT_EQ(cache.stateOf("k"), CacheState::Stale);
+    EXPECT_EQ(cache.lookup("k"), nullptr);
+}
+
+TEST(ReadCache, ReadResponseTouchesLru)
+{
+    ReadCache cache(3);
+    for (const char *key : {"a", "b", "c"}) {
+        cache.onUpdate(key, val("v"), true);
+        cache.onServerAck(key);
+    }
+    // Recency c,b,a; a response for 'a' refreshes it: a,c,b.
+    cache.onReadResponse("a", val("w"));
+    cache.onUpdate("d", val("v"), true);
+    EXPECT_EQ(cache.stateOf("b"), CacheState::Invalid) << "b was tail";
+    EXPECT_EQ(cache.stateOf("a"), CacheState::Persisted);
+}
+
+TEST(ReadCache, DuplicateServerAckOnPersistedHarmless)
+{
+    ReadCache cache;
+    cache.onUpdate("k", val("v1"), true);
+    cache.onServerAck("k");
+    cache.onServerAck("k");
+    EXPECT_EQ(cache.stateOf("k"), CacheState::Persisted);
+    EXPECT_EQ(*cache.lookup("k"), val("v1"));
+}
+
+TEST(ReadCache, UnloggedUpdateOnPendingMakesStale)
+{
+    ReadCache cache;
+    cache.onUpdate("k", val("v1"), true);          // Pending
+    cache.onUpdate("k", val("v2"), false);         // bypassed
+    EXPECT_EQ(cache.stateOf("k"), CacheState::Stale);
+    cache.onUpdate("k", val("v3"), false);         // Stale stays Stale
+    EXPECT_EQ(cache.stateOf("k"), CacheState::Stale);
+}
+
+TEST(ReadCache, HitMissCountersAreExact)
+{
+    ReadCache cache;
+    EXPECT_EQ(cache.lookup("k"), nullptr);
+    cache.onUpdate("k", val("v"), true);
+    EXPECT_NE(cache.lookup("k"), nullptr);
+    cache.onUpdate("k", val("w"), true); // Stale
+    EXPECT_EQ(cache.lookup("k"), nullptr);
+    EXPECT_EQ(cache.hits, 1u);
+    EXPECT_EQ(cache.misses, 2u);
+}
+
+TEST(ReadCache, ManyKeysChurnKeepsBoundAndServes)
+{
+    ReadCache cache(64);
+    for (int i = 0; i < 1000; i++) {
+        std::string key = "key" + std::to_string(i % 200);
+        cache.onUpdate(key, val("v"), true);
+        cache.onServerAck(key);
+    }
+    EXPECT_LE(cache.size(), 64u);
+    EXPECT_GT(cache.evictions, 0u);
+    // The most recent key must be resident and serving.
+    EXPECT_NE(cache.lookup("key199"), nullptr);
+}
+
 TEST(ReadCache, ClearDropsEverything)
 {
     ReadCache cache;
