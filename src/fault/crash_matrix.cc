@@ -1,0 +1,267 @@
+#include "fault/crash_matrix.h"
+
+#include <map>
+
+#include "common/rng.h"
+
+namespace pmnet::fault {
+
+namespace {
+
+/** One recorded KV operation. */
+struct Op
+{
+    bool isPut = true;
+    std::string key;
+    std::string value; ///< unique per step, so probes are unambiguous
+};
+
+Bytes
+toBytes(const std::string &s)
+{
+    return Bytes(s.begin(), s.end());
+}
+
+std::string
+toString(const Bytes &b)
+{
+    return std::string(b.begin(), b.end());
+}
+
+/**
+ * Record the op sequence. Small key universe + put-heavy mix, so the
+ * sweep exercises inserts, in-place value updates, erases of present
+ * keys and erases of absent keys on every backend.
+ */
+std::vector<Op>
+recordOps(const CrashMatrixConfig &config)
+{
+    Rng rng(config.seed);
+    std::vector<Op> ops;
+    ops.reserve(static_cast<std::size_t>(config.opCount));
+    for (int i = 0; i < config.opCount; i++) {
+        Op op;
+        op.key = "k" + std::to_string(rng.nextUInt(
+                           static_cast<std::uint64_t>(config.keyCount)));
+        op.isPut = rng.nextDouble() < 0.7;
+        if (op.isPut)
+            op.value = "v" + std::to_string(i) + "-" + op.key;
+        ops.push_back(std::move(op));
+    }
+    return ops;
+}
+
+void
+applyToStore(kv::KvStore &store, const Op &op)
+{
+    if (op.isPut)
+        store.put(op.key, toBytes(op.value));
+    else
+        store.erase(op.key);
+}
+
+void
+applyToModel(std::map<std::string, std::string> &model, const Op &op)
+{
+    if (op.isPut)
+        model[op.key] = op.value;
+    else
+        model.erase(op.key);
+}
+
+/**
+ * Compare the recovered store's full content against @p model over
+ * the whole key universe. Every divergence is a durability/atomicity
+ * violation: either an acknowledged (fenced) state was lost, or a
+ * partially applied op became visible.
+ */
+void
+checkContent(const kv::KvStore &store,
+             const std::map<std::string, std::string> &model,
+             const CrashMatrixConfig &config, const std::string &where,
+             InvariantReport &report)
+{
+    for (int k = 0; k < config.keyCount; k++) {
+        std::string key = "k" + std::to_string(k);
+        std::optional<Bytes> got = store.get(key);
+        auto want = model.find(key);
+        if (want == model.end()) {
+            if (got)
+                report.addViolation(
+                    "P1-durability", where + ": key " + key +
+                                         " should be absent, found \"" +
+                                         toString(*got) + "\"");
+        } else if (!got) {
+            report.addViolation("P1-durability",
+                                where + ": key " + key +
+                                    " lost, expected \"" + want->second +
+                                    "\"");
+        } else if (toString(*got) != want->second) {
+            report.addViolation("P1-durability",
+                                where + ": key " + key + " expected \"" +
+                                    want->second + "\", found \"" +
+                                    toString(*got) + "\"");
+        }
+    }
+}
+
+/**
+ * Check the persisted element count against the model.
+ * @return the lag (model size minus persisted count); |lag| == 1 is
+ * the documented count-fence window, anything larger is a violation.
+ */
+std::int64_t
+checkCount(const kv::KvStore &store,
+           const std::map<std::string, std::string> &model,
+           const std::string &where, InvariantReport &report)
+{
+    std::int64_t lag = static_cast<std::int64_t>(model.size()) -
+                       static_cast<std::int64_t>(store.size());
+    if (lag > 1 || lag < -1)
+        report.addViolation(
+            "P1-durability",
+            where + ": persisted count " + std::to_string(store.size()) +
+                " drifted from content size " +
+                std::to_string(model.size()) +
+                " by more than the one-op count-lag window");
+    return lag;
+}
+
+} // namespace
+
+CrashMatrixResult
+runCrashMatrix(const CrashMatrixConfig &config)
+{
+    CrashMatrixResult result;
+    result.report = InvariantReport(
+        std::string("crash-matrix:") + kv::kvKindName(config.kind) +
+        ":seed" + std::to_string(config.seed));
+    InvariantReport &report = result.report;
+
+    std::vector<Op> ops = recordOps(config);
+
+    // Pass 1: count the persist boundaries the recorded sequence
+    // crosses (store construction excluded — the sweep targets the
+    // operation sequence) and sanity-check the no-crash final state.
+    std::map<std::string, std::string> finalModel;
+    {
+        pm::PmHeap heap(config.heapBytes);
+        auto store = kv::makeKvStore(config.kind, heap);
+        std::size_t boundaries = 0;
+        heap.setPersistBoundaryHook(
+            [&boundaries](pm::PersistBoundary) { boundaries++; });
+        for (const Op &op : ops) {
+            applyToStore(*store, op);
+            applyToModel(finalModel, op);
+        }
+        heap.setPersistBoundaryHook(nullptr);
+        result.boundaries = boundaries;
+        checkContent(*store, finalModel, config, "no-crash run", report);
+        checkCount(*store, finalModel, "no-crash run", report);
+    }
+
+    // Choose the crash points: every boundary, or an even spread of
+    // maxCrashes across the range (--smoke).
+    std::vector<std::size_t> crashPoints;
+    if (config.maxCrashes <= 0 ||
+        static_cast<std::size_t>(config.maxCrashes) >= result.boundaries) {
+        for (std::size_t c = 1; c <= result.boundaries; c++)
+            crashPoints.push_back(c);
+    } else {
+        double stride = static_cast<double>(result.boundaries) /
+                        static_cast<double>(config.maxCrashes);
+        for (int i = 0; i < config.maxCrashes; i++)
+            crashPoints.push_back(static_cast<std::size_t>(
+                                      static_cast<double>(i) * stride) +
+                                  1);
+    }
+
+    for (std::size_t crash_at : crashPoints) {
+        pm::PmHeap heap(config.heapBytes);
+        auto store = kv::makeKvStore(config.kind, heap);
+        pm::PmOffset header_off = store->headerOffset();
+
+        std::size_t seen = 0;
+        heap.setPersistBoundaryHook([&seen, crash_at](pm::PersistBoundary b) {
+            if (++seen == crash_at)
+                throw InjectedCrash{b, crash_at};
+        });
+
+        std::map<std::string, std::string> model;
+        std::size_t j = 0;
+        bool crashed = false;
+        InjectedCrash crash;
+        for (; j < ops.size(); j++) {
+            try {
+                applyToStore(*store, ops[j]);
+            } catch (const InjectedCrash &c) {
+                crashed = true;
+                crash = c;
+                break;
+            }
+            applyToModel(model, ops[j]);
+        }
+
+        if (!crashed) {
+            // The boundary stream is a pure function of the sequence;
+            // not reaching a counted boundary is a determinism bug.
+            report.addViolation(
+                "determinism",
+                "boundary " + std::to_string(crash_at) +
+                    " counted in pass 1 was never reached on replay");
+            continue;
+        }
+        result.crashesInjected++;
+
+        std::string where = "crash at boundary " +
+                            std::to_string(crash_at) + " (" +
+                            pm::persistBoundaryName(crash.boundary) +
+                            ") in op " + std::to_string(j);
+
+        heap.crash(); // discards staged ranges, clears the hook
+        store = kv::openKvStore(heap, header_off);
+
+        // Atomicity: the in-flight op either happened entirely or not
+        // at all. Which one is decided by probing its key — per-step
+        // values are unique, so the probe cannot be fooled by an
+        // earlier write of the same key.
+        const Op &inflight = ops[j];
+        std::optional<Bytes> probe = store->get(inflight.key);
+        bool applied;
+        if (inflight.isPut)
+            applied = probe && toString(*probe) == inflight.value;
+        else
+            applied = model.count(inflight.key) != 0 && !probe;
+        if (applied)
+            applyToModel(model, inflight);
+
+        checkContent(*store, model, config, where, report);
+        std::int64_t lag = checkCount(*store, model, where, report);
+        if (lag != 0)
+            result.countLagObserved++;
+
+        // Resume the rest of the sequence on the recovered store; it
+        // must converge to exactly the no-crash final state (with the
+        // count still within its original lag — bumps are relative).
+        for (std::size_t r = j + (applied ? 1 : 0); r < ops.size(); r++) {
+            applyToStore(*store, ops[r]);
+            applyToModel(model, ops[r]);
+        }
+        checkContent(*store, finalModel, config, where + ", after resume",
+                     report);
+        checkCount(*store, finalModel, where + ", after resume", report);
+        if (model != finalModel)
+            report.addViolation("P1-durability",
+                                where + ": resumed model diverged from "
+                                        "the no-crash reference");
+    }
+
+    report.setCounter("boundaries", result.boundaries);
+    report.setCounter("crashes-injected", result.crashesInjected);
+    report.setCounter("count-lag-observed", result.countLagObserved);
+    report.setCounter("ops", static_cast<std::uint64_t>(ops.size()));
+    report.setCounter("final-keys", finalModel.size());
+    return result;
+}
+
+} // namespace pmnet::fault

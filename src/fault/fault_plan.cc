@@ -1,0 +1,553 @@
+#include "fault/fault_plan.h"
+
+#include <set>
+
+#include "common/logging.h"
+
+namespace pmnet::fault {
+
+namespace {
+
+/**
+ * Workload stub for the fault runner: the testbed requires a factory,
+ * but the runner scripts its own open-loop updates and starts no
+ * drivers, and the store must begin empty so the final content is a
+ * pure function of the scripted updates.
+ */
+class EmptyWorkload : public apps::Workload
+{
+  public:
+    std::vector<apps::Command>
+    nextTransaction(Rng &) override
+    {
+        return {};
+    }
+
+    void populate(apps::CommandStore &, Rng &) override {}
+
+    std::string name() const override { return "fault-empty"; }
+};
+
+std::string
+keyName(int session, int key_index)
+{
+    return "f" + std::to_string(session) + ":k" +
+           std::to_string(key_index);
+}
+
+std::string
+valueName(int session, int op_index)
+{
+    return "s" + std::to_string(session) + ":" +
+           std::to_string(op_index);
+}
+
+/** Parse a valueName back into (session, op index); false if foreign. */
+bool
+parseValue(const std::string &value, int *session_out, int *op_out)
+{
+    if (value.size() < 4 || value[0] != 's')
+        return false;
+    std::size_t colon = value.find(':');
+    if (colon == std::string::npos || colon == 1 ||
+        colon + 1 >= value.size())
+        return false;
+    for (std::size_t i = 1; i < value.size(); i++) {
+        if (i == colon)
+            continue;
+        if (value[i] < '0' || value[i] > '9')
+            return false;
+    }
+    *session_out = std::stoi(value.substr(1, colon - 1));
+    *op_out = std::stoi(value.substr(colon + 1));
+    return true;
+}
+
+} // namespace
+
+/** Per-session ground truth accumulated while the plan runs. */
+struct FaultRunner::SessionTrack
+{
+    /** Op indices whose sendUpdate completion fired (client-acked). */
+    std::set<int> acked;
+    /** Op indices in the order the server applied them (via the tap). */
+    std::vector<int> applied;
+};
+
+FaultRunner::FaultRunner(FaultRunConfig config) : config_(std::move(config))
+{
+    config_.testbed.serverKind = testbed::ServerKind::CommandStore;
+    config_.testbed.workload = [](std::uint16_t) {
+        return std::make_unique<EmptyWorkload>();
+    };
+    testbed_ = std::make_unique<testbed::Testbed>(config_.testbed);
+}
+
+FaultRunner::~FaultRunner() = default;
+
+net::Link &
+FaultRunner::resolveLink(const FaultAction &action)
+{
+    switch (action.where) {
+      case FaultAction::Where::ServerLink:
+        return *testbed_->serverHost().linkAt(0);
+      case FaultAction::Where::ClientLink:
+        return *testbed_
+                    ->clientHost(static_cast<std::size_t>(action.index))
+                    .linkAt(0);
+      case FaultAction::Where::DeviceClientSide: {
+        auto &dev = testbed_->device(static_cast<std::size_t>(action.index));
+        net::Node *server_side =
+            static_cast<std::size_t>(action.index) + 1 <
+                    testbed_->deviceCount()
+                ? static_cast<net::Node *>(&testbed_->device(
+                      static_cast<std::size_t>(action.index) + 1))
+                : static_cast<net::Node *>(&testbed_->serverHost());
+        for (int p = 0; p < dev.portCount(); p++) {
+            net::Link *link = dev.linkAt(p);
+            if (&link->peerOf(dev) != server_side)
+                return *link;
+        }
+        fatal("FaultRunner: device %d has no client-side link",
+              action.index);
+      }
+    }
+    fatal("FaultRunner: unknown link selector");
+}
+
+void
+FaultRunner::scheduleAction(const FaultAction &action)
+{
+    sim::Simulator &sim = testbed_->simulator();
+    switch (action.kind) {
+      case FaultAction::Kind::LossBurst: {
+        net::Link *link = &resolveLink(action);
+        double base = config_.testbed.link.lossRate;
+        sim.schedule(action.at, [link, action] {
+            link->setLossRate(action.lossRate);
+        });
+        sim.schedule(action.at + action.duration,
+                     [link, base] { link->setLossRate(base); });
+        break;
+      }
+      case FaultAction::Kind::DropNext: {
+        net::Link *link = &resolveLink(action);
+        // dropNext takes the *transmitting* end: server-bound traffic
+        // leaves the end farther from the server, and vice versa.
+        net::Node *from = nullptr;
+        switch (action.where) {
+          case FaultAction::Where::ServerLink:
+            from = action.towardServer
+                       ? &link->peerOf(testbed_->serverHost())
+                       : static_cast<net::Node *>(&testbed_->serverHost());
+            break;
+          case FaultAction::Where::ClientLink: {
+            auto &host = testbed_->clientHost(
+                static_cast<std::size_t>(action.index));
+            from = action.towardServer
+                       ? static_cast<net::Node *>(&host)
+                       : &link->peerOf(host);
+            break;
+          }
+          case FaultAction::Where::DeviceClientSide: {
+            auto &dev =
+                testbed_->device(static_cast<std::size_t>(action.index));
+            from = action.towardServer
+                       ? &link->peerOf(dev)
+                       : static_cast<net::Node *>(&dev);
+            break;
+          }
+        }
+        sim.schedule(action.at, [link, from, action] {
+            link->dropNext(*from, action.count);
+        });
+        break;
+      }
+      case FaultAction::Kind::ServerPowerCut:
+        sim.schedule(action.at,
+                     [this] { testbed_->serverHost().powerFail(); });
+        sim.schedule(action.at + action.duration,
+                     [this] { testbed_->serverHost().powerRestore(); });
+        break;
+      case FaultAction::Kind::DevicePowerCut: {
+        std::size_t idx = static_cast<std::size_t>(action.index);
+        sim.schedule(action.at,
+                     [this, idx] { testbed_->device(idx).powerFail(); });
+        sim.schedule(action.at + action.duration, [this, idx] {
+            testbed_->device(idx).powerRestore();
+        });
+        break;
+      }
+      case FaultAction::Kind::DeviceReplace: {
+        std::size_t idx = static_cast<std::size_t>(action.index);
+        sim.schedule(action.at,
+                     [this, idx] { testbed_->device(idx).replaceUnit(); });
+        break;
+      }
+    }
+}
+
+void
+FaultRunner::issueUpdates()
+{
+    sim::Simulator &sim = testbed_->simulator();
+    for (std::size_t c = 0; c < testbed_->clientCount(); c++) {
+        // Small per-client stagger so clients never tick in lockstep.
+        TickDelta stagger = microseconds(1) * static_cast<TickDelta>(c);
+        for (int i = 0; i < config_.updatesPerClient; i++) {
+            TickDelta at =
+                config_.issueGap * static_cast<TickDelta>(i + 1) + stagger;
+            sim.schedule(at, [this, c, i] {
+                int session = static_cast<int>(c) + 1;
+                apps::Command cmd{
+                    {"SET", keyName(session, i % config_.keysPerSession),
+                     valueName(session, i)}};
+                testbed_->clientLib(c).sendUpdate(
+                    apps::encodeCommand(cmd),
+                    [this, c, i] { sessions_[c].acked.insert(i); });
+            });
+        }
+    }
+}
+
+std::size_t
+FaultRunner::outstandingTotal() const
+{
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < testbed_->clientCount(); c++)
+        total += testbed_->clientLib(c).outstanding();
+    return total;
+}
+
+void
+FaultRunner::drain(const char *phase)
+{
+    sim::Simulator &sim = testbed_->simulator();
+    int rounds = 0;
+    while (rounds < config_.maxDrainRounds && outstandingTotal() > 0) {
+        sim.run(sim.now() + config_.drainWindow);
+        rounds++;
+    }
+    // One settle window: lets trailing server-ACKs pass the devices so
+    // log invalidations and cache transitions finish.
+    sim.run(sim.now() + config_.drainWindow);
+    if (outstandingTotal() > 0)
+        report_.addViolation(
+            "liveness", std::string(phase) + ": " +
+                            std::to_string(outstandingTotal()) +
+                            " request(s) never completed within " +
+                            std::to_string(config_.maxDrainRounds) +
+                            " drain rounds");
+}
+
+void
+FaultRunner::checkDurabilityAndOrder()
+{
+    for (std::size_t c = 0; c < testbed_->clientCount(); c++) {
+        const SessionTrack &track = sessions_[c];
+        int session = static_cast<int>(c) + 1;
+        std::set<int> applied(track.applied.begin(), track.applied.end());
+
+        // P1a: every client-acked update was applied by the server.
+        int max_acked = -1;
+        for (int i : track.acked) {
+            max_acked = i > max_acked ? i : max_acked;
+            if (applied.count(i) == 0)
+                report_.addViolation(
+                    "P1-durability",
+                    "session " + std::to_string(session) + ": acked op " +
+                        std::to_string(i) + " never applied");
+        }
+
+        // P1b: the persisted watermark covers the acked prefix (op i
+        // carries SeqNum i+1 — single-fragment updates).
+        std::uint32_t watermark = testbed_->serverLib().appliedSeq(
+            static_cast<std::uint16_t>(session));
+        if (max_acked >= 0 &&
+            watermark < static_cast<std::uint32_t>(max_acked + 1))
+            report_.addViolation(
+                "P1-durability",
+                "session " + std::to_string(session) +
+                    ": persisted watermark " + std::to_string(watermark) +
+                    " below max acked seq " +
+                    std::to_string(max_acked + 1));
+
+        // P2: the server applied this session's stream exactly once,
+        // in issue order, gap-free.
+        for (std::size_t pos = 0; pos < track.applied.size(); pos++) {
+            if (track.applied[pos] != static_cast<int>(pos)) {
+                report_.addViolation(
+                    "P2-order",
+                    "session " + std::to_string(session) +
+                        ": applied op " +
+                        std::to_string(track.applied[pos]) +
+                        " at position " + std::to_string(pos));
+                break;
+            }
+        }
+        if (track.applied.size() !=
+            static_cast<std::size_t>(config_.updatesPerClient))
+            report_.addViolation(
+                "P2-order",
+                "session " + std::to_string(session) + ": applied " +
+                    std::to_string(track.applied.size()) + " of " +
+                    std::to_string(config_.updatesPerClient) + " ops");
+    }
+}
+
+void
+FaultRunner::auditStore()
+{
+    apps::CommandStore *store = testbed_->commandStore();
+    if (store == nullptr) {
+        report_.addViolation("P1-durability", "command store missing");
+        return;
+    }
+    int window = config_.keysPerSession < config_.updatesPerClient
+                     ? config_.keysPerSession
+                     : config_.updatesPerClient;
+    for (std::size_t c = 0; c < testbed_->clientCount(); c++) {
+        int session = static_cast<int>(c) + 1;
+        for (int j = 0; j < window; j++) {
+            // Last op index landing on key j.
+            int last = j + config_.keysPerSession *
+                               ((config_.updatesPerClient - 1 - j) /
+                                config_.keysPerSession);
+            std::string expected = valueName(session, last);
+            apps::Command cmd{{"GET", keyName(session, j)}};
+            apps::CommandStore::Result res = store->execute(cmd, 0);
+            if (res.status != apps::RespStatus::Ok ||
+                res.value != expected)
+                report_.addViolation(
+                    "P1-durability",
+                    "store key " + keyName(session, j) + ": expected \"" +
+                        expected + "\", found \"" + res.value +
+                        "\" (status " +
+                        std::to_string(static_cast<int>(res.status)) +
+                        ")");
+        }
+    }
+    // The audit reads are host-side bookkeeping, not simulated work.
+    testbed_->serverHeap().drainCost();
+}
+
+void
+FaultRunner::auditCache()
+{
+    if (!config_.testbed.cacheEnabled || testbed_->deviceCount() == 0)
+        return;
+    auto &cache =
+        testbed_->device(testbed_->deviceCount() - 1).cache();
+    std::uint64_t persisted = 0, pending = 0, stale = 0;
+    for (const auto &entry : cache.dump()) {
+        switch (entry.state) {
+          case pmnetdev::CacheState::Pending: pending++; break;
+          case pmnetdev::CacheState::Stale: stale++; break;
+          case pmnetdev::CacheState::Invalid: break;
+          case pmnetdev::CacheState::Persisted: {
+            persisted++;
+            // A Persisted entry claims to hold the server-committed
+            // value; anything older served from here is P3's stale
+            // read. Foreign keys (none expected) are skipped.
+            int session = 0, key_index = 0;
+            if (entry.key.size() > 3 && entry.key[0] == 'f') {
+                std::size_t colon = entry.key.find(":k");
+                if (colon != std::string::npos) {
+                    session = std::stoi(entry.key.substr(1, colon - 1));
+                    key_index = std::stoi(entry.key.substr(colon + 2));
+                } else {
+                    break;
+                }
+            } else {
+                break;
+            }
+            int last = key_index +
+                       config_.keysPerSession *
+                           ((config_.updatesPerClient - 1 - key_index) /
+                            config_.keysPerSession);
+            std::string expected = valueName(session, last);
+            std::string got(entry.value.begin(), entry.value.end());
+            if (got != expected)
+                report_.addViolation(
+                    "P3-staleness",
+                    "cache entry " + entry.key +
+                        " Persisted with \"" + got + "\", committed is \"" +
+                        expected + "\"");
+            break;
+          }
+        }
+    }
+    report_.setCounter("cache-persisted", persisted);
+    report_.setCounter("cache-pending", pending);
+    report_.setCounter("cache-stale", stale);
+}
+
+void
+FaultRunner::auditReadsEndToEnd()
+{
+    sim::Simulator &sim = testbed_->simulator();
+    int window = config_.keysPerSession < config_.updatesPerClient
+                     ? config_.keysPerSession
+                     : config_.updatesPerClient;
+    std::size_t pending = 0;
+    std::size_t completed = 0;
+    auto *done = &completed;
+    for (std::size_t c = 0; c < testbed_->clientCount(); c++) {
+        int session = static_cast<int>(c) + 1;
+        for (int j = 0; j < window; j++) {
+            int last = j + config_.keysPerSession *
+                               ((config_.updatesPerClient - 1 - j) /
+                                config_.keysPerSession);
+            std::string key = keyName(session, j);
+            std::string expected = valueName(session, last);
+            TickDelta at = microseconds(10) *
+                           static_cast<TickDelta>(pending + 1);
+            pending++;
+            sim.schedule(at, [this, c, key, expected, done] {
+                apps::Command cmd{{"GET", key}};
+                testbed_->clientLib(c).bypass(
+                    apps::encodeCommand(cmd),
+                    [this, key, expected, done](const Bytes &wire) {
+                        (*done)++;
+                        auto resp = apps::decodeResponse(wire);
+                        if (!resp ||
+                            resp->status != apps::RespStatus::Ok ||
+                            resp->value != expected)
+                            report_.addViolation(
+                                "P3-staleness",
+                                "read of " + key + " returned \"" +
+                                    (resp ? resp->value
+                                          : std::string("<garbled>")) +
+                                    "\", committed is \"" + expected +
+                                    "\"");
+                    });
+            });
+        }
+    }
+    int rounds = 0;
+    while (rounds < config_.maxDrainRounds &&
+           (completed < pending || outstandingTotal() > 0)) {
+        sim.run(sim.now() + config_.drainWindow);
+        rounds++;
+    }
+    if (completed < pending)
+        report_.addViolation("P3-staleness",
+                             "read audit: " +
+                                 std::to_string(pending - completed) +
+                                 " read(s) never completed");
+    report_.setCounter("reads-audited", completed);
+}
+
+void
+FaultRunner::collectCounters()
+{
+    // Every link is reachable from an endpoint we know (the switch in
+    // the middle only connects to clients, devices and the server).
+    std::set<net::Link *> links;
+    std::uint64_t losses = 0, drops = 0;
+    auto add = [&](net::Node &node) {
+        for (int p = 0; p < node.portCount(); p++) {
+            net::Link *link = node.linkAt(p);
+            if (link != nullptr && links.insert(link).second) {
+                losses += link->losses();
+                drops += link->drops();
+            }
+        }
+    };
+    add(testbed_->serverHost());
+    for (std::size_t i = 0; i < testbed_->deviceCount(); i++)
+        add(testbed_->device(i));
+    for (std::size_t c = 0; c < testbed_->clientCount(); c++)
+        add(testbed_->clientHost(c));
+    report_.setCounter("link-losses", losses);
+    report_.setCounter("link-drops", drops);
+
+    std::uint64_t acked = 0, applied = 0;
+    std::uint64_t timeouts = 0, resent = 0, by_pmnet = 0, by_server = 0;
+    for (std::size_t c = 0; c < testbed_->clientCount(); c++) {
+        acked += sessions_[c].acked.size();
+        applied += sessions_[c].applied.size();
+        const stack::ClientStats &cs = testbed_->clientLib(c).stats;
+        timeouts += cs.timeouts;
+        resent += cs.packetsResent;
+        by_pmnet += cs.completedByPmnetAck;
+        by_server += cs.completedByServerAck;
+    }
+    report_.setCounter("acked-total", acked);
+    report_.setCounter("applied-total", applied);
+    report_.setCounter("client-timeouts", timeouts);
+    report_.setCounter("client-resends", resent);
+    report_.setCounter("client-completed-pmnet", by_pmnet);
+    report_.setCounter("client-completed-server", by_server);
+
+    std::uint64_t logged = 0, reacked = 0, retrans = 0, replayed = 0;
+    for (std::size_t i = 0; i < testbed_->deviceCount(); i++) {
+        const pmnetdev::DeviceStats &ds = testbed_->device(i).stats;
+        logged += ds.updatesLogged;
+        reacked += ds.updatesReAcked;
+        retrans += ds.retransServed;
+        replayed += ds.recoveryResent;
+    }
+    report_.setCounter("device-logged", logged);
+    report_.setCounter("device-reacked", reacked);
+    report_.setCounter("device-retrans-served", retrans);
+    report_.setCounter("device-recovery-resent", replayed);
+
+    const stack::ServerStats &ss = testbed_->serverLib().stats;
+    report_.setCounter("server-applied", ss.updatesApplied);
+    report_.setCounter("server-duplicates", ss.duplicatesDropped);
+    report_.setCounter("server-makeup-acks", ss.makeupAcks);
+    report_.setCounter("server-recoveries", ss.recoveries);
+    report_.setCounter("server-acks", ss.acksSent);
+}
+
+const InvariantReport &
+FaultRunner::run(const FaultPlan &plan)
+{
+    if (ran_)
+        return report_;
+    ran_ = true;
+    report_ = InvariantReport(
+        "fault-plan:" + plan.name + ":seed" +
+        std::to_string(config_.testbed.seed));
+    sessions_.assign(testbed_->clientCount(), SessionTrack{});
+
+    testbed_->setHandlerTap([this](std::uint16_t, bool is_update,
+                                   const apps::Command &cmd) {
+        if (!is_update || cmd.args.size() < 3 || cmd.verb() != "SET")
+            return;
+        int session = 0, op = 0;
+        if (!parseValue(cmd.args[2], &session, &op))
+            return;
+        std::size_t idx = static_cast<std::size_t>(session) - 1;
+        if (idx < sessions_.size())
+            sessions_[idx].applied.push_back(op);
+    });
+
+    for (std::size_t c = 0; c < testbed_->clientCount(); c++)
+        testbed_->clientLib(c).startSession();
+    for (const FaultAction &action : plan.actions)
+        scheduleAction(action);
+    issueUpdates();
+
+    // Run at least to the end of the plan (a power cut scheduled past
+    // the last completion must still happen), then drain.
+    TickDelta horizon = 0;
+    for (const FaultAction &action : plan.actions) {
+        TickDelta end = action.at + action.duration;
+        horizon = end > horizon ? end : horizon;
+    }
+    sim::Simulator &sim = testbed_->simulator();
+    sim.run(sim.now() + horizon);
+    drain("updates");
+
+    checkDurabilityAndOrder();
+    auditStore();
+    auditCache();
+    if (config_.auditReads)
+        auditReadsEndToEnd();
+    collectCounters();
+    return report_;
+}
+
+} // namespace pmnet::fault

@@ -1,0 +1,23 @@
+#include "fault/invariants.h"
+
+namespace pmnet::fault {
+
+std::string
+InvariantReport::text() const
+{
+    std::string out;
+    out += "scenario: " + scenario_ + "\n";
+    for (const auto &[name, value] : counters_)
+        out += "counter " + name + " = " + std::to_string(value) + "\n";
+    if (violations_.empty()) {
+        out += "verdict: clean\n";
+    } else {
+        out += "verdict: " + std::to_string(violations_.size()) +
+               " violation(s)\n";
+        for (const Violation &v : violations_)
+            out += "violation [" + v.invariant + "] " + v.detail + "\n";
+    }
+    return out;
+}
+
+} // namespace pmnet::fault

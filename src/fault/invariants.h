@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Invariant report shared by the crash matrix and the fault-plan
+ * runner (DESIGN.md section 10).
+ *
+ * A report accumulates the checker's verdicts for one scenario:
+ * violations of the three PMNet safety properties —
+ *
+ *  P1 no client-acked update is lost after recovery,
+ *  P2 replay reaches the server in per-session sequence order,
+ *  P3 the read cache never serves a stale value post-recovery —
+ *
+ * plus named counters describing what the scenario exercised (crashes
+ * injected, link losses, duplicates dropped, ...). text() renders the
+ * whole report in a canonical sorted form, so the determinism
+ * regression test can assert byte-identical reports across two runs
+ * of the same seeded plan.
+ */
+
+#ifndef PMNET_FAULT_INVARIANTS_H
+#define PMNET_FAULT_INVARIANTS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pmnet::fault {
+
+/** One failed invariant check. */
+struct Violation
+{
+    /** Which property failed ("P1-durability", "P2-order", ...). */
+    std::string invariant;
+    /** Human-readable evidence (keys, expected vs observed values). */
+    std::string detail;
+};
+
+/** Everything the checker concluded about one scenario. */
+class InvariantReport
+{
+  public:
+    explicit InvariantReport(std::string scenario_name = {})
+        : scenario_(std::move(scenario_name))
+    {}
+
+    /** Record a failed check. */
+    void
+    addViolation(std::string invariant, std::string detail)
+    {
+        violations_.push_back(
+            Violation{std::move(invariant), std::move(detail)});
+    }
+
+    /** Set a named counter (overwrites). */
+    void
+    setCounter(const std::string &name, std::uint64_t value)
+    {
+        counters_[name] = value;
+    }
+
+    /** Add to a named counter. */
+    void
+    bumpCounter(const std::string &name, std::uint64_t delta = 1)
+    {
+        counters_[name] += delta;
+    }
+
+    std::uint64_t
+    counter(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    bool clean() const { return violations_.empty(); }
+
+    const std::string &scenario() const { return scenario_; }
+    const std::vector<Violation> &violations() const { return violations_; }
+    const std::map<std::string, std::uint64_t> &counters() const
+    {
+        return counters_;
+    }
+
+    /**
+     * Canonical rendering: scenario line, counters in name order (the
+     * map's iteration order), then violations in discovery order.
+     * Two deterministic runs must produce byte-identical text.
+     */
+    std::string text() const;
+
+  private:
+    std::string scenario_;
+    std::vector<Violation> violations_;
+    std::map<std::string, std::uint64_t> counters_;
+};
+
+} // namespace pmnet::fault
+
+#endif // PMNET_FAULT_INVARIANTS_H

@@ -1,0 +1,114 @@
+#include "kv/blob_store.h"
+
+#include <cstddef>
+
+namespace pmnet::kv {
+
+PmBlobStore::PmBlobStore(pm::PmHeap &heap)
+    : StoreBase(heap, KvKind::Blob)
+{
+}
+
+PmBlobStore::PmBlobStore(pm::PmHeap &heap, pm::PmOffset header_offset)
+    : StoreBase(heap, header_offset, KvKind::Blob)
+{
+}
+
+PmBlobStore::Walk
+PmBlobStore::walk(std::string_view key) const
+{
+    Walk w;
+    pm::PmOffset cursor = loadHeader().root;
+    pm::PmOffset prev = pm::kNullOffset;
+    while (cursor != pm::kNullOffset) {
+        Node node = heap_.readObj<Node>(cursor);
+        if (compareKey(heap_, key, node.key) == 0) {
+            w.found = true;
+            w.off = cursor;
+            w.prevOff = prev;
+            w.node = node;
+            return w;
+        }
+        prev = cursor;
+        cursor = node.next;
+    }
+    return w;
+}
+
+void
+PmBlobStore::put(const std::string &key, const Bytes &value)
+{
+    Walk w = walk(key);
+
+    if (w.found) {
+        // In-place value replacement: persist the new blob, then
+        // atomically swap the 8-byte value pointer.
+        pm::PmOffset old_val = w.node.valPtr;
+        pm::PmOffset new_val = writeSizedBlob(heap_, value);
+        heap_.fence();
+        heap_.writeObj<std::uint64_t>(w.off + offsetof(Node, valPtr),
+                                      new_val);
+        heap_.flush(w.off + offsetof(Node, valPtr), 8);
+        heap_.fence();
+        freeSizedBlob(heap_, old_val);
+        return;
+    }
+
+    // Insert at head. The header commit is the linearization point:
+    // root and count move in one fenced write, so a crash either sees
+    // the new node fully linked and counted or not at all.
+    StoreHeader header = loadHeader();
+    Node node;
+    node.key = writeBlob(heap_, key.data(), key.size());
+    node.valPtr = writeSizedBlob(heap_, value);
+    node.next = header.root;
+    pm::PmOffset node_off = heap_.alloc(sizeof(Node));
+    heap_.writeObj(node_off, node);
+    heap_.flush(node_off, sizeof(Node));
+    heap_.fence();
+    header.root = node_off;
+    header.count++;
+    commitHeader(header);
+}
+
+std::optional<Bytes>
+PmBlobStore::get(const std::string &key) const
+{
+    Walk w = walk(key);
+    if (w.found)
+        return readSizedBlob(heap_, w.node.valPtr);
+    return std::nullopt;
+}
+
+bool
+PmBlobStore::erase(const std::string &key)
+{
+    Walk w = walk(key);
+    if (!w.found)
+        return false;
+
+    if (w.prevOff == pm::kNullOffset) {
+        // Head erase: root and count move together in one fence.
+        StoreHeader header = loadHeader();
+        header.root = w.node.next;
+        header.count--;
+        commitHeader(header);
+    } else {
+        // Middle erase: unlink via one pointer swap, then commit the
+        // count separately — the same count-lag window the hashmap
+        // accepts (see DESIGN.md section 10).
+        heap_.writeObj<std::uint64_t>(w.prevOff + offsetof(Node, next),
+                                      w.node.next);
+        heap_.flush(w.prevOff + offsetof(Node, next), 8);
+        heap_.fence();
+        StoreHeader header = loadHeader();
+        header.count--;
+        commitHeader(header);
+    }
+    freeBlob(heap_, w.node.key);
+    freeSizedBlob(heap_, w.node.valPtr);
+    heap_.free(w.off, sizeof(Node));
+    return true;
+}
+
+} // namespace pmnet::kv

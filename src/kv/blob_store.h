@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Persistent blob list (PMDK "blob"-style append workload analogue).
+ *
+ * The simplest possible persistent structure: a singly-linked list of
+ * {key blob, value pointer, next} nodes whose head pointer lives in
+ * the store header's root field. That placement makes the common
+ * mutations single-fence atomic:
+ *
+ *  - insert: new node persisted, then one commitHeader that swaps the
+ *    head *and* bumps the count in the same fenced 40-byte line;
+ *  - head erase: one commitHeader swapping head and count together;
+ *  - value update: new sized blob persisted, then one 8-byte value
+ *    pointer swap in place (same discipline as the hashmap);
+ *  - middle erase: one 8-byte next-pointer swap, then a separate
+ *    count commit — the same count-lag window the hashmap has, kept
+ *    deliberately so the crash matrix exercises both shapes.
+ *
+ * Lookups are a full list walk — O(n) per op — which is exactly what
+ * makes this backend useful to the fault harness: it has the fewest
+ * persist boundaries per op of any structure, so the exhaustive
+ * boundary sweep covers a qualitatively different (header-swap-heavy)
+ * linearization style at minimal cost.
+ */
+
+#ifndef PMNET_KV_BLOB_STORE_H
+#define PMNET_KV_BLOB_STORE_H
+
+#include "kv/store_base.h"
+
+namespace pmnet::kv {
+
+/** Persistent singly-linked blob list. */
+class PmBlobStore : public StoreBase
+{
+  public:
+    /** Create an empty list. */
+    explicit PmBlobStore(pm::PmHeap &heap);
+
+    /** Re-open after a crash. */
+    PmBlobStore(pm::PmHeap &heap, pm::PmOffset header_offset);
+
+    void put(const std::string &key, const Bytes &value) override;
+    std::optional<Bytes> get(const std::string &key) const override;
+    bool erase(const std::string &key) override;
+
+  private:
+    /** List node; same persistent shape as the hashmap's chain node. */
+    struct Node
+    {
+        BlobRef key;
+        std::uint64_t valPtr;
+        std::uint64_t next;
+    };
+
+    /** Walk result: matched node and its predecessor (if any). */
+    struct Walk
+    {
+        bool found = false;
+        pm::PmOffset off = pm::kNullOffset;
+        pm::PmOffset prevOff = pm::kNullOffset;
+        Node node{};
+    };
+
+    Walk walk(std::string_view key) const;
+};
+
+} // namespace pmnet::kv
+
+#endif // PMNET_KV_BLOB_STORE_H

@@ -8,7 +8,7 @@
 namespace pmnet::kv {
 
 PmHashmap::PmHashmap(pm::PmHeap &heap, unsigned bucket_bits)
-    : StoreBase(heap, KvKind::Hashmap)
+    : StoreBase(heap, KvKind::Hashmap), shadowEpoch_(heap.crashEpoch())
 {
     if (bucket_bits == 0 || bucket_bits > 24)
         fatal("PmHashmap: bucket_bits %u out of range", bucket_bits);
@@ -25,7 +25,8 @@ PmHashmap::PmHashmap(pm::PmHeap &heap, unsigned bucket_bits)
 }
 
 PmHashmap::PmHashmap(pm::PmHeap &heap, pm::PmOffset header_offset)
-    : StoreBase(heap, header_offset, KvKind::Hashmap)
+    : StoreBase(heap, header_offset, KvKind::Hashmap),
+      shadowEpoch_(heap.crashEpoch())
 {
     StoreHeader header = loadHeader();
     bucketCount_ = 1ull << header.extra;
@@ -44,6 +45,10 @@ PmHashmap::bucketSlot(KeyRef key) const
 PmHashmap::Walk
 PmHashmap::walkChain(std::uint64_t slot, KeyRef key) const
 {
+    if (shadowEpoch_ != heap_.crashEpoch()) {
+        shadow_.clear();
+        shadowEpoch_ = heap_.crashEpoch();
+    }
     Walk w;
     w.chain = shadow_.findChain(slot);
     std::size_t cached = w.chain ? w.chain->size() : 0;

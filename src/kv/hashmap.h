@@ -146,6 +146,14 @@ class PmHashmap : public StoreBase
             }
         }
 
+        /** Drop every cached chain (power-failure invalidation). */
+        void
+        clear()
+        {
+            slots_.assign(kInitSlots, Slot{});
+            size_ = 0;
+        }
+
         /** Get-or-create the chain shadow for @p slot. */
         Chain &
         chain(pm::PmOffset slot)
@@ -254,6 +262,17 @@ class PmHashmap : public StoreBase
     std::uint64_t bucketCount_;
     pm::PmOffset buckets_;
     mutable BucketShadowMap shadow_;
+
+    /**
+     * PmHeap::crashEpoch() the shadow was built under. A crash reverts
+     * the heap under this instance's feet; the next walk notices the
+     * epoch moved and discards the whole shadow, so continuing to use
+     * the same instance after PmHeap::crash() can never serve chain
+     * state the durable image does not contain. (The remaining members
+     * — bucket array offset/count — are fenced at construction and
+     * header-derived, so they survive any crash unchanged.)
+     */
+    mutable std::uint64_t shadowEpoch_ = 0;
 };
 
 } // namespace pmnet::kv

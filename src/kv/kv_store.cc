@@ -1,6 +1,7 @@
 #include "kv/kv_store.h"
 
 #include "common/logging.h"
+#include "kv/blob_store.h"
 #include "kv/btree.h"
 #include "kv/ctree.h"
 #include "kv/hashmap.h"
@@ -24,6 +25,8 @@ makeKvStore(KvKind kind, pm::PmHeap &heap)
         return std::make_unique<PmRBTree>(heap);
       case KvKind::SkipList:
         return std::make_unique<PmSkipList>(heap);
+      case KvKind::Blob:
+        return std::make_unique<PmBlobStore>(heap);
     }
     fatal("makeKvStore: unknown kind %u",
           static_cast<std::uint32_t>(kind));
@@ -44,6 +47,8 @@ openKvStore(pm::PmHeap &heap, pm::PmOffset header_offset)
         return std::make_unique<PmRBTree>(heap, header_offset);
       case KvKind::SkipList:
         return std::make_unique<PmSkipList>(heap, header_offset);
+      case KvKind::Blob:
+        return std::make_unique<PmBlobStore>(heap, header_offset);
     }
     fatal("openKvStore: header at %llu has unknown kind %u",
           static_cast<unsigned long long>(header_offset), header.kind);

@@ -43,6 +43,7 @@ enum class KvKind : std::uint32_t {
     CTree = 3,
     RBTree = 4,
     SkipList = 5,
+    Blob = 6,
 };
 
 const char *kvKindName(KvKind kind);

@@ -13,6 +13,7 @@ kvKindName(KvKind kind)
       case KvKind::CTree: return "ctree";
       case KvKind::RBTree: return "rbtree";
       case KvKind::SkipList: return "skiplist";
+      case KvKind::Blob: return "blob";
     }
     return "unknown";
 }

@@ -58,6 +58,14 @@ class Link : public sim::SimObject
 
     const LinkConfig &config() const { return config_; }
 
+    /**
+     * Change the random per-packet loss probability at runtime (both
+     * directions). The fault-plan driver uses this to script loss
+     * bursts; the loss RNG keeps its stream, so a plan replayed with
+     * the same seed loses exactly the same packets.
+     */
+    void setLossRate(double loss_rate) { config_.lossRate = loss_rate; }
+
     /** Packets dropped due to egress-queue overflow. */
     std::uint64_t drops() const { return drops_; }
 

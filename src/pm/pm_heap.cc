@@ -6,6 +6,17 @@
 
 namespace pmnet::pm {
 
+const char *
+persistBoundaryName(PersistBoundary boundary)
+{
+    switch (boundary) {
+      case PersistBoundary::Flush: return "flush";
+      case PersistBoundary::Fence: return "fence";
+      case PersistBoundary::FenceRetire: return "fence-retire";
+    }
+    return "unknown";
+}
+
 PmHeap::PmHeap(std::uint64_t capacity_bytes, CostModel model)
     : capacity_(capacity_bytes), model_(model)
 {
@@ -128,6 +139,8 @@ PmHeap::flush(PmOffset offset, std::size_t len)
     checkRange(offset, len);
     if (len == 0)
         return;
+    if (boundaryHook_)
+        boundaryHook_(PersistBoundary::Flush);
     // clwb semantics: capture the line content as of flush time,
     // rounded out to cache-line boundaries.
     PmOffset first = offset / kCacheLine * kCacheLine;
@@ -149,18 +162,22 @@ PmHeap::flush(PmOffset offset, std::size_t len)
 void
 PmHeap::fence()
 {
+    if (boundaryHook_)
+        boundaryHook_(PersistBoundary::Fence);
     counts_.fences++;
     if (staged_.empty()) {
         accrued_ += model_.fenceEmpty;
-        return;
+    } else {
+        for (const StagedRange &r : staged_) {
+            std::memcpy(durableImage_.data() + r.off,
+                        stageArena_.data() + r.pos, r.len);
+        }
+        staged_.clear();
+        stageArena_.clear();
+        accrued_ += model_.fenceDrain;
     }
-    for (const StagedRange &r : staged_) {
-        std::memcpy(durableImage_.data() + r.off,
-                    stageArena_.data() + r.pos, r.len);
-    }
-    staged_.clear();
-    stageArena_.clear();
-    accrued_ += model_.fenceDrain;
+    if (boundaryHook_)
+        boundaryHook_(PersistBoundary::FenceRetire);
 }
 
 void
@@ -181,8 +198,18 @@ PmHeap::root() const
 }
 
 void
+PmHeap::setPersistBoundaryHook(PersistBoundaryHook hook)
+{
+    boundaryHook_ = std::move(hook);
+}
+
+void
 PmHeap::crash()
 {
+    // A dead machine runs no hooks; dropping it here also keeps an
+    // armed crash injector from re-firing during recovery replay.
+    boundaryHook_ = nullptr;
+    crashEpoch_++;
     staged_.clear();
     stageArena_.clear();
     volatileImage_ = durableImage_;

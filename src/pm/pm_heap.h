@@ -29,6 +29,7 @@
 #define PMNET_PM_PM_HEAP_H
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <vector>
 
@@ -42,6 +43,34 @@ using PmOffset = std::uint64_t;
 
 /** Null object offset. */
 inline constexpr PmOffset kNullOffset = 0;
+
+/**
+ * A point on the flush/fence path where a power failure would leave a
+ * distinct durable/volatile split (the crash matrix in src/fault
+ * enumerates these):
+ *
+ *  - Flush:       a clwb is about to stage a range. Nothing staged by
+ *                 this call survives a crash here.
+ *  - Fence:       an sfence is about to retire. Everything staged
+ *                 since the previous fence is still lost here.
+ *  - FenceRetire: the sfence just retired. The staged ranges are
+ *                 durable, but the *host* has not executed a single
+ *                 instruction past the fence yet — the window where
+ *                 volatile acceleration state (e.g. PmHashmap's chain
+ *                 shadow) has not caught up with the durable image.
+ */
+enum class PersistBoundary : std::uint8_t { Flush, Fence, FenceRetire };
+
+const char *persistBoundaryName(PersistBoundary boundary);
+
+/**
+ * Observer invoked at every persist boundary. Installed by the fault
+ * harness to count boundaries and to inject crashes (by throwing out
+ * of the hook; the heap keeps no state that unwinding would corrupt —
+ * the harness calls crash() right after catching). Never installed on
+ * measured paths: an unset hook costs one predictable branch.
+ */
+using PersistBoundaryHook = std::function<void(PersistBoundary)>;
 
 /** Counters describing the PM work a code region performed. */
 struct PmOpCounts
@@ -175,6 +204,20 @@ class PmHeap
      * durable one and staged-but-unfenced ranges are lost.
      */
     void crash();
+
+    /**
+     * Number of crash() calls so far. Volatile structures that cache
+     * heap contents (PmHashmap's chain shadow) compare this against
+     * the epoch they were built under and self-invalidate, so stale
+     * acceleration state can never survive a power failure.
+     */
+    std::uint64_t crashEpoch() const { return crashEpoch_; }
+
+    /**
+     * Install @p hook (empty to remove) on the flush/fence path; see
+     * PersistBoundaryHook. Cleared automatically by crash().
+     */
+    void setPersistBoundaryHook(PersistBoundaryHook hook);
     /** @} */
 
     /** @name Cost accounting
@@ -244,6 +287,9 @@ class PmHeap
 
     mutable TickDelta accrued_ = 0;
     mutable PmOpCounts counts_;
+
+    std::uint64_t crashEpoch_ = 0;
+    PersistBoundaryHook boundaryHook_;
 };
 
 } // namespace pmnet::pm

@@ -1,5 +1,7 @@
 #include "pmnet/read_cache.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace pmnet::pmnetdev {
@@ -193,6 +195,22 @@ ReadCache::clear()
     table_.clear();
     lruHead_ = kNil;
     lruTail_ = kNil;
+}
+
+std::vector<ReadCache::DumpEntry>
+ReadCache::dump() const
+{
+    std::vector<DumpEntry> out;
+    out.reserve(table_.size());
+    table_.forEach([&out](const auto &entry) {
+        out.push_back(
+            DumpEntry{entry.key, entry.value.state, entry.value.value});
+    });
+    std::sort(out.begin(), out.end(),
+              [](const DumpEntry &a, const DumpEntry &b) {
+                  return a.key < b.key;
+              });
+    return out;
 }
 
 } // namespace pmnet::pmnetdev

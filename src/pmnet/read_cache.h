@@ -39,6 +39,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/key.h"
@@ -115,6 +116,22 @@ class ReadCache
 
     std::size_t size() const { return table_.size(); }
     std::size_t capacity() const { return capacity_; }
+
+    /** One entry of a dump() snapshot. */
+    struct DumpEntry
+    {
+        std::string key;
+        CacheState state = CacheState::Invalid;
+        Bytes value;
+    };
+
+    /**
+     * Snapshot every entry, sorted by key. For the fault harness's
+     * staleness audit: after a failure it compares each Persisted
+     * entry against the recovered store. Sorted so two deterministic
+     * runs render byte-identical reports.
+     */
+    std::vector<DumpEntry> dump() const;
 
     /** Drop everything (device power failure). */
     void clear();

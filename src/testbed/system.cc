@@ -165,6 +165,8 @@ Testbed::installHandler()
                     apps::RespStatus::Error, "malformed");
                 return result;
             }
+            if (handlerTap_)
+                handlerTap_(session, is_update, *cmd);
             Bytes response = store_->executeToResponse(*cmd, session);
             result.cost += config_.appOverhead;
             if (!is_update)

@@ -23,6 +23,7 @@
 #ifndef PMNET_TESTBED_SYSTEM_H
 #define PMNET_TESTBED_SYSTEM_H
 
+#include "apps/kv_protocol.h"
 #include "net/topology.h"
 #include "testbed/driver.h"
 
@@ -76,12 +77,24 @@ class Testbed
     pmnetdev::PmnetDevice &device(std::size_t i) { return *devices_[i]; }
     std::size_t clientCount() const { return clients_.size(); }
     stack::ClientLib &clientLib(std::size_t i);
+    stack::Host &clientHost(std::size_t i) { return *clients_[i].host; }
     ClientDriver &driver(std::size_t i) { return *drivers_[i]; }
     const TestbedConfig &config() const { return config_; }
     /** @} */
 
     /** Total requests completed by every driver. */
     std::uint64_t totalCompleted() const;
+
+    /**
+     * Observer of every command the server applies (after decode,
+     * before execution), in application order. The fault harness's
+     * invariant checker records the per-session apply sequence here to
+     * assert replay ordering; an unset tap costs one branch.
+     */
+    using HandlerTap = std::function<void(
+        std::uint16_t session, bool is_update, const apps::Command &cmd)>;
+
+    void setHandlerTap(HandlerTap tap) { handlerTap_ = std::move(tap); }
 
   private:
     struct Client
@@ -108,6 +121,8 @@ class Testbed
     std::vector<pmnetdev::PmnetDevice *> devices_;
     std::vector<Client> clients_;
     std::vector<std::unique_ptr<ClientDriver>> drivers_;
+
+    HandlerTap handlerTap_;
 
     LatencySeries updateLatency_;
     LatencySeries readLatency_;

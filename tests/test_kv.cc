@@ -262,7 +262,7 @@ TEST_P(KvStoreTest, KeysWithSharedPrefixes)
 INSTANTIATE_TEST_SUITE_P(
     AllKinds, KvStoreTest,
     ::testing::Values(KvKind::Hashmap, KvKind::BTree, KvKind::CTree,
-                      KvKind::RBTree, KvKind::SkipList),
+                      KvKind::RBTree, KvKind::SkipList, KvKind::Blob),
     [](const ::testing::TestParamInfo<KvKind> &param_info) {
         return kvKindName(param_info.param);
     });

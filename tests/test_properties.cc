@@ -97,7 +97,8 @@ INSTANTIATE_TEST_SUITE_P(
                                          kv::KvKind::BTree,
                                          kv::KvKind::CTree,
                                          kv::KvKind::RBTree,
-                                         kv::KvKind::SkipList),
+                                         kv::KvKind::SkipList,
+                                         kv::KvKind::Blob),
                        ::testing::Values(1, 2, 3)),
     [](const ::testing::TestParamInfo<KvFuzzParam> &param_info) {
         return std::string(kv::kvKindName(std::get<0>(param_info.param))) +

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * fault_matrix — command-line front end to the crash matrix
+ * (src/fault/crash_matrix.h).
+ *
+ * Sweeps every persist boundary of a recorded KV op sequence for one
+ * backend (or all six), crashing and recovering at each, and prints a
+ * per-backend summary line with the invariant verdict and wall-clock
+ * time. Exits non-zero if any sweep reports a violation, so CI can
+ * gate on it directly.
+ *
+ * Examples:
+ *   fault_matrix                       # exhaustive, all backends
+ *   fault_matrix --backend btree --ops 64
+ *   fault_matrix --smoke               # capped sweep for the fast CI job
+ *   fault_matrix --json                # machine-readable output
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "fault/crash_matrix.h"
+
+using namespace pmnet;
+
+namespace {
+
+struct Options
+{
+    std::string backend = "all";
+    int ops = 48;
+    int keys = 10;
+    std::uint64_t seed = 1;
+    int maxCrashes = 0;
+    bool smoke = false;
+    bool json = false;
+};
+
+[[noreturn]] void
+usage(int code)
+{
+    std::printf(
+        "fault_matrix — exhaustive persist-boundary crash matrix\n\n"
+        "  --backend S      hashmap | btree | ctree | rbtree | skiplist |\n"
+        "                   blob | all (default all)\n"
+        "  --ops N          recorded operations per sweep (default 48)\n"
+        "  --keys N         key-universe size (default 10)\n"
+        "  --seed N         op-sequence seed (default 1)\n"
+        "  --max-crashes N  cap injected crashes, 0 = exhaustive\n"
+        "  --smoke          fast CI mode: fewer ops, capped crashes\n"
+        "  --json           machine-readable one-object-per-line output\n");
+    std::exit(code);
+}
+
+kv::KvKind
+parseBackend(const std::string &text)
+{
+    if (text == "hashmap")
+        return kv::KvKind::Hashmap;
+    if (text == "btree")
+        return kv::KvKind::BTree;
+    if (text == "ctree")
+        return kv::KvKind::CTree;
+    if (text == "rbtree")
+        return kv::KvKind::RBTree;
+    if (text == "skiplist")
+        return kv::KvKind::SkipList;
+    if (text == "blob")
+        return kv::KvKind::Blob;
+    fatal("unknown backend '%s'", text.c_str());
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value for %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--backend")
+            opt.backend = next();
+        else if (arg == "--ops")
+            opt.ops = std::stoi(next());
+        else if (arg == "--keys")
+            opt.keys = std::stoi(next());
+        else if (arg == "--seed")
+            opt.seed = std::stoull(next());
+        else if (arg == "--max-crashes")
+            opt.maxCrashes = std::stoi(next());
+        else if (arg == "--smoke")
+            opt.smoke = true;
+        else if (arg == "--json")
+            opt.json = true;
+        else if (arg == "--help" || arg == "-h")
+            usage(0);
+        else
+            usage(1);
+    }
+    if (opt.smoke) {
+        opt.ops = std::min(opt.ops, 24);
+        if (opt.maxCrashes == 0)
+            opt.maxCrashes = 16;
+    }
+    return opt;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parseArgs(argc, argv);
+
+    std::vector<kv::KvKind> kinds;
+    if (opt.backend == "all") {
+        kinds = {kv::KvKind::Hashmap, kv::KvKind::BTree, kv::KvKind::CTree,
+                 kv::KvKind::RBTree, kv::KvKind::SkipList, kv::KvKind::Blob};
+    } else {
+        kinds = {parseBackend(opt.backend)};
+    }
+
+    bool all_clean = true;
+    if (!opt.json)
+        std::printf("%-10s %10s %10s %10s %9s  %s\n", "backend",
+                    "boundaries", "crashes", "count-lag", "wall-ms",
+                    "verdict");
+
+    for (kv::KvKind kind : kinds) {
+        fault::CrashMatrixConfig config;
+        config.kind = kind;
+        config.seed = opt.seed;
+        config.opCount = opt.ops;
+        config.keyCount = opt.keys;
+        config.maxCrashes = opt.maxCrashes;
+
+        auto start = std::chrono::steady_clock::now();
+        fault::CrashMatrixResult result = fault::runCrashMatrix(config);
+        auto wall = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+
+        bool clean = result.report.clean();
+        all_clean = all_clean && clean;
+        if (opt.json) {
+            std::printf("{\"backend\":\"%s\",\"boundaries\":%zu,"
+                        "\"crashes\":%zu,\"countLag\":%zu,"
+                        "\"wallMs\":%lld,\"clean\":%s}\n",
+                        kv::kvKindName(kind), result.boundaries,
+                        result.crashesInjected, result.countLagObserved,
+                        static_cast<long long>(wall),
+                        clean ? "true" : "false");
+        } else {
+            std::printf("%-10s %10zu %10zu %10zu %9lld  %s\n",
+                        kv::kvKindName(kind), result.boundaries,
+                        result.crashesInjected, result.countLagObserved,
+                        static_cast<long long>(wall),
+                        clean ? "clean" : "VIOLATIONS");
+        }
+        if (!clean)
+            std::fputs(result.report.text().c_str(), stderr);
+    }
+
+    return all_clean ? 0 : 1;
+}
