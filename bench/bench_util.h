@@ -10,12 +10,13 @@
 #define PMNET_BENCH_BENCH_UTIL_H
 
 #include <cstdio>
-#include <cstring>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "obs/snapshot.h"
 #include "testbed/system.h"
+#include "tools/cli.h"
 
 namespace pmnet::benchutil {
 
@@ -30,28 +31,23 @@ namespace pmnet::benchutil {
  * and `--exact`, which switches the big sweep benches (fig16/19/20)
  * from streaming (histogram) latency stats back to exact raw-sample
  * storage — for byte-identical comparison against older revisions.
+ *
+ * Parsing goes through cli::ArgParser (tolerating bench-specific
+ * extra arguments) and rendering through obs::Snapshot's BenchRows
+ * style, which reproduces the historical array-of-inline-objects
+ * format byte-for-byte.
  */
 class BenchJson
 {
   public:
     BenchJson(const char *bench_name, int argc, char **argv)
-        : bench_(bench_name)
+        : bench_(bench_name), rows_(obs::Json::array())
     {
-        for (int i = 1; i < argc; i++) {
-            if (std::strcmp(argv[i], "--json") == 0) {
-                if (i + 1 < argc) {
-                    path_ = argv[++i];
-                } else {
-                    std::fprintf(stderr,
-                                 "warning: --json requires a path; "
-                                 "no JSON will be written\n");
-                }
-            } else if (std::strcmp(argv[i], "--smoke") == 0) {
-                smoke_ = true;
-            } else if (std::strcmp(argv[i], "--exact") == 0) {
-                exact_ = true;
-            }
-        }
+        cli::ArgParser parser(bench_name, "figure-reproduction bench");
+        cli::addJsonPath(parser, common_);
+        cli::addSmoke(parser, common_);
+        cli::addExact(parser, common_);
+        parser.parse(argc, argv, /*allow_unknown=*/true);
     }
 
     ~BenchJson() { write(); }
@@ -60,95 +56,70 @@ class BenchJson
     BenchJson &operator=(const BenchJson &) = delete;
 
     /** True when the binary was invoked with `--smoke`. */
-    bool smoke() const { return smoke_; }
+    bool smoke() const { return common_.smoke; }
 
     /** True when the binary was invoked with `--exact`. */
-    bool exactStats() const { return exact_; }
+    bool exactStats() const { return common_.exact; }
 
     /** Stats mode for benches that default to streaming collection. */
     StatsMode
     statsMode() const
     {
-        return exact_ ? StatsMode::Exact : StatsMode::Streaming;
+        return common_.exact ? StatsMode::Exact : StatsMode::Streaming;
     }
 
     /** True when rows will be written to a file. */
-    bool enabled() const { return !path_.empty(); }
+    bool enabled() const { return !common_.jsonPath.empty(); }
 
     /** Start a new result row. Subsequent field() calls land in it. */
     void
     beginRow()
     {
-        rows_.emplace_back();
+        rows_.push(obs::Json::object());
         field("bench", bench_);
     }
 
     void
     field(const std::string &key, const std::string &value)
     {
-        rows_.back().emplace_back(key, quote(value));
+        row().set(key, obs::Json(value));
     }
 
     void
     field(const std::string &key, double value)
     {
-        char buf[64];
-        std::snprintf(buf, sizeof(buf), "%.6g", value);
-        rows_.back().emplace_back(key, buf);
+        row().set(key, obs::Json(value));
     }
 
     void
     field(const std::string &key, std::uint64_t value)
     {
-        rows_.back().emplace_back(key, std::to_string(value));
+        row().set(key, obs::Json(value));
     }
 
     /** Write the collected rows; harmless without `--json`. */
     void
     write()
     {
-        if (path_.empty() || written_)
+        if (common_.jsonPath.empty() || written_)
             return;
-        std::FILE *f = std::fopen(path_.c_str(), "w");
-        if (!f) {
+        obs::Snapshot snapshot(rows_);
+        if (!snapshot.writeFile(common_.jsonPath,
+                                obs::JsonStyle::BenchRows)) {
             std::fprintf(stderr, "bench: cannot write %s\n",
-                         path_.c_str());
+                         common_.jsonPath.c_str());
             return;
         }
-        std::fprintf(f, "[\n");
-        for (std::size_t r = 0; r < rows_.size(); r++) {
-            std::fprintf(f, "  {");
-            for (std::size_t i = 0; i < rows_[r].size(); i++)
-                std::fprintf(f, "%s\"%s\": %s", i ? ", " : "",
-                             rows_[r][i].first.c_str(),
-                             rows_[r][i].second.c_str());
-            std::fprintf(f, "}%s\n", r + 1 < rows_.size() ? "," : "");
-        }
-        std::fprintf(f, "]\n");
-        std::fclose(f);
         written_ = true;
     }
 
   private:
-    static std::string
-    quote(const std::string &raw)
-    {
-        std::string out = "\"";
-        for (char c : raw) {
-            if (c == '"' || c == '\\')
-                out += '\\';
-            out += c;
-        }
-        out += '"';
-        return out;
-    }
+    obs::Json &row() { return rows_.items().back(); }
 
     std::string bench_;
-    std::string path_;
-    bool smoke_ = false;
-    bool exact_ = false;
+    cli::CommonOptions common_;
     bool written_ = false;
-    std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+    obs::Json rows_;
 };
 
 /** One evaluated workload (paper Section VI-A2). */

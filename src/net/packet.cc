@@ -207,6 +207,19 @@ PacketPool::stats() const
     return impl_->stats;
 }
 
+void
+PacketPool::registerMetrics(obs::MetricRegistry &registry,
+                            std::string_view prefix)
+{
+    std::string base(prefix);
+    registry.attach(base + ".allocated", impl_->stats.allocated);
+    registry.attach(base + ".reused", impl_->stats.reused);
+    registry.attach(base + ".released", impl_->stats.released);
+    registry.probe(base + ".parked", [this]() {
+        return obs::Json(static_cast<std::uint64_t>(freeCount()));
+    });
+}
+
 std::size_t
 PacketPool::freeCount() const
 {

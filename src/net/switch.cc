@@ -1,6 +1,7 @@
 #include "net/switch.h"
 
 #include "common/logging.h"
+#include "obs/flight_recorder.h"
 
 namespace pmnet::net {
 
@@ -32,6 +33,11 @@ BasicSwitch::receive(PacketPtr pkt, int in_port)
 {
     (void)in_port;
     forwarded_++;
+    if (obs::kTracingCompiledIn && recorder_ && pkt->isPmnet() &&
+        (pkt->pmnet->type == PacketType::UpdateReq ||
+         pkt->pmnet->type == PacketType::BypassReq))
+        recorder_->stampAt(pkt->requestId, obs::Stamp::SwitchIngress,
+                           now());
     schedule(forwardLatency_,
              [this, pkt = std::move(pkt)]() { forward(pkt); });
 }

@@ -18,6 +18,10 @@
 #include "net/link.h"
 #include "net/node.h"
 
+namespace pmnet::obs {
+class FlightRecorder;
+}
+
 namespace pmnet::net {
 
 /** A node that forwards packets toward destinations by NodeId. */
@@ -65,9 +69,17 @@ class BasicSwitch : public ForwardingNode
 
     std::uint64_t packetsForwarded() const { return forwarded_; }
 
+    /** Attach the flight recorder (nullptr detaches): request packets
+     *  get their SwitchIngress checkpoint stamped on arrival. */
+    void setRecorder(obs::FlightRecorder *recorder)
+    {
+        recorder_ = recorder;
+    }
+
   private:
     TickDelta forwardLatency_;
     std::uint64_t forwarded_ = 0;
+    obs::FlightRecorder *recorder_ = nullptr;
 };
 
 } // namespace pmnet::net

@@ -1,0 +1,209 @@
+#include "obs/json.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace pmnet::obs {
+
+Json &
+Json::push(Json value)
+{
+    if (kind_ == Kind::Null)
+        kind_ = Kind::Array;
+    if (kind_ != Kind::Array)
+        fatal("Json::push on a non-array value");
+    items_.push_back(std::move(value));
+    return *this;
+}
+
+Json &
+Json::set(std::string_view key, Json value)
+{
+    if (kind_ == Kind::Null)
+        kind_ = Kind::Object;
+    if (kind_ != Kind::Object)
+        fatal("Json::set on a non-object value");
+    for (auto &member : members_) {
+        if (member.first == key) {
+            member.second = std::move(value);
+            return *this;
+        }
+    }
+    members_.emplace_back(std::string(key), std::move(value));
+    return *this;
+}
+
+Json *
+Json::find(std::string_view key)
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (auto &member : members_) {
+        if (member.first == key)
+            return &member.second;
+    }
+    return nullptr;
+}
+
+const Json *
+Json::find(std::string_view key) const
+{
+    return const_cast<Json *>(this)->find(key);
+}
+
+std::size_t
+Json::size() const
+{
+    if (kind_ == Kind::Array)
+        return items_.size();
+    if (kind_ == Kind::Object)
+        return members_.size();
+    return 0;
+}
+
+void
+Json::appendQuoted(std::string &out, const std::string &raw)
+{
+    // The historical bench writer escaped only quotes and
+    // backslashes; keeping the same rule preserves byte-identical
+    // output. No emitter produces control characters.
+    out += '"';
+    for (char c : raw) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    out += '"';
+}
+
+void
+Json::appendDouble(std::string &out, double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    out += buf;
+}
+
+void
+Json::dumpInline(std::string &out, bool spaced) const
+{
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Kind::Uint:
+        out += std::to_string(uint_);
+        break;
+      case Kind::Int:
+        out += std::to_string(int_);
+        break;
+      case Kind::Double:
+        appendDouble(out, double_);
+        break;
+      case Kind::String:
+        appendQuoted(out, string_);
+        break;
+      case Kind::Array:
+        out += '[';
+        for (std::size_t i = 0; i < items_.size(); i++) {
+            if (i)
+                out += spaced ? ", " : ",";
+            items_[i].dumpInline(out, spaced);
+        }
+        out += ']';
+        break;
+      case Kind::Object:
+        out += '{';
+        for (std::size_t i = 0; i < members_.size(); i++) {
+            if (i)
+                out += spaced ? ", " : ",";
+            appendQuoted(out, members_[i].first);
+            out += spaced ? ": " : ":";
+            members_[i].second.dumpInline(out, spaced);
+        }
+        out += '}';
+        break;
+    }
+}
+
+void
+Json::dumpPretty(std::string &out, int depth) const
+{
+    auto indent = [&](int d) { out.append(2 * static_cast<std::size_t>(d), ' '); };
+
+    switch (kind_) {
+      case Kind::Array:
+        if (items_.empty()) {
+            out += "[]";
+            return;
+        }
+        out += "[\n";
+        for (std::size_t i = 0; i < items_.size(); i++) {
+            indent(depth + 1);
+            items_[i].dumpPretty(out, depth + 1);
+            if (i + 1 < items_.size())
+                out += ',';
+            out += '\n';
+        }
+        indent(depth);
+        out += ']';
+        return;
+      case Kind::Object:
+        if (members_.empty()) {
+            out += "{}";
+            return;
+        }
+        out += "{\n";
+        for (std::size_t i = 0; i < members_.size(); i++) {
+            indent(depth + 1);
+            appendQuoted(out, members_[i].first);
+            out += ": ";
+            members_[i].second.dumpPretty(out, depth + 1);
+            if (i + 1 < members_.size())
+                out += ',';
+            out += '\n';
+        }
+        indent(depth);
+        out += '}';
+        return;
+      default:
+        dumpInline(out, true);
+        return;
+    }
+}
+
+std::string
+Json::dump(JsonStyle style) const
+{
+    std::string out;
+    switch (style) {
+      case JsonStyle::Compact:
+        dumpInline(out, false);
+        return out;
+      case JsonStyle::Pretty:
+        dumpPretty(out, 0);
+        out += '\n';
+        return out;
+      case JsonStyle::BenchRows: {
+        if (kind_ != Kind::Array)
+            fatal("JsonStyle::BenchRows requires a top-level array");
+        out += "[\n";
+        for (std::size_t r = 0; r < items_.size(); r++) {
+            out += "  ";
+            items_[r].dumpInline(out, true);
+            if (r + 1 < items_.size())
+                out += ',';
+            out += '\n';
+        }
+        out += "]\n";
+        return out;
+      }
+    }
+    return out;
+}
+
+} // namespace pmnet::obs

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Ordered JSON document model for the observability layer.
+ *
+ * Every machine-readable artifact of the repo — bench rows, the
+ * pmnet_sim snapshot, the fault-matrix report — is assembled as an
+ * obs::Json tree and rendered through one of three writers
+ * (DESIGN.md section 11):
+ *
+ *  - Compact:   no whitespace, for log lines.
+ *  - Pretty:    two-space indent, one key per line, for humans and
+ *               the schema-validated tool outputs.
+ *  - BenchRows: the historical bench format — a top-level array with
+ *               one inline object per line — kept byte-identical so
+ *               BENCH_*.json trajectories and tools/bench_diff keep
+ *               working across the redesign.
+ *
+ * Objects preserve insertion order (vector of pairs, not a map): the
+ * byte-identical guarantees depend on field order, and snapshots
+ * group metrics by the component registration order.
+ */
+
+#ifndef PMNET_OBS_JSON_H
+#define PMNET_OBS_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pmnet::obs {
+
+/** How a Json tree is rendered to text. */
+enum class JsonStyle {
+    Compact,   ///< {"a":1,"b":[2,3]}
+    Pretty,    ///< two-space indent, one key/element per line
+    BenchRows, ///< top-level array, one inline object per line
+};
+
+/** An ordered JSON value (null/bool/number/string/array/object). */
+class Json
+{
+  public:
+    enum class Kind { Null, Bool, Uint, Int, Double, String, Array, Object };
+
+    Json() = default;
+    Json(bool value) : kind_(Kind::Bool), bool_(value) {}
+    Json(double value) : kind_(Kind::Double), double_(value) {}
+    Json(std::uint64_t value) : kind_(Kind::Uint), uint_(value) {}
+    Json(std::int64_t value) : kind_(Kind::Int), int_(value) {}
+    Json(int value) : kind_(Kind::Int), int_(value) {}
+    Json(unsigned value) : kind_(Kind::Uint), uint_(value) {}
+    Json(const char *value) : kind_(Kind::String), string_(value) {}
+    Json(std::string value)
+        : kind_(Kind::String), string_(std::move(value))
+    {}
+    Json(std::string_view value) : kind_(Kind::String), string_(value) {}
+
+    static Json array() { Json j; j.kind_ = Kind::Array; return j; }
+    static Json object() { Json j; j.kind_ = Kind::Object; return j; }
+
+    Kind kind() const { return kind_; }
+    bool isObject() const { return kind_ == Kind::Object; }
+    bool isArray() const { return kind_ == Kind::Array; }
+
+    /** Append to an array (kind must be Array or Null). */
+    Json &push(Json value);
+
+    /**
+     * Set @p key in an object (kind must be Object or Null).
+     * Overwrites an existing key in place, preserving its position.
+     */
+    Json &set(std::string_view key, Json value);
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    Json *find(std::string_view key);
+    const Json *find(std::string_view key) const;
+
+    std::size_t size() const;
+
+    std::vector<Json> &items() { return items_; }
+    const std::vector<Json> &items() const { return items_; }
+    const std::vector<std::pair<std::string, Json>> &members() const
+    {
+        return members_;
+    }
+
+    /** Render to text. Pretty/BenchRows end with a newline. */
+    std::string dump(JsonStyle style = JsonStyle::Compact) const;
+
+  private:
+    void dumpInline(std::string &out, bool spaced) const;
+    void dumpPretty(std::string &out, int depth) const;
+    static void appendQuoted(std::string &out, const std::string &raw);
+    static void appendDouble(std::string &out, double value);
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    std::uint64_t uint_ = 0;
+    std::int64_t int_ = 0;
+    double double_ = 0;
+    std::string string_;
+    std::vector<Json> items_;
+    std::vector<std::pair<std::string, Json>> members_;
+};
+
+} // namespace pmnet::obs
+
+#endif // PMNET_OBS_JSON_H

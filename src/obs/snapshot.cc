@@ -1,0 +1,48 @@
+#include "obs/snapshot.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace pmnet::obs {
+
+void
+Snapshot::put(std::string_view dotted_path, Json value)
+{
+    if (!root_.isObject())
+        fatal("Snapshot::put requires an object root");
+    Json *node = &root_;
+    std::string_view rest = dotted_path;
+    for (std::size_t dot = rest.find('.'); dot != std::string_view::npos;
+         dot = rest.find('.')) {
+        std::string_view segment = rest.substr(0, dot);
+        rest.remove_prefix(dot + 1);
+        Json *child = node->find(segment);
+        if (!child || !child->isObject()) {
+            node->set(segment, Json::object());
+            child = node->find(segment);
+        }
+        node = child;
+    }
+    node->set(rest, std::move(value));
+}
+
+std::string
+Snapshot::toJson(JsonStyle style) const
+{
+    return root_.dump(style);
+}
+
+bool
+Snapshot::writeFile(const std::string &path, JsonStyle style) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::string text = toJson(style);
+    std::size_t wrote = std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    return wrote == text.size();
+}
+
+} // namespace pmnet::obs

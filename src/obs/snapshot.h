@@ -1,0 +1,53 @@
+/**
+ * @file
+ * obs::Snapshot — the single serialization path for every
+ * machine-readable artifact the repo emits (DESIGN.md section 11).
+ *
+ * A Snapshot is an ordered Json document plus the one blessed
+ * renderer, toJson(). RunResults::toJson(), the pmnet_sim and
+ * fault_matrix tools, and the bench binaries' --json writers all
+ * build a Snapshot and emit through it; no tool hand-rolls JSON
+ * strings anymore. The BenchRows style reproduces the historical
+ * bench-array format byte-for-byte, so BENCH_*.json baselines and
+ * tools/bench_diff are unaffected by the redesign.
+ */
+
+#ifndef PMNET_OBS_SNAPSHOT_H
+#define PMNET_OBS_SNAPSHOT_H
+
+#include <string>
+
+#include "obs/json.h"
+
+namespace pmnet::obs {
+
+/** A named, ordered metrics document with one render path. */
+class Snapshot
+{
+  public:
+    Snapshot() : root_(Json::object()) {}
+    explicit Snapshot(Json root) : root_(std::move(root)) {}
+
+    Json &root() { return root_; }
+    const Json &root() const { return root_; }
+
+    /**
+     * Set a value at a dotted path ("results.updates.count"),
+     * creating intermediate objects. @pre root is an object.
+     */
+    void put(std::string_view dotted_path, Json value);
+
+    /** Render the document. Pretty and BenchRows end with '\n'. */
+    std::string toJson(JsonStyle style = JsonStyle::Pretty) const;
+
+    /** Write toJson(@p style) to @p path. @return false on I/O error. */
+    bool writeFile(const std::string &path,
+                   JsonStyle style = JsonStyle::Pretty) const;
+
+  private:
+    Json root_;
+};
+
+} // namespace pmnet::obs
+
+#endif // PMNET_OBS_SNAPSHOT_H

@@ -1,6 +1,7 @@
 #include "pmnet/device.h"
 
 #include "common/logging.h"
+#include "obs/flight_recorder.h"
 
 namespace pmnet::pmnetdev {
 
@@ -59,6 +60,12 @@ PmnetDevice::process(PacketPtr pkt)
         forward(std::move(pkt));
         return;
     }
+
+    if (obs::kTracingCompiledIn && recorder_ &&
+        (pkt->pmnet->type == PacketType::UpdateReq ||
+         pkt->pmnet->type == PacketType::BypassReq))
+        recorder_->stampAt(pkt->requestId, obs::Stamp::DeviceIngress,
+                           now());
 
     switch (pkt->pmnet->type) {
       case PacketType::UpdateReq:
@@ -191,6 +198,9 @@ PmnetDevice::handleUpdateReq(const PacketPtr &pkt)
         // after a lost ACK): it is persistent, so re-ACK immediately.
         stats.updatesReAcked++;
         stats.acksSent++;
+        if (obs::kTracingCompiledIn && recorder_)
+            recorder_->stampAt(pkt->requestId, obs::Stamp::PersistDone,
+                               now());
         auto ack = net::makeRefPacket(id(), pkt->src, PacketType::PmnetAck,
                                       header.sessionId, header.seqNum,
                                       header.hashVal, pkt->requestId);
@@ -204,6 +214,9 @@ PmnetDevice::handleUpdateReq(const PacketPtr &pkt)
         stats.bypassCollision++;
     } else if (auto done = writeQueue_.admitWrite(pkt->wireSize(), now())) {
         logged = true;
+        if (obs::kTracingCompiledIn && recorder_)
+            recorder_->stampAt(pkt->requestId, obs::Stamp::PersistStart,
+                               now());
         scheduleGuarded(*done - now(), [this, pkt]() {
             const net::PmnetHeader &h = *pkt->pmnet;
             auto result = store_.insert(h.hashVal, pkt, now());
@@ -217,6 +230,9 @@ PmnetDevice::handleUpdateReq(const PacketPtr &pkt)
             }
             stats.updatesLogged++;
             stats.acksSent++;
+            if (obs::kTracingCompiledIn && recorder_)
+                recorder_->stampAt(pkt->requestId,
+                                   obs::Stamp::PersistDone, now());
             traceEvent("logged+ack", *pkt);
             auto ack = net::makeRefPacket(id(), pkt->src,
                                           PacketType::PmnetAck,
@@ -379,6 +395,53 @@ PmnetDevice::recoveryResendNext(std::vector<std::uint32_t> hashes,
         traceEvent("replay", *logged);
         forward(logged);
         recoveryResendNext(std::move(hashes), index + 1, server);
+    });
+}
+
+void
+PmnetDevice::registerMetrics(obs::MetricRegistry &registry,
+                             std::string_view prefix)
+{
+    std::string base(prefix);
+    registry.attach(base + ".updatesSeen", stats.updatesSeen);
+    registry.attach(base + ".updatesLogged", stats.updatesLogged);
+    registry.attach(base + ".updatesReAcked", stats.updatesReAcked);
+    registry.attach(base + ".bypassCollision", stats.bypassCollision);
+    registry.attach(base + ".bypassQueueFull", stats.bypassQueueFull);
+    registry.attach(base + ".bypassStoreRace", stats.bypassStoreRace);
+    registry.attach(base + ".bypassTooLarge", stats.bypassTooLarge);
+    registry.attach(base + ".bypassBadHash", stats.bypassBadHash);
+    registry.attach(base + ".acksSent", stats.acksSent);
+    registry.attach(base + ".serverAcks", stats.serverAcks);
+    registry.attach(base + ".invalidations", stats.invalidations);
+    registry.attach(base + ".retransSeen", stats.retransSeen);
+    registry.attach(base + ".retransServed", stats.retransServed);
+    registry.attach(base + ".retransForwarded", stats.retransForwarded);
+    registry.attach(base + ".cacheResponses", stats.cacheResponses);
+    registry.attach(base + ".recoveryPolls", stats.recoveryPolls);
+    registry.attach(base + ".recoveryResent", stats.recoveryResent);
+    registry.attach(base + ".nonPmnetForwarded", stats.nonPmnetForwarded);
+    registry.attach(base + ".heartbeatsSent", stats.heartbeatsSent);
+    registry.attach(base + ".heartbeatAcks", stats.heartbeatAcks);
+    registry.attach(base + ".serverDownEvents", stats.serverDownEvents);
+    registry.attach(base + ".serverUpEvents", stats.serverUpEvents);
+    registry.probe(base + ".log.size", [this]() {
+        return obs::Json(store_.size());
+    });
+    registry.probe(base + ".log.highWater", [this]() {
+        return obs::Json(store_.highWater);
+    });
+    registry.probe(base + ".log.occupancy", [this]() {
+        return obs::Json(store_.occupancy());
+    });
+    registry.probe(base + ".cache.hits", [this]() {
+        return obs::Json(cache_.hits);
+    });
+    registry.probe(base + ".cache.misses", [this]() {
+        return obs::Json(cache_.misses);
+    });
+    registry.probe(base + ".cache.evictions", [this]() {
+        return obs::Json(cache_.evictions);
     });
 }
 

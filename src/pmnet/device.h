@@ -40,6 +40,7 @@
 
 #include "common/trace.h"
 #include "net/switch.h"
+#include "obs/metric_registry.h"
 #include "pm/log_queue.h"
 #include "pm/log_store.h"
 #include "pmnet/cache_codec.h"
@@ -73,31 +74,37 @@ struct DeviceConfig
     /** @} */
 };
 
-/** Observable event counters of one device. */
+/**
+ * Observable event counters of one device.
+ * @deprecated Thin adapter over obs::MetricRegistry registrations —
+ * new code should read the registry ("deviceN.*" after
+ * PmnetDevice::registerMetrics); the fields stay as obs::Counter
+ * handles so existing call sites compile unchanged.
+ */
 struct DeviceStats
 {
-    std::uint64_t updatesSeen = 0;
-    std::uint64_t updatesLogged = 0;
-    std::uint64_t updatesReAcked = 0;    ///< duplicate already persistent
-    std::uint64_t bypassCollision = 0;
-    std::uint64_t bypassQueueFull = 0;
-    std::uint64_t bypassStoreRace = 0;
-    std::uint64_t bypassTooLarge = 0;
-    std::uint64_t bypassBadHash = 0;
-    std::uint64_t acksSent = 0;
-    std::uint64_t serverAcks = 0;
-    std::uint64_t invalidations = 0;
-    std::uint64_t retransSeen = 0;
-    std::uint64_t retransServed = 0;
-    std::uint64_t retransForwarded = 0;
-    std::uint64_t cacheResponses = 0;
-    std::uint64_t recoveryPolls = 0;
-    std::uint64_t recoveryResent = 0;
-    std::uint64_t nonPmnetForwarded = 0;
-    std::uint64_t heartbeatsSent = 0;
-    std::uint64_t heartbeatAcks = 0;
-    std::uint64_t serverDownEvents = 0;
-    std::uint64_t serverUpEvents = 0;
+    obs::Counter updatesSeen;
+    obs::Counter updatesLogged;
+    obs::Counter updatesReAcked;    ///< duplicate already persistent
+    obs::Counter bypassCollision;
+    obs::Counter bypassQueueFull;
+    obs::Counter bypassStoreRace;
+    obs::Counter bypassTooLarge;
+    obs::Counter bypassBadHash;
+    obs::Counter acksSent;
+    obs::Counter serverAcks;
+    obs::Counter invalidations;
+    obs::Counter retransSeen;
+    obs::Counter retransServed;
+    obs::Counter retransForwarded;
+    obs::Counter cacheResponses;
+    obs::Counter recoveryPolls;
+    obs::Counter recoveryResent;
+    obs::Counter nonPmnetForwarded;
+    obs::Counter heartbeatsSent;
+    obs::Counter heartbeatAcks;
+    obs::Counter serverDownEvents;
+    obs::Counter serverUpEvents;
 };
 
 /** A PM-integrated programmable switch/NIC. */
@@ -138,6 +145,25 @@ class PmnetDevice : public net::ForwardingNode
      * Records log/bypass/ACK/invalidate/retrans/replay decisions.
      */
     void setTrace(TraceRing *trace) { trace_ = trace; }
+
+    /**
+     * Attach each stat (plus log/cache occupancy probes) under
+     * "<prefix>.<name>" in @p registry.
+     */
+    void registerMetrics(obs::MetricRegistry &registry,
+                         std::string_view prefix);
+
+    /**
+     * Attach the flight recorder (nullptr detaches): the device
+     * stamps DeviceIngress when a request enters its pipeline,
+     * PersistStart when the write is admitted to the SRAM log queue,
+     * and PersistDone when the PM write commits and the PMNet-ACK is
+     * generated.
+     */
+    void setRecorder(obs::FlightRecorder *recorder)
+    {
+        recorder_ = recorder;
+    }
 
     const pm::PmLogStore &logStore() const { return store_; }
     const pm::LogQueue &writeQueue() const { return writeQueue_; }
@@ -202,6 +228,9 @@ class PmnetDevice : public net::ForwardingNode
 
     /** Optional event trace. */
     TraceRing *trace_ = nullptr;
+
+    /** Optional flight recorder (owned by the testbed). */
+    obs::FlightRecorder *recorder_ = nullptr;
 
     /** Record into the trace if one is attached. */
     void traceEvent(const char *what, const net::Packet &pkt);

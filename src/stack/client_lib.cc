@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/flight_recorder.h"
 
 namespace pmnet::stack {
 
@@ -51,6 +52,9 @@ ClientLib::sendUpdate(Bytes payload, UpdateDone done)
     stats.updatesSent++;
 
     std::uint64_t request_id = newRequestId();
+    if (obs::kTracingCompiledIn && recorder_)
+        recorder_->begin(request_id, config_.sessionId, nextUpdateSeq_,
+                         true, host_.simulator().now());
     Request req;
     req.id = request_id;
     req.isUpdate = true;
@@ -100,6 +104,9 @@ ClientLib::bypass(Bytes payload, BypassDone done)
 
     std::uint64_t request_id = newRequestId();
     std::uint32_t seq = nextBypassSeq_++;
+    if (obs::kTracingCompiledIn && recorder_)
+        recorder_->begin(request_id, config_.sessionId, seq, false,
+                         host_.simulator().now());
     PacketPtr pkt = net::makePmnetPacket(host_.id(), config_.server,
                                          PacketType::BypassReq,
                                          config_.sessionId, seq,
@@ -250,6 +257,7 @@ ClientLib::maybeComplete(std::uint64_t request_id)
         return;
     Request &req = it->second;
 
+    bool by_pmnet_ack = false;
     if (req.isUpdate) {
         bool all_pmnet = true;
         for (const Fragment &frag : req.fragments) {
@@ -258,6 +266,7 @@ ClientLib::maybeComplete(std::uint64_t request_id)
             all_pmnet &= !frag.serverAcked;
         }
         stats.updatesCompleted++;
+        by_pmnet_ack = all_pmnet;
         if (all_pmnet)
             stats.completedByPmnetAck++;
         else
@@ -267,6 +276,10 @@ ClientLib::maybeComplete(std::uint64_t request_id)
             return;
         stats.bypassCompleted++;
     }
+
+    if (obs::kTracingCompiledIn && recorder_)
+        recorder_->complete(request_id, host_.simulator().now(),
+                            by_pmnet_ack);
 
     req.timer.cancel();
     for (const Fragment &frag : req.fragments)
@@ -287,6 +300,24 @@ ClientLib::maybeComplete(std::uint64_t request_id)
         if (bypass_done)
             bypass_done(response);
     }
+}
+
+void
+ClientLib::registerMetrics(obs::MetricRegistry &registry,
+                           std::string_view prefix)
+{
+    std::string base(prefix);
+    registry.attach(base + ".updatesSent", stats.updatesSent);
+    registry.attach(base + ".bypassSent", stats.bypassSent);
+    registry.attach(base + ".updatesCompleted", stats.updatesCompleted);
+    registry.attach(base + ".bypassCompleted", stats.bypassCompleted);
+    registry.attach(base + ".completedByPmnetAck",
+                    stats.completedByPmnetAck);
+    registry.attach(base + ".completedByServerAck",
+                    stats.completedByServerAck);
+    registry.attach(base + ".timeouts", stats.timeouts);
+    registry.attach(base + ".packetsResent", stats.packetsResent);
+    registry.attach(base + ".retransAnswered", stats.retransAnswered);
 }
 
 void

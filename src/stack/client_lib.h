@@ -34,6 +34,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "obs/metric_registry.h"
 #include "stack/host.h"
 
 namespace pmnet::stack {
@@ -57,18 +58,24 @@ struct ClientConfig
     unsigned replicationDegree = 1;
 };
 
-/** Aggregate client-side protocol statistics. */
+/**
+ * Aggregate client-side protocol statistics.
+ * @deprecated Thin adapter over obs::MetricRegistry registrations —
+ * new code should read the registry ("clientN.*" after
+ * ClientLib::registerMetrics); the fields stay as obs::Counter
+ * handles so existing call sites compile unchanged.
+ */
 struct ClientStats
 {
-    std::uint64_t updatesSent = 0;
-    std::uint64_t bypassSent = 0;
-    std::uint64_t updatesCompleted = 0;
-    std::uint64_t bypassCompleted = 0;
-    std::uint64_t completedByPmnetAck = 0;
-    std::uint64_t completedByServerAck = 0;
-    std::uint64_t timeouts = 0;
-    std::uint64_t packetsResent = 0;
-    std::uint64_t retransAnswered = 0;
+    obs::Counter updatesSent;
+    obs::Counter bypassSent;
+    obs::Counter updatesCompleted;
+    obs::Counter bypassCompleted;
+    obs::Counter completedByPmnetAck;
+    obs::Counter completedByServerAck;
+    obs::Counter timeouts;
+    obs::Counter packetsResent;
+    obs::Counter retransAnswered;
 };
 
 /** The client-side PMNet library. One instance per client host. */
@@ -103,6 +110,20 @@ class ClientLib
 
     /** Requests (of both kinds) still in flight. */
     std::size_t outstanding() const { return requests_.size(); }
+
+    /** Attach each stat under "<prefix>.<name>" in @p registry. */
+    void registerMetrics(obs::MetricRegistry &registry,
+                         std::string_view prefix);
+
+    /**
+     * Attach the flight recorder (nullptr detaches): the library
+     * opens a trace per request and closes it at completion — the
+     * same tick the driver records end-to-end latency.
+     */
+    void setRecorder(obs::FlightRecorder *recorder)
+    {
+        recorder_ = recorder;
+    }
 
     const ClientConfig &config() const { return config_; }
     ClientStats stats;
@@ -151,6 +172,7 @@ class ClientLib
 
     Host &host_;
     ClientConfig config_;
+    obs::FlightRecorder *recorder_ = nullptr;
     bool sessionOpen_ = false;
     /**
      * Updates and bypass requests number independently: the update

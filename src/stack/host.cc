@@ -1,8 +1,34 @@
 #include "stack/host.h"
 
 #include "common/logging.h"
+#include "obs/flight_recorder.h"
 
 namespace pmnet::stack {
+
+namespace {
+
+/** Arrival checkpoint for @p pkt, if it has one. */
+inline bool
+arrivalStampFor(const net::Packet &pkt, obs::Stamp *stamp_out)
+{
+    if (!pkt.isPmnet())
+        return false;
+    switch (pkt.pmnet->type) {
+      case net::PacketType::UpdateReq:
+      case net::PacketType::BypassReq:
+        *stamp_out = obs::Stamp::ServerRx;
+        return true;
+      case net::PacketType::PmnetAck:
+      case net::PacketType::ServerAck:
+      case net::PacketType::Response:
+        *stamp_out = obs::Stamp::AckRx;
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
 
 Host::Host(sim::Simulator &simulator, std::string object_name,
            net::NodeId node_id, StackProfile profile)
@@ -31,6 +57,11 @@ Host::appSend(std::vector<net::PacketPtr> pkts)
             if (epoch != epoch_ || !isUp())
                 return;
             sent_++;
+            if (obs::kTracingCompiledIn && recorder_ && pkt->isPmnet() &&
+                (pkt->pmnet->type == net::PacketType::UpdateReq ||
+                 pkt->pmnet->type == net::PacketType::BypassReq))
+                recorder_->stampAt(pkt->requestId, obs::Stamp::ClientTx,
+                                   now());
             send(0, pkt);
         });
     }
@@ -40,6 +71,11 @@ void
 Host::receive(net::PacketPtr pkt, int in_port)
 {
     (void)in_port;
+    if (obs::kTracingCompiledIn && recorder_) {
+        obs::Stamp stamp;
+        if (arrivalStampFor(*pkt, &stamp))
+            recorder_->stampAt(pkt->requestId, stamp, now());
+    }
     TickDelta delay =
         profile_.rxBase +
         static_cast<TickDelta>(profile_.rxPerByte *

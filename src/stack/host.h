@@ -20,6 +20,10 @@
 #include "net/node.h"
 #include "stack/stack_model.h"
 
+namespace pmnet::obs {
+class FlightRecorder;
+}
+
 namespace pmnet::stack {
 
 /** A client or server machine. */
@@ -60,6 +64,18 @@ class Host : public net::Node
     std::uint64_t packetsSent() const { return sent_; }
     std::uint64_t packetsReceived() const { return received_; }
 
+    /**
+     * Attach the flight recorder (nullptr detaches). The host stamps
+     * ClientTx when a request fragment leaves the NIC, and the
+     * arrival-side checkpoints (ServerRx for requests, AckRx for
+     * acks/responses — the packet type disambiguates, so the hook is
+     * role-agnostic) before the RX stack delay.
+     */
+    void setRecorder(obs::FlightRecorder *recorder)
+    {
+        recorder_ = recorder;
+    }
+
   protected:
     void onPowerFail() override;
     void onPowerRestore() override;
@@ -67,6 +83,7 @@ class Host : public net::Node
   private:
     StackProfile profile_;
     AppReceiveFn appReceive_;
+    obs::FlightRecorder *recorder_ = nullptr;
     std::function<void()> appPowerFail_;
     std::function<void()> appPowerRestore_;
     std::uint64_t epoch_ = 0;

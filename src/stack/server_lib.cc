@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/flight_recorder.h"
 
 namespace pmnet::stack {
 
@@ -90,6 +91,25 @@ ServerLib::backlog() const
         if (session)
             total += session->ready.size();
     return total;
+}
+
+void
+ServerLib::registerMetrics(obs::MetricRegistry &registry,
+                           std::string_view prefix)
+{
+    std::string base(prefix);
+    registry.attach(base + ".updatesApplied", stats.updatesApplied);
+    registry.attach(base + ".bypassApplied", stats.bypassApplied);
+    registry.attach(base + ".duplicatesDropped", stats.duplicatesDropped);
+    registry.attach(base + ".makeupAcks", stats.makeupAcks);
+    registry.attach(base + ".replayedReplies", stats.replayedReplies);
+    registry.attach(base + ".retransRequested", stats.retransRequested);
+    registry.attach(base + ".acksSent", stats.acksSent);
+    registry.attach(base + ".responsesSent", stats.responsesSent);
+    registry.attach(base + ".recoveries", stats.recoveries);
+    registry.probe(base + ".backlog", [this]() {
+        return obs::Json(static_cast<std::uint64_t>(backlog()));
+    });
 }
 
 ServerLib::Session &
@@ -379,6 +399,9 @@ ServerLib::pump()
         busyWorkers_++;
         ReadyRequest req = std::move(session.ready.front());
         session.ready.pop_front();
+        if (obs::kTracingCompiledIn && recorder_)
+            recorder_->stampAt(req.requestId, obs::Stamp::ServerStart,
+                               host_.simulator().now());
 
         // The real application work happens here, now; its simulated
         // duration is charged before the results become visible on
@@ -430,6 +453,9 @@ ServerLib::finishRequest(std::uint16_t sid, const ReadyRequest &req,
     Session &session = sessionSlot(sid);
     session.busy = false;
     busyWorkers_--;
+    if (obs::kTracingCompiledIn && recorder_)
+        recorder_->stampAt(req.requestId, obs::Stamp::ServerEnd,
+                           host_.simulator().now());
 
     std::vector<PacketPtr> out;
     if (req.isUpdate) {

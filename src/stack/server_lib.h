@@ -35,6 +35,7 @@
 #include <map>
 #include <optional>
 
+#include "obs/metric_registry.h"
 #include "pm/pm_heap.h"
 #include "stack/host.h"
 
@@ -70,18 +71,24 @@ struct ServerConfig
     /** @} */
 };
 
-/** Aggregate server-side statistics. */
+/**
+ * Aggregate server-side statistics.
+ * @deprecated Thin adapter over obs::MetricRegistry registrations —
+ * new code should read the registry ("server.*" after
+ * ServerLib::registerMetrics); the fields stay as obs::Counter
+ * handles so existing call sites compile unchanged.
+ */
 struct ServerStats
 {
-    std::uint64_t updatesApplied = 0;
-    std::uint64_t bypassApplied = 0;
-    std::uint64_t duplicatesDropped = 0;
-    std::uint64_t makeupAcks = 0;
-    std::uint64_t replayedReplies = 0;
-    std::uint64_t retransRequested = 0;
-    std::uint64_t acksSent = 0;
-    std::uint64_t responsesSent = 0;
-    std::uint64_t recoveries = 0;
+    obs::Counter updatesApplied;
+    obs::Counter bypassApplied;
+    obs::Counter duplicatesDropped;
+    obs::Counter makeupAcks;
+    obs::Counter replayedReplies;
+    obs::Counter retransRequested;
+    obs::Counter acksSent;
+    obs::Counter responsesSent;
+    obs::Counter recoveries;
 };
 
 /** The server-side PMNet library. One instance per server host. */
@@ -128,6 +135,20 @@ class ServerLib
 
     /** Requests queued but not yet processed (all sessions). */
     std::size_t backlog() const;
+
+    /** Attach each stat under "<prefix>.<name>" in @p registry. */
+    void registerMetrics(obs::MetricRegistry &registry,
+                         std::string_view prefix);
+
+    /**
+     * Attach the flight recorder (nullptr detaches): the library
+     * stamps ServerStart when a worker dequeues a request and
+     * ServerEnd when its dispatch+handler cost has been charged.
+     */
+    void setRecorder(obs::FlightRecorder *recorder)
+    {
+        recorder_ = recorder;
+    }
 
     const ServerConfig &config() const { return config_; }
     ServerStats stats;
@@ -187,6 +208,7 @@ class ServerLib
     Host &host_;
     pm::PmHeap &heap_;
     ServerConfig config_;
+    obs::FlightRecorder *recorder_ = nullptr;
     Handler handler_;
     std::vector<net::NodeId> devices_;
     std::function<void()> recoveryHook_;

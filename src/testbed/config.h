@@ -117,6 +117,21 @@ struct TestbedConfig
     /** Master seed; every client derives its own stream. */
     std::uint64_t seed = 42;
 
+    /** @name Observability (DESIGN.md section 11)
+     * Metric registration is always on (it only attaches pointers to
+     * the counters the components bump anyway). observability
+     * additionally arms the per-request flight recorder: every
+     * component on the request path stamps pipeline checkpoints, and
+     * RunResults carries the five-way latency breakdown. Off by
+     * default so measurement runs stay byte-identical to pre-obs
+     * builds.
+     *  @{
+     */
+    bool observability = false;
+    /** Flight-recorder trace slots (oldest evicted on wrap-around). */
+    std::size_t flightSlots = 4096;
+    /** @} */
+
     /**
      * How the run's latency series store samples: Exact keeps every
      * raw sample (exact percentiles/CDFs — tests, small runs);

@@ -38,6 +38,7 @@ Testbed::Testbed(TestbedConfig config)
     buildServerApp();
     buildClients();
     installHandler();
+    wireObservability();
 }
 
 Testbed::~Testbed() = default;
@@ -60,6 +61,7 @@ Testbed::buildTopology()
 
     auto &tor = topo_->addNode<net::BasicSwitch>(
         "tor", config_.plainSwitchLatency);
+    tor_ = &tor;
 
     // Clients hang off the merge/ToR switch.
     for (int i = 0; i < config_.clientCount; i++) {
@@ -218,6 +220,40 @@ Testbed::clientLib(std::size_t i)
 }
 
 void
+Testbed::wireObservability()
+{
+    // Metric registration is unconditional: it only records pointers
+    // to counters the components bump anyway, and makes
+    // metrics().toJson() the one source of truth for every tool.
+    for (std::size_t i = 0; i < clients_.size(); i++)
+        clients_[i].lib->registerMetrics(metrics_,
+                                         "client" + std::to_string(i));
+    serverLib_->registerMetrics(metrics_, "server");
+    for (std::size_t d = 0; d < devices_.size(); d++)
+        devices_[d]->registerMetrics(metrics_,
+                                     "device" + std::to_string(d));
+    net::PacketPool::local().registerMetrics(metrics_, "packetPool");
+
+    if (!config_.observability)
+        return;
+
+    // The flight recorder is opt-in: stamping is cheap but not free,
+    // and the figure binaries promise byte-identical output with it
+    // off.
+    recorder_ = std::make_unique<obs::FlightRecorder>(config_.flightSlots);
+    obs::FlightRecorder *rec = recorder_.get();
+    for (auto &client : clients_) {
+        client.host->setRecorder(rec);
+        client.lib->setRecorder(rec);
+    }
+    tor_->setRecorder(rec);
+    for (auto *dev : devices_)
+        dev->setRecorder(rec);
+    serverHost_->setRecorder(rec);
+    serverLib_->setRecorder(rec);
+}
+
+void
 Testbed::startDrivers()
 {
     if (driversStarted_)
@@ -236,6 +272,10 @@ Testbed::beginMeasurement()
     updateLatency_.clear();
     readLatency_.clear();
     allLatency_.clear();
+    if (recorder_) {
+        recorder_->resetAccum();
+        recorder_->setAccumulating(true);
+    }
     measuring_ = true;
     meter_.start(sim_.now());
 }
@@ -259,7 +299,26 @@ Testbed::endMeasurement()
         results.cacheResponses += dev->stats.cacheResponses;
         results.updatesLogged += dev->stats.updatesLogged;
     }
+    if (recorder_) {
+        recorder_->setAccumulating(false);
+        results.breakdown = recorder_->accum();
+    }
     return results;
+}
+
+obs::Json
+RunResults::toJson() const
+{
+    obs::Json out = obs::Json::object();
+    out.set("ops_per_second", opsPerSecond);
+    out.set("update_latency", obs::latencySummaryJson(updateLatency));
+    out.set("read_latency", obs::latencySummaryJson(readLatency));
+    out.set("all_latency", obs::latencySummaryJson(allLatency));
+    out.set("lock_conflicts", lockConflicts);
+    out.set("cache_responses", cacheResponses);
+    out.set("updates_logged", updatesLogged);
+    out.set("breakdown", breakdown.toJson());
+    return out;
 }
 
 RunResults

@@ -25,6 +25,8 @@
 
 #include "apps/kv_protocol.h"
 #include "net/topology.h"
+#include "obs/flight_recorder.h"
+#include "obs/metric_registry.h"
 #include "testbed/driver.h"
 
 namespace pmnet::testbed {
@@ -39,6 +41,18 @@ struct RunResults
     std::uint64_t lockConflicts = 0;
     std::uint64_t cacheResponses = 0;
     std::uint64_t updatesLogged = 0;
+    /**
+     * Five-way latency attribution of every request completed in the
+     * window (count 0 unless TestbedConfig::observability was on).
+     */
+    obs::FlightRecorder::Accum breakdown;
+
+    /**
+     * The one canonical serialization (ops/s, the three latency
+     * summaries, counters, breakdown) — every tool emits run results
+     * through this, wrapped in an obs::Snapshot.
+     */
+    obs::Json toJson() const;
 };
 
 /** One assembled system under test. */
@@ -82,6 +96,17 @@ class Testbed
     const TestbedConfig &config() const { return config_; }
     /** @} */
 
+    /** @name Observability (DESIGN.md section 11)
+     * Every component registers its counters in metrics() at
+     * construction; the flight recorder exists only when
+     * TestbedConfig::observability is set.
+     *  @{
+     */
+    obs::MetricRegistry &metrics() { return metrics_; }
+    const obs::MetricRegistry &metrics() const { return metrics_; }
+    obs::FlightRecorder *flightRecorder() { return recorder_.get(); }
+    /** @} */
+
     /** Total requests completed by every driver. */
     std::uint64_t totalCompleted() const;
 
@@ -107,10 +132,15 @@ class Testbed
     void buildServerApp();
     void buildClients();
     void installHandler();
+    void wireObservability();
 
     TestbedConfig config_;
     sim::Simulator sim_;
     std::unique_ptr<net::Topology> topo_;
+
+    obs::MetricRegistry metrics_;
+    std::unique_ptr<obs::FlightRecorder> recorder_;
+    net::BasicSwitch *tor_ = nullptr;
 
     stack::Host *serverHost_ = nullptr;
     std::unique_ptr<pm::PmHeap> heap_;

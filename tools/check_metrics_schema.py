@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Validate a tool's --json output against docs/metrics_schema.json.
+
+Stdlib-only (CI runners and the dev container both lack jsonschema),
+implementing exactly the subset the schema file uses: type, enum,
+required, properties, items, minItems, additionalProperties, and
+$ref into the schema file's top-level "definitions" table.
+
+Usage:
+    check_metrics_schema.py <schema.json> <output.json>
+    some_tool --json | check_metrics_schema.py <schema.json> -
+
+The document's "tool" field selects which top-level schema entry
+applies, so one schema file covers every emitting binary.
+"""
+
+import json
+import sys
+
+TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "boolean": lambda v: isinstance(v, bool),
+    # bool is an int subclass in Python; keep the kinds disjoint.
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float))
+    and not isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def validate(value, schema, definitions, path, errors):
+    if "$ref" in schema:
+        name = schema["$ref"]
+        if name not in definitions:
+            errors.append(f"{path}: unresolved $ref '{name}'")
+            return
+        schema = definitions[name]
+
+    expected = schema.get("type")
+    if expected is not None:
+        allowed = expected if isinstance(expected, list) else [expected]
+        if not any(TYPE_CHECKS[t](value) for t in allowed):
+            errors.append(
+                f"{path}: expected {'/'.join(allowed)}, "
+                f"got {type(value).__name__}"
+            )
+            return
+
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']}")
+
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key '{key}'")
+        props = schema.get("properties", {})
+        for key, subschema in props.items():
+            if key in value:
+                validate(
+                    value[key], subschema, definitions,
+                    f"{path}.{key}", errors,
+                )
+        if schema.get("additionalProperties") is False:
+            for key in value:
+                if key not in props:
+                    errors.append(f"{path}: unexpected key '{key}'")
+
+    if isinstance(value, list):
+        if len(value) < schema.get("minItems", 0):
+            errors.append(
+                f"{path}: {len(value)} item(s), "
+                f"need >= {schema['minItems']}"
+            )
+        if "items" in schema:
+            for i, item in enumerate(value):
+                validate(
+                    item, schema["items"], definitions,
+                    f"{path}[{i}]", errors,
+                )
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[1]) as f:
+        schemas = json.load(f)
+    if argv[2] == "-":
+        document = json.load(sys.stdin)
+    else:
+        with open(argv[2]) as f:
+            document = json.load(f)
+
+    tool = document.get("tool")
+    if tool not in schemas:
+        known = sorted(k for k in schemas if k not in ("definitions", "comment"))
+        print(
+            f"check_metrics_schema: document tool={tool!r} has no "
+            f"schema (known: {', '.join(known)})",
+            file=sys.stderr,
+        )
+        return 1
+
+    errors = []
+    validate(document, schemas[tool], schemas.get("definitions", {}),
+             "$", errors)
+    if errors:
+        for error in errors:
+            print(f"check_metrics_schema: {error}", file=sys.stderr)
+        print(
+            f"check_metrics_schema: {tool}: {len(errors)} error(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"check_metrics_schema: {tool}: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

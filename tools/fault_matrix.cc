@@ -13,17 +13,18 @@
  *   fault_matrix                       # exhaustive, all backends
  *   fault_matrix --backend btree --ops 64
  *   fault_matrix --smoke               # capped sweep for the fast CI job
- *   fault_matrix --json                # machine-readable output
+ *   fault_matrix --json                # obs::Snapshot on stdout
  */
 
 #include <chrono>
 #include <cstdio>
-#include <cstring>
 #include <string>
 #include <vector>
 
 #include "common/logging.h"
 #include "fault/crash_matrix.h"
+#include "obs/snapshot.h"
+#include "tools/cli.h"
 
 using namespace pmnet;
 
@@ -34,27 +35,9 @@ struct Options
     std::string backend = "all";
     int ops = 48;
     int keys = 10;
-    std::uint64_t seed = 1;
     int maxCrashes = 0;
-    bool smoke = false;
-    bool json = false;
+    cli::CommonOptions common;
 };
-
-[[noreturn]] void
-usage(int code)
-{
-    std::printf(
-        "fault_matrix — exhaustive persist-boundary crash matrix\n\n"
-        "  --backend S      hashmap | btree | ctree | rbtree | skiplist |\n"
-        "                   blob | all (default all)\n"
-        "  --ops N          recorded operations per sweep (default 48)\n"
-        "  --keys N         key-universe size (default 10)\n"
-        "  --seed N         op-sequence seed (default 1)\n"
-        "  --max-crashes N  cap injected crashes, 0 = exhaustive\n"
-        "  --smoke          fast CI mode: fewer ops, capped crashes\n"
-        "  --json           machine-readable one-object-per-line output\n");
-    std::exit(code);
-}
 
 kv::KvKind
 parseBackend(const std::string &text)
@@ -78,33 +61,27 @@ Options
 parseArgs(int argc, char **argv)
 {
     Options opt;
-    for (int i = 1; i < argc; i++) {
-        std::string arg = argv[i];
-        auto next = [&]() -> std::string {
-            if (i + 1 >= argc)
-                fatal("missing value for %s", arg.c_str());
-            return argv[++i];
-        };
-        if (arg == "--backend")
-            opt.backend = next();
-        else if (arg == "--ops")
-            opt.ops = std::stoi(next());
-        else if (arg == "--keys")
-            opt.keys = std::stoi(next());
-        else if (arg == "--seed")
-            opt.seed = std::stoull(next());
-        else if (arg == "--max-crashes")
-            opt.maxCrashes = std::stoi(next());
-        else if (arg == "--smoke")
-            opt.smoke = true;
-        else if (arg == "--json")
-            opt.json = true;
-        else if (arg == "--help" || arg == "-h")
-            usage(0);
-        else
-            usage(1);
-    }
-    if (opt.smoke) {
+    opt.common.seed = 1;
+    cli::ArgParser parser("fault_matrix",
+                          "exhaustive persist-boundary crash matrix");
+    parser.optionString("--backend", "S",
+                        "hashmap | btree | ctree | rbtree | skiplist | "
+                        "blob | all (default all)",
+                        &opt.backend);
+    parser.optionInt("--ops", "N",
+                     "recorded operations per sweep (default 48)",
+                     &opt.ops);
+    parser.optionInt("--keys", "N", "key-universe size (default 10)",
+                     &opt.keys);
+    cli::addSeed(parser, opt.common);
+    parser.optionInt("--max-crashes", "N",
+                     "cap injected crashes, 0 = exhaustive",
+                     &opt.maxCrashes);
+    cli::addSmoke(parser, opt.common);
+    cli::addJsonFlag(parser, opt.common);
+    parser.parse(argc, argv);
+
+    if (opt.common.smoke) {
         opt.ops = std::min(opt.ops, 24);
         if (opt.maxCrashes == 0)
             opt.maxCrashes = 16;
@@ -128,15 +105,16 @@ main(int argc, char **argv)
     }
 
     bool all_clean = true;
-    if (!opt.json)
+    if (!opt.common.json)
         std::printf("%-10s %10s %10s %10s %9s  %s\n", "backend",
                     "boundaries", "crashes", "count-lag", "wall-ms",
                     "verdict");
 
+    obs::Json sweeps = obs::Json::array();
     for (kv::KvKind kind : kinds) {
         fault::CrashMatrixConfig config;
         config.kind = kind;
-        config.seed = opt.seed;
+        config.seed = opt.common.seed;
         config.opCount = opt.ops;
         config.keyCount = opt.keys;
         config.maxCrashes = opt.maxCrashes;
@@ -149,14 +127,18 @@ main(int argc, char **argv)
 
         bool clean = result.report.clean();
         all_clean = all_clean && clean;
-        if (opt.json) {
-            std::printf("{\"backend\":\"%s\",\"boundaries\":%zu,"
-                        "\"crashes\":%zu,\"countLag\":%zu,"
-                        "\"wallMs\":%lld,\"clean\":%s}\n",
-                        kv::kvKindName(kind), result.boundaries,
-                        result.crashesInjected, result.countLagObserved,
-                        static_cast<long long>(wall),
-                        clean ? "true" : "false");
+        if (opt.common.json) {
+            obs::Json row = obs::Json::object();
+            row.set("backend", kv::kvKindName(kind));
+            row.set("boundaries",
+                    static_cast<std::uint64_t>(result.boundaries));
+            row.set("crashes", static_cast<std::uint64_t>(
+                                   result.crashesInjected));
+            row.set("count_lag", static_cast<std::uint64_t>(
+                                     result.countLagObserved));
+            row.set("wall_ms", static_cast<std::int64_t>(wall));
+            row.set("clean", clean);
+            sweeps.push(std::move(row));
         } else {
             std::printf("%-10s %10zu %10zu %10zu %9lld  %s\n",
                         kv::kvKindName(kind), result.boundaries,
@@ -166,6 +148,21 @@ main(int argc, char **argv)
         }
         if (!clean)
             std::fputs(result.report.text().c_str(), stderr);
+    }
+
+    if (opt.common.json) {
+        obs::Snapshot snapshot;
+        snapshot.put("tool", obs::Json("fault_matrix"));
+        snapshot.put("run.backend", obs::Json(opt.backend));
+        snapshot.put("run.ops", opt.ops);
+        snapshot.put("run.keys", opt.keys);
+        snapshot.put("run.seed", opt.common.seed);
+        snapshot.put("run.max_crashes", opt.maxCrashes);
+        snapshot.put("run.smoke", opt.common.smoke);
+        snapshot.put("results", std::move(sweeps));
+        snapshot.put("all_clean", all_clean);
+        std::fputs(snapshot.toJson(obs::JsonStyle::Pretty).c_str(),
+                   stdout);
     }
 
     return all_clean ? 0 : 1;

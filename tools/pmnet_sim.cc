@@ -3,23 +3,27 @@
  * pmnet_sim — command-line front end to the testbed.
  *
  * Runs one system configuration and prints a latency/throughput
- * report plus device statistics. Every option maps 1:1 onto
- * TestbedConfig; see --help.
+ * report plus device statistics, or — with --json — the full
+ * obs::Snapshot (run parameters, RunResults with the five-way latency
+ * breakdown, and every registered metric) on stdout. Every option
+ * maps 1:1 onto TestbedConfig; see --help.
  *
  * Examples:
  *   pmnet_sim --mode pmnet-switch --clients 16 --workload tpcc
  *   pmnet_sim --mode client-server --workload ycsb --update-ratio 0.5
  *   pmnet_sim --mode pmnet-switch --cache --replication 3 --vma
  *   pmnet_sim --mode pmnet-switch --fail-server-at-ms 20
+ *   pmnet_sim --smoke --json        # schema-validated CI snapshot
  */
 
 #include <cstdio>
-#include <cstring>
 #include <string>
 
 #include "bench/bench_util.h"
 #include "common/logging.h"
+#include "obs/snapshot.h"
 #include "testbed/system.h"
+#include "tools/cli.h"
 
 using namespace pmnet;
 
@@ -43,34 +47,8 @@ struct Options
     double measureMs = 30;
     double failServerAtMs = -1;
     double outageMs = 1;
-    std::uint64_t seed = 42;
+    cli::CommonOptions common;
 };
-
-[[noreturn]] void
-usage(int code)
-{
-    std::printf(
-        "pmnet_sim — PMNet in-network persistence simulator\n\n"
-        "  --mode M             client-server | pmnet-switch | pmnet-nic |\n"
-        "                       client-side-logging | server-side-logging\n"
-        "  --clients N          closed-loop client count (default 8)\n"
-        "  --workload W         ycsb | redis | twitter | tpcc (default ycsb)\n"
-        "  --structure S        hashmap | btree | ctree | rbtree | skiplist\n"
-        "  --update-ratio R     0..1 (default 1.0)\n"
-        "  --value-size B       update payload bytes (default 100)\n"
-        "  --replication K      chained PMNet devices / ack quorum\n"
-        "  --cache              enable the in-switch read cache\n"
-        "  --vma                libVMA-style user-space stacks\n"
-        "  --heartbeat          device-driven failure detection\n"
-        "  --trace N            print the last N device events\n"
-        "  --ideal              ideal request handler (no real store)\n"
-        "  --warmup-ms T        warmup window (default 3)\n"
-        "  --measure-ms T       measurement window (default 30)\n"
-        "  --fail-server-at-ms T  inject a server power failure\n"
-        "  --outage-ms T        outage duration (default 1)\n"
-        "  --seed N             RNG seed (default 42)\n");
-    std::exit(code);
-}
 
 testbed::SystemMode
 parseMode(const std::string &text)
@@ -108,54 +86,62 @@ Options
 parseArgs(int argc, char **argv)
 {
     Options opts;
-    auto need = [&](int &i) -> const char * {
-        if (i + 1 >= argc)
-            fatal("missing value for %s", argv[i]);
-        return argv[++i];
-    };
-    for (int i = 1; i < argc; i++) {
-        std::string arg = argv[i];
-        if (arg == "--help" || arg == "-h")
-            usage(0);
-        else if (arg == "--mode")
-            opts.mode = parseMode(need(i));
-        else if (arg == "--clients")
-            opts.clients = std::atoi(need(i));
-        else if (arg == "--workload")
-            opts.workload = need(i);
-        else if (arg == "--structure")
-            opts.structure = need(i);
-        else if (arg == "--update-ratio")
-            opts.updateRatio = std::atof(need(i));
-        else if (arg == "--value-size")
-            opts.valueSize =
-                static_cast<std::size_t>(std::atoll(need(i)));
-        else if (arg == "--replication")
-            opts.replication =
-                static_cast<unsigned>(std::atoi(need(i)));
-        else if (arg == "--cache")
-            opts.cache = true;
-        else if (arg == "--vma")
-            opts.vma = true;
-        else if (arg == "--heartbeat")
-            opts.heartbeat = true;
-        else if (arg == "--trace")
-            opts.traceEvents = std::atoi(need(i));
-        else if (arg == "--ideal")
-            opts.ideal = true;
-        else if (arg == "--warmup-ms")
-            opts.warmupMs = std::atof(need(i));
-        else if (arg == "--measure-ms")
-            opts.measureMs = std::atof(need(i));
-        else if (arg == "--fail-server-at-ms")
-            opts.failServerAtMs = std::atof(need(i));
-        else if (arg == "--outage-ms")
-            opts.outageMs = std::atof(need(i));
-        else if (arg == "--seed")
-            opts.seed =
-                static_cast<std::uint64_t>(std::atoll(need(i)));
-        else
-            fatal("unknown option '%s' (try --help)", arg.c_str());
+    cli::ArgParser parser("pmnet_sim",
+                          "PMNet in-network persistence simulator");
+    std::string mode_text;
+    parser.optionString("--mode", "M",
+                        "client-server | pmnet-switch | pmnet-nic | "
+                        "client-side-logging | server-side-logging",
+                        &mode_text);
+    parser.optionInt("--clients", "N",
+                     "closed-loop client count (default 8)",
+                     &opts.clients);
+    parser.optionString("--workload", "W",
+                        "ycsb | redis | twitter | tpcc (default ycsb)",
+                        &opts.workload);
+    parser.optionString("--structure", "S",
+                        "hashmap | btree | ctree | rbtree | skiplist",
+                        &opts.structure);
+    parser.optionDouble("--update-ratio", "R", "0..1 (default 1.0)",
+                        &opts.updateRatio);
+    parser.optionSize("--value-size", "B",
+                      "update payload bytes (default 100)",
+                      &opts.valueSize);
+    parser.optionUnsigned("--replication", "K",
+                          "chained PMNet devices / ack quorum",
+                          &opts.replication);
+    parser.flag("--cache", "enable the in-switch read cache",
+                &opts.cache);
+    parser.flag("--vma", "libVMA-style user-space stacks", &opts.vma);
+    parser.flag("--heartbeat", "device-driven failure detection",
+                &opts.heartbeat);
+    parser.optionInt("--trace", "N", "print the last N device events",
+                     &opts.traceEvents);
+    parser.flag("--ideal", "ideal request handler (no real store)",
+                &opts.ideal);
+    parser.optionDouble("--warmup-ms", "T", "warmup window (default 3)",
+                        &opts.warmupMs);
+    parser.optionDouble("--measure-ms", "T",
+                        "measurement window (default 30)",
+                        &opts.measureMs);
+    parser.optionDouble("--fail-server-at-ms", "T",
+                        "inject a server power failure",
+                        &opts.failServerAtMs);
+    parser.optionDouble("--outage-ms", "T",
+                        "outage duration (default 1)", &opts.outageMs);
+    cli::addSeed(parser, opts.common);
+    cli::addSmoke(parser, opts.common);
+    cli::addJsonFlag(parser, opts.common);
+    parser.parse(argc, argv);
+
+    if (!mode_text.empty())
+        opts.mode = parseMode(mode_text);
+    if (opts.common.smoke) {
+        // Same contract as the bench binaries: a seconds-scale run for
+        // the CI schema gate.
+        opts.clients = std::min(opts.clients, 2);
+        opts.warmupMs = std::min(opts.warmupMs, 0.5);
+        opts.measureMs = std::min(opts.measureMs, 2.0);
     }
     return opts;
 }
@@ -175,66 +161,38 @@ specFor(const Options &opts)
     fatal("unknown workload '%s'", opts.workload.c_str());
 }
 
-} // namespace
-
-int
-main(int argc, char **argv)
+/** The whole run as one obs::Snapshot (the --json output). */
+obs::Snapshot
+makeSnapshot(const Options &opts, testbed::Testbed &bed,
+             const testbed::RunResults &results)
 {
-    Options opts = parseArgs(argc, argv);
-    benchutil::WorkloadSpec spec = specFor(opts);
+    obs::Snapshot snapshot;
+    snapshot.put("tool", obs::Json("pmnet_sim"));
+    snapshot.put("run.mode",
+                 obs::Json(testbed::systemModeName(opts.mode)));
+    snapshot.put("run.clients", opts.clients);
+    snapshot.put("run.workload", obs::Json(opts.workload));
+    snapshot.put("run.structure", obs::Json(opts.structure));
+    snapshot.put("run.update_ratio", opts.updateRatio);
+    snapshot.put("run.value_size",
+                 static_cast<std::uint64_t>(opts.valueSize));
+    snapshot.put("run.replication", opts.replication);
+    snapshot.put("run.cache", opts.cache);
+    snapshot.put("run.vma", opts.vma);
+    snapshot.put("run.seed", opts.common.seed);
+    snapshot.put("run.warmup_ms", opts.warmupMs);
+    snapshot.put("run.measure_ms", opts.measureMs);
+    snapshot.put("run.smoke", opts.common.smoke);
+    snapshot.put("results", results.toJson());
+    snapshot.put("metrics", bed.metrics().toJson());
+    return snapshot;
+}
 
-    testbed::TestbedConfig config;
-    config.mode = opts.mode;
-    config.clientCount = opts.clients;
-    config.replicationDegree = opts.replication;
-    config.cacheEnabled = opts.cache;
-    config.vmaStack = opts.vma;
-    config.deviceHeartbeat = opts.heartbeat;
-    config.seed = opts.seed;
-    config.tcpWorkload = spec.tcp;
-    config.appOverhead = spec.appOverhead;
-    config.storeKind = opts.workload == "ycsb"
-                           ? parseStructure(opts.structure)
-                           : spec.kind;
-    config.serverKind = opts.ideal ? testbed::ServerKind::Ideal
-                                   : testbed::ServerKind::CommandStore;
-    config.workload = spec.factory(opts.updateRatio, opts.valueSize);
-
-    testbed::Testbed bed(std::move(config));
-    auto &sim = bed.simulator();
-
-    TraceRing trace(static_cast<std::size_t>(
-        opts.traceEvents > 0 ? opts.traceEvents : 1));
-    if (opts.traceEvents > 0 && bed.deviceCount() > 0)
-        bed.device(0).setTrace(&trace);
-
-    std::printf("pmnet_sim: mode=%s clients=%d workload=%s "
-                "structure=%s update-ratio=%.2f repl=%u cache=%d "
-                "vma=%d seed=%llu\n\n",
-                testbed::systemModeName(opts.mode), opts.clients,
-                opts.workload.c_str(), opts.structure.c_str(),
-                opts.updateRatio, opts.replication, opts.cache,
-                opts.vma,
-                static_cast<unsigned long long>(opts.seed));
-
-    if (opts.failServerAtMs >= 0) {
-        sim.schedule(milliseconds(opts.failServerAtMs), [&]() {
-            std::printf("[%.3f ms] injecting server power failure "
-                        "(%.1f ms outage)\n",
-                        toMilliseconds(sim.now()), opts.outageMs);
-            bed.serverHost().powerFail();
-            sim.schedule(milliseconds(opts.outageMs), [&]() {
-                std::printf("[%.3f ms] server restored, recovery "
-                            "begins\n",
-                            toMilliseconds(sim.now()));
-                bed.serverHost().powerRestore();
-            });
-        });
-    }
-
-    auto results = bed.run(milliseconds(opts.warmupMs),
-                           milliseconds(opts.measureMs));
-
+void
+printTextReport(const Options &opts, testbed::Testbed &bed,
+                const testbed::RunResults &results,
+                const TraceRing &trace)
+{
     std::printf("throughput: %.0f ops/s over %.1f ms "
                 "(%zu measured requests)\n",
                 results.opsPerSecond, opts.measureMs,
@@ -254,6 +212,21 @@ main(int argc, char **argv)
     };
     report("updates:", results.updateLatency);
     report("reads:", results.readLatency);
+
+    if (results.breakdown.count) {
+        const auto &sums = results.breakdown.sums;
+        double n = static_cast<double>(results.breakdown.count);
+        std::printf("breakdown (mean us over %llu traced): client "
+                    "%.1f  wire %.1f  queue %.1f  persist %.1f  "
+                    "server %.1f\n",
+                    static_cast<unsigned long long>(
+                        results.breakdown.count),
+                    toMicroseconds(sums.clientStack) / n,
+                    toMicroseconds(sums.wire) / n,
+                    toMicroseconds(sums.queueing) / n,
+                    toMicroseconds(sums.devicePersist) / n,
+                    toMicroseconds(sums.server) / n);
+    }
 
     if (results.lockConflicts)
         std::printf("lock conflicts: %llu\n",
@@ -307,6 +280,81 @@ main(int argc, char **argv)
             std::printf("  [%9.3f us] %s\n",
                         toMicroseconds(event.when), event.text.c_str());
         });
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts = parseArgs(argc, argv);
+    benchutil::WorkloadSpec spec = specFor(opts);
+
+    testbed::TestbedConfig config;
+    config.mode = opts.mode;
+    config.clientCount = opts.clients;
+    config.replicationDegree = opts.replication;
+    config.cacheEnabled = opts.cache;
+    config.vmaStack = opts.vma;
+    config.deviceHeartbeat = opts.heartbeat;
+    config.seed = opts.common.seed;
+    config.tcpWorkload = spec.tcp;
+    config.appOverhead = spec.appOverhead;
+    config.storeKind = opts.workload == "ycsb"
+                           ? parseStructure(opts.structure)
+                           : spec.kind;
+    config.serverKind = opts.ideal ? testbed::ServerKind::Ideal
+                                   : testbed::ServerKind::CommandStore;
+    config.workload = spec.factory(opts.updateRatio, opts.valueSize);
+    // The interactive tool always traces: the latency breakdown is
+    // half its point, and a few ns per packet is irrelevant here.
+    config.observability = true;
+
+    testbed::Testbed bed(std::move(config));
+    auto &sim = bed.simulator();
+
+    TraceRing trace(static_cast<std::size_t>(
+        opts.traceEvents > 0 ? opts.traceEvents : 1));
+    if (opts.traceEvents > 0 && bed.deviceCount() > 0)
+        bed.device(0).setTrace(&trace);
+
+    if (!opts.common.json)
+        std::printf("pmnet_sim: mode=%s clients=%d workload=%s "
+                    "structure=%s update-ratio=%.2f repl=%u cache=%d "
+                    "vma=%d seed=%llu\n\n",
+                    testbed::systemModeName(opts.mode), opts.clients,
+                    opts.workload.c_str(), opts.structure.c_str(),
+                    opts.updateRatio, opts.replication, opts.cache,
+                    opts.vma,
+                    static_cast<unsigned long long>(opts.common.seed));
+
+    if (opts.failServerAtMs >= 0) {
+        sim.schedule(milliseconds(opts.failServerAtMs), [&]() {
+            if (!opts.common.json)
+                std::printf("[%.3f ms] injecting server power failure "
+                            "(%.1f ms outage)\n",
+                            toMilliseconds(sim.now()), opts.outageMs);
+            bed.serverHost().powerFail();
+            sim.schedule(milliseconds(opts.outageMs), [&]() {
+                if (!opts.common.json)
+                    std::printf("[%.3f ms] server restored, recovery "
+                                "begins\n",
+                                toMilliseconds(sim.now()));
+                bed.serverHost().powerRestore();
+            });
+        });
+    }
+
+    auto results = bed.run(milliseconds(opts.warmupMs),
+                           milliseconds(opts.measureMs));
+
+    if (opts.common.json) {
+        obs::Snapshot snapshot = makeSnapshot(opts, bed, results);
+        std::fputs(snapshot.toJson(obs::JsonStyle::Pretty).c_str(),
+                   stdout);
+    } else {
+        printTextReport(opts, bed, results, trace);
     }
     return 0;
 }
