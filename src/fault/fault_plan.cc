@@ -1,5 +1,6 @@
 #include "fault/fault_plan.h"
 
+#include <atomic>
 #include <set>
 
 #include "common/logging.h"
@@ -118,16 +119,19 @@ FaultRunner::resolveLink(const FaultAction &action)
 void
 FaultRunner::scheduleAction(const FaultAction &action)
 {
-    sim::Simulator &sim = testbed_->simulator();
+    // Every event is routed to the partition owning the touched state
+    // (link direction, host, device); in single-simulator mode these
+    // all resolve to the one shared simulator. Called from the
+    // coordinating thread before the run, so scheduling directly on
+    // foreign partitions is safe.
+    Tick base_tick = testbed_->now();
     switch (action.kind) {
       case FaultAction::Kind::LossBurst: {
         net::Link *link = &resolveLink(action);
         double base = config_.testbed.link.lossRate;
-        sim.schedule(action.at, [link, action] {
-            link->setLossRate(action.lossRate);
-        });
-        sim.schedule(action.at + action.duration,
-                     [link, base] { link->setLossRate(base); });
+        link->scheduleLossRateAt(base_tick + action.at, action.lossRate);
+        link->scheduleLossRateAt(base_tick + action.at + action.duration,
+                                 base);
         break;
       }
       case FaultAction::Kind::DropNext: {
@@ -158,30 +162,36 @@ FaultRunner::scheduleAction(const FaultAction &action)
             break;
           }
         }
-        sim.schedule(action.at, [link, from, action] {
-            link->dropNext(*from, action.count);
+        link->scheduleDropNextAt(base_tick + action.at, *from,
+                                 action.count);
+        break;
+      }
+      case FaultAction::Kind::ServerPowerCut: {
+        sim::Simulator &ssim = testbed_->serverHost().simulator();
+        ssim.scheduleAt(base_tick + action.at,
+                        [this] { testbed_->serverHost().powerFail(); });
+        ssim.scheduleAt(base_tick + action.at + action.duration, [this] {
+            testbed_->serverHost().powerRestore();
         });
         break;
       }
-      case FaultAction::Kind::ServerPowerCut:
-        sim.schedule(action.at,
-                     [this] { testbed_->serverHost().powerFail(); });
-        sim.schedule(action.at + action.duration,
-                     [this] { testbed_->serverHost().powerRestore(); });
-        break;
       case FaultAction::Kind::DevicePowerCut: {
         std::size_t idx = static_cast<std::size_t>(action.index);
-        sim.schedule(action.at,
-                     [this, idx] { testbed_->device(idx).powerFail(); });
-        sim.schedule(action.at + action.duration, [this, idx] {
-            testbed_->device(idx).powerRestore();
+        sim::Simulator &dsim = testbed_->device(idx).simulator();
+        dsim.scheduleAt(base_tick + action.at, [this, idx] {
+            testbed_->device(idx).powerFail();
         });
+        dsim.scheduleAt(base_tick + action.at + action.duration,
+                        [this, idx] {
+                            testbed_->device(idx).powerRestore();
+                        });
         break;
       }
       case FaultAction::Kind::DeviceReplace: {
         std::size_t idx = static_cast<std::size_t>(action.index);
-        sim.schedule(action.at,
-                     [this, idx] { testbed_->device(idx).replaceUnit(); });
+        testbed_->device(idx).simulator().scheduleAt(
+            base_tick + action.at,
+            [this, idx] { testbed_->device(idx).replaceUnit(); });
         break;
       }
     }
@@ -190,14 +200,18 @@ FaultRunner::scheduleAction(const FaultAction &action)
 void
 FaultRunner::issueUpdates()
 {
-    sim::Simulator &sim = testbed_->simulator();
+    Tick base_tick = testbed_->now();
     for (std::size_t c = 0; c < testbed_->clientCount(); c++) {
+        // Each client's script runs on its own host's partition (the
+        // shared simulator when simThreads == 0).
+        sim::Simulator &sim = testbed_->clientHost(c).simulator();
         // Small per-client stagger so clients never tick in lockstep.
         TickDelta stagger = microseconds(1) * static_cast<TickDelta>(c);
         for (int i = 0; i < config_.updatesPerClient; i++) {
-            TickDelta at =
-                config_.issueGap * static_cast<TickDelta>(i + 1) + stagger;
-            sim.schedule(at, [this, c, i] {
+            Tick at = base_tick +
+                      config_.issueGap * static_cast<TickDelta>(i + 1) +
+                      stagger;
+            sim.scheduleAt(at, [this, c, i] {
                 int session = static_cast<int>(c) + 1;
                 apps::Command cmd{
                     {"SET", keyName(session, i % config_.keysPerSession),
@@ -222,15 +236,14 @@ FaultRunner::outstandingTotal() const
 void
 FaultRunner::drain(const char *phase)
 {
-    sim::Simulator &sim = testbed_->simulator();
     int rounds = 0;
     while (rounds < config_.maxDrainRounds && outstandingTotal() > 0) {
-        sim.run(sim.now() + config_.drainWindow);
+        testbed_->runFor(config_.drainWindow);
         rounds++;
     }
     // One settle window: lets trailing server-ACKs pass the devices so
     // log invalidations and cache transitions finish.
-    sim.run(sim.now() + config_.drainWindow);
+    testbed_->runFor(config_.drainWindow);
     if (outstandingTotal() > 0)
         report_.addViolation(
             "liveness", std::string(phase) + ": " +
@@ -385,12 +398,14 @@ FaultRunner::auditCache()
 void
 FaultRunner::auditReadsEndToEnd()
 {
-    sim::Simulator &sim = testbed_->simulator();
+    Tick base_tick = testbed_->now();
     int window = config_.keysPerSession < config_.updatesPerClient
                      ? config_.keysPerSession
                      : config_.updatesPerClient;
     std::size_t pending = 0;
-    std::size_t completed = 0;
+    // Read completions fire on client partitions: the shared tally is
+    // atomic and the report takes the runner's mutex.
+    std::atomic<std::size_t> completed{0};
     auto *done = &completed;
     for (std::size_t c = 0; c < testbed_->clientCount(); c++) {
         int session = static_cast<int>(c) + 1;
@@ -400,42 +415,49 @@ FaultRunner::auditReadsEndToEnd()
                                 config_.keysPerSession);
             std::string key = keyName(session, j);
             std::string expected = valueName(session, last);
-            TickDelta at = microseconds(10) *
-                           static_cast<TickDelta>(pending + 1);
+            Tick at = base_tick + microseconds(10) *
+                                      static_cast<TickDelta>(pending + 1);
             pending++;
-            sim.schedule(at, [this, c, key, expected, done] {
-                apps::Command cmd{{"GET", key}};
-                testbed_->clientLib(c).bypass(
-                    apps::encodeCommand(cmd),
-                    [this, key, expected, done](const Bytes &wire) {
-                        (*done)++;
-                        auto resp = apps::decodeResponse(wire);
-                        if (!resp ||
-                            resp->status != apps::RespStatus::Ok ||
-                            resp->value != expected)
-                            report_.addViolation(
-                                "P3-staleness",
-                                "read of " + key + " returned \"" +
-                                    (resp ? resp->value
-                                          : std::string("<garbled>")) +
-                                    "\", committed is \"" + expected +
-                                    "\"");
-                    });
-            });
+            testbed_->clientHost(c).simulator().scheduleAt(
+                at, [this, c, key, expected, done] {
+                    apps::Command cmd{{"GET", key}};
+                    testbed_->clientLib(c).bypass(
+                        apps::encodeCommand(cmd),
+                        [this, key, expected, done](const Bytes &wire) {
+                            done->fetch_add(1,
+                                            std::memory_order_relaxed);
+                            auto resp = apps::decodeResponse(wire);
+                            if (!resp ||
+                                resp->status != apps::RespStatus::Ok ||
+                                resp->value != expected) {
+                                std::lock_guard<std::mutex> lock(
+                                    reportMutex_);
+                                report_.addViolation(
+                                    "P3-staleness",
+                                    "read of " + key + " returned \"" +
+                                        (resp
+                                             ? resp->value
+                                             : std::string("<garbled>")) +
+                                        "\", committed is \"" + expected +
+                                        "\"");
+                            }
+                        });
+                });
         }
     }
     int rounds = 0;
     while (rounds < config_.maxDrainRounds &&
-           (completed < pending || outstandingTotal() > 0)) {
-        sim.run(sim.now() + config_.drainWindow);
+           (completed.load() < pending || outstandingTotal() > 0)) {
+        testbed_->runFor(config_.drainWindow);
         rounds++;
     }
-    if (completed < pending)
+    if (completed.load() < pending)
         report_.addViolation("P3-staleness",
                              "read audit: " +
-                                 std::to_string(pending - completed) +
+                                 std::to_string(pending -
+                                                completed.load()) +
                                  " read(s) never completed");
-    report_.setCounter("reads-audited", completed);
+    report_.setCounter("reads-audited", completed.load());
 }
 
 void
@@ -537,8 +559,7 @@ FaultRunner::run(const FaultPlan &plan)
         TickDelta end = action.at + action.duration;
         horizon = end > horizon ? end : horizon;
     }
-    sim::Simulator &sim = testbed_->simulator();
-    sim.run(sim.now() + horizon);
+    testbed_->runFor(horizon);
     drain("updates");
 
     checkDurabilityAndOrder();

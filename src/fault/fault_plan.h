@@ -30,6 +30,7 @@
 #define PMNET_FAULT_FAULT_PLAN_H
 
 #include <memory>
+#include <mutex>
 
 #include "fault/invariants.h"
 #include "testbed/system.h"
@@ -146,6 +147,16 @@ class FaultRunner
     FaultRunConfig config_;
     std::unique_ptr<testbed::Testbed> testbed_;
     InvariantReport report_;
+    /**
+     * Guards report_ inside simulation callbacks: with simThreads >= 1
+     * the read-audit completions fire on client partitions, which run
+     * on different workers. Checker phases that run between windows
+     * (coordinator only) need no lock. Violation *order* across
+     * partitions is scheduling-dependent, so cross-thread determinism
+     * comparisons must use clean plans (count + counters are exact
+     * either way).
+     */
+    std::mutex reportMutex_;
     std::vector<SessionTrack> sessions_;
     bool ran_ = false;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "sim/parallel.h"
 
 namespace pmnet::net {
 
@@ -45,16 +46,41 @@ Node::powerRestore()
 }
 
 Link::Link(sim::Simulator &simulator, std::string object_name, Node &end_a,
-           Node &end_b, LinkConfig config)
+           Node &end_b, LinkConfig config, sim::Engine *engine)
     : SimObject(simulator, std::move(object_name)), config_(config),
-      endA_(&end_a), endB_(&end_b), lossRng_(config.lossSeed)
+      endA_(&end_a), endB_(&end_b)
 {
     if (&end_a == &end_b)
         fatal("%s: cannot connect a node to itself", name().c_str());
     portOnA_ = end_a.attachLink(this);
     portOnB_ = end_b.attachLink(this);
-    dirs_[0] = Direction{endB_, portOnB_, 0, 0}; // A -> B
-    dirs_[1] = Direction{endA_, portOnA_, 0, 0}; // B -> A
+
+    dirs_[0].to = endB_; // A -> B
+    dirs_[0].toPort = portOnB_;
+    dirs_[0].sim = &end_a.simulator();
+    dirs_[1].to = endA_; // B -> A
+    dirs_[1].toPort = portOnA_;
+    dirs_[1].sim = &end_b.simulator();
+    // One loss stream per direction so each is partition-owned; the
+    // A->B stream keeps the historical seed.
+    dirs_[0].lossRate = config_.lossRate;
+    dirs_[1].lossRate = config_.lossRate;
+    dirs_[0].lossRng = Rng(config_.lossSeed);
+    dirs_[1].lossRng = Rng(config_.lossSeed ^ 0x9E3779B97F4A7C15ull);
+
+    if (dirs_[0].sim != dirs_[1].sim) {
+        if (engine == nullptr)
+            fatal("%s: endpoints on different partitions but no engine",
+                  name().c_str());
+        if (config_.propagation <= 0)
+            fatal("%s: cross-partition links need positive propagation "
+                  "latency (lookahead bound)",
+                  name().c_str());
+        dirs_[0].channel =
+            &engine->connect(end_b.simulator(), config_.propagation);
+        dirs_[1].channel =
+            &engine->connect(end_a.simulator(), config_.propagation);
+    }
 }
 
 Link::Direction &
@@ -96,6 +122,23 @@ Link::dropNext(const Node &from, int n)
     directionFrom(from).dropNext += n;
 }
 
+void
+Link::scheduleLossRateAt(Tick when, double loss_rate)
+{
+    for (Direction &dir : dirs_) {
+        dir.sim->scheduleAt(when, [&dir, loss_rate]() {
+            dir.lossRate = loss_rate;
+        });
+    }
+}
+
+void
+Link::scheduleDropNextAt(Tick when, const Node &from, int n)
+{
+    Direction &dir = directionFrom(from);
+    dir.sim->scheduleAt(when, [&dir, n]() { dir.dropNext += n; });
+}
+
 bool
 Link::transmit(const Node &from, PacketPtr pkt)
 {
@@ -108,34 +151,51 @@ Link::transmit(const Node &from, PacketPtr pkt)
     if (dir.dropNext > 0) {
         dir.dropNext--;
         lose = true;
-    } else if (config_.lossRate > 0.0 &&
-               lossRng_.nextBool(config_.lossRate)) {
+    } else if (dir.lossRate > 0.0 &&
+               dir.lossRng.nextBool(dir.lossRate)) {
         lose = true;
     }
     if (lose) {
-        losses_++;
+        dir.losses++;
         return true;
     }
 
     if (dir.queuedBytes + size > config_.queueBytes) {
-        drops_++;
+        dir.drops++;
         return false;
     }
 
-    Tick now = simulator().now();
+    Tick now = dir.sim->now();
     Tick depart = std::max(now, dir.lineFreeAt);
     TickDelta serialize = serializationDelay(size, config_.gbps);
     dir.lineFreeAt = depart + serialize;
     dir.queuedBytes += size;
 
     Tick arrive = depart + serialize + config_.propagation;
-    // Keep the capture list at 40 bytes so the event callback stays in
-    // the scheduler's inline small-buffer storage (no heap per hop);
-    // the destination node/port are re-read from dir on delivery.
-    simulator().scheduleAt(arrive, [this, &dir, size,
-                                    pkt = std::move(pkt)]() {
+    if (dir.channel == nullptr) {
+        // Keep the capture list at 32 bytes so the event callback
+        // stays in the scheduler's inline small-buffer storage (no
+        // heap per hop); the destination node/port are re-read from
+        // dir on delivery.
+        dir.sim->scheduleAt(arrive, [&dir, size,
+                                     pkt = std::move(pkt)]() {
+            dir.queuedBytes -= size;
+            dir.bytesCarried += size;
+            if (dir.to->isUp())
+                dir.to->receive(pkt, dir.toPort);
+        });
+        return true;
+    }
+
+    // Cross-partition: the wire/queue accounting stays home (same
+    // event time as the legacy combined delivery event), while the
+    // receive side ships through the mailbox and fires on the target
+    // partition re-keyed by the send tick.
+    dir.sim->scheduleAt(arrive, [&dir, size]() {
         dir.queuedBytes -= size;
-        bytesCarried_ += size;
+        dir.bytesCarried += size;
+    });
+    dir.channel->push(arrive, now, [&dir, pkt = std::move(pkt)]() {
         if (dir.to->isUp())
             dir.to->receive(pkt, dir.toPort);
     });

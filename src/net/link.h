@@ -20,6 +20,11 @@
 #include "common/stats.h"
 #include "net/node.h"
 
+namespace pmnet::sim {
+class Engine;
+class LinkChannel;
+} // namespace pmnet::sim
+
 namespace pmnet::net {
 
 /** Static link parameters. */
@@ -37,12 +42,25 @@ struct LinkConfig
     std::uint64_t lossSeed = 0x4C4F5353;
 };
 
-/** A duplex link between exactly two nodes. */
+/**
+ * A duplex link between exactly two nodes.
+ *
+ * Each direction's state (line occupancy, egress queue, loss process,
+ * counters) is wholly owned by the *transmitting* endpoint's
+ * partition, so the two directions never share mutable state. When
+ * the endpoints live on different Engine partitions, delivery crosses
+ * through a sim::LinkChannel mailbox bounded by the propagation
+ * latency — links are exactly the lookahead edges of DESIGN.md §12.
+ * The queue-release accounting stays on the transmitting partition
+ * (a local event at the arrival tick), matching the single-simulator
+ * event order.
+ */
 class Link : public sim::SimObject
 {
   public:
     Link(sim::Simulator &simulator, std::string object_name,
-         Node &end_a, Node &end_b, LinkConfig config = {});
+         Node &end_a, Node &end_b, LinkConfig config = {},
+         sim::Engine *engine = nullptr);
 
     /**
      * Enqueue @p pkt for transmission away from @p from.
@@ -60,17 +78,38 @@ class Link : public sim::SimObject
 
     /**
      * Change the random per-packet loss probability at runtime (both
-     * directions). The fault-plan driver uses this to script loss
-     * bursts; the loss RNG keeps its stream, so a plan replayed with
-     * the same seed loses exactly the same packets.
+     * directions). Each direction's loss RNG keeps its stream, so a
+     * plan replayed with the same seed loses exactly the same
+     * packets. Only safe while the simulation is not running — while
+     * an Engine is mid-run, use scheduleLossRateAt instead.
      */
-    void setLossRate(double loss_rate) { config_.lossRate = loss_rate; }
+    void
+    setLossRate(double loss_rate)
+    {
+        dirs_[0].lossRate = loss_rate;
+        dirs_[1].lossRate = loss_rate;
+    }
+
+    /**
+     * Schedule a loss-rate change at absolute tick @p when as one
+     * event per direction, each on the partition that owns it — the
+     * partition-safe form of setLossRate for scripted fault plans.
+     * Call from the coordinating thread between runs.
+     */
+    void scheduleLossRateAt(Tick when, double loss_rate);
+
+    /** Partition-safe scheduled form of dropNext. */
+    void scheduleDropNextAt(Tick when, const Node &from, int n);
 
     /** Packets dropped due to egress-queue overflow. */
-    std::uint64_t drops() const { return drops_; }
+    std::uint64_t drops() const { return dirs_[0].drops + dirs_[1].drops; }
 
     /** Packets lost to injected loss (random or dropNext). */
-    std::uint64_t losses() const { return losses_; }
+    std::uint64_t
+    losses() const
+    {
+        return dirs_[0].losses + dirs_[1].losses;
+    }
 
     /**
      * Deterministically drop the next @p n packets transmitted away
@@ -79,16 +118,30 @@ class Link : public sim::SimObject
     void dropNext(const Node &from, int n);
 
     /** Total bytes that finished serialization onto the wire. */
-    std::uint64_t bytesCarried() const { return bytesCarried_; }
+    std::uint64_t
+    bytesCarried() const
+    {
+        return dirs_[0].bytesCarried + dirs_[1].bytesCarried;
+    }
 
   private:
     struct Direction
     {
         Node *to = nullptr;
         int toPort = -1;
+        /** The transmitting endpoint's simulator — every field below
+         *  is only touched by events on this partition. */
+        sim::Simulator *sim = nullptr;
+        /** Cross-partition mailbox; null when both ends share sim. */
+        sim::LinkChannel *channel = nullptr;
         Tick lineFreeAt = 0;
         std::size_t queuedBytes = 0;
         int dropNext = 0;
+        double lossRate = 0.0;
+        Rng lossRng{0};
+        std::uint64_t drops = 0;
+        std::uint64_t losses = 0;
+        std::uint64_t bytesCarried = 0;
     };
 
     /** Direction whose traffic flows away from @p from. */
@@ -100,10 +153,6 @@ class Link : public sim::SimObject
     int portOnA_;
     int portOnB_;
     std::array<Direction, 2> dirs_;
-    std::uint64_t drops_ = 0;
-    std::uint64_t losses_ = 0;
-    std::uint64_t bytesCarried_ = 0;
-    Rng lossRng_;
 };
 
 } // namespace pmnet::net

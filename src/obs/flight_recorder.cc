@@ -177,6 +177,7 @@ FlightRecorder::begin(std::uint64_t request_id, std::uint16_t session,
 {
     if (!enabled_ || request_id == 0)
         return;
+    MaybeLock lock(this);
 
     RequestTrace *trace = lookup(request_id);
     if (!trace) {
@@ -210,6 +211,7 @@ FlightRecorder::stampAt(std::uint64_t request_id, Stamp stamp, Tick now)
 {
     if (!enabled_ || request_id == 0)
         return;
+    MaybeLock lock(this);
     RequestTrace *trace = lookup(request_id);
     if (!trace || trace->completed)
         return;
@@ -224,6 +226,7 @@ FlightRecorder::complete(std::uint64_t request_id, Tick now,
 {
     if (!enabled_ || request_id == 0)
         return;
+    MaybeLock lock(this);
     RequestTrace *trace = lookup(request_id);
     if (!trace || trace->completed)
         return;

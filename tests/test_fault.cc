@@ -234,7 +234,8 @@ TEST(HashmapShadowTest, ShadowInvalidatedAcrossCrash)
 // ------------------------------------------- scripted testbed plans
 
 FaultRunConfig
-planConfig(unsigned replication = 1, bool cache = true)
+planConfig(unsigned replication = 1, bool cache = true,
+           unsigned sim_threads = 0)
 {
     FaultRunConfig config;
     config.testbed.mode = testbed::SystemMode::PmnetSwitch;
@@ -243,6 +244,7 @@ planConfig(unsigned replication = 1, bool cache = true)
     config.testbed.cacheEnabled = cache;
     config.testbed.storeKind = kv::KvKind::Hashmap;
     config.testbed.seed = 42;
+    config.testbed.simThreads = sim_threads;
     config.updatesPerClient = 30;
     config.keysPerSession = 8;
     return config;
@@ -329,6 +331,47 @@ TEST(FaultPlanTest, DeterministicReports)
     EXPECT_EQ(a.text(), b.text());
     EXPECT_EQ(a.counter("link-losses"), b.counter("link-losses"));
     EXPECT_EQ(a.counter("link-drops"), b.counter("link-drops"));
+}
+
+TEST(FaultPlanTest, PowerCutPlanHoldsP1P3OnPartitionedEngine)
+{
+    // The full duplicate-delivery + recovery scenario on the
+    // partitioned engine: P1-P3 must hold with every node on its own
+    // partition and four workers draining them.
+    FaultPlan plan;
+    plan.name = "power-cut-partitioned";
+    plan.actions.push_back(
+        {FaultAction::Kind::DropNext, microseconds(120), 0, 0.0, 3,
+         false, 0, FaultAction::Where::DeviceClientSide});
+    plan.actions.push_back({FaultAction::Kind::ServerPowerCut,
+                            microseconds(400), microseconds(500), 0.0, 0,
+                            false, 0, FaultAction::Where::ServerLink});
+
+    FaultRunner runner(planConfig(1, true, /*sim_threads=*/4));
+    const InvariantReport &report = runner.run(plan);
+    EXPECT_TRUE(report.clean()) << report.text();
+    EXPECT_GE(runner.testbed().serverLib().stats.recoveries, 1u);
+    EXPECT_GE(report.counter("device-recovery-resent"), 1u)
+        << report.text();
+    EXPECT_EQ(report.counter("acked-total"), 60u);
+}
+
+TEST(FaultPlanTest, ChainReplacePlanMatchesLegacyOnPartitionedEngine)
+{
+    FaultPlan plan;
+    plan.name = "chain-replace-partitioned";
+    plan.actions.push_back({FaultAction::Kind::DeviceReplace,
+                            microseconds(450), 0, 0.0, 0, false, 0,
+                            FaultAction::Where::DeviceClientSide});
+
+    FaultRunner legacy(planConfig(/*replication=*/2, /*cache=*/false));
+    FaultRunner engine(
+        planConfig(/*replication=*/2, /*cache=*/false, /*sim_threads=*/4));
+    const InvariantReport &a = legacy.run(plan);
+    const InvariantReport &b = engine.run(plan);
+    EXPECT_TRUE(b.clean()) << b.text();
+    EXPECT_EQ(b.text(), a.text())
+        << "partitioned engine changed the fault report";
 }
 
 } // namespace

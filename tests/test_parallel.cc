@@ -1,0 +1,175 @@
+/**
+ * @file
+ * End-to-end determinism tests for the partitioned engine
+ * (DESIGN.md section 12): the same seeded testbed run must serialize
+ * to byte-identical results whether it executes on the historical
+ * single simulator (simThreads = 0), on the engine with one worker,
+ * or on the engine with more workers than the host has cores. The
+ * fault-injection layer gets the same treatment: a scripted plan's
+ * invariant report must not depend on the thread count.
+ *
+ * These tests carry the `parallel` CTest label and run under the
+ * sanitize-tsan preset in CI alongside the recovery suite.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fault/fault_plan.h"
+#include "sim/parallel.h"
+#include "testbed/system.h"
+
+namespace pmnet {
+namespace {
+
+using fault::FaultAction;
+using fault::FaultPlan;
+using fault::FaultRunConfig;
+using fault::FaultRunner;
+using fault::InvariantReport;
+
+testbed::TestbedConfig
+baseConfig(testbed::SystemMode mode, unsigned threads)
+{
+    testbed::TestbedConfig config;
+    config.mode = mode;
+    config.clientCount = 4;
+    config.seed = 7;
+    config.simThreads = threads;
+    config.workload = [](std::uint16_t session) {
+        apps::YcsbConfig ycsb;
+        ycsb.keyCount = 100;
+        return apps::makeYcsbWorkload(ycsb, session);
+    };
+    return config;
+}
+
+/** Run one seeded measurement window and serialize it canonically. */
+std::string
+runSerialized(testbed::SystemMode mode, unsigned threads)
+{
+    testbed::Testbed bed(baseConfig(mode, threads));
+    testbed::RunResults results =
+        bed.run(milliseconds(2), milliseconds(8));
+    return results.toJson().dump();
+}
+
+TEST(ParallelTestbed, PmnetSwitchResultsByteIdenticalAcrossThreads)
+{
+    std::string legacy =
+        runSerialized(testbed::SystemMode::PmnetSwitch, 0);
+    EXPECT_EQ(runSerialized(testbed::SystemMode::PmnetSwitch, 1), legacy)
+        << "engine@1 worker diverged from the single simulator";
+    EXPECT_EQ(runSerialized(testbed::SystemMode::PmnetSwitch, 4), legacy)
+        << "engine@4 workers diverged from the single simulator";
+}
+
+TEST(ParallelTestbed, ClientServerResultsByteIdenticalAcrossThreads)
+{
+    std::string legacy =
+        runSerialized(testbed::SystemMode::ClientServer, 0);
+    EXPECT_EQ(runSerialized(testbed::SystemMode::ClientServer, 4),
+              legacy);
+}
+
+TEST(ParallelTestbed, ReplicationChainByteIdenticalAcrossThreads)
+{
+    auto run = [](unsigned threads) {
+        auto config =
+            baseConfig(testbed::SystemMode::PmnetSwitch, threads);
+        config.replicationDegree = 3;
+        config.cacheEnabled = true;
+        testbed::Testbed bed(std::move(config));
+        return bed.run(milliseconds(2), milliseconds(8)).toJson().dump();
+    };
+    std::string legacy = run(0);
+    EXPECT_EQ(run(4), legacy);
+}
+
+TEST(ParallelTestbed, EngineModeReportsEngineMetrics)
+{
+    auto config = baseConfig(testbed::SystemMode::PmnetSwitch, 4);
+    testbed::Testbed bed(std::move(config));
+    bed.run(milliseconds(1), milliseconds(2));
+    ASSERT_NE(bed.engine(), nullptr);
+    EXPECT_EQ(bed.engine()->workers(), 4u);
+    EXPECT_GT(bed.engine()->windows(), 0u);
+    EXPECT_GT(bed.engine()->eventsExecuted(), 0u);
+}
+
+// ----------------------------------------------- fault plans @ threads
+
+FaultRunConfig
+faultConfig(unsigned threads)
+{
+    FaultRunConfig config;
+    config.testbed.mode = testbed::SystemMode::PmnetSwitch;
+    config.testbed.clientCount = 2;
+    config.testbed.replicationDegree = 1;
+    config.testbed.cacheEnabled = true;
+    config.testbed.storeKind = kv::KvKind::Hashmap;
+    config.testbed.seed = 42;
+    config.testbed.simThreads = threads;
+    config.updatesPerClient = 30;
+    config.keysPerSession = 8;
+    return config;
+}
+
+FaultPlan
+scriptedPlan()
+{
+    FaultPlan plan;
+    plan.name = "parallel-determinism";
+    plan.actions.push_back({FaultAction::Kind::LossBurst,
+                            microseconds(100), microseconds(500), 0.3, 0,
+                            false, 0, FaultAction::Where::ServerLink});
+    plan.actions.push_back(
+        {FaultAction::Kind::DropNext, microseconds(300), 0, 0.0, 2, true,
+         0, FaultAction::Where::ServerLink});
+    plan.actions.push_back({FaultAction::Kind::ServerPowerCut,
+                            microseconds(700), microseconds(300), 0.0, 0,
+                            false, 0, FaultAction::Where::ServerLink});
+    return plan;
+}
+
+TEST(ParallelFault, ScriptedPlanReportIdenticalAcrossThreads)
+{
+    FaultPlan plan = scriptedPlan();
+
+    FaultRunner legacy(faultConfig(0));
+    const InvariantReport &a = legacy.run(plan);
+    ASSERT_TRUE(a.clean()) << a.text();
+
+    // A clean plan reports only counters, whose merged totals are
+    // thread-count independent — so the full report text must match.
+    for (unsigned threads : {1u, 4u}) {
+        FaultRunner engine(faultConfig(threads));
+        const InvariantReport &b = engine.run(plan);
+        EXPECT_TRUE(b.clean()) << b.text();
+        EXPECT_EQ(b.text(), a.text())
+            << "fault report diverged at simThreads=" << threads;
+    }
+}
+
+TEST(ParallelFault, PowerCutRecoveryHoldsInvariantsAtFourThreads)
+{
+    FaultPlan plan;
+    plan.name = "parallel-power-cut";
+    plan.actions.push_back(
+        {FaultAction::Kind::DropNext, microseconds(120), 0, 0.0, 3,
+         false, 0, FaultAction::Where::DeviceClientSide});
+    plan.actions.push_back({FaultAction::Kind::ServerPowerCut,
+                            microseconds(400), microseconds(500), 0.0, 0,
+                            false, 0, FaultAction::Where::ServerLink});
+
+    FaultRunner runner(faultConfig(4));
+    const InvariantReport &report = runner.run(plan);
+    EXPECT_TRUE(report.clean()) << report.text();
+    EXPECT_GE(runner.testbed().serverLib().stats.recoveries, 1u);
+    EXPECT_GE(report.counter("device-recovery-resent"), 1u)
+        << report.text();
+}
+
+} // namespace
+} // namespace pmnet

@@ -47,6 +47,7 @@ struct Options
     double measureMs = 30;
     double failServerAtMs = -1;
     double outageMs = 1;
+    unsigned threads = 0;
     cli::CommonOptions common;
 };
 
@@ -129,6 +130,10 @@ parseArgs(int argc, char **argv)
                         &opts.failServerAtMs);
     parser.optionDouble("--outage-ms", "T",
                         "outage duration (default 1)", &opts.outageMs);
+    parser.optionUnsigned("--threads", "N",
+                          "simulation worker threads (0 = single "
+                          "simulator; >=1 partitions per node)",
+                          &opts.threads);
     cli::addSeed(parser, opts.common);
     cli::addSmoke(parser, opts.common);
     cli::addJsonFlag(parser, opts.common);
@@ -310,9 +315,9 @@ main(int argc, char **argv)
     // The interactive tool always traces: the latency breakdown is
     // half its point, and a few ns per packet is irrelevant here.
     config.observability = true;
+    config.simThreads = opts.threads;
 
     testbed::Testbed bed(std::move(config));
-    auto &sim = bed.simulator();
 
     TraceRing trace(static_cast<std::size_t>(
         opts.traceEvents > 0 ? opts.traceEvents : 1));
@@ -330,17 +335,22 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(opts.common.seed));
 
     if (opts.failServerAtMs >= 0) {
-        sim.schedule(milliseconds(opts.failServerAtMs), [&]() {
+        // Injected on the server's own partition (the shared simulator
+        // when --threads is 0).
+        sim::Simulator &ssim = bed.serverHost().simulator();
+        ssim.schedule(milliseconds(opts.failServerAtMs), [&]() {
+            sim::Simulator &ssim = bed.serverHost().simulator();
             if (!opts.common.json)
                 std::printf("[%.3f ms] injecting server power failure "
                             "(%.1f ms outage)\n",
-                            toMilliseconds(sim.now()), opts.outageMs);
+                            toMilliseconds(ssim.now()), opts.outageMs);
             bed.serverHost().powerFail();
-            sim.schedule(milliseconds(opts.outageMs), [&]() {
+            ssim.schedule(milliseconds(opts.outageMs), [&]() {
                 if (!opts.common.json)
                     std::printf("[%.3f ms] server restored, recovery "
                                 "begins\n",
-                                toMilliseconds(sim.now()));
+                                toMilliseconds(
+                                    bed.serverHost().simulator().now()));
                 bed.serverHost().powerRestore();
             });
         });
