@@ -1,8 +1,10 @@
 #include "fault/crash_matrix.h"
 
+#include <limits>
 #include <map>
 
 #include "common/rng.h"
+#include "pm/commit_epoch.h"
 
 namespace pmnet::fault {
 
@@ -34,21 +36,50 @@ toString(const Bytes &b)
  * keys and erases of absent keys on every backend.
  */
 std::vector<Op>
-recordOps(const CrashMatrixConfig &config)
+recordOps(std::uint64_t seed, int op_count, int key_count)
 {
-    Rng rng(config.seed);
+    Rng rng(seed);
     std::vector<Op> ops;
-    ops.reserve(static_cast<std::size_t>(config.opCount));
-    for (int i = 0; i < config.opCount; i++) {
+    ops.reserve(static_cast<std::size_t>(op_count));
+    for (int i = 0; i < op_count; i++) {
         Op op;
         op.key = "k" + std::to_string(rng.nextUInt(
-                           static_cast<std::uint64_t>(config.keyCount)));
+                           static_cast<std::uint64_t>(key_count)));
         op.isPut = rng.nextDouble() < 0.7;
         if (op.isPut)
             op.value = "v" + std::to_string(i) + "-" + op.key;
         ops.push_back(std::move(op));
     }
     return ops;
+}
+
+std::vector<Op>
+recordOps(const CrashMatrixConfig &config)
+{
+    return recordOps(config.seed, config.opCount, config.keyCount);
+}
+
+/**
+ * Choose the crash points: every boundary, or an even spread of
+ * max_crashes across the range (--smoke).
+ */
+std::vector<std::size_t>
+spreadCrashPoints(std::size_t boundaries, int max_crashes)
+{
+    std::vector<std::size_t> points;
+    if (max_crashes <= 0 ||
+        static_cast<std::size_t>(max_crashes) >= boundaries) {
+        for (std::size_t c = 1; c <= boundaries; c++)
+            points.push_back(c);
+    } else {
+        double stride = static_cast<double>(boundaries) /
+                        static_cast<double>(max_crashes);
+        for (int i = 0; i < max_crashes; i++)
+            points.push_back(
+                static_cast<std::size_t>(static_cast<double>(i) * stride) +
+                1);
+    }
+    return points;
 }
 
 void
@@ -78,10 +109,10 @@ applyToModel(std::map<std::string, std::string> &model, const Op &op)
 void
 checkContent(const kv::KvStore &store,
              const std::map<std::string, std::string> &model,
-             const CrashMatrixConfig &config, const std::string &where,
+             int key_count, const std::string &where,
              InvariantReport &report)
 {
-    for (int k = 0; k < config.keyCount; k++) {
+    for (int k = 0; k < key_count; k++) {
         std::string key = "k" + std::to_string(k);
         std::optional<Bytes> got = store.get(key);
         auto want = model.find(key);
@@ -156,25 +187,12 @@ runCrashMatrix(const CrashMatrixConfig &config)
         }
         heap.setPersistBoundaryHook(nullptr);
         result.boundaries = boundaries;
-        checkContent(*store, finalModel, config, "no-crash run", report);
+        checkContent(*store, finalModel, config.keyCount, "no-crash run", report);
         checkCount(*store, finalModel, "no-crash run", report);
     }
 
-    // Choose the crash points: every boundary, or an even spread of
-    // maxCrashes across the range (--smoke).
-    std::vector<std::size_t> crashPoints;
-    if (config.maxCrashes <= 0 ||
-        static_cast<std::size_t>(config.maxCrashes) >= result.boundaries) {
-        for (std::size_t c = 1; c <= result.boundaries; c++)
-            crashPoints.push_back(c);
-    } else {
-        double stride = static_cast<double>(result.boundaries) /
-                        static_cast<double>(config.maxCrashes);
-        for (int i = 0; i < config.maxCrashes; i++)
-            crashPoints.push_back(static_cast<std::size_t>(
-                                      static_cast<double>(i) * stride) +
-                                  1);
-    }
+    std::vector<std::size_t> crashPoints =
+        spreadCrashPoints(result.boundaries, config.maxCrashes);
 
     for (std::size_t crash_at : crashPoints) {
         pm::PmHeap heap(config.heapBytes);
@@ -235,7 +253,7 @@ runCrashMatrix(const CrashMatrixConfig &config)
         if (applied)
             applyToModel(model, inflight);
 
-        checkContent(*store, model, config, where, report);
+        checkContent(*store, model, config.keyCount, where, report);
         std::int64_t lag = checkCount(*store, model, where, report);
         if (lag != 0)
             result.countLagObserved++;
@@ -247,7 +265,7 @@ runCrashMatrix(const CrashMatrixConfig &config)
             applyToStore(*store, ops[r]);
             applyToModel(model, ops[r]);
         }
-        checkContent(*store, finalModel, config, where + ", after resume",
+        checkContent(*store, finalModel, config.keyCount, where + ", after resume",
                      report);
         checkCount(*store, finalModel, where + ", after resume", report);
         if (model != finalModel)
@@ -261,6 +279,247 @@ runCrashMatrix(const CrashMatrixConfig &config)
     report.setCounter("count-lag-observed", result.countLagObserved);
     report.setCounter("ops", static_cast<std::uint64_t>(ops.size()));
     report.setCounter("final-keys", finalModel.size());
+    return result;
+}
+
+namespace {
+
+/** Which statement the injected crash interrupted. */
+enum class GcCrashSite : std::uint8_t
+{
+    None,  ///< the whole sequence completed (determinism bug)
+    Apply, ///< inside a store op — the op itself may be torn
+    Close, ///< inside the epoch's batch fence (threshold close)
+    Drain, ///< inside the final drain close
+};
+
+std::size_t
+stagedBytes(const Op &op)
+{
+    return op.key.size() + op.value.size() + 1;
+}
+
+} // namespace
+
+GroupCommitMatrixResult
+runGroupCommitMatrix(const GroupCommitMatrixConfig &config)
+{
+    GroupCommitMatrixResult result;
+    result.report = InvariantReport(
+        std::string("group-commit-matrix:") + kv::kvKindName(config.kind) +
+        ":epoch" + std::to_string(config.epochOps) + ":seed" +
+        std::to_string(config.seed));
+    InvariantReport &report = result.report;
+
+    std::vector<Op> ops =
+        recordOps(config.seed, config.opCount, config.keyCount);
+
+    // The epoch closes on the op-count threshold only; the bytes
+    // threshold is parked out of reach so sweeps are comparable
+    // across backends with different payload sizes.
+    pm::CommitEpochConfig epoch_config;
+    epoch_config.maxOps = config.epochOps;
+    epoch_config.maxBytes = std::numeric_limits<std::size_t>::max();
+
+    // Pass 1: the no-crash group-commit run. Every applied op stages
+    // its "ack" into the epoch; the completion advances a contiguous
+    // acked watermark only when the covering batch fence has retired.
+    std::map<std::string, std::string> finalModel;
+    {
+        pm::PmHeap heap(config.heapBytes);
+        auto store = kv::makeKvStore(config.kind, heap);
+        std::size_t boundaries = 0;
+        heap.setPersistBoundaryHook(
+            [&boundaries](pm::PersistBoundary) { boundaries++; });
+        std::size_t acked = 0;
+        pm::CommitEpoch epoch(epoch_config, [&heap]() { heap.fence(); });
+        for (std::size_t i = 0; i < ops.size(); i++) {
+            applyToStore(*store, ops[i]);
+            applyToModel(finalModel, ops[i]);
+            auto staged = epoch.stage(
+                stagedBytes(ops[i]), [&acked, i]() { acked = i + 1; },
+                static_cast<Tick>(i));
+            if (staged.shouldClose)
+                epoch.close(pm::EpochCloseReason::Ops,
+                            static_cast<Tick>(i));
+        }
+        epoch.close(pm::EpochCloseReason::Drain,
+                    static_cast<Tick>(ops.size()));
+        heap.setPersistBoundaryHook(nullptr);
+        result.boundaries = boundaries;
+        result.epochsClosed =
+            static_cast<std::size_t>(epoch.stats().epochsClosed);
+        result.acksReleased = acked;
+        if (acked != ops.size())
+            report.addViolation(
+                "P1-durability",
+                "no-crash run: drain close released " +
+                    std::to_string(acked) + " of " +
+                    std::to_string(ops.size()) + " deferred acks");
+        checkContent(*store, finalModel, config.keyCount, "no-crash run",
+                     report);
+        checkCount(*store, finalModel, "no-crash run", report);
+    }
+
+    std::vector<std::size_t> crashPoints =
+        spreadCrashPoints(result.boundaries, config.maxCrashes);
+
+    for (std::size_t crash_at : crashPoints) {
+        pm::PmHeap heap(config.heapBytes);
+        auto store = kv::makeKvStore(config.kind, heap);
+        pm::PmOffset header_off = store->headerOffset();
+
+        std::size_t seen = 0;
+        heap.setPersistBoundaryHook(
+            [&seen, crash_at](pm::PersistBoundary b) {
+                if (++seen == crash_at)
+                    throw InjectedCrash{b, crash_at};
+            });
+
+        std::size_t acked = 0;
+        pm::CommitEpoch epoch(epoch_config, [&heap]() { heap.fence(); });
+        GcCrashSite site = GcCrashSite::None;
+        InjectedCrash crash;
+        std::size_t j = 0;       ///< index of the op being executed
+        std::size_t applied = 0; ///< ops known fully applied to the store
+        for (; j < ops.size(); j++) {
+            try {
+                applyToStore(*store, ops[j]);
+            } catch (const InjectedCrash &c) {
+                site = GcCrashSite::Apply;
+                crash = c;
+                break;
+            }
+            applied = j + 1;
+            auto staged = epoch.stage(
+                stagedBytes(ops[j]), [&acked, j]() { acked = j + 1; },
+                static_cast<Tick>(j));
+            if (staged.shouldClose) {
+                try {
+                    epoch.close(pm::EpochCloseReason::Ops,
+                                static_cast<Tick>(j));
+                } catch (const InjectedCrash &c) {
+                    site = GcCrashSite::Close;
+                    crash = c;
+                    break;
+                }
+            }
+        }
+        if (site == GcCrashSite::None && j == ops.size()) {
+            try {
+                epoch.close(pm::EpochCloseReason::Drain,
+                            static_cast<Tick>(ops.size()));
+            } catch (const InjectedCrash &c) {
+                site = GcCrashSite::Drain;
+                crash = c;
+            }
+        }
+        if (site == GcCrashSite::None) {
+            report.addViolation(
+                "determinism",
+                "boundary " + std::to_string(crash_at) +
+                    " counted in pass 1 was never reached on replay");
+            continue;
+        }
+        result.crashesInjected++;
+        if (acked < applied)
+            result.midEpochCrashes++;
+
+        std::string where =
+            "crash at boundary " + std::to_string(crash_at) + " (" +
+            pm::persistBoundaryName(crash.boundary) + ") in op " +
+            std::to_string(j) +
+            (site == GcCrashSite::Apply
+                 ? ""
+                 : site == GcCrashSite::Close ? ", batch fence"
+                                              : ", drain fence");
+
+        // Roll back the batch remnants: staged-unfenced completions
+        // are abandoned, never run — no ack escapes for them.
+        std::size_t acked_before = acked;
+        result.opsAbandoned += epoch.abandon();
+        if (epoch.open())
+            report.addViolation("P1-durability",
+                                where + ": abandon left the epoch open");
+        if (acked != acked_before)
+            report.addViolation(
+                "P1-durability",
+                where + ": abandon completed a staged op (ack escaped "
+                        "without a covering fence)");
+
+        heap.crash(); // discards staged ranges, clears the hook
+        store = kv::openKvStore(heap, header_off);
+
+        // P1 precondition: an ack can never outrun the applied prefix
+        // (completions only run after the fence covering their op).
+        if (acked > applied)
+            report.addViolation(
+                "P1-durability",
+                where + ": acked watermark " + std::to_string(acked) +
+                    " ahead of applied prefix " + std::to_string(applied));
+
+        // Content check, as in the base matrix: the recovered state is
+        // the applied prefix, with only the in-flight op ambiguous (it
+        // happened entirely or not at all). Acked ops are a subset of
+        // the applied prefix, so this also proves no acked op is lost.
+        std::map<std::string, std::string> model;
+        for (std::size_t r = 0; r < applied; r++)
+            applyToModel(model, ops[r]);
+        if (site == GcCrashSite::Apply) {
+            const Op &inflight = ops[j];
+            std::optional<Bytes> probe = store->get(inflight.key);
+            bool op_applied;
+            if (inflight.isPut)
+                op_applied = probe && toString(*probe) == inflight.value;
+            else
+                op_applied = model.count(inflight.key) != 0 && !probe;
+            if (op_applied) {
+                applyToModel(model, inflight);
+                applied = j + 1;
+            }
+        }
+        checkContent(*store, model, config.keyCount, where, report);
+        checkCount(*store, model, where, report);
+
+        // Client-retry contract: everything past the acked watermark
+        // was never acknowledged, so the client resends it — including
+        // ops that were applied but whose batch fence never retired.
+        // The replay runs through a fresh epoch on the recovered heap
+        // and must converge to exactly the no-crash final state.
+        std::size_t replay_acked = acked;
+        pm::CommitEpoch replay(epoch_config, [&heap]() { heap.fence(); });
+        for (std::size_t r = acked; r < ops.size(); r++) {
+            applyToStore(*store, ops[r]);
+            auto staged = replay.stage(
+                stagedBytes(ops[r]),
+                [&replay_acked, r]() { replay_acked = r + 1; },
+                static_cast<Tick>(r));
+            if (staged.shouldClose)
+                replay.close(pm::EpochCloseReason::Ops,
+                             static_cast<Tick>(r));
+        }
+        replay.close(pm::EpochCloseReason::Drain,
+                     static_cast<Tick>(ops.size()));
+        if (replay_acked != ops.size())
+            report.addViolation(
+                "P1-durability",
+                where + ": replay released " +
+                    std::to_string(replay_acked - acked) + " of " +
+                    std::to_string(ops.size() - acked) + " resent acks");
+        checkContent(*store, finalModel, config.keyCount,
+                     where + ", after retry replay", report);
+        checkCount(*store, finalModel, where + ", after retry replay",
+                   report);
+    }
+
+    report.setCounter("boundaries", result.boundaries);
+    report.setCounter("crashes-injected", result.crashesInjected);
+    report.setCounter("epochs-closed", result.epochsClosed);
+    report.setCounter("acks-released", result.acksReleased);
+    report.setCounter("mid-epoch-crashes", result.midEpochCrashes);
+    report.setCounter("ops-abandoned", result.opsAbandoned);
+    report.setCounter("ops", static_cast<std::uint64_t>(ops.size()));
+    report.setCounter("epoch-ops", config.epochOps);
     return result;
 }
 

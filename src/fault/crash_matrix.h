@@ -78,6 +78,54 @@ struct CrashMatrixResult
 /** Run the sweep; result.report.clean() means all invariants held. */
 CrashMatrixResult runCrashMatrix(const CrashMatrixConfig &config);
 
+/**
+ * Parameters of one group-commit crash sweep.
+ *
+ * Same recorded sequence as the base matrix, but every applied op is
+ * staged into a pm::CommitEpoch whose fence hook is the real
+ * PmHeap::fence(), and its "ack" (completion) is held until the
+ * epoch closes. Crashing at every persist boundary therefore also
+ * lands inside open epochs and inside the epoch's own batch fence.
+ */
+struct GroupCommitMatrixConfig
+{
+    kv::KvKind kind = kv::KvKind::Hashmap;
+    std::uint64_t seed = 1;
+    int opCount = 48;
+    int keyCount = 10;
+    std::uint64_t heapBytes = 8ull << 20;
+    /** 0 = exhaustive; N > 0 spreads N crashes evenly (--smoke). */
+    int maxCrashes = 0;
+    /** Epoch close threshold in ops (the group-commit batch size). */
+    std::uint32_t epochOps = 4;
+};
+
+/** Outcome of one group-commit sweep. */
+struct GroupCommitMatrixResult
+{
+    std::size_t boundaries = 0;
+    std::size_t crashesInjected = 0;
+    /** Epochs the no-crash run closed (ops thresholds + final drain). */
+    std::size_t epochsClosed = 0;
+    /** Acks the no-crash run released (must equal opCount). */
+    std::size_t acksReleased = 0;
+    /** Crashes that landed with applied-but-unacked ops outstanding. */
+    std::size_t midEpochCrashes = 0;
+    /** Staged-unfenced completions rolled back across all crashes. */
+    std::size_t opsAbandoned = 0;
+    InvariantReport report;
+};
+
+/**
+ * Sweep crashes across every persist boundary of the group-commit
+ * execution. After each crash: no acked op may be lost, staged batch
+ * remnants must roll back (abandon, never complete), and replaying
+ * from the acked watermark — the client-retry contract: unacked ops
+ * are resent — must converge to the no-crash final state.
+ */
+GroupCommitMatrixResult
+runGroupCommitMatrix(const GroupCommitMatrixConfig &config);
+
 } // namespace pmnet::fault
 
 #endif // PMNET_FAULT_CRASH_MATRIX_H

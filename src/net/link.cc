@@ -139,6 +139,19 @@ Link::scheduleDropNextAt(Tick when, const Node &from, int n)
     dir.sim->scheduleAt(when, [&dir, n]() { dir.dropNext += n; });
 }
 
+void
+Link::corruptNext(const Node &from, int n)
+{
+    directionFrom(from).corruptNext += n;
+}
+
+void
+Link::scheduleCorruptNextAt(Tick when, const Node &from, int n)
+{
+    Direction &dir = directionFrom(from);
+    dir.sim->scheduleAt(when, [&dir, n]() { dir.corruptNext += n; });
+}
+
 bool
 Link::transmit(const Node &from, PacketPtr pkt)
 {
@@ -158,6 +171,21 @@ Link::transmit(const Node &from, PacketPtr pkt)
     if (lose) {
         dir.losses++;
         return true;
+    }
+
+    if (dir.corruptNext > 0) {
+        dir.corruptNext--;
+        dir.corrupted++;
+        // Flip one bit of the wire image. For PMNet packets the bit
+        // lands in the CRC-covered header region (SeqNum), so the
+        // copy parses but fails verifyHash() at the receiver; the
+        // sender's original packet is left untouched.
+        auto damaged = std::make_shared<Packet>(*pkt);
+        if (damaged->pmnet)
+            damaged->pmnet->seqNum ^= 0x04;
+        else if (!damaged->payload.empty())
+            damaged->payload.front() ^= 0x04;
+        pkt = std::move(damaged);
     }
 
     if (dir.queuedBytes + size > config_.queueBytes) {

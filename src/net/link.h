@@ -101,6 +101,25 @@ class Link : public sim::SimObject
     /** Partition-safe scheduled form of dropNext. */
     void scheduleDropNextAt(Tick when, const Node &from, int n);
 
+    /**
+     * Corrupt the next @p n packets transmitted away from @p from:
+     * the packet is delivered, but with one bit of its PMNet header
+     * flipped, so it parses and then fails the CRC check at the
+     * receiver (Section IV-A2 integrity story). Non-PMNet packets
+     * get a payload byte flipped instead.
+     */
+    void corruptNext(const Node &from, int n);
+
+    /** Partition-safe scheduled form of corruptNext. */
+    void scheduleCorruptNextAt(Tick when, const Node &from, int n);
+
+    /** Packets delivered with an injected corruption. */
+    std::uint64_t
+    corruptions() const
+    {
+        return dirs_[0].corrupted + dirs_[1].corrupted;
+    }
+
     /** Packets dropped due to egress-queue overflow. */
     std::uint64_t drops() const { return dirs_[0].drops + dirs_[1].drops; }
 
@@ -137,10 +156,12 @@ class Link : public sim::SimObject
         Tick lineFreeAt = 0;
         std::size_t queuedBytes = 0;
         int dropNext = 0;
+        int corruptNext = 0;
         double lossRate = 0.0;
         Rng lossRng{0};
         std::uint64_t drops = 0;
         std::uint64_t losses = 0;
+        std::uint64_t corrupted = 0;
         std::uint64_t bytesCarried = 0;
     };
 

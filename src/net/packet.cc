@@ -307,6 +307,7 @@ packetTypeName(PacketType type)
       case PacketType::RecoveryPoll: return "recovery-poll";
       case PacketType::Heartbeat: return "heartbeat";
       case PacketType::HeartbeatAck: return "heartbeat-ack";
+      case PacketType::NearDataReq: return "near-data-req";
     }
     return "unknown";
 }
@@ -376,7 +377,7 @@ PmnetHeader::parse(const std::uint8_t *data, std::size_t len,
         return false;
     std::uint8_t raw_type = data[0];
     if (raw_type < 1 ||
-        raw_type > static_cast<std::uint8_t>(PacketType::HeartbeatAck)) {
+        raw_type > static_cast<std::uint8_t>(PacketType::NearDataReq)) {
         return false;
     }
     out.type = static_cast<PacketType>(raw_type);

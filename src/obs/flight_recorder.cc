@@ -32,6 +32,7 @@ constexpr std::array<Bucket, kStampCount> kBucketOf = {
     Bucket::Wire,          // SwitchIngress
     Bucket::Wire,          // DeviceIngress
     Bucket::Queueing,      // PersistStart
+    Bucket::DevicePersist, // PersistStage
     Bucket::DevicePersist, // PersistDone
     Bucket::Wire,          // ServerRx
     Bucket::Queueing,      // ServerStart
@@ -47,7 +48,8 @@ constexpr std::array<bool, kStampCount> kLastWins = {
     false, // SwitchIngress
     false, // DeviceIngress
     false, // PersistStart
-    true,  // PersistDone (the completing replica's write)
+    true,  // PersistStage (the completing replica's write)
+    true,  // PersistDone (the completing replica's fence retire)
     true,  // ServerRx (last fragment / resend arrival)
     false, // ServerStart
     false, // ServerEnd
@@ -92,7 +94,16 @@ RequestTrace::breakdown() const
           case Bucket::ClientStack:   out.clientStack += interval; break;
           case Bucket::Wire:          out.wire += interval; break;
           case Bucket::Queueing:      out.queueing += interval; break;
-          case Bucket::DevicePersist: out.devicePersist += interval; break;
+          case Bucket::DevicePersist:
+            out.devicePersist += interval;
+            // Stage vs fence-wait sub-attribution: the interval
+            // ending at PersistStage is the PM write; the one ending
+            // at PersistDone is the epoch-close fence wait.
+            if (stamp == Stamp::PersistStage)
+                out.devicePersistStage += interval;
+            else
+                out.devicePersistFence += interval;
+            break;
           case Bucket::Server:        out.server += interval; break;
           case Bucket::None:          break;
         }
@@ -266,6 +277,8 @@ FlightRecorder::Accum::toJson() const
     out.set("wire_ns", mean(sums.wire));
     out.set("queueing_ns", mean(sums.queueing));
     out.set("device_persist_ns", mean(sums.devicePersist));
+    out.set("device_persist_stage_ns", mean(sums.devicePersistStage));
+    out.set("device_persist_fence_ns", mean(sums.devicePersistFence));
     out.set("server_ns", mean(sums.server));
     out.set("total_ns", mean(totalLatency));
     return out;

@@ -13,7 +13,8 @@
  *   SwitchIngress first arrival at the plain ToR/merge switch
  *   DeviceIngress first arrival at a PMNet device pipeline
  *   PersistStart  write admitted to the device's SRAM log queue
- *   PersistDone   PM write completed, PMNet-ACK generated
+ *   PersistStage  PM write completed (log entry staged, pre-fence)
+ *   PersistDone   covering fence retired, PMNet-ACK generated
  *   ServerRx      request arrives at the server NIC (pre-RX stack)
  *   ServerStart   a server worker picks the request up
  *   ServerEnd     handler + dispatch cost charged, replies leave
@@ -29,8 +30,13 @@
  *   client_stack   -> ClientTx, Complete
  *   wire           -> SwitchIngress, DeviceIngress, ServerRx, AckRx
  *   queueing       -> PersistStart, ServerStart
- *   device_persist -> PersistDone
+ *   device_persist -> PersistStage, PersistDone
  *   server         -> ServerEnd
+ *
+ * device_persist further splits into stage (interval ending at
+ * PersistStage: the PM write itself) and fence-wait (interval ending
+ * at PersistDone: group-commit epoch close + fence). Per-op fencing
+ * stamps both at the same tick, so its fence-wait is zero.
  *
  * Because the walk partitions [ClientSend, Complete] into disjoint
  * intervals, the five buckets sum to the end-to-end latency *exactly*
@@ -69,6 +75,7 @@ enum class Stamp : std::uint8_t {
     SwitchIngress,
     DeviceIngress,
     PersistStart,
+    PersistStage,
     PersistDone,
     ServerRx,
     ServerStart,
@@ -77,7 +84,7 @@ enum class Stamp : std::uint8_t {
     Complete,
 };
 
-inline constexpr std::size_t kStampCount = 11;
+inline constexpr std::size_t kStampCount = 12;
 
 /** True when stamp hooks are compiled in (see PMNET_OBS_NO_TRACING). */
 #ifdef PMNET_OBS_NO_TRACING
@@ -94,6 +101,9 @@ struct Breakdown
     TickDelta queueing = 0;
     TickDelta devicePersist = 0;
     TickDelta server = 0;
+    /** Sub-split of devicePersist (stage + fence == devicePersist). */
+    TickDelta devicePersistStage = 0;
+    TickDelta devicePersistFence = 0;
 
     TickDelta
     total() const
@@ -109,6 +119,8 @@ struct Breakdown
         queueing += other.queueing;
         devicePersist += other.devicePersist;
         server += other.server;
+        devicePersistStage += other.devicePersistStage;
+        devicePersistFence += other.devicePersistFence;
         return *this;
     }
 };

@@ -1,0 +1,102 @@
+#include "pm/commit_epoch.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace pmnet::pm {
+
+const char *
+epochCloseReasonName(EpochCloseReason reason)
+{
+    switch (reason) {
+      case EpochCloseReason::Bytes: return "bytes";
+      case EpochCloseReason::Ops: return "ops";
+      case EpochCloseReason::Doorbell: return "doorbell";
+      case EpochCloseReason::Drain: return "drain";
+    }
+    return "?";
+}
+
+CommitEpoch::CommitEpoch(CommitEpochConfig config, FenceFn fence)
+    : config_(config), fence_(std::move(fence))
+{
+}
+
+CommitEpoch::StageResult
+CommitEpoch::stage(std::size_t bytes, Completion on_durable, Tick now)
+{
+    StageResult result;
+    if (staged_.empty()) {
+        openedAt_ = now;
+        epochSeq_++;
+        result.opened = true;
+    }
+    staged_.push_back(std::move(on_durable));
+    openBytes_ += bytes;
+    stats_.acksDeferred++;
+    result.epochSeq = epochSeq_;
+    result.shouldClose = openBytes_ >= config_.maxBytes ||
+                         staged_.size() >= config_.maxOps;
+    return result;
+}
+
+std::size_t
+CommitEpoch::close(EpochCloseReason reason, Tick now)
+{
+    if (staged_.empty())
+        return 0;
+
+    stats_.epochsClosed++;
+    switch (reason) {
+      case EpochCloseReason::Bytes: stats_.closedByBytes++; break;
+      case EpochCloseReason::Ops: stats_.closedByOps++; break;
+      case EpochCloseReason::Doorbell: stats_.closedByDoorbell++; break;
+      case EpochCloseReason::Drain: stats_.closedByDrain++; break;
+    }
+    stats_.opsCommitted += staged_.size();
+    stats_.bytesCommitted += openBytes_;
+    stats_.maxBatchOps =
+        std::max<std::uint64_t>(stats_.maxBatchOps, staged_.size());
+    stats_.maxBatchBytes =
+        std::max<std::uint64_t>(stats_.maxBatchBytes, openBytes_);
+    std::uint64_t held =
+        now >= openedAt_ ? static_cast<std::uint64_t>(now - openedAt_)
+                         : 0;
+    stats_.holdTicksTotal += held;
+    stats_.maxHoldTicks = std::max(stats_.maxHoldTicks, held);
+
+    // Reset the epoch before running anything: the fence hook may
+    // crash-throw (fault injection) and completions may stage into a
+    // fresh epoch.
+    running_.clear();
+    staged_.swap(running_);
+    std::size_t released = running_.size();
+    openBytes_ = 0;
+
+    if (fence_)
+        fence_();
+    for (Completion &done : running_)
+        done();
+    running_.clear();
+    return released;
+}
+
+std::size_t
+CommitEpoch::closeIfCurrent(std::uint64_t seq, Tick now)
+{
+    if (staged_.empty() || epochSeq_ != seq)
+        return 0;
+    return close(EpochCloseReason::Doorbell, now);
+}
+
+std::size_t
+CommitEpoch::abandon()
+{
+    std::size_t dropped = staged_.size();
+    stats_.opsAbandoned += dropped;
+    staged_.clear();
+    openBytes_ = 0;
+    return dropped;
+}
+
+} // namespace pmnet::pm

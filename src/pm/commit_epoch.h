@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Epoch-based group commit for the device persist path.
+ *
+ * The per-request discipline (stage a log write, fence, ack) puts one
+ * sfence on the critical path of every UpdateReq. *Correct, Fast
+ * Remote Persistence* shows the doorbell-batching alternative: stage
+ * writes into an open epoch, retire the whole batch with a single
+ * fence when the epoch closes, and only then release the acks. P1
+ * acked-durability holds by construction — an ack cannot leave before
+ * the fence that covers its log write has retired.
+ *
+ * CommitEpoch is a passive accumulator with no simulator dependency:
+ * callers decide *when* to close (bytes threshold, op count, or a
+ * doorbell timer they arm on epoch open) and *what* a fence costs
+ * (the device models fence latency on simulated time; the crash-matrix
+ * harness wires FenceFn to a real PmHeap::fence so the boundary hooks
+ * fire). Completions run in stage order after the fence hook.
+ */
+
+#ifndef PMNET_PM_COMMIT_EPOCH_H
+#define PMNET_PM_COMMIT_EPOCH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/time.h"
+
+namespace pmnet::pm {
+
+/** Why an epoch closed (persist.epoch.closed.* metric split). */
+enum class EpochCloseReason : std::uint8_t
+{
+    Bytes,    ///< staged bytes reached the threshold
+    Ops,      ///< staged op count reached the threshold
+    Doorbell, ///< max-hold timer fired with the epoch still open
+    Drain,    ///< explicit flush (shutdown, recovery, test teardown)
+};
+
+/** Name for reports ("bytes", "ops", "doorbell", "drain"). */
+const char *epochCloseReasonName(EpochCloseReason reason);
+
+struct CommitEpochConfig
+{
+    /** Close when staged log bytes reach this threshold. */
+    std::size_t maxBytes = 4096;
+    /** Close when this many ops are staged. */
+    std::uint32_t maxOps = 8;
+    /** Doorbell: never hold an ack longer than this past epoch open. */
+    TickDelta maxHold = 2000;
+};
+
+/** Monotonic counters for the persist.epoch.* registry subtree. */
+struct CommitEpochStats
+{
+    std::uint64_t epochsClosed = 0;
+    std::uint64_t closedByBytes = 0;
+    std::uint64_t closedByOps = 0;
+    std::uint64_t closedByDoorbell = 0;
+    std::uint64_t closedByDrain = 0;
+    std::uint64_t opsCommitted = 0;
+    std::uint64_t bytesCommitted = 0;
+    std::uint64_t acksDeferred = 0;   ///< total ops that waited on a fence
+    std::uint64_t opsAbandoned = 0;   ///< staged-unfenced ops lost to power
+    std::uint64_t maxBatchOps = 0;
+    std::uint64_t maxBatchBytes = 0;
+    std::uint64_t holdTicksTotal = 0; ///< sum of (close - open) per epoch
+    std::uint64_t maxHoldTicks = 0;
+};
+
+class CommitEpoch
+{
+  public:
+    /** Runs once per epoch close, before any completion. */
+    using FenceFn = std::function<void()>;
+    /** Runs after the covering fence retired (send the PmnetAck). */
+    using Completion = std::function<void()>;
+
+    /** What stage() tells the caller to do next. */
+    struct StageResult
+    {
+        /** First op of a fresh epoch — arm the doorbell timer. */
+        bool opened = false;
+        /** Bytes/ops threshold hit — close the epoch now. */
+        bool shouldClose = false;
+        /** Identity of the open epoch (doorbell staleness check). */
+        std::uint64_t epochSeq = 0;
+    };
+
+    explicit CommitEpoch(CommitEpochConfig config = {},
+                         FenceFn fence = {});
+
+    /**
+     * Stage one log write of @p bytes into the open epoch (opening one
+     * if none is). @p on_durable is held until the epoch's fence
+     * retires. Never closes the epoch itself — the caller reacts to
+     * StageResult::shouldClose so it can model fence latency first.
+     */
+    StageResult stage(std::size_t bytes, Completion on_durable,
+                      Tick now);
+
+    /**
+     * Close the open epoch: bump counters, run the fence hook once,
+     * then run the staged completions in stage order.
+     *
+     * @return completions released (0 when no epoch was open).
+     */
+    std::size_t close(EpochCloseReason reason, Tick now);
+
+    /**
+     * Doorbell-timer entry: close only if epoch @p seq is still the
+     * open one (a threshold close may have beaten the timer).
+     */
+    std::size_t closeIfCurrent(std::uint64_t seq, Tick now);
+
+    /**
+     * Power failure: drop staged-unfenced ops without completing them.
+     * Their log writes were never covered by a fence, so the caller
+     * must also roll back whatever the completions guarded.
+     *
+     * @return ops abandoned.
+     */
+    std::size_t abandon();
+
+    bool open() const { return !staged_.empty(); }
+    std::size_t openOps() const { return staged_.size(); }
+    std::size_t openBytes() const { return openBytes_; }
+    std::uint64_t epochSeq() const { return epochSeq_; }
+    const CommitEpochConfig &config() const { return config_; }
+    const CommitEpochStats &stats() const { return stats_; }
+
+  private:
+    CommitEpochConfig config_;
+    FenceFn fence_;
+    std::vector<Completion> staged_;
+    std::vector<Completion> running_; ///< reused close-time scratch
+    std::size_t openBytes_ = 0;
+    Tick openedAt_ = 0;
+    std::uint64_t epochSeq_ = 0;
+    CommitEpochStats stats_;
+};
+
+} // namespace pmnet::pm
+
+#endif // PMNET_PM_COMMIT_EPOCH_H

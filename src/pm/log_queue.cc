@@ -5,16 +5,19 @@
 namespace pmnet::pm {
 
 LogQueue::LogQueue(std::size_t capacity_bytes, DevicePmConfig config)
-    : capacity_(capacity_bytes), config_(config)
+    : capacity_(capacity_bytes), config_(config),
+      ring_(std::max<std::size_t>(capacity_bytes, 1))
 {
 }
 
 void
 LogQueue::expire(Tick now)
 {
-    while (!pending_.empty() && pending_.front().done <= now) {
-        backlog_ -= pending_.front().bytes;
-        pending_.pop_front();
+    while (count_ > 0 && ring_[head_].done <= now) {
+        backlog_ -= ring_[head_].bytes;
+        if (++head_ == ring_.size())
+            head_ = 0;
+        count_--;
     }
 }
 
@@ -22,14 +25,18 @@ std::optional<Tick>
 LogQueue::admit(std::size_t bytes, Tick now, TickDelta access_time)
 {
     expire(now);
-    if (backlog_ + bytes > capacity_) {
+    if (backlog_ + bytes > capacity_ || count_ == ring_.size()) {
         rejected_++;
         return std::nullopt;
     }
     Tick start = std::max(now, busyUntil_);
     Tick done = start + access_time;
     busyUntil_ = done;
-    pending_.push_back(Pending{done, bytes});
+    std::size_t slot = head_ + count_;
+    if (slot >= ring_.size())
+        slot -= ring_.size();
+    ring_[slot] = Pending{done, bytes};
+    count_++;
     backlog_ += bytes;
     admitted_++;
     return done;
@@ -47,6 +54,14 @@ LogQueue::admitRead(std::size_t bytes, Tick now)
     return admit(bytes, now, config_.readTime(bytes));
 }
 
+Tick
+LogQueue::stall(TickDelta duration, Tick now)
+{
+    Tick start = std::max(now, busyUntil_);
+    busyUntil_ = start + duration;
+    return busyUntil_;
+}
+
 std::size_t
 LogQueue::backlogBytes(Tick now)
 {
@@ -57,7 +72,8 @@ LogQueue::backlogBytes(Tick now)
 void
 LogQueue::clear()
 {
-    pending_.clear();
+    head_ = 0;
+    count_ = 0;
     backlog_ = 0;
     busyUntil_ = 0;
 }

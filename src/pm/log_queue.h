@@ -15,8 +15,8 @@
 #define PMNET_PM_LOG_QUEUE_H
 
 #include <cstdint>
-#include <deque>
 #include <optional>
+#include <vector>
 
 #include "common/time.h"
 #include "pm/cost_model.h"
@@ -46,6 +46,16 @@ class LogQueue
     /** Same admission logic with the read-latency cost. */
     std::optional<Tick> admitRead(std::size_t bytes, Tick now);
 
+    /**
+     * Occupy the device for @p duration without moving bytes: a fence
+     * drains the PM write pipeline, so subsequent accesses cannot
+     * start until it retires. Never rejected (a fence carries no
+     * payload into the SRAM budget).
+     *
+     * @return the tick at which the fence retires.
+     */
+    Tick stall(TickDelta duration, Tick now);
+
     /** Bytes currently queued (after expiring completed accesses). */
     std::size_t backlogBytes(Tick now);
 
@@ -73,7 +83,17 @@ class LogQueue
 
     std::size_t capacity_;
     DevicePmConfig config_;
-    std::deque<Pending> pending_;
+    /**
+     * Fixed ring of in-flight accesses, allocated once at
+     * construction. Every admitted access carries >= 1 byte of the
+     * byte budget, so `capacity_` slots can never overflow while the
+     * byte check holds; a full ring is still treated as a reject for
+     * safety. Replaces a std::deque that allocated chunk blocks on
+     * the steady-state persist hot path.
+     */
+    std::vector<Pending> ring_;
+    std::size_t head_ = 0;  ///< oldest in-flight access
+    std::size_t count_ = 0; ///< in-flight accesses
     std::size_t backlog_ = 0;
     Tick busyUntil_ = 0;
     std::uint64_t rejected_ = 0;

@@ -15,8 +15,13 @@ PmnetDevice::PmnetDevice(sim::Simulator &simulator,
       config_(config), store_(config.pm),
       writeQueue_(config.logQueueBytes, config.pm),
       readQueue_(config.logQueueBytes, config.pm),
+      commitEpoch_(pm::CommitEpochConfig{config.epochBytes,
+                                         config.epochOps,
+                                         config.epochMaxHold}),
       cache_(config.cacheCapacity)
 {
+    if (config_.groupCommit)
+        stagedHashes_.reserve(config_.epochOps);
 }
 
 void
@@ -63,6 +68,7 @@ PmnetDevice::process(PacketPtr pkt)
 
     if (obs::kTracingCompiledIn && recorder_ &&
         (pkt->pmnet->type == PacketType::UpdateReq ||
+         pkt->pmnet->type == PacketType::NearDataReq ||
          pkt->pmnet->type == PacketType::BypassReq))
         recorder_->stampAt(pkt->requestId, obs::Stamp::DeviceIngress,
                            now());
@@ -70,6 +76,9 @@ PmnetDevice::process(PacketPtr pkt)
     switch (pkt->pmnet->type) {
       case PacketType::UpdateReq:
         handleUpdateReq(pkt);
+        break;
+      case PacketType::NearDataReq:
+        handleNearData(pkt);
         break;
       case PacketType::BypassReq:
         handleBypassReq(pkt);
@@ -177,43 +186,75 @@ PmnetDevice::handleUpdateReq(const PacketPtr &pkt)
 {
     stats.updatesSeen++;
 
+    // The HashVal doubles as an integrity check (Section IV-A1); a
+    // corrupt header is dropped outright — never logged, never
+    // delivered — and the client's retry timer resends the request.
+    if (!pkt->verifyHash()) {
+        stats.bypassBadHash++;
+        traceEvent("bad-hash drop", *pkt);
+        return;
+    }
+
     // Egress: the request is always forwarded to the server right
     // away — logging happens in parallel, off the forwarding path.
     forward(pkt);
 
-    const net::PmnetHeader &header = *pkt->pmnet;
+    bool logged = tryLogAndAck(pkt);
 
-    // The HashVal doubles as an integrity check (Section IV-A1);
-    // corrupt headers are forwarded but never logged or early-ACKed.
-    if (!pkt->verifyHash()) {
-        stats.bypassBadHash++;
-        traceEvent("bad-hash bypass", *pkt);
-        return;
+    // Read-cache maintenance (T1/T3/T4/T5 and the bypassed case).
+    if (auto parsed = parsedKeyOf(*pkt)) {
+        cache_.onUpdate(parsed->key, parsed->value, logged);
+        if (!logged) {
+            // Bounded side table: under sustained collisions, losing
+            // an old mapping only costs a cache entry staying Stale
+            // until eviction — never correctness.
+            if (unloggedKeys_.size() >= 4 * config_.cacheCapacity)
+                unloggedKeys_.clear();
+            unloggedKeys_[pkt->pmnet->hashVal] =
+                UnloggedKey{std::string(parsed->key.view()),
+                            parsed->key.hash()};
+        }
     }
+}
 
-    bool logged = false;
-    const pm::LogEntry *existing = store_.lookup(header.hashVal);
-    if (existing) {
-        // Duplicate of an already-persisted packet (client resend
-        // after a lost ACK): it is persistent, so re-ACK immediately.
+bool
+PmnetDevice::tryLogAndAck(const PacketPtr &pkt)
+{
+    const net::PmnetHeader &header = *pkt->pmnet;
+    if (store_.lookup(header.hashVal)) {
+        // Duplicate of an already-logged packet (client resend after
+        // a lost ACK). Re-ACK only when its covering fence already
+        // retired: a staged-unfenced entry is not durable yet — its
+        // epoch close will send the first ACK.
+        if (stagedUnfenced(header.hashVal))
+            return true;
         stats.updatesReAcked++;
         stats.acksSent++;
-        if (obs::kTracingCompiledIn && recorder_)
+        if (obs::kTracingCompiledIn && recorder_) {
+            recorder_->stampAt(pkt->requestId, obs::Stamp::PersistStage,
+                               now());
             recorder_->stampAt(pkt->requestId, obs::Stamp::PersistDone,
                                now());
+        }
         auto ack = net::makeRefPacket(id(), pkt->src, PacketType::PmnetAck,
                                       header.sessionId, header.seqNum,
                                       header.hashVal, pkt->requestId);
         forward(std::move(ack));
-        logged = true;
-    } else if (pkt->wireSize() > config_.pm.slotBytes) {
+        return true;
+    }
+    if (pkt->wireSize() > config_.pm.slotBytes) {
         stats.bypassTooLarge++;
-    } else if (store_.full()) {
+        return false;
+    }
+    if (store_.full()) {
         stats.bypassQueueFull++;
-    } else if (!store_.slotFree(header.hashVal)) {
+        return false;
+    }
+    if (!store_.slotFree(header.hashVal)) {
         stats.bypassCollision++;
-    } else if (auto done = writeQueue_.admitWrite(pkt->wireSize(), now())) {
-        logged = true;
+        return false;
+    }
+    if (auto done = writeQueue_.admitWrite(pkt->wireSize(), now())) {
         if (obs::kTracingCompiledIn && recorder_)
             recorder_->stampAt(pkt->requestId, obs::Stamp::PersistStart,
                                now());
@@ -229,35 +270,174 @@ PmnetDevice::handleUpdateReq(const PacketPtr &pkt)
                 return;
             }
             stats.updatesLogged++;
-            stats.acksSent++;
             if (obs::kTracingCompiledIn && recorder_)
                 recorder_->stampAt(pkt->requestId,
-                                   obs::Stamp::PersistDone, now());
-            traceEvent("logged+ack", *pkt);
-            auto ack = net::makeRefPacket(id(), pkt->src,
-                                          PacketType::PmnetAck,
-                                          h.sessionId, h.seqNum, h.hashVal,
-                                          pkt->requestId);
-            forward(std::move(ack));
+                                   obs::Stamp::PersistStage, now());
+            finishLoggedWrite(pkt);
         });
-    } else {
-        stats.bypassQueueFull++;
+        return true;
+    }
+    stats.bypassQueueFull++;
+    return false;
+}
+
+void
+PmnetDevice::sendPmnetAck(const PacketPtr &pkt)
+{
+    const net::PmnetHeader &h = *pkt->pmnet;
+    stats.acksSent++;
+    if (obs::kTracingCompiledIn && recorder_)
+        recorder_->stampAt(pkt->requestId, obs::Stamp::PersistDone,
+                           now());
+    traceEvent("logged+ack", *pkt);
+    auto ack = net::makeRefPacket(id(), pkt->src, PacketType::PmnetAck,
+                                  h.sessionId, h.seqNum, h.hashVal,
+                                  pkt->requestId);
+    forward(std::move(ack));
+}
+
+void
+PmnetDevice::finishLoggedWrite(const PacketPtr &pkt)
+{
+    if (!config_.groupCommit) {
+        // Per-op fencing: one fence retires this single write. The
+        // fence drains the PM write pipeline, so it occupies the log
+        // device — back-to-back updates each pay it in full.
+        if (config_.fenceLatency > 0) {
+            Tick retired = writeQueue_.stall(config_.fenceLatency, now());
+            scheduleGuarded(retired - now(),
+                            [this, pkt]() { sendPmnetAck(pkt); });
+        } else {
+            sendPmnetAck(pkt);
+        }
+        return;
     }
 
-    // Read-cache maintenance (T1/T3/T4/T5 and the bypassed case).
-    if (auto parsed = parsedKeyOf(*pkt)) {
-        cache_.onUpdate(parsed->key, parsed->value, logged);
-        if (!logged) {
-            // Bounded side table: under sustained collisions, losing
-            // an old mapping only costs a cache entry staying Stale
-            // until eviction — never correctness.
-            if (unloggedKeys_.size() >= 4 * config_.cacheCapacity)
-                unloggedKeys_.clear();
-            unloggedKeys_[header.hashVal] =
-                UnloggedKey{std::string(parsed->key.view()),
-                            parsed->key.hash()};
+    stagedHashes_.push_back(pkt->pmnet->hashVal);
+    auto staged = commitEpoch_.stage(
+        pkt->wireSize(),
+        [this, pkt]() {
+            // Runs at epoch close; the ACK leaves once the shared
+            // batch fence (one stall per epoch, issued by
+            // closeCommitEpoch) has retired.
+            if (fenceRetireAt_ > now()) {
+                scheduleGuarded(fenceRetireAt_ - now(),
+                                [this, pkt]() { sendPmnetAck(pkt); });
+            } else {
+                sendPmnetAck(pkt);
+            }
+        },
+        now());
+    if (staged.shouldClose) {
+        closeCommitEpoch(commitEpoch_.openBytes() >=
+                                 commitEpoch_.config().maxBytes
+                             ? pm::EpochCloseReason::Bytes
+                             : pm::EpochCloseReason::Ops);
+    } else if (staged.opened) {
+        // Doorbell: bound the ACK hold time even if the epoch never
+        // fills. A threshold close in the meantime makes this a no-op
+        // (the epoch sequence number will have moved on).
+        scheduleGuarded(config_.epochMaxHold,
+                        [this, seq = staged.epochSeq]() {
+                            if (commitEpoch_.open() &&
+                                commitEpoch_.epochSeq() == seq)
+                                closeCommitEpoch(
+                                    pm::EpochCloseReason::Doorbell);
+                        });
+    }
+}
+
+void
+PmnetDevice::closeCommitEpoch(pm::EpochCloseReason reason)
+{
+    // The fence now covers every staged entry: they are durable and
+    // survive a power failure from here on. One stall on the write
+    // queue per epoch — that is the whole point of the batching.
+    stagedHashes_.clear();
+    fenceRetireAt_ = config_.fenceLatency > 0
+                         ? writeQueue_.stall(config_.fenceLatency, now())
+                         : now();
+    commitEpoch_.close(reason, now());
+}
+
+bool
+PmnetDevice::stagedUnfenced(std::uint32_t hash_val) const
+{
+    for (std::uint32_t staged : stagedHashes_)
+        if (staged == hash_val)
+            return true;
+    return false;
+}
+
+void
+PmnetDevice::handleNearData(const PacketPtr &pkt)
+{
+    stats.nearDataSeen++;
+
+    // Same integrity discipline as updates: drop on hash mismatch.
+    if (!pkt->verifyHash()) {
+        stats.bypassBadHash++;
+        traceEvent("bad-hash drop", *pkt);
+        return;
+    }
+
+    // The server stays authoritative: the request always travels on
+    // and is applied there in session order. The device's log entry
+    // covers retransmission/recovery and its early ACK covers
+    // durability; when the read cache holds the key in a serving-safe
+    // state the device additionally computes the RMW result and
+    // answers on the server's behalf — the read-modify-write
+    // completes in the network, no server round trip.
+    forward(pkt);
+
+    bool logged = tryLogAndAck(pkt);
+
+    if (!codec_)
+        return;
+    auto key = codec_->parseNearData(pkt->payload);
+    if (!key)
+        return;
+    if (const Bytes *cached = cache_.lookup(*key)) {
+        if (auto applied = codec_->applyNearData(pkt->payload, *cached)) {
+            stats.nearDataServed++;
+            traceEvent("near-data served", *pkt);
+            if (applied->wrote)
+                cache_.onUpdate(
+                    *key,
+                    std::string_view(reinterpret_cast<const char *>(
+                                         applied->newValue.data()),
+                                     applied->newValue.size()),
+                    logged);
+            net::MutPacketPtr resp = net::makePacket();
+            resp->src = pkt->dst; // answer on the server's behalf
+            resp->dst = pkt->src;
+            resp->srcPort = net::kPmnetPortLow;
+            resp->dstPort = net::kPmnetPortLow;
+            net::PmnetHeader h;
+            h.type = PacketType::Response;
+            h.sessionId = pkt->pmnet->sessionId;
+            h.seqNum = pkt->pmnet->seqNum;
+            h.hashVal = pkt->pmnet->hashVal;
+            resp->pmnet = h;
+            resp->payload = std::move(applied->response);
+            resp->requestId = pkt->requestId;
+            forward(std::move(resp));
+            if (applied->wrote && !logged) {
+                // Track the key so the server-ACK can still drive the
+                // cache transition for this bypassed RMW (same side
+                // table as bypassed SETs).
+                if (unloggedKeys_.size() >= 4 * config_.cacheCapacity)
+                    unloggedKeys_.clear();
+                unloggedKeys_[pkt->pmnet->hashVal] =
+                    UnloggedKey{std::string(key->view()), key->hash()};
+            }
+            return;
         }
     }
+    // The RMW will change the key's value at the server but the
+    // device cannot compute it here: drop whatever is cached so a
+    // later read cannot be served stale.
+    cache_.invalidate(*key);
 }
 
 void
@@ -300,6 +480,9 @@ PmnetDevice::handleServerAck(const PacketPtr &pkt)
         // Drive the cache transition before the entry disappears.
         if (auto parsed = parsedKeyOf(*entry->packet))
             cache_.onServerAck(parsed->key);
+        else if (codec_)
+            if (auto key = codec_->parseNearData(entry->packet->payload))
+                cache_.onServerAck(*key);
         store_.erase(header.hashVal);
         stats.invalidations++;
         traceEvent("invalidate", *pkt);
@@ -418,6 +601,8 @@ PmnetDevice::registerMetrics(obs::MetricRegistry &registry,
     registry.attach(base + ".retransServed", stats.retransServed);
     registry.attach(base + ".retransForwarded", stats.retransForwarded);
     registry.attach(base + ".cacheResponses", stats.cacheResponses);
+    registry.attach(base + ".nearDataSeen", stats.nearDataSeen);
+    registry.attach(base + ".nearDataServed", stats.nearDataServed);
     registry.attach(base + ".recoveryPolls", stats.recoveryPolls);
     registry.attach(base + ".recoveryResent", stats.recoveryResent);
     registry.attach(base + ".nonPmnetForwarded", stats.nonPmnetForwarded);
@@ -443,6 +628,53 @@ PmnetDevice::registerMetrics(obs::MetricRegistry &registry,
     registry.probe(base + ".cache.evictions", [this]() {
         return obs::Json(cache_.evictions);
     });
+    // Group-commit epoch engine (DESIGN.md section 13). Registered
+    // even with groupCommit off so the subtree shape is stable.
+    registry.probe(base + ".persist.epoch.open", [this]() {
+        return obs::Json(std::uint64_t(commitEpoch_.open() ? 1 : 0));
+    });
+    registry.probe(base + ".persist.epoch.openOps", [this]() {
+        return obs::Json(std::uint64_t(commitEpoch_.openOps()));
+    });
+    registry.probe(base + ".persist.epoch.openBytes", [this]() {
+        return obs::Json(std::uint64_t(commitEpoch_.openBytes()));
+    });
+    registry.probe(base + ".persist.epoch.closed", [this]() {
+        return obs::Json(commitEpoch_.stats().epochsClosed);
+    });
+    registry.probe(base + ".persist.epoch.closedByBytes", [this]() {
+        return obs::Json(commitEpoch_.stats().closedByBytes);
+    });
+    registry.probe(base + ".persist.epoch.closedByOps", [this]() {
+        return obs::Json(commitEpoch_.stats().closedByOps);
+    });
+    registry.probe(base + ".persist.epoch.closedByDoorbell", [this]() {
+        return obs::Json(commitEpoch_.stats().closedByDoorbell);
+    });
+    registry.probe(base + ".persist.epoch.opsCommitted", [this]() {
+        return obs::Json(commitEpoch_.stats().opsCommitted);
+    });
+    registry.probe(base + ".persist.epoch.bytesCommitted", [this]() {
+        return obs::Json(commitEpoch_.stats().bytesCommitted);
+    });
+    registry.probe(base + ".persist.epoch.acksDeferred", [this]() {
+        return obs::Json(commitEpoch_.stats().acksDeferred);
+    });
+    registry.probe(base + ".persist.epoch.opsAbandoned", [this]() {
+        return obs::Json(commitEpoch_.stats().opsAbandoned);
+    });
+    registry.probe(base + ".persist.epoch.maxBatchOps", [this]() {
+        return obs::Json(commitEpoch_.stats().maxBatchOps);
+    });
+    registry.probe(base + ".persist.epoch.maxBatchBytes", [this]() {
+        return obs::Json(commitEpoch_.stats().maxBatchBytes);
+    });
+    registry.probe(base + ".persist.epoch.holdTicksTotal", [this]() {
+        return obs::Json(commitEpoch_.stats().holdTicksTotal);
+    });
+    registry.probe(base + ".persist.epoch.maxHoldTicks", [this]() {
+        return obs::Json(commitEpoch_.stats().maxHoldTicks);
+    });
 }
 
 void
@@ -458,8 +690,15 @@ void
 PmnetDevice::onPowerFail()
 {
     // SRAM queues, the cache and all in-flight pipeline work are
-    // volatile; the committed log slots in PM survive.
+    // volatile; the committed log slots in PM survive. Log writes
+    // staged in an open (unfenced) commit epoch were never covered by
+    // a fence — their acks were still deferred — so they roll back:
+    // P1 acked-durability holds by construction.
     epoch_++;
+    for (std::uint32_t hash_val : stagedHashes_)
+        store_.erase(hash_val);
+    stagedHashes_.clear();
+    commitEpoch_.abandon();
     writeQueue_.clear();
     readQueue_.clear();
     cache_.clear();

@@ -41,6 +41,7 @@
 #include "common/trace.h"
 #include "net/switch.h"
 #include "obs/metric_registry.h"
+#include "pm/commit_epoch.h"
 #include "pm/log_queue.h"
 #include "pm/log_store.h"
 #include "pmnet/cache_codec.h"
@@ -72,6 +73,30 @@ struct DeviceConfig
     TickDelta heartbeatInterval = microseconds(100);
     unsigned heartbeatMissThreshold = 3;
     /** @} */
+
+    /** @name Epoch-based group commit (DESIGN.md section 13)
+     * When groupCommit is on, completed log writes stage into a
+     * pm::CommitEpoch and their PMNet-ACKs are held until the epoch's
+     * single fence retires (bytes/ops threshold or the max-hold
+     * doorbell), instead of paying one fence per request. Off by
+     * default: the per-op path stays byte-identical to history.
+     *  @{
+     */
+    bool groupCommit = false;
+    /** Close the epoch when staged log bytes reach this threshold. */
+    std::size_t epochBytes = 4096;
+    /** Close the epoch when this many writes are staged. */
+    std::uint32_t epochOps = 8;
+    /** Doorbell: never hold an ACK longer than this past epoch open. */
+    TickDelta epochMaxHold = microseconds(2);
+    /**
+     * Modeled latency of one fence retirement. Group commit charges
+     * it once per epoch; the per-op path charges it per request when
+     * nonzero (the honest per-op-fencing baseline for the
+     * fig_group_commit comparison). 0 keeps the historical timing.
+     */
+    TickDelta fenceLatency = 0;
+    /** @} */
 };
 
 /**
@@ -98,6 +123,8 @@ struct DeviceStats
     obs::Counter retransServed;
     obs::Counter retransForwarded;
     obs::Counter cacheResponses;
+    obs::Counter nearDataSeen;
+    obs::Counter nearDataServed; ///< RMW answered in-network
     obs::Counter recoveryPolls;
     obs::Counter recoveryResent;
     obs::Counter nonPmnetForwarded;
@@ -157,8 +184,9 @@ class PmnetDevice : public net::ForwardingNode
      * Attach the flight recorder (nullptr detaches): the device
      * stamps DeviceIngress when a request enters its pipeline,
      * PersistStart when the write is admitted to the SRAM log queue,
-     * and PersistDone when the PM write commits and the PMNet-ACK is
-     * generated.
+     * PersistStage when the PM write completes (log entry staged),
+     * and PersistDone when the covering fence has retired and the
+     * PMNet-ACK is generated.
      */
     void setRecorder(obs::FlightRecorder *recorder)
     {
@@ -168,6 +196,7 @@ class PmnetDevice : public net::ForwardingNode
     const pm::PmLogStore &logStore() const { return store_; }
     const pm::LogQueue &writeQueue() const { return writeQueue_; }
     const pm::LogQueue &readQueue() const { return readQueue_; }
+    const pm::CommitEpoch &commitEpoch() const { return commitEpoch_; }
     ReadCache &cache() { return cache_; }
     const DeviceConfig &config() const { return config_; }
 
@@ -180,6 +209,7 @@ class PmnetDevice : public net::ForwardingNode
   private:
     void process(net::PacketPtr pkt);
     void handleUpdateReq(const net::PacketPtr &pkt);
+    void handleNearData(const net::PacketPtr &pkt);
     void handleBypassReq(const net::PacketPtr &pkt);
     void handleServerAck(const net::PacketPtr &pkt);
     void handleRetrans(const net::PacketPtr &pkt);
@@ -203,10 +233,43 @@ class PmnetDevice : public net::ForwardingNode
     /** Application key of an update payload, if parseable. */
     std::optional<ParsedUpdate> parsedKeyOf(const net::Packet &pkt) const;
 
+    /**
+     * Shared logging attempt for UpdateReq/NearDataReq: duplicate
+     * re-ACK, bypass degradations, SRAM admission, and the PM-write
+     * continuation. @return true when the packet is (or will be)
+     * covered by the log.
+     */
+    bool tryLogAndAck(const net::PacketPtr &pkt);
+
+    /**
+     * The log write for @p pkt completed (entry in the store). Per-op
+     * mode fences and ACKs immediately; group-commit mode stages the
+     * ACK into the open epoch and arms/serves the doorbell.
+     */
+    void finishLoggedWrite(const net::PacketPtr &pkt);
+
+    /** Generate the PMNet-ACK for a durably logged request. */
+    void sendPmnetAck(const net::PacketPtr &pkt);
+
+    /** Close the open epoch: the fence covers the staged writes. */
+    void closeCommitEpoch(pm::EpochCloseReason reason);
+
+    /** True while @p hash_val is staged in the open (unfenced) epoch. */
+    bool stagedUnfenced(std::uint32_t hash_val) const;
+
     DeviceConfig config_;
     pm::PmLogStore store_;
     pm::LogQueue writeQueue_;
     pm::LogQueue readQueue_;
+    pm::CommitEpoch commitEpoch_;
+    /**
+     * hashVals staged in the open epoch; their store entries are not
+     * yet covered by a fence, so a power failure rolls them back and
+     * a duplicate arrival must not be re-ACKed from them.
+     */
+    std::vector<std::uint32_t> stagedHashes_;
+    /** When the most recent epoch's batch fence retires (acks wait). */
+    Tick fenceRetireAt_ = 0;
     ReadCache cache_;
     const CacheCodec *codec_ = nullptr;
 

@@ -182,6 +182,16 @@ ReadCache::lookup(KeyRef key)
     return &table_.entry(idx).value.value;
 }
 
+void
+ReadCache::invalidate(KeyRef key)
+{
+    Index idx = table_.find(key);
+    if (idx == kNil)
+        return;
+    unlink(idx);
+    table_.eraseIndex(idx);
+}
+
 CacheState
 ReadCache::stateOf(KeyRef key) const
 {

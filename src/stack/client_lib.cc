@@ -126,6 +126,45 @@ ClientLib::bypass(Bytes payload, BypassDone done)
     host_.appSend({pkt});
 }
 
+void
+ClientLib::sendNearData(Bytes payload, BypassDone done)
+{
+    if (!sessionOpen_)
+        fatal("ClientLib(%s): sendNearData before startSession",
+              host_.name().c_str());
+    if (payload.size() > config_.mtuPayload)
+        fatal("ClientLib(%s): near-data payload %zu exceeds MTU "
+              "payload %zu",
+              host_.name().c_str(), payload.size(), config_.mtuPayload);
+    stats.nearDataSent++;
+
+    std::uint64_t request_id = newRequestId();
+    // Near-data requests are update-class: they consume the update
+    // sequence space so the server's redo log stays contiguous.
+    std::uint32_t seq = nextUpdateSeq_++;
+    if (obs::kTracingCompiledIn && recorder_)
+        recorder_->begin(request_id, config_.sessionId, seq, true,
+                         host_.simulator().now());
+    PacketPtr pkt = net::makePmnetPacket(host_.id(), config_.server,
+                                         PacketType::NearDataReq,
+                                         config_.sessionId, seq,
+                                         std::move(payload), request_id);
+
+    Request req;
+    req.id = request_id;
+    req.isUpdate = true;
+    req.isNearData = true;
+    req.bypassDone = std::move(done);
+    req.firstSeq = seq;
+    req.fragments.push_back(Fragment{pkt, {}, false});
+    hashToRequest_[pkt->pmnet->hashVal] = request_id;
+
+    auto [it, inserted] = requests_.emplace(request_id, std::move(req));
+    (void)inserted;
+    armTimer(it->second);
+    host_.appSend({pkt});
+}
+
 ClientLib::Request *
 ClientLib::requestForHash(std::uint32_t hash, std::uint32_t seq,
                           std::size_t *index_out)
@@ -265,7 +304,14 @@ ClientLib::maybeComplete(std::uint64_t request_id)
                 return;
             all_pmnet &= !frag.serverAcked;
         }
-        stats.updatesCompleted++;
+        // Near-data completion additionally needs the computed value:
+        // persistence alone does not answer an RMW.
+        if (req.isNearData && !req.responseReceived)
+            return;
+        if (req.isNearData)
+            stats.nearDataCompleted++;
+        else
+            stats.updatesCompleted++;
         by_pmnet_ack = all_pmnet;
         if (all_pmnet)
             stats.completedByPmnetAck++;
@@ -291,14 +337,15 @@ ClientLib::maybeComplete(std::uint64_t request_id)
     BypassDone bypass_done = std::move(req.bypassDone);
     Bytes response = std::move(req.response);
     bool is_update = req.isUpdate;
+    bool is_near_data = req.isNearData;
     requests_.erase(it);
 
-    if (is_update) {
-        if (update_done)
-            update_done();
-    } else {
+    if (is_near_data || !is_update) {
         if (bypass_done)
             bypass_done(response);
+    } else {
+        if (update_done)
+            update_done();
     }
 }
 
@@ -309,8 +356,11 @@ ClientLib::registerMetrics(obs::MetricRegistry &registry,
     std::string base(prefix);
     registry.attach(base + ".updatesSent", stats.updatesSent);
     registry.attach(base + ".bypassSent", stats.bypassSent);
+    registry.attach(base + ".nearDataSent", stats.nearDataSent);
     registry.attach(base + ".updatesCompleted", stats.updatesCompleted);
     registry.attach(base + ".bypassCompleted", stats.bypassCompleted);
+    registry.attach(base + ".nearDataCompleted",
+                    stats.nearDataCompleted);
     registry.attach(base + ".completedByPmnetAck",
                     stats.completedByPmnetAck);
     registry.attach(base + ".completedByServerAck",
@@ -343,7 +393,8 @@ ClientLib::onTimeout(std::uint64_t request_id)
         if (!fragmentComplete(req, frag))
             resend.push_back(frag.packet);
     }
-    if (!req.isUpdate && !req.responseReceived && resend.empty())
+    if ((!req.isUpdate || req.isNearData) && !req.responseReceived &&
+        resend.empty())
         resend.push_back(req.fragments.front().packet);
 
     if (!resend.empty()) {

@@ -69,8 +69,10 @@ struct ClientStats
 {
     obs::Counter updatesSent;
     obs::Counter bypassSent;
+    obs::Counter nearDataSent;
     obs::Counter updatesCompleted;
     obs::Counter bypassCompleted;
+    obs::Counter nearDataCompleted;
     obs::Counter completedByPmnetAck;
     obs::Counter completedByServerAck;
     obs::Counter timeouts;
@@ -108,6 +110,16 @@ class ClientLib
      */
     void bypass(Bytes payload, BypassDone done);
 
+    /**
+     * Send a near-data RMW request (NearPM-style INCR/APPEND/CAS,
+     * executed at the switch when the key is cached, at the server
+     * otherwise). Travels in the update sequence space and is logged
+     * like an update, but only completes once a Response arrives —
+     * the caller needs the computed value, not just durability. Must
+     * fit in one MTU payload.
+     */
+    void sendNearData(Bytes payload, BypassDone done);
+
     /** Requests (of both kinds) still in flight. */
     std::size_t outstanding() const { return requests_.size(); }
 
@@ -140,6 +152,8 @@ class ClientLib
     {
         std::uint64_t id = 0;
         bool isUpdate = true;
+        /** Update-class, but additionally waits for a Response. */
+        bool isNearData = false;
         std::uint32_t firstSeq = 0;
         std::vector<Fragment> fragments;
         UpdateDone updateDone;

@@ -100,7 +100,9 @@ ServerLib::registerMetrics(obs::MetricRegistry &registry,
     std::string base(prefix);
     registry.attach(base + ".updatesApplied", stats.updatesApplied);
     registry.attach(base + ".bypassApplied", stats.bypassApplied);
+    registry.attach(base + ".nearDataApplied", stats.nearDataApplied);
     registry.attach(base + ".duplicatesDropped", stats.duplicatesDropped);
+    registry.attach(base + ".hashRejected", stats.hashRejected);
     registry.attach(base + ".makeupAcks", stats.makeupAcks);
     registry.attach(base + ".replayedReplies", stats.replayedReplies);
     registry.attach(base + ".retransRequested", stats.retransRequested);
@@ -149,8 +151,18 @@ ServerLib::onReceive(const PacketPtr &pkt)
         return;
     }
     if (header.type != PacketType::UpdateReq &&
-        header.type != PacketType::BypassReq) {
+        header.type != PacketType::BypassReq &&
+        header.type != PacketType::NearDataReq) {
         debug("%s: unexpected %s at server", host_.name().c_str(),
+              net::describe(*pkt).c_str());
+        return;
+    }
+    // Request packets are self-hashed; a CRC mismatch means the
+    // packet was corrupted in flight. Drop it — the client's retry
+    // timer re-sends a clean copy (Section IV-A2).
+    if (!pkt->verifyHash()) {
+        stats.hashRejected++;
+        debug("%s: CRC mismatch on %s; dropped", host_.name().c_str(),
               net::describe(*pkt).c_str());
         return;
     }
@@ -180,7 +192,7 @@ ServerLib::onReceive(const PacketPtr &pkt)
     // Server-side-logging design: persist the raw packet locally and
     // acknowledge before any processing (Fig 17b).
     if (config_.ackOnArrival && was_new &&
-        header.type == PacketType::UpdateReq) {
+        header.type != PacketType::BypassReq) {
         std::uint64_t epoch = epoch_;
         auto ack = net::makeRefPacket(host_.id(), pkt->src,
                                       PacketType::ServerAck,
@@ -205,7 +217,6 @@ ServerLib::onReceive(const PacketPtr &pkt)
 void
 ServerLib::handleDuplicate(Session &session, const net::Packet &pkt)
 {
-    (void)session;
     stats.duplicatesDropped++;
     const net::PmnetHeader &header = *pkt.pmnet;
 
@@ -214,10 +225,28 @@ ServerLib::handleDuplicate(Session &session, const net::Packet &pkt)
     // and unblock the client.
     stats.makeupAcks++;
     stats.acksSent++;
-    host_.appSend({net::makeRefPacket(host_.id(), pkt.src,
-                                      PacketType::ServerAck,
-                                      header.sessionId, header.seqNum,
-                                      header.hashVal, pkt.requestId)});
+    std::vector<PacketPtr> out;
+    out.push_back(net::makeRefPacket(host_.id(), pkt.src,
+                                     PacketType::ServerAck,
+                                     header.sessionId, header.seqNum,
+                                     header.hashVal, pkt.requestId));
+
+    // A duplicate near-data request also needs its computed value
+    // again: the ACK only covers durability.
+    if (header.type == PacketType::NearDataReq) {
+        auto cached = session.nearDataReplyCache.find(header.seqNum);
+        if (cached != session.nearDataReplyCache.end()) {
+            stats.replayedReplies++;
+            stats.responsesSent++;
+            net::MutPacketPtr resp = net::makeRefPacketMut(
+                host_.id(), pkt.src, PacketType::Response,
+                header.sessionId, header.seqNum, header.hashVal,
+                pkt.requestId);
+            resp->payload = cached->second;
+            out.push_back(resp);
+        }
+    }
+    host_.appSend(std::move(out));
 }
 
 void
@@ -293,7 +322,9 @@ ServerLib::tryAssemble(std::uint16_t sid, Session &session)
         ReadyRequest req;
         req.session = sid;
         req.isUpdate =
-            first.pmnet->type == PacketType::UpdateReq;
+            first.pmnet->type != PacketType::BypassReq;
+        req.isNearData =
+            first.pmnet->type == PacketType::NearDataReq;
         req.firstSeq = first_seq;
         req.lastSeq = first_seq + count - 1;
         req.requestId = first.requestId;
@@ -409,7 +440,8 @@ ServerLib::pump()
         heap_.drainCost();
         HandlerResult result;
         if (handler_)
-            result = handler_(req.session, req.isUpdate, req.payload);
+            result = handler_(req.session, req.isUpdate,
+                              req.isNearData, req.payload);
         result.cost += heap_.drainCost();
 
         // Commit point for updates: the watermark is persisted in the
@@ -459,7 +491,10 @@ ServerLib::finishRequest(std::uint16_t sid, const ReadyRequest &req,
 
     std::vector<PacketPtr> out;
     if (req.isUpdate) {
-        stats.updatesApplied++;
+        if (req.isNearData)
+            stats.nearDataApplied++;
+        else
+            stats.updatesApplied++;
         for (std::uint32_t i = 0;
              !config_.ackOnArrival && i < req.fragHashes.size(); i++) {
             stats.acksSent++;
@@ -484,6 +519,12 @@ ServerLib::finishRequest(std::uint16_t sid, const ReadyRequest &req,
             while (session.replyCache.size() >
                    config_.replyCachePerSession)
                 session.replyCache.erase(session.replyCache.begin());
+        } else if (req.isNearData) {
+            session.nearDataReplyCache[req.firstSeq] = std::move(body);
+            while (session.nearDataReplyCache.size() >
+                   config_.replyCachePerSession)
+                session.nearDataReplyCache.erase(
+                    session.nearDataReplyCache.begin());
         }
     }
     if (!req.isUpdate)

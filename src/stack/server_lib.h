@@ -82,7 +82,9 @@ struct ServerStats
 {
     obs::Counter updatesApplied;
     obs::Counter bypassApplied;
+    obs::Counter nearDataApplied;
     obs::Counter duplicatesDropped;
+    obs::Counter hashRejected;
     obs::Counter makeupAcks;
     obs::Counter replayedReplies;
     obs::Counter retransRequested;
@@ -106,10 +108,13 @@ class ServerLib
 
     /**
      * Application request handler. Executes the real work
-     * synchronously and returns its simulated cost.
+     * synchronously and returns its simulated cost. is_near_data
+     * marks update-class RMW requests whose computed value must be
+     * returned as a Response (is_update is also true for those).
      */
     using Handler = std::function<HandlerResult(
-        std::uint16_t session, bool is_update, const Bytes &payload)>;
+        std::uint16_t session, bool is_update, bool is_near_data,
+        const Bytes &payload)>;
 
     ServerLib(Host &host, pm::PmHeap &heap, ServerConfig config = {});
 
@@ -158,6 +163,7 @@ class ServerLib
     {
         std::uint16_t session = 0;
         bool isUpdate = true;
+        bool isNearData = false;
         std::uint32_t firstSeq = 0;
         std::uint32_t lastSeq = 0;
         std::vector<std::uint32_t> fragHashes;
@@ -185,6 +191,13 @@ class ServerLib
          */
         std::map<std::uint32_t, Bytes> replyCache;
         std::set<std::uint32_t> bypassInFlight;
+        /**
+         * Near-data responses keyed by *update-space* seq: a
+         * duplicate NearDataReq below the watermark must get its
+         * Response replayed (a make-up ACK alone would leave the
+         * client waiting for the computed value).
+         */
+        std::map<std::uint32_t, Bytes> nearDataReplyCache;
     };
 
     void onReceive(const net::PacketPtr &pkt);

@@ -73,6 +73,17 @@ ClientDriver::issueCurrent()
     CommandClass cls = apps::classifyCommand(cmd.verb());
     Tick issued_at = sim_.now();
 
+    if (cls == CommandClass::Update && config_.nearDataOps &&
+        apps::isNearDataVerb(cmd.verb())) {
+        // NearPM-style near-data op: logged like an update, answered
+        // in-flight by a caching device (or by the server).
+        lib_.sendNearData(std::move(payload),
+                          [this, issued_at](const Bytes &) {
+                              recordAndAdvance(issued_at, true);
+                          });
+        return;
+    }
+
     if (cls == CommandClass::Update) {
         if (config_.mode == SystemMode::ClientSideLogging) {
             // Fig 17a: the update is persisted by the local logger;

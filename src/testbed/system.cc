@@ -186,14 +186,14 @@ void
 Testbed::installHandler()
 {
     serverLib_->setHandler(
-        [this](std::uint16_t session, bool is_update,
+        [this](std::uint16_t session, bool is_update, bool is_near_data,
                const Bytes &payload) -> stack::ServerLib::HandlerResult {
             stack::ServerLib::HandlerResult result;
             if (config_.serverKind == ServerKind::Ideal) {
                 result.cost = config_.idealHandlerCost;
                 if (is_update)
                     result.cost += config_.serverReplicationCommitDelay;
-                else
+                if (!is_update || is_near_data)
                     result.response = apps::encodeResponse(
                         apps::RespStatus::Ok, "OK");
                 return result;
@@ -208,7 +208,9 @@ Testbed::installHandler()
                 handlerTap_(session, is_update, *cmd);
             Bytes response = store_->executeToResponse(*cmd, session);
             result.cost += config_.appOverhead;
-            if (!is_update)
+            // Ordinary updates complete on ACKs alone; near-data RMWs
+            // additionally return the computed value.
+            if (!is_update || is_near_data)
                 result.response = std::move(response);
             // Baseline server-side replication (Fig 21): committing
             // includes syncing the replicas before the ACK leaves.

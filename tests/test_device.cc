@@ -44,6 +44,15 @@ class ProbeNode : public net::Node
                 n++;
         return n;
     }
+
+    PacketPtr
+    lastOfType(PacketType type) const
+    {
+        for (auto it = got.rbegin(); it != got.rend(); ++it)
+            if ((*it)->isPmnet() && (*it)->pmnet->type == type)
+                return *it;
+        return nullptr;
+    }
 };
 
 struct DeviceRig
@@ -125,14 +134,17 @@ TEST(Device, AckArrivesAfterForwardedRequest)
     ASSERT_EQ(rig.client->got.size(), 1u);
 }
 
-TEST(Device, CorruptHashForwardedNotLogged)
+TEST(Device, CorruptHashDroppedNotForwarded)
 {
+    // A CRC mismatch means the request bytes cannot be trusted:
+    // the device drops the packet instead of delivering garbage;
+    // the client's retry timer re-sends a clean copy.
     DeviceRig rig;
     auto bad = std::make_shared<net::Packet>(*rig.update(1));
     bad->pmnet->hashVal ^= 0xFF; // corrupted on the way
     rig.fromClient(bad);
     rig.sim.run();
-    EXPECT_EQ(rig.server->countType(PacketType::UpdateReq), 1u);
+    EXPECT_EQ(rig.server->countType(PacketType::UpdateReq), 0u);
     EXPECT_EQ(rig.client->countType(PacketType::PmnetAck), 0u);
     EXPECT_EQ(rig.dev->stats.bypassBadHash, 1u);
     EXPECT_EQ(rig.dev->logStore().size(), 0u);
@@ -528,6 +540,211 @@ TEST(DeviceCache, CacheClearedOnPowerFailure)
     rig.dev->powerRestore();
     EXPECT_EQ(rig.dev->cache().stateOf("k"), CacheState::Invalid);
     EXPECT_EQ(rig.dev->cache().size(), 0u);
+}
+
+// ------------------------------------------------------- group commit
+
+DeviceConfig
+groupCommitConfig(std::uint32_t ops, TickDelta hold)
+{
+    DeviceConfig config = DeviceRig::smallConfig();
+    config.groupCommit = true;
+    config.epochOps = ops;
+    config.epochBytes = 1 << 20; // only the op/doorbell triggers fire
+    config.epochMaxHold = hold;
+    return config;
+}
+
+TEST(GroupCommit, OpsThresholdClosesAndAcksWholeBatch)
+{
+    DeviceRig rig(groupCommitConfig(4, microseconds(50)));
+    for (std::uint32_t seq = 1; seq <= 4; seq++)
+        rig.fromClient(rig.update(seq));
+    rig.sim.run();
+
+    EXPECT_EQ(rig.client->countType(PacketType::PmnetAck), 4u);
+    EXPECT_EQ(rig.dev->logStore().size(), 4u);
+    const auto &epoch = rig.dev->commitEpoch().stats();
+    EXPECT_EQ(epoch.epochsClosed, 1u);
+    EXPECT_EQ(epoch.closedByOps, 1u);
+    EXPECT_EQ(epoch.closedByDoorbell, 0u);
+    EXPECT_EQ(epoch.acksDeferred, 4u);
+    EXPECT_EQ(epoch.opsCommitted, 4u);
+    EXPECT_EQ(epoch.maxBatchOps, 4u);
+}
+
+TEST(GroupCommit, DoorbellClosesPartialEpoch)
+{
+    DeviceRig rig(groupCommitConfig(8, microseconds(5)));
+    rig.fromClient(rig.update(1));
+    rig.fromClient(rig.update(2));
+    rig.sim.run();
+
+    EXPECT_EQ(rig.client->countType(PacketType::PmnetAck), 2u);
+    const auto &epoch = rig.dev->commitEpoch().stats();
+    EXPECT_EQ(epoch.epochsClosed, 1u);
+    EXPECT_EQ(epoch.closedByDoorbell, 1u);
+    EXPECT_EQ(epoch.opsCommitted, 2u);
+}
+
+TEST(GroupCommit, AcksHeldWhileEpochOpen)
+{
+    DeviceRig rig(groupCommitConfig(8, microseconds(50)));
+    rig.fromClient(rig.update(1));
+    rig.fromClient(rig.update(2));
+    // Both PM writes land well before the doorbell (50us): the log
+    // holds the entries, but no ACK may leave until the batch fence.
+    rig.sim.run(rig.sim.now() + microseconds(10));
+    EXPECT_EQ(rig.dev->logStore().size(), 2u);
+    EXPECT_EQ(rig.client->countType(PacketType::PmnetAck), 0u);
+    EXPECT_TRUE(rig.dev->commitEpoch().open());
+
+    rig.sim.run();
+    EXPECT_EQ(rig.client->countType(PacketType::PmnetAck), 2u);
+}
+
+TEST(GroupCommit, PowerFailureRollsBackStagedUnackedWrites)
+{
+    DeviceRig rig(groupCommitConfig(8, microseconds(50)));
+    rig.fromClient(rig.update(1));
+    rig.fromClient(rig.update(2));
+    rig.sim.run(rig.sim.now() + microseconds(10));
+    ASSERT_EQ(rig.dev->logStore().size(), 2u);
+
+    // Crash inside the open epoch: the staged writes were never
+    // fenced, so they roll back — and no ACK ever leaves for them
+    // (P1: acked implies durable, by construction).
+    rig.dev->powerFail();
+    rig.dev->powerRestore();
+    rig.sim.run();
+    EXPECT_EQ(rig.dev->logStore().size(), 0u);
+    EXPECT_EQ(rig.client->countType(PacketType::PmnetAck), 0u);
+    EXPECT_EQ(rig.dev->commitEpoch().stats().opsAbandoned, 2u);
+    EXPECT_FALSE(rig.dev->commitEpoch().open());
+}
+
+TEST(GroupCommit, DuplicateOfStagedEntryNotReAcked)
+{
+    DeviceRig rig(groupCommitConfig(8, microseconds(50)));
+    auto pkt = rig.update(1);
+    rig.fromClient(pkt);
+    rig.sim.run(rig.sim.now() + microseconds(10));
+    ASSERT_TRUE(rig.dev->commitEpoch().open());
+
+    // A resend that races the open epoch must not be re-ACKed off the
+    // duplicate path: the entry is not durable yet.
+    rig.fromClient(pkt);
+    rig.sim.run(rig.sim.now() + microseconds(10));
+    EXPECT_EQ(rig.client->countType(PacketType::PmnetAck), 0u);
+    EXPECT_EQ(rig.dev->stats.updatesReAcked, 0u);
+
+    rig.sim.run();
+    EXPECT_EQ(rig.client->countType(PacketType::PmnetAck), 1u)
+        << "exactly one ACK, from the epoch close";
+}
+
+// ---------------------------------------------------- near-data RMWs
+
+struct NearDataRig : CacheRig
+{
+    PacketPtr
+    nearCmd(std::uint32_t seq, std::vector<std::string> args)
+    {
+        return net::makePmnetPacket(
+            client->id(), server->id(), PacketType::NearDataReq, 1, seq,
+            apps::encodeCommand(apps::Command{std::move(args)}));
+    }
+
+    void
+    persistKey(std::uint32_t seq, const std::string &key,
+               const std::string &value)
+    {
+        auto set = setCmd(seq, key, value);
+        fromClient(set);
+        sim.run();
+        fromServer(net::makeRefPacket(server->id(), client->id(),
+                                      PacketType::ServerAck, 1, seq,
+                                      set->pmnet->hashVal));
+        sim.run();
+        ASSERT_EQ(dev->cache().stateOf(key), CacheState::Persisted);
+    }
+};
+
+TEST(DeviceNearData, IncrServedFromCache)
+{
+    NearDataRig rig;
+    rig.persistKey(1, "ctr", "5");
+
+    rig.fromClient(rig.nearCmd(2, {"INCR", "ctr"}));
+    rig.sim.run();
+
+    // The device computed 5+1, answered on the server's behalf, and
+    // still forwarded the request (server stays authoritative) and
+    // logged + early-ACKed it like an update.
+    EXPECT_EQ(rig.dev->stats.nearDataSeen, 1u);
+    EXPECT_EQ(rig.dev->stats.nearDataServed, 1u);
+    EXPECT_EQ(rig.server->countType(PacketType::NearDataReq), 1u);
+    EXPECT_EQ(rig.client->countType(PacketType::PmnetAck), 2u);
+    ASSERT_EQ(rig.client->countType(PacketType::Response), 1u);
+    auto resp = rig.client->lastOfType(PacketType::Response);
+    auto decoded = apps::decodeResponse(resp->payload);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->status, apps::RespStatus::Ok);
+    EXPECT_EQ(decoded->value, "6");
+    // The cache tracks the computed value as an in-flight update.
+    EXPECT_EQ(rig.dev->cache().stateOf("ctr"), CacheState::Pending);
+}
+
+TEST(DeviceNearData, CasMismatchAnswersWithoutWriting)
+{
+    NearDataRig rig;
+    rig.persistKey(1, "k", "5");
+
+    rig.fromClient(rig.nearCmd(2, {"CAS", "k", "9", "7"}));
+    rig.sim.run();
+
+    ASSERT_EQ(rig.client->countType(PacketType::Response), 1u);
+    auto decoded = apps::decodeResponse(
+        rig.client->lastOfType(PacketType::Response)->payload);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->status, apps::RespStatus::Error);
+    EXPECT_EQ(decoded->value, "5") << "CAS mismatch echoes current";
+    EXPECT_EQ(rig.dev->cache().stateOf("k"), CacheState::Persisted)
+        << "failed CAS writes nothing";
+}
+
+TEST(DeviceNearData, UncomputableEntryInvalidatedNotServed)
+{
+    NearDataRig rig;
+    // Two in-flight SETs leave the entry Stale: not serving-safe.
+    rig.fromClient(rig.setCmd(1, "k", "v1"));
+    rig.sim.run();
+    rig.fromClient(rig.setCmd(2, "k", "v2"));
+    rig.sim.run();
+    ASSERT_EQ(rig.dev->cache().stateOf("k"), CacheState::Stale);
+
+    rig.fromClient(rig.nearCmd(3, {"APPEND", "k", "x"}));
+    rig.sim.run();
+
+    // The device cannot compute the RMW; the request goes to the
+    // server and whatever was cached is dropped so it can never serve
+    // a value the RMW is about to change.
+    EXPECT_EQ(rig.dev->stats.nearDataServed, 0u);
+    EXPECT_EQ(rig.client->countType(PacketType::Response), 0u);
+    EXPECT_EQ(rig.server->countType(PacketType::NearDataReq), 1u);
+    EXPECT_EQ(rig.dev->cache().stateOf("k"), CacheState::Invalid);
+}
+
+TEST(DeviceNearData, CorruptNearDataDropped)
+{
+    NearDataRig rig;
+    auto bad = std::make_shared<net::Packet>(*rig.nearCmd(1, {"INCR", "k"}));
+    bad->pmnet->hashVal ^= 0xFF;
+    rig.fromClient(bad);
+    rig.sim.run();
+    EXPECT_EQ(rig.server->countType(PacketType::NearDataReq), 0u);
+    EXPECT_EQ(rig.client->countType(PacketType::PmnetAck), 0u);
+    EXPECT_EQ(rig.dev->stats.bypassBadHash, 1u);
 }
 
 } // namespace

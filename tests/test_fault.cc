@@ -31,9 +31,12 @@ using fault::FaultAction;
 using fault::FaultPlan;
 using fault::FaultRunConfig;
 using fault::FaultRunner;
+using fault::GroupCommitMatrixConfig;
+using fault::GroupCommitMatrixResult;
 using fault::InjectedCrash;
 using fault::InvariantReport;
 using fault::runCrashMatrix;
+using fault::runGroupCommitMatrix;
 
 // ------------------------------------------------- crash matrix sweep
 
@@ -71,6 +74,61 @@ TEST_P(CrashMatrixTest, SmokeCapSpreadsCrashesAcrossTheRange)
 
 INSTANTIATE_TEST_SUITE_P(
     AllBackends, CrashMatrixTest,
+    ::testing::Values(kv::KvKind::Hashmap, kv::KvKind::BTree,
+                      kv::KvKind::CTree, kv::KvKind::RBTree,
+                      kv::KvKind::SkipList, kv::KvKind::Blob),
+    [](const ::testing::TestParamInfo<kv::KvKind> &param_info) {
+        return std::string(kv::kvKindName(param_info.param));
+    });
+
+// ------------------------------------ group-commit crash matrix sweep
+
+class GroupCommitMatrixTest : public ::testing::TestWithParam<kv::KvKind>
+{};
+
+TEST_P(GroupCommitMatrixTest, ExhaustiveSweepAtEpochBoundaries)
+{
+    GroupCommitMatrixConfig config;
+    config.kind = GetParam();
+    config.seed = 7;
+    config.opCount = 36;
+    config.keyCount = 8;
+    config.epochOps = 4;
+    GroupCommitMatrixResult result = runGroupCommitMatrix(config);
+
+    EXPECT_GT(result.boundaries, 0u);
+    EXPECT_EQ(result.crashesInjected, result.boundaries);
+    EXPECT_EQ(result.acksReleased, 36u)
+        << "the drain close must release every deferred ack";
+    // With a 4-op epoch most boundaries sit inside an open epoch, so
+    // the sweep genuinely exercises applied-but-unacked rollback.
+    EXPECT_GT(result.midEpochCrashes, 0u);
+    EXPECT_GT(result.opsAbandoned, 0u);
+    EXPECT_TRUE(result.report.clean()) << result.report.text();
+}
+
+TEST_P(GroupCommitMatrixTest, SingleOpEpochsDegenerateToPerOpFencing)
+{
+    // epochOps == 1 means every stage closes immediately: the sweep
+    // must still hold with zero held acks at any boundary inside an
+    // apply (the only mid-epoch window left is the batch fence).
+    GroupCommitMatrixConfig config;
+    config.kind = GetParam();
+    config.seed = 3;
+    config.opCount = 16;
+    config.keyCount = 6;
+    config.epochOps = 1;
+    config.maxCrashes = 12;
+    GroupCommitMatrixResult result = runGroupCommitMatrix(config);
+
+    EXPECT_LE(result.crashesInjected, 12u);
+    EXPECT_GT(result.crashesInjected, 0u);
+    EXPECT_EQ(result.epochsClosed, 16u);
+    EXPECT_TRUE(result.report.clean()) << result.report.text();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, GroupCommitMatrixTest,
     ::testing::Values(kv::KvKind::Hashmap, kv::KvKind::BTree,
                       kv::KvKind::CTree, kv::KvKind::RBTree,
                       kv::KvKind::SkipList, kv::KvKind::Blob),

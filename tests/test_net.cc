@@ -463,6 +463,30 @@ TEST(Link, BytesCarriedCounts)
     EXPECT_EQ(link.bytesCarried(), 100u);
 }
 
+TEST(Link, CorruptNextDeliversDamagedCopy)
+{
+    sim::Simulator sim;
+    SinkNode a(sim, "a", 0), b(sim, "b", 1);
+    Link link(sim, "l", a, b);
+
+    PacketPtr pkt = makePmnetPacket(0, 1, PacketType::UpdateReq, 7, 3,
+                                    Bytes(16));
+    ASSERT_TRUE(pkt->verifyHash());
+    link.corruptNext(a, 1);
+    link.transmit(a, pkt);
+    link.transmit(a, pkt); // only the first is damaged
+    sim.run();
+
+    ASSERT_EQ(b.got.size(), 2u);
+    EXPECT_EQ(link.corruptions(), 1u);
+    // The damaged copy still parses (valid type) but fails the CRC.
+    ASSERT_TRUE(b.got[0]->isPmnet());
+    EXPECT_FALSE(b.got[0]->verifyHash());
+    EXPECT_TRUE(b.got[1]->verifyHash());
+    // The sender's original packet (kept for retries) is untouched.
+    EXPECT_TRUE(pkt->verifyHash());
+}
+
 // ------------------------------------------------------------- switch
 
 TEST(Switch, ForwardsByRoute)

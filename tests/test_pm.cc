@@ -10,6 +10,7 @@
 #include <set>
 
 #include "net/packet.h"
+#include "pm/commit_epoch.h"
 #include "pm/cost_model.h"
 #include "pm/log_queue.h"
 #include "pm/log_store.h"
@@ -380,6 +381,158 @@ TEST(LogQueue, ReadUsesReadLatency)
     auto done = queue.admitRead(1000, 0);
     ASSERT_TRUE(done.has_value());
     EXPECT_EQ(*done, 200 + 400);
+}
+
+TEST(LogQueue, RingWrapsUnderSustainedTraffic)
+{
+    // The fixed ring must keep admitting and expiring across many
+    // wrap-arounds of the head index without losing byte accounting.
+    DevicePmConfig config;
+    LogQueue queue(4096, config);
+    Tick now = 0;
+    for (int i = 0; i < 20000; i++) {
+        auto done = queue.admitWrite(1024, now);
+        ASSERT_TRUE(done.has_value()) << "iteration " << i;
+        now = *done; // wait out each access: backlog fully drains
+    }
+    EXPECT_EQ(queue.backlogBytes(now), 0u);
+    EXPECT_EQ(queue.rejected(), 0u);
+}
+
+TEST(LogQueue, RingRejectsWhenAllSlotsPending)
+{
+    // Accesses of minimum size: slot count (== capacity bytes) can in
+    // principle bound admissions before the byte budget does; a full
+    // ring must reject, not overwrite.
+    DevicePmConfig config;
+    LogQueue queue(4, config);
+    EXPECT_TRUE(queue.admitWrite(1, 0).has_value());
+    EXPECT_TRUE(queue.admitWrite(1, 0).has_value());
+    EXPECT_TRUE(queue.admitWrite(1, 0).has_value());
+    EXPECT_TRUE(queue.admitWrite(1, 0).has_value());
+    EXPECT_FALSE(queue.admitWrite(1, 0).has_value());
+    EXPECT_EQ(queue.rejected(), 1u);
+    // Completed accesses free their slots.
+    EXPECT_TRUE(queue.admitWrite(1, microseconds(100)).has_value());
+}
+
+// -------------------------------------------------------- commit epoch
+
+TEST(CommitEpoch, OpensOnFirstStageAndClosesByOps)
+{
+    CommitEpochConfig config;
+    config.maxOps = 3;
+    config.maxBytes = 1 << 20;
+    int fences = 0;
+    CommitEpoch epoch(config, [&]() { fences++; });
+
+    std::vector<int> released;
+    auto completion = [&](int i) {
+        return [&released, i]() { released.push_back(i); };
+    };
+
+    auto first = epoch.stage(100, completion(1), 10);
+    EXPECT_TRUE(first.opened);
+    EXPECT_FALSE(first.shouldClose);
+    EXPECT_TRUE(epoch.open());
+    auto second = epoch.stage(100, completion(2), 11);
+    EXPECT_FALSE(second.opened);
+    EXPECT_FALSE(second.shouldClose);
+    auto third = epoch.stage(100, completion(3), 12);
+    EXPECT_TRUE(third.shouldClose);
+    EXPECT_TRUE(released.empty()) << "nothing completes before close";
+
+    EXPECT_EQ(epoch.close(EpochCloseReason::Ops, 15), 3u);
+    EXPECT_EQ(fences, 1) << "one fence for the whole batch";
+    EXPECT_EQ(released, (std::vector<int>{1, 2, 3}))
+        << "completions run in staging order";
+    EXPECT_FALSE(epoch.open());
+
+    const CommitEpochStats &stats = epoch.stats();
+    EXPECT_EQ(stats.epochsClosed, 1u);
+    EXPECT_EQ(stats.closedByOps, 1u);
+    EXPECT_EQ(stats.opsCommitted, 3u);
+    EXPECT_EQ(stats.bytesCommitted, 300u);
+    EXPECT_EQ(stats.acksDeferred, 3u);
+    EXPECT_EQ(stats.maxBatchOps, 3u);
+    EXPECT_EQ(stats.maxHoldTicks, 5u);
+}
+
+TEST(CommitEpoch, ClosesByBytes)
+{
+    CommitEpochConfig config;
+    config.maxBytes = 250;
+    config.maxOps = 100;
+    CommitEpoch epoch(config);
+    EXPECT_FALSE(epoch.stage(200, []() {}, 0).shouldClose);
+    EXPECT_TRUE(epoch.stage(200, []() {}, 0).shouldClose);
+    epoch.close(EpochCloseReason::Bytes, 0);
+    EXPECT_EQ(epoch.stats().closedByBytes, 1u);
+    EXPECT_EQ(epoch.stats().maxBatchBytes, 400u);
+}
+
+TEST(CommitEpoch, CloseIfCurrentIgnoresStaleDoorbell)
+{
+    CommitEpoch epoch;
+    auto first = epoch.stage(10, []() {}, 0);
+    epoch.close(EpochCloseReason::Ops, 1);
+    auto second = epoch.stage(10, []() {}, 2);
+    EXPECT_NE(first.epochSeq, second.epochSeq);
+
+    // A doorbell armed for the first epoch must not close the second.
+    epoch.closeIfCurrent(first.epochSeq, 3);
+    EXPECT_TRUE(epoch.open());
+    epoch.closeIfCurrent(second.epochSeq, 4);
+    EXPECT_FALSE(epoch.open());
+    EXPECT_EQ(epoch.stats().closedByDoorbell, 1u);
+}
+
+TEST(CommitEpoch, AbandonDropsWithoutCompleting)
+{
+    CommitEpoch epoch;
+    bool completed = false;
+    epoch.stage(10, [&]() { completed = true; }, 0);
+    epoch.stage(10, [&]() { completed = true; }, 0);
+    epoch.abandon();
+    EXPECT_FALSE(completed);
+    EXPECT_FALSE(epoch.open());
+    EXPECT_EQ(epoch.stats().opsAbandoned, 2u);
+    EXPECT_EQ(epoch.stats().epochsClosed, 0u);
+}
+
+TEST(CommitEpoch, CompletionMayStageIntoFreshEpoch)
+{
+    // The epoch state is reset before completions run, so a completion
+    // issuing the next request may stage immediately (the device's ACK
+    // path does exactly this under back-to-back load).
+    CommitEpoch epoch;
+    bool restaged_opened = false;
+    epoch.stage(10,
+                [&]() {
+                    auto next = epoch.stage(10, []() {}, 5);
+                    restaged_opened = next.opened;
+                },
+                0);
+    epoch.close(EpochCloseReason::Doorbell, 5);
+    EXPECT_TRUE(restaged_opened);
+    EXPECT_TRUE(epoch.open());
+    EXPECT_EQ(epoch.openOps(), 1u);
+}
+
+TEST(CommitEpoch, FenceHookMayThrowLikeACrash)
+{
+    // The crash matrix throws from persist hooks; staged state must
+    // already be consistent (cleared) when the fence runs.
+    struct Boom
+    {
+    };
+    CommitEpoch epoch(CommitEpochConfig{},
+                      []() { throw Boom{}; });
+    bool completed = false;
+    epoch.stage(10, [&]() { completed = true; }, 0);
+    EXPECT_THROW(epoch.close(EpochCloseReason::Drain, 1), Boom);
+    EXPECT_FALSE(completed) << "crash before fence retire: no ACK";
+    EXPECT_FALSE(epoch.open());
 }
 
 // --------------------------------------------------------- BDP sizing

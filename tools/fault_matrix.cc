@@ -36,6 +36,7 @@ struct Options
     int ops = 48;
     int keys = 10;
     int maxCrashes = 0;
+    int epochOps = 0;
     cli::CommonOptions common;
 };
 
@@ -77,6 +78,10 @@ parseArgs(int argc, char **argv)
     parser.optionInt("--max-crashes", "N",
                      "cap injected crashes, 0 = exhaustive",
                      &opt.maxCrashes);
+    parser.optionInt("--epoch-ops", "N",
+                     "also sweep the group-commit matrix at this epoch "
+                     "size, 0 = per-op only",
+                     &opt.epochOps);
     cli::addSmoke(parser, opt.common);
     cli::addJsonFlag(parser, opt.common);
     parser.parse(argc, argv);
@@ -106,9 +111,9 @@ main(int argc, char **argv)
 
     bool all_clean = true;
     if (!opt.common.json)
-        std::printf("%-10s %10s %10s %10s %9s  %s\n", "backend",
-                    "boundaries", "crashes", "count-lag", "wall-ms",
-                    "verdict");
+        std::printf("%-10s %-13s %10s %10s %10s %9s  %s\n", "backend",
+                    "mode", "boundaries", "crashes", "count-lag",
+                    "wall-ms", "verdict");
 
     obs::Json sweeps = obs::Json::array();
     for (kv::KvKind kind : kinds) {
@@ -130,6 +135,7 @@ main(int argc, char **argv)
         if (opt.common.json) {
             obs::Json row = obs::Json::object();
             row.set("backend", kv::kvKindName(kind));
+            row.set("mode", "per-op");
             row.set("boundaries",
                     static_cast<std::uint64_t>(result.boundaries));
             row.set("crashes", static_cast<std::uint64_t>(
@@ -140,14 +146,67 @@ main(int argc, char **argv)
             row.set("clean", clean);
             sweeps.push(std::move(row));
         } else {
-            std::printf("%-10s %10zu %10zu %10zu %9lld  %s\n",
-                        kv::kvKindName(kind), result.boundaries,
-                        result.crashesInjected, result.countLagObserved,
+            std::printf("%-10s %-13s %10zu %10zu %10zu %9lld  %s\n",
+                        kv::kvKindName(kind), "per-op",
+                        result.boundaries, result.crashesInjected,
+                        result.countLagObserved,
                         static_cast<long long>(wall),
                         clean ? "clean" : "VIOLATIONS");
         }
         if (!clean)
             std::fputs(result.report.text().c_str(), stderr);
+
+        if (opt.epochOps <= 0)
+            continue;
+
+        // Same sequence, but acks ride an epoch-ops group-commit
+        // batch: crashes now also land inside open epochs and the
+        // batch fence itself.
+        fault::GroupCommitMatrixConfig gc_config;
+        gc_config.kind = kind;
+        gc_config.seed = opt.common.seed;
+        gc_config.opCount = opt.ops;
+        gc_config.keyCount = opt.keys;
+        gc_config.maxCrashes = opt.maxCrashes;
+        gc_config.epochOps = static_cast<std::uint32_t>(opt.epochOps);
+
+        start = std::chrono::steady_clock::now();
+        fault::GroupCommitMatrixResult gc_result =
+            fault::runGroupCommitMatrix(gc_config);
+        wall = std::chrono::duration_cast<std::chrono::milliseconds>(
+                   std::chrono::steady_clock::now() - start)
+                   .count();
+
+        bool gc_clean = gc_result.report.clean();
+        all_clean = all_clean && gc_clean;
+        if (opt.common.json) {
+            obs::Json row = obs::Json::object();
+            row.set("backend", kv::kvKindName(kind));
+            row.set("mode", "group-commit");
+            row.set("boundaries",
+                    static_cast<std::uint64_t>(gc_result.boundaries));
+            row.set("crashes", static_cast<std::uint64_t>(
+                                   gc_result.crashesInjected));
+            row.set("epoch_ops", opt.epochOps);
+            row.set("epochs_closed", static_cast<std::uint64_t>(
+                                         gc_result.epochsClosed));
+            row.set("mid_epoch_crashes",
+                    static_cast<std::uint64_t>(
+                        gc_result.midEpochCrashes));
+            row.set("ops_abandoned", static_cast<std::uint64_t>(
+                                         gc_result.opsAbandoned));
+            row.set("wall_ms", static_cast<std::int64_t>(wall));
+            row.set("clean", gc_clean);
+            sweeps.push(std::move(row));
+        } else {
+            std::printf("%-10s %-13s %10zu %10zu %10s %9lld  %s\n",
+                        kv::kvKindName(kind), "group-commit",
+                        gc_result.boundaries, gc_result.crashesInjected,
+                        "-", static_cast<long long>(wall),
+                        gc_clean ? "clean" : "VIOLATIONS");
+        }
+        if (!gc_clean)
+            std::fputs(gc_result.report.text().c_str(), stderr);
     }
 
     if (opt.common.json) {
@@ -158,6 +217,7 @@ main(int argc, char **argv)
         snapshot.put("run.keys", opt.keys);
         snapshot.put("run.seed", opt.common.seed);
         snapshot.put("run.max_crashes", opt.maxCrashes);
+        snapshot.put("run.epoch_ops", opt.epochOps);
         snapshot.put("run.smoke", opt.common.smoke);
         snapshot.put("results", std::move(sweeps));
         snapshot.put("all_clean", all_clean);
