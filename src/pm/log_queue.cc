@@ -4,9 +4,13 @@
 
 namespace pmnet::pm {
 
-LogQueue::LogQueue(std::size_t capacity_bytes, DevicePmConfig config)
+LogQueue::LogQueue(std::size_t capacity_bytes, DevicePmConfig config,
+                   std::size_t max_pending)
     : capacity_(capacity_bytes), config_(config),
-      ring_(std::max<std::size_t>(capacity_bytes, 1))
+      ring_(std::max<std::size_t>(
+          max_pending != 0 ? max_pending
+                           : capacity_bytes / kMinAccessBytes,
+          1))
 {
 }
 
@@ -25,7 +29,10 @@ std::optional<Tick>
 LogQueue::admit(std::size_t bytes, Tick now, TickDelta access_time)
 {
     expire(now);
-    if (backlog_ + bytes > capacity_ || count_ == ring_.size()) {
+    // bytes == 0 would take a ring slot without consuming byte
+    // budget, voiding the sizing invariant: reject it outright.
+    if (bytes == 0 || backlog_ + bytes > capacity_ ||
+        count_ == ring_.size()) {
         rejected_++;
         return std::nullopt;
     }

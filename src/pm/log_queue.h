@@ -23,6 +23,14 @@
 
 namespace pmnet::pm {
 
+/**
+ * Smallest access the ring sizing assumes (bytes). Every real access
+ * is at least a wire envelope (46 bytes), so dividing the byte budget
+ * by this keeps the byte check the binding admission limit while the
+ * slot array stays ~3% of the SRAM budget instead of 16x it.
+ */
+inline constexpr std::size_t kMinAccessBytes = 32;
+
 /** One direction (read or write) of the PM access buffering. */
 class LogQueue
 {
@@ -30,16 +38,21 @@ class LogQueue
     /**
      * @param capacity_bytes SRAM buffer size (4 KB default per paper).
      * @param config timing of the backing PM.
+     * @param max_pending ring slots for in-flight accesses; 0 sizes it
+     *        to capacity_bytes / kMinAccessBytes (at least 1).
      */
     explicit LogQueue(std::size_t capacity_bytes = 4096,
-                      DevicePmConfig config = {});
+                      DevicePmConfig config = {},
+                      std::size_t max_pending = 0);
 
     /**
      * Try to admit an access of @p bytes at time @p now.
      *
      * @return the tick at which the PM access completes, or
      *         std::nullopt when the SRAM buffer is full (caller must
-     *         bypass logging for this packet).
+     *         bypass logging for this packet). Zero-byte accesses are
+     *         always rejected: they would consume a ring slot without
+     *         consuming byte budget.
      */
     std::optional<Tick> admitWrite(std::size_t bytes, Tick now);
 
@@ -60,6 +73,9 @@ class LogQueue
     std::size_t backlogBytes(Tick now);
 
     std::size_t capacityBytes() const { return capacity_; }
+
+    /** Ring slots available for in-flight accesses. */
+    std::size_t pendingCapacity() const { return ring_.size(); }
 
     /** Accesses rejected because the buffer was full. */
     std::uint64_t rejected() const { return rejected_; }
@@ -85,11 +101,11 @@ class LogQueue
     DevicePmConfig config_;
     /**
      * Fixed ring of in-flight accesses, allocated once at
-     * construction. Every admitted access carries >= 1 byte of the
-     * byte budget, so `capacity_` slots can never overflow while the
-     * byte check holds; a full ring is still treated as a reject for
-     * safety. Replaces a std::deque that allocated chunk blocks on
-     * the steady-state persist hot path.
+     * construction and sized to capacity_ / kMinAccessBytes (unless
+     * overridden): real accesses are all larger than kMinAccessBytes,
+     * so the byte budget fills before the ring does; a full ring is
+     * still a reject, never an overwrite. Replaces a std::deque that
+     * allocated chunk blocks on the steady-state persist hot path.
      */
     std::vector<Pending> ring_;
     std::size_t head_ = 0;  ///< oldest in-flight access

@@ -22,6 +22,9 @@ PmnetDevice::PmnetDevice(sim::Simulator &simulator,
 {
     if (config_.groupCommit)
         stagedHashes_.reserve(config_.epochOps);
+    // Bounded by concurrent SRAM-queued PM writes; sized once so the
+    // persist hot path never reallocates.
+    inflightLogWrites_.reserve(64);
 }
 
 void
@@ -199,7 +202,8 @@ PmnetDevice::handleUpdateReq(const PacketPtr &pkt)
     // away — logging happens in parallel, off the forwarding path.
     forward(pkt);
 
-    bool logged = tryLogAndAck(pkt);
+    LogAttempt attempt = tryLogAndAck(pkt);
+    bool logged = attempt != LogAttempt::Bypassed;
 
     // Read-cache maintenance (T1/T3/T4/T5 and the bypassed case).
     if (auto parsed = parsedKeyOf(*pkt)) {
@@ -217,17 +221,17 @@ PmnetDevice::handleUpdateReq(const PacketPtr &pkt)
     }
 }
 
-bool
+PmnetDevice::LogAttempt
 PmnetDevice::tryLogAndAck(const PacketPtr &pkt)
 {
     const net::PmnetHeader &header = *pkt->pmnet;
     if (store_.lookup(header.hashVal)) {
         // Duplicate of an already-logged packet (client resend after
         // a lost ACK). Re-ACK only when its covering fence already
-        // retired: a staged-unfenced entry is not durable yet — its
-        // epoch close will send the first ACK.
+        // retired: a staged-unfenced entry is not durable yet — the
+        // fence retirement will send the first ACK.
         if (stagedUnfenced(header.hashVal))
-            return true;
+            return LogAttempt::Duplicate;
         stats.updatesReAcked++;
         stats.acksSent++;
         if (obs::kTracingCompiledIn && recorder_) {
@@ -240,26 +244,34 @@ PmnetDevice::tryLogAndAck(const PacketPtr &pkt)
                                       header.sessionId, header.seqNum,
                                       header.hashVal, pkt->requestId);
         forward(std::move(ack));
-        return true;
+        return LogAttempt::Duplicate;
+    }
+    if (logWriteInFlight(header.hashVal)) {
+        // Resend racing the original's queued PM write: that write's
+        // completion sends the first ACK. Admitting this copy would
+        // log (and ack) the same packet twice.
+        return LogAttempt::Duplicate;
     }
     if (pkt->wireSize() > config_.pm.slotBytes) {
         stats.bypassTooLarge++;
-        return false;
+        return LogAttempt::Bypassed;
     }
     if (store_.full()) {
         stats.bypassQueueFull++;
-        return false;
+        return LogAttempt::Bypassed;
     }
     if (!store_.slotFree(header.hashVal)) {
         stats.bypassCollision++;
-        return false;
+        return LogAttempt::Bypassed;
     }
     if (auto done = writeQueue_.admitWrite(pkt->wireSize(), now())) {
         if (obs::kTracingCompiledIn && recorder_)
             recorder_->stampAt(pkt->requestId, obs::Stamp::PersistStart,
                                now());
+        inflightLogWrites_.push_back(header.hashVal);
         scheduleGuarded(*done - now(), [this, pkt]() {
             const net::PmnetHeader &h = *pkt->pmnet;
+            logWriteLanded(h.hashVal);
             auto result = store_.insert(h.hashVal, pkt, now());
             if (result != pm::LogInsertResult::Ok &&
                 result != pm::LogInsertResult::Duplicate) {
@@ -275,10 +287,10 @@ PmnetDevice::tryLogAndAck(const PacketPtr &pkt)
                                    obs::Stamp::PersistStage, now());
             finishLoggedWrite(pkt);
         });
-        return true;
+        return LogAttempt::Logged;
     }
     stats.bypassQueueFull++;
-    return false;
+    return LogAttempt::Bypassed;
 }
 
 void
@@ -350,14 +362,37 @@ PmnetDevice::finishLoggedWrite(const PacketPtr &pkt)
 void
 PmnetDevice::closeCommitEpoch(pm::EpochCloseReason reason)
 {
-    // The fence now covers every staged entry: they are durable and
-    // survive a power failure from here on. One stall on the write
-    // queue per epoch — that is the whole point of the batching.
-    stagedHashes_.clear();
+    // One stall on the write queue per epoch — that is the whole
+    // point of the batching. The staged entries only become durable
+    // when that fence *retires*: until then they stay in a pending
+    // batch that a power failure rolls back (their deferred ACKs are
+    // epoch-guarded and die with them), and duplicates keep waiting
+    // for the deferred ACK instead of being re-ACKed early.
     fenceRetireAt_ = config_.fenceLatency > 0
                          ? writeQueue_.stall(config_.fenceLatency, now())
                          : now();
+    if (!stagedHashes_.empty() && fenceRetireAt_ > now()) {
+        fencePending_.push_back(
+            FenceBatch{fenceRetireAt_, std::move(stagedHashes_)});
+        scheduleGuarded(fenceRetireAt_ - now(),
+                        [this]() { retireFencedBatches(); });
+    }
+    stagedHashes_.clear();
     commitEpoch_.close(reason, now());
+}
+
+void
+PmnetDevice::retireFencedBatches()
+{
+    // Batches retire oldest-first (the per-epoch stalls serialize on
+    // the write queue, so retire ticks are monotonic).
+    std::size_t retired = 0;
+    while (retired < fencePending_.size() &&
+           fencePending_[retired].retireAt <= now())
+        retired++;
+    fencePending_.erase(fencePending_.begin(),
+                        fencePending_.begin() +
+                            static_cast<std::ptrdiff_t>(retired));
 }
 
 bool
@@ -366,7 +401,32 @@ PmnetDevice::stagedUnfenced(std::uint32_t hash_val) const
     for (std::uint32_t staged : stagedHashes_)
         if (staged == hash_val)
             return true;
+    for (const FenceBatch &batch : fencePending_)
+        for (std::uint32_t staged : batch.hashes)
+            if (staged == hash_val)
+                return true;
     return false;
+}
+
+bool
+PmnetDevice::logWriteInFlight(std::uint32_t hash_val) const
+{
+    for (std::uint32_t pending : inflightLogWrites_)
+        if (pending == hash_val)
+            return true;
+    return false;
+}
+
+void
+PmnetDevice::logWriteLanded(std::uint32_t hash_val)
+{
+    for (std::uint32_t &pending : inflightLogWrites_) {
+        if (pending == hash_val) {
+            pending = inflightLogWrites_.back();
+            inflightLogWrites_.pop_back();
+            return;
+        }
+    }
 }
 
 void
@@ -390,7 +450,19 @@ PmnetDevice::handleNearData(const PacketPtr &pkt)
     // completes in the network, no server round trip.
     forward(pkt);
 
-    bool logged = tryLogAndAck(pkt);
+    LogAttempt attempt = tryLogAndAck(pkt);
+    if (attempt == LogAttempt::Duplicate) {
+        // Resend of an RMW the device already processed: the first
+        // arrival applied it to the cache and (when serving-safe)
+        // answered. Applying INCR/APPEND again would double-apply —
+        // the device would answer v+2 while the server's reply cache
+        // replays v+1, and the cached value would diverge for good.
+        // tryLogAndAck re-ACKed durability if appropriate; the value
+        // comes from the server's session reply cache.
+        traceEvent("near-data dup", *pkt);
+        return;
+    }
+    bool logged = attempt == LogAttempt::Logged;
 
     if (!codec_)
         return;
@@ -691,13 +763,19 @@ PmnetDevice::onPowerFail()
 {
     // SRAM queues, the cache and all in-flight pipeline work are
     // volatile; the committed log slots in PM survive. Log writes
-    // staged in an open (unfenced) commit epoch were never covered by
-    // a fence — their acks were still deferred — so they roll back:
-    // P1 acked-durability holds by construction.
+    // staged in an open commit epoch — and in closed epochs whose
+    // batch fence has not retired yet — were never covered by a
+    // retired fence; their acks were still deferred, so they roll
+    // back: P1 acked-durability holds by construction.
     epoch_++;
     for (std::uint32_t hash_val : stagedHashes_)
         store_.erase(hash_val);
     stagedHashes_.clear();
+    for (const FenceBatch &batch : fencePending_)
+        for (std::uint32_t hash_val : batch.hashes)
+            store_.erase(hash_val);
+    fencePending_.clear();
+    inflightLogWrites_.clear();
     commitEpoch_.abandon();
     writeQueue_.clear();
     readQueue_.clear();

@@ -233,13 +233,22 @@ class PmnetDevice : public net::ForwardingNode
     /** Application key of an update payload, if parseable. */
     std::optional<ParsedUpdate> parsedKeyOf(const net::Packet &pkt) const;
 
+    /** Outcome of tryLogAndAck, so callers can act on duplicates. */
+    enum class LogAttempt : std::uint8_t
+    {
+        Logged,    ///< admitted: the log will cover this packet
+        Bypassed,  ///< degradation path: forward-only, server ACKs
+        Duplicate, ///< resend of a logged / staged / in-flight packet
+    };
+
     /**
      * Shared logging attempt for UpdateReq/NearDataReq: duplicate
      * re-ACK, bypass degradations, SRAM admission, and the PM-write
-     * continuation. @return true when the packet is (or will be)
-     * covered by the log.
+     * continuation. Duplicate covers committed entries, staged
+     * entries whose fence has not retired, and writes still queued in
+     * SRAM — a resend must never be logged (or served) twice.
      */
-    bool tryLogAndAck(const net::PacketPtr &pkt);
+    LogAttempt tryLogAndAck(const net::PacketPtr &pkt);
 
     /**
      * The log write for @p pkt completed (entry in the store). Per-op
@@ -251,11 +260,24 @@ class PmnetDevice : public net::ForwardingNode
     /** Generate the PMNet-ACK for a durably logged request. */
     void sendPmnetAck(const net::PacketPtr &pkt);
 
-    /** Close the open epoch: the fence covers the staged writes. */
+    /** Close the open epoch: one batch fence covers the staged writes. */
     void closeCommitEpoch(pm::EpochCloseReason reason);
 
-    /** True while @p hash_val is staged in the open (unfenced) epoch. */
+    /** Drop fence batches whose retire tick has passed (now durable). */
+    void retireFencedBatches();
+
+    /**
+     * True while @p hash_val sits in the open epoch or in a closed
+     * batch whose fence has not retired yet — in both cases the entry
+     * is not durable and must not be re-ACKed.
+     */
     bool stagedUnfenced(std::uint32_t hash_val) const;
+
+    /** True while @p hash_val has a log write queued in SRAM. */
+    bool logWriteInFlight(std::uint32_t hash_val) const;
+
+    /** The queued log write for @p hash_val reached PM (or died). */
+    void logWriteLanded(std::uint32_t hash_val);
 
     DeviceConfig config_;
     pm::PmLogStore store_;
@@ -268,8 +290,29 @@ class PmnetDevice : public net::ForwardingNode
      * a duplicate arrival must not be re-ACKed from them.
      */
     std::vector<std::uint32_t> stagedHashes_;
+    /** A closed epoch whose batch fence has not retired yet. */
+    struct FenceBatch
+    {
+        Tick retireAt;
+        std::vector<std::uint32_t> hashes;
+    };
+    /**
+     * Closed-but-unretired batches, oldest first (retire ticks are
+     * monotonic: each close stalls the same write queue). Entries
+     * here are still volatile — a power failure before retireAt rolls
+     * them back exactly like open-epoch stages; their deferred ACKs
+     * are epoch-guarded and die with them.
+     */
+    std::vector<FenceBatch> fencePending_;
     /** When the most recent epoch's batch fence retires (acks wait). */
     Tick fenceRetireAt_ = 0;
+    /**
+     * hashVals admitted to the SRAM write queue whose PM write has
+     * not completed. A duplicate racing this window must not be
+     * admitted again (double log write, and — for near-data — a
+     * double-applied RMW). Bounded by the SRAM queue depth.
+     */
+    std::vector<std::uint32_t> inflightLogWrites_;
     ReadCache cache_;
     const CacheCodec *codec_ = nullptr;
 

@@ -643,6 +643,61 @@ TEST(GroupCommit, DuplicateOfStagedEntryNotReAcked)
         << "exactly one ACK, from the epoch close";
 }
 
+TEST(GroupCommit, PowerFailureInFenceWindowRollsBack)
+{
+    // Crash after the epoch closed but before its batch fence
+    // retired: the entries were never covered by a retired fence, so
+    // they roll back exactly like open-epoch stages — and their
+    // deferred ACKs never leave.
+    auto config = groupCommitConfig(2, microseconds(50));
+    config.fenceLatency = microseconds(40);
+    DeviceRig rig(config);
+    rig.fromClient(rig.update(1));
+    rig.fromClient(rig.update(2));
+    rig.sim.run(rig.sim.now() + microseconds(10));
+    ASSERT_EQ(rig.dev->commitEpoch().stats().epochsClosed, 1u);
+    ASSERT_EQ(rig.dev->logStore().size(), 2u);
+    ASSERT_EQ(rig.client->countType(PacketType::PmnetAck), 0u)
+        << "acks wait for the fence to retire";
+
+    rig.dev->powerFail();
+    rig.dev->powerRestore();
+    rig.sim.run();
+    EXPECT_EQ(rig.dev->logStore().size(), 0u)
+        << "the fence never retired: nothing was durable";
+    EXPECT_EQ(rig.client->countType(PacketType::PmnetAck), 0u);
+}
+
+TEST(GroupCommit, DuplicateInFenceWindowWaitsForDeferredAck)
+{
+    auto config = groupCommitConfig(2, microseconds(50));
+    config.fenceLatency = microseconds(40);
+    DeviceRig rig(config);
+    auto pkt = rig.update(1);
+    rig.fromClient(pkt);
+    rig.fromClient(rig.update(2));
+    rig.sim.run(rig.sim.now() + microseconds(10));
+    ASSERT_EQ(rig.dev->commitEpoch().stats().epochsClosed, 1u);
+
+    // A resend inside the [close, fence-retire) window must not be
+    // re-ACKed immediately — the entry is not durable until the
+    // fence retires; the deferred ACK answers it then.
+    rig.fromClient(pkt);
+    rig.sim.run(rig.sim.now() + microseconds(10));
+    EXPECT_EQ(rig.client->countType(PacketType::PmnetAck), 0u);
+    EXPECT_EQ(rig.dev->stats.updatesReAcked, 0u);
+
+    rig.sim.run();
+    EXPECT_EQ(rig.client->countType(PacketType::PmnetAck), 2u)
+        << "one deferred ACK per op, none for the duplicate";
+
+    // After retirement the entry is durable: duplicates re-ACK.
+    rig.fromClient(pkt);
+    rig.sim.run();
+    EXPECT_EQ(rig.dev->stats.updatesReAcked, 1u);
+    EXPECT_EQ(rig.client->countType(PacketType::PmnetAck), 3u);
+}
+
 // ---------------------------------------------------- near-data RMWs
 
 struct NearDataRig : CacheRig
@@ -733,6 +788,43 @@ TEST(DeviceNearData, UncomputableEntryInvalidatedNotServed)
     EXPECT_EQ(rig.client->countType(PacketType::Response), 0u);
     EXPECT_EQ(rig.server->countType(PacketType::NearDataReq), 1u);
     EXPECT_EQ(rig.dev->cache().stateOf("k"), CacheState::Invalid);
+}
+
+TEST(DeviceNearData, DuplicateNotReappliedOrReserved)
+{
+    // A client resend of an already-logged RMW (its Response was
+    // lost) must not run the in-network compute again: the device
+    // would double-apply INCR against the cache and answer 7 while
+    // the server's reply cache replays 6. The duplicate is re-ACKed
+    // for durability and forwarded; nothing else.
+    NearDataRig rig;
+    rig.persistKey(1, "ctr", "5");
+
+    auto incr = rig.nearCmd(2, {"INCR", "ctr"});
+    rig.fromClient(incr);
+    rig.sim.run();
+    ASSERT_EQ(rig.dev->stats.nearDataServed, 1u);
+    ASSERT_EQ(rig.client->countType(PacketType::Response), 1u);
+
+    rig.fromClient(incr); // resend after a lost Response
+    rig.sim.run();
+    EXPECT_EQ(rig.dev->stats.nearDataServed, 1u)
+        << "duplicate must not be computed or served again";
+    EXPECT_EQ(rig.client->countType(PacketType::Response), 1u);
+    EXPECT_EQ(rig.dev->stats.updatesReAcked, 1u)
+        << "durability is still re-ACKed";
+    EXPECT_EQ(rig.server->countType(PacketType::NearDataReq), 2u)
+        << "the duplicate still travels to the server";
+
+    // The cached value must still be the single application (6, not
+    // 7): a GET served by the switch proves it was not re-applied.
+    rig.fromClient(rig.getCmd(3, "ctr"));
+    rig.sim.run();
+    ASSERT_EQ(rig.dev->stats.cacheResponses, 1u);
+    auto decoded = apps::decodeResponse(
+        rig.client->lastOfType(PacketType::Response)->payload);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->value, "6") << "INCR applied exactly once";
 }
 
 TEST(DeviceNearData, CorruptNearDataDropped)

@@ -401,11 +401,10 @@ TEST(LogQueue, RingWrapsUnderSustainedTraffic)
 
 TEST(LogQueue, RingRejectsWhenAllSlotsPending)
 {
-    // Accesses of minimum size: slot count (== capacity bytes) can in
-    // principle bound admissions before the byte budget does; a full
-    // ring must reject, not overwrite.
+    // Tiny accesses can fill the slot ring before the byte budget; a
+    // full ring must reject, not overwrite.
     DevicePmConfig config;
-    LogQueue queue(4, config);
+    LogQueue queue(1024, config, /*max_pending=*/4);
     EXPECT_TRUE(queue.admitWrite(1, 0).has_value());
     EXPECT_TRUE(queue.admitWrite(1, 0).has_value());
     EXPECT_TRUE(queue.admitWrite(1, 0).has_value());
@@ -414,6 +413,34 @@ TEST(LogQueue, RingRejectsWhenAllSlotsPending)
     EXPECT_EQ(queue.rejected(), 1u);
     // Completed accesses free their slots.
     EXPECT_TRUE(queue.admitWrite(1, microseconds(100)).has_value());
+}
+
+TEST(LogQueue, RingSizedByMinAccessNotByBytes)
+{
+    // The ring holds capacity/kMinAccessBytes slots, not one per
+    // byte: a 1 MB SRAM budget must not allocate a 1M-entry ring.
+    DevicePmConfig config;
+    LogQueue queue(1 << 20, config);
+    EXPECT_EQ(queue.pendingCapacity(), (1u << 20) / kMinAccessBytes);
+    // Tiny capacities still get at least one slot.
+    LogQueue small(4, config);
+    EXPECT_EQ(small.pendingCapacity(), 1u);
+    EXPECT_TRUE(small.admitWrite(1, 0).has_value());
+    // An explicit override wins.
+    LogQueue overridden(4096, config, 7);
+    EXPECT_EQ(overridden.pendingCapacity(), 7u);
+}
+
+TEST(LogQueue, ZeroByteAccessRejected)
+{
+    // A 0-byte access would consume a slot without consuming budget,
+    // breaking the >=1-byte-per-slot sizing invariant.
+    DevicePmConfig config;
+    LogQueue queue(4096, config);
+    EXPECT_FALSE(queue.admitWrite(0, 0).has_value());
+    EXPECT_FALSE(queue.admitRead(0, 0).has_value());
+    EXPECT_EQ(queue.rejected(), 2u);
+    EXPECT_EQ(queue.admitted(), 0u);
 }
 
 // -------------------------------------------------------- commit epoch
