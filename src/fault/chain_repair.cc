@@ -1,0 +1,105 @@
+#include "fault/chain_repair.h"
+
+#include "common/logging.h"
+
+namespace pmnet::fault {
+
+void
+ChainRepairCoordinator::beginRepair(unsigned shard, std::size_t target)
+{
+    if (bed_.shardMap() == nullptr)
+        fatal("ChainRepairCoordinator: testbed has no shard map");
+    if (target >= bed_.shardDeviceCount(shard))
+        fatal("ChainRepairCoordinator: target %zu out of range", target);
+    for (const Repair &repair : repairs_) {
+        if (repair.shard == shard && repair.target == target)
+            return; // already registered (idempotent)
+    }
+    repairs_.push_back(Repair{shard, target});
+}
+
+bool
+ChainRepairCoordinator::verified(const Repair &repair) const
+{
+    const pm::PmLogStore &target_log =
+        bed_.shardDevice(repair.shard, repair.target).logStore();
+    bool complete = true;
+    for (std::size_t d = 0; d < bed_.shardDeviceCount(repair.shard);
+         d++) {
+        if (d == repair.target)
+            continue;
+        bed_.shardDevice(repair.shard, d)
+            .logStore()
+            .forEach([&](const pm::LogEntry &entry) {
+                if (target_log.lookup(entry.hashVal) == nullptr)
+                    complete = false;
+            });
+    }
+    return complete;
+}
+
+bool
+ChainRepairCoordinator::poll()
+{
+    for (std::size_t i = 0; i < repairs_.size();) {
+        const Repair &repair = repairs_[i];
+
+        // Step 1: the whole chain must be powered — a repair cannot
+        // make progress into (or out of) a dark device. Additional
+        // crashes mid-repair land here until the power comes back.
+        bool all_up = true;
+        for (std::size_t d = 0;
+             d < bed_.shardDeviceCount(repair.shard); d++) {
+            if (!bed_.shardDevice(repair.shard, d).isUp())
+                all_up = false;
+        }
+        if (!all_up) {
+            i++;
+            continue;
+        }
+
+        // Step 2/3: while a stream is pushing, wait; once quiet,
+        // verify and either finish or restart the stream. With no
+        // surviving peer (replication degree 1) there is nothing to
+        // copy from — the entries died with the old unit, which is
+        // exactly why single-replica chains are repaired by power
+        // restore, not replacement.
+        pmnetdev::PmnetDevice *source = nullptr;
+        for (std::size_t d = 0;
+             d < bed_.shardDeviceCount(repair.shard); d++) {
+            if (d != repair.target) {
+                source = &bed_.shardDevice(repair.shard, d);
+                break;
+            }
+        }
+
+        bool streaming = false;
+        for (std::size_t d = 0;
+             d < bed_.shardDeviceCount(repair.shard); d++) {
+            if (d != repair.target &&
+                bed_.shardDevice(repair.shard, d).resilverActive())
+                streaming = true;
+        }
+        if (streaming) {
+            i++;
+            continue;
+        }
+
+        if (source == nullptr || verified(repair)) {
+            bed_.shardMap()->setHealth(repair.shard,
+                                       pmnet::ShardMap::Health::Healthy);
+            repairsCompleted_++;
+            repairs_.erase(repairs_.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+            continue;
+        }
+
+        source->resilverTo(
+            bed_.shardDevice(repair.shard, repair.target).id());
+        streamsStarted_++;
+        i++;
+    }
+    return repairs_.empty();
+}
+
+} // namespace pmnet::fault

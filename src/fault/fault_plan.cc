@@ -3,6 +3,7 @@
 #include <atomic>
 #include <set>
 
+#include "common/key.h"
 #include "common/logging.h"
 
 namespace pmnet::fault {
@@ -71,8 +72,21 @@ struct FaultRunner::SessionTrack
 {
     /** Op indices whose sendUpdate completion fired (client-acked). */
     std::set<int> acked;
-    /** Op indices in the order the server applied them (via the tap). */
-    std::vector<int> applied;
+    /**
+     * Op indices in the order each shard's server applied them (via
+     * the tap; the shard is re-derived from the command's key hash).
+     * One entry with shards == 1 — the historical global order.
+     */
+    std::vector<std::vector<int>> appliedByShard;
+
+    std::size_t
+    appliedTotal() const
+    {
+        std::size_t total = 0;
+        for (const auto &ops : appliedByShard)
+            total += ops.size();
+        return total;
+    }
 };
 
 FaultRunner::FaultRunner(FaultRunConfig config) : config_(std::move(config))
@@ -82,6 +96,7 @@ FaultRunner::FaultRunner(FaultRunConfig config) : config_(std::move(config))
         return std::make_unique<EmptyWorkload>();
     };
     testbed_ = std::make_unique<testbed::Testbed>(config_.testbed);
+    repairCoord_ = std::make_unique<ChainRepairCoordinator>(*testbed_);
 }
 
 FaultRunner::~FaultRunner() = default;
@@ -194,6 +209,37 @@ FaultRunner::scheduleAction(const FaultAction &action)
             [this, idx] { testbed_->device(idx).replaceUnit(); });
         break;
       }
+      case FaultAction::Kind::ChainRepair: {
+        if (testbed_->shardMap() == nullptr)
+            fatal("FaultRunner: ChainRepair requires shards > 1");
+        std::size_t idx = static_cast<std::size_t>(action.index);
+        // Flat device index -> (shard, index within the chain).
+        unsigned shard = 0;
+        std::size_t local = idx;
+        while (local >= testbed_->shardDeviceCount(shard)) {
+            local -= testbed_->shardDeviceCount(shard);
+            shard++;
+        }
+        bool replace = action.replace;
+        sim::Simulator &dsim = testbed_->device(idx).simulator();
+        dsim.scheduleAt(base_tick + action.at, [this, idx, shard] {
+            testbed_->device(idx).powerFail();
+            testbed_->shardMap()->setHealth(
+                shard, pmnet::ShardMap::Health::Failed);
+        });
+        dsim.scheduleAt(base_tick + action.at + action.duration,
+                        [this, idx, shard, local, replace] {
+                            if (replace)
+                                testbed_->device(idx).replaceUnit();
+                            else
+                                testbed_->device(idx).powerRestore();
+                            testbed_->shardMap()->setHealth(
+                                shard,
+                                pmnet::ShardMap::Health::Resilvering);
+                            repairCoord_->beginRepair(shard, local);
+                        });
+        break;
+      }
     }
 }
 
@@ -213,11 +259,13 @@ FaultRunner::issueUpdates()
                       stagger;
             sim.scheduleAt(at, [this, c, i] {
                 int session = static_cast<int>(c) + 1;
+                std::string key =
+                    keyName(session, i % config_.keysPerSession);
+                std::uint64_t key_hash = hashKey(key);
                 apps::Command cmd{
-                    {"SET", keyName(session, i % config_.keysPerSession),
-                     valueName(session, i)}};
+                    {"SET", std::move(key), valueName(session, i)}};
                 testbed_->clientLib(c).sendUpdate(
-                    apps::encodeCommand(cmd),
+                    apps::encodeCommand(cmd), key_hash,
                     [this, c, i] { sessions_[c].acked.insert(i); });
             });
         }
@@ -237,13 +285,30 @@ void
 FaultRunner::drain(const char *phase)
 {
     int rounds = 0;
-    while (rounds < config_.maxDrainRounds && outstandingTotal() > 0) {
-        testbed_->runFor(config_.drainWindow);
+    // Windows advance along an absolute cursor, not from now(): the
+    // simulator clock parks on the last executed event, so now()-based
+    // windows stall forever when the next pending event (a client
+    // retry timer, say) lies beyond one window.
+    Tick target = testbed_->now();
+    while (rounds < config_.maxDrainRounds &&
+           (outstandingTotal() > 0 || !repairCoord_->idle())) {
+        target += config_.drainWindow;
+        testbed_->runUntil(target);
+        // Between windows no partition event is executing — the one
+        // place the repair coordinator may inspect cross-partition
+        // device state and (re)start resilver streams.
+        repairCoord_->poll();
         rounds++;
     }
     // One settle window: lets trailing server-ACKs pass the devices so
     // log invalidations and cache transitions finish.
-    testbed_->runFor(config_.drainWindow);
+    testbed_->runUntil(target + config_.drainWindow);
+    if (!repairCoord_->idle())
+        report_.addViolation(
+            "liveness", std::string(phase) +
+                            ": chain repair never completed within " +
+                            std::to_string(config_.maxDrainRounds) +
+                            " drain rounds");
     if (outstandingTotal() > 0)
         report_.addViolation(
             "liveness", std::string(phase) + ": " +
@@ -253,18 +318,37 @@ FaultRunner::drain(const char *phase)
                             " drain rounds");
 }
 
+unsigned
+FaultRunner::shardOfKey(const std::string &key) const
+{
+    const pmnet::ShardMap *map = testbed_->shardMap();
+    return map ? map->ownerOf(hashKey(key)) : 0;
+}
+
 void
 FaultRunner::checkDurabilityAndOrder()
 {
+    unsigned shard_count = testbed_->shardCount();
     for (std::size_t c = 0; c < testbed_->clientCount(); c++) {
         const SessionTrack &track = sessions_[c];
         int session = static_cast<int>(c) + 1;
-        std::set<int> applied(track.applied.begin(), track.applied.end());
+        std::set<int> applied;
+        for (const auto &ops : track.appliedByShard)
+            applied.insert(ops.begin(), ops.end());
 
-        // P1a: every client-acked update was applied by the server.
-        int max_acked = -1;
+        // The issue-order op stream, split by owning shard — the
+        // ground truth both P1b and P2 compare against. An op's seq
+        // number is its 1-based position within its shard's stream
+        // (ClientLib numbers each shard's updates independently).
+        std::vector<std::vector<int>> expected(shard_count);
+        for (int i = 0; i < config_.updatesPerClient; i++) {
+            unsigned shard = shardOfKey(
+                keyName(session, i % config_.keysPerSession));
+            expected[shard].push_back(i);
+        }
+
+        // P1a: every client-acked update was applied by its server.
         for (int i : track.acked) {
-            max_acked = i > max_acked ? i : max_acked;
             if (applied.count(i) == 0)
                 report_.addViolation(
                     "P1-durability",
@@ -272,50 +356,58 @@ FaultRunner::checkDurabilityAndOrder()
                         std::to_string(i) + " never applied");
         }
 
-        // P1b: the persisted watermark covers the acked prefix (op i
-        // carries SeqNum i+1 — single-fragment updates).
-        std::uint32_t watermark = testbed_->serverLib().appliedSeq(
-            static_cast<std::uint16_t>(session));
-        if (max_acked >= 0 &&
-            watermark < static_cast<std::uint32_t>(max_acked + 1))
-            report_.addViolation(
-                "P1-durability",
-                "session " + std::to_string(session) +
-                    ": persisted watermark " + std::to_string(watermark) +
-                    " below max acked seq " +
-                    std::to_string(max_acked + 1));
+        for (unsigned s = 0; s < shard_count; s++) {
+            const std::vector<int> &issue_order = expected[s];
+            const std::vector<int> &applied_here =
+                track.appliedByShard[s];
 
-        // P2: the server applied this session's stream exactly once,
-        // in issue order, gap-free.
-        for (std::size_t pos = 0; pos < track.applied.size(); pos++) {
-            if (track.applied[pos] != static_cast<int>(pos)) {
+            // P1b: shard s's persisted watermark covers every acked
+            // op it owns (op at position p carries SeqNum p+1 —
+            // single-fragment updates in per-shard sequence spaces).
+            std::uint32_t max_acked_seq = 0;
+            for (std::size_t pos = 0; pos < issue_order.size(); pos++) {
+                if (track.acked.count(issue_order[pos]))
+                    max_acked_seq = static_cast<std::uint32_t>(pos + 1);
+            }
+            std::uint32_t watermark = testbed_->serverLib(s).appliedSeq(
+                static_cast<std::uint16_t>(session));
+            if (watermark < max_acked_seq)
+                report_.addViolation(
+                    "P1-durability",
+                    "session " + std::to_string(session) + " shard " +
+                        std::to_string(s) + ": persisted watermark " +
+                        std::to_string(watermark) +
+                        " below max acked seq " +
+                        std::to_string(max_acked_seq));
+
+            // P2: shard s applied its slice of the session's stream
+            // exactly once, in issue order, gap-free.
+            for (std::size_t pos = 0; pos < applied_here.size(); pos++) {
+                if (pos >= issue_order.size() ||
+                    applied_here[pos] != issue_order[pos]) {
+                    report_.addViolation(
+                        "P2-order",
+                        "session " + std::to_string(session) + " shard " +
+                            std::to_string(s) + ": applied op " +
+                            std::to_string(applied_here[pos]) +
+                            " at position " + std::to_string(pos));
+                    break;
+                }
+            }
+            if (applied_here.size() != issue_order.size())
                 report_.addViolation(
                     "P2-order",
-                    "session " + std::to_string(session) +
-                        ": applied op " +
-                        std::to_string(track.applied[pos]) +
-                        " at position " + std::to_string(pos));
-                break;
-            }
+                    "session " + std::to_string(session) + " shard " +
+                        std::to_string(s) + ": applied " +
+                        std::to_string(applied_here.size()) + " of " +
+                        std::to_string(issue_order.size()) + " ops");
         }
-        if (track.applied.size() !=
-            static_cast<std::size_t>(config_.updatesPerClient))
-            report_.addViolation(
-                "P2-order",
-                "session " + std::to_string(session) + ": applied " +
-                    std::to_string(track.applied.size()) + " of " +
-                    std::to_string(config_.updatesPerClient) + " ops");
     }
 }
 
 void
 FaultRunner::auditStore()
 {
-    apps::CommandStore *store = testbed_->commandStore();
-    if (store == nullptr) {
-        report_.addViolation("P1-durability", "command store missing");
-        return;
-    }
     int window = config_.keysPerSession < config_.updatesPerClient
                      ? config_.keysPerSession
                      : config_.updatesPerClient;
@@ -326,14 +418,24 @@ FaultRunner::auditStore()
             int last = j + config_.keysPerSession *
                                ((config_.updatesPerClient - 1 - j) /
                                 config_.keysPerSession);
+            std::string key = keyName(session, j);
             std::string expected = valueName(session, last);
-            apps::Command cmd{{"GET", keyName(session, j)}};
+            // The key's owning shard is the one server that must hold
+            // its committed value.
+            apps::CommandStore *store =
+                testbed_->commandStore(shardOfKey(key));
+            if (store == nullptr) {
+                report_.addViolation("P1-durability",
+                                     "command store missing");
+                return;
+            }
+            apps::Command cmd{{"GET", key}};
             apps::CommandStore::Result res = store->execute(cmd, 0);
             if (res.status != apps::RespStatus::Ok ||
                 res.value != expected)
                 report_.addViolation(
                     "P1-durability",
-                    "store key " + keyName(session, j) + ": expected \"" +
+                    "store key " + key + ": expected \"" +
                         expected + "\", found \"" + res.value +
                         "\" (status " +
                         std::to_string(static_cast<int>(res.status)) +
@@ -341,7 +443,8 @@ FaultRunner::auditStore()
         }
     }
     // The audit reads are host-side bookkeeping, not simulated work.
-    testbed_->serverHeap().drainCost();
+    for (unsigned s = 0; s < testbed_->shardCount(); s++)
+        testbed_->serverHeap(s).drainCost();
 }
 
 void
@@ -349,16 +452,30 @@ FaultRunner::auditCache()
 {
     if (!config_.testbed.cacheEnabled || testbed_->deviceCount() == 0)
         return;
-    auto &cache =
-        testbed_->device(testbed_->deviceCount() - 1).cache();
     std::uint64_t persisted = 0, pending = 0, stale = 0;
+    for (unsigned s = 0; s < testbed_->shardCount(); s++)
+        auditCacheOf(s, &persisted, &pending, &stale);
+    report_.setCounter("cache-persisted", persisted);
+    report_.setCounter("cache-pending", pending);
+    report_.setCounter("cache-stale", stale);
+}
+
+void
+FaultRunner::auditCacheOf(unsigned shard, std::uint64_t *persisted,
+                          std::uint64_t *pending, std::uint64_t *stale)
+{
+    // Each shard's caching device is the tail of its own chain.
+    auto &cache =
+        testbed_->shardDevice(shard,
+                              testbed_->shardDeviceCount(shard) - 1)
+            .cache();
     for (const auto &entry : cache.dump()) {
         switch (entry.state) {
-          case pmnetdev::CacheState::Pending: pending++; break;
-          case pmnetdev::CacheState::Stale: stale++; break;
+          case pmnetdev::CacheState::Pending: (*pending)++; break;
+          case pmnetdev::CacheState::Stale: (*stale)++; break;
           case pmnetdev::CacheState::Invalid: break;
           case pmnetdev::CacheState::Persisted: {
-            persisted++;
+            (*persisted)++;
             // A Persisted entry claims to hold the server-committed
             // value; anything older served from here is P3's stale
             // read. Foreign keys (none expected) are skipped.
@@ -390,9 +507,6 @@ FaultRunner::auditCache()
           }
         }
     }
-    report_.setCounter("cache-persisted", persisted);
-    report_.setCounter("cache-pending", pending);
-    report_.setCounter("cache-stale", stale);
 }
 
 void
@@ -422,7 +536,7 @@ FaultRunner::auditReadsEndToEnd()
                 at, [this, c, key, expected, done] {
                     apps::Command cmd{{"GET", key}};
                     testbed_->clientLib(c).bypass(
-                        apps::encodeCommand(cmd),
+                        apps::encodeCommand(cmd), hashKey(key),
                         [this, key, expected, done](const Bytes &wire) {
                             done->fetch_add(1,
                                             std::memory_order_relaxed);
@@ -446,9 +560,11 @@ FaultRunner::auditReadsEndToEnd()
         }
     }
     int rounds = 0;
+    Tick target = testbed_->now();
     while (rounds < config_.maxDrainRounds &&
            (completed.load() < pending || outstandingTotal() > 0)) {
-        testbed_->runFor(config_.drainWindow);
+        target += config_.drainWindow;
+        testbed_->runUntil(target);
         rounds++;
     }
     if (completed.load() < pending)
@@ -476,7 +592,8 @@ FaultRunner::collectCounters()
             }
         }
     };
-    add(testbed_->serverHost());
+    for (unsigned s = 0; s < testbed_->shardCount(); s++)
+        add(testbed_->serverHost(s));
     for (std::size_t i = 0; i < testbed_->deviceCount(); i++)
         add(testbed_->device(i));
     for (std::size_t c = 0; c < testbed_->clientCount(); c++)
@@ -488,7 +605,7 @@ FaultRunner::collectCounters()
     std::uint64_t timeouts = 0, resent = 0, by_pmnet = 0, by_server = 0;
     for (std::size_t c = 0; c < testbed_->clientCount(); c++) {
         acked += sessions_[c].acked.size();
-        applied += sessions_[c].applied.size();
+        applied += sessions_[c].appliedTotal();
         const stack::ClientStats &cs = testbed_->clientLib(c).stats;
         timeouts += cs.timeouts;
         resent += cs.packetsResent;
@@ -503,24 +620,44 @@ FaultRunner::collectCounters()
     report_.setCounter("client-completed-server", by_server);
 
     std::uint64_t logged = 0, reacked = 0, retrans = 0, replayed = 0;
+    std::uint64_t resilver_sent = 0, resilver_logged = 0;
     for (std::size_t i = 0; i < testbed_->deviceCount(); i++) {
         const pmnetdev::DeviceStats &ds = testbed_->device(i).stats;
         logged += ds.updatesLogged;
         reacked += ds.updatesReAcked;
         retrans += ds.retransServed;
         replayed += ds.recoveryResent;
+        resilver_sent += ds.resilverPushesSent;
+        resilver_logged += ds.resilverLogged;
     }
     report_.setCounter("device-logged", logged);
     report_.setCounter("device-reacked", reacked);
     report_.setCounter("device-retrans-served", retrans);
     report_.setCounter("device-recovery-resent", replayed);
+    if (testbed_->shardMap() != nullptr) {
+        report_.setCounter("resilver-pushes", resilver_sent);
+        report_.setCounter("resilver-logged", resilver_logged);
+        report_.setCounter("resilver-streams",
+                           repairCoord_->streamsStarted());
+        report_.setCounter("repairs-completed",
+                           repairCoord_->repairsCompleted());
+    }
 
-    const stack::ServerStats &ss = testbed_->serverLib().stats;
-    report_.setCounter("server-applied", ss.updatesApplied);
-    report_.setCounter("server-duplicates", ss.duplicatesDropped);
-    report_.setCounter("server-makeup-acks", ss.makeupAcks);
-    report_.setCounter("server-recoveries", ss.recoveries);
-    report_.setCounter("server-acks", ss.acksSent);
+    std::uint64_t srv_applied = 0, srv_dups = 0, srv_makeup = 0;
+    std::uint64_t srv_recoveries = 0, srv_acks = 0;
+    for (unsigned s = 0; s < testbed_->shardCount(); s++) {
+        const stack::ServerStats &ss = testbed_->serverLib(s).stats;
+        srv_applied += ss.updatesApplied;
+        srv_dups += ss.duplicatesDropped;
+        srv_makeup += ss.makeupAcks;
+        srv_recoveries += ss.recoveries;
+        srv_acks += ss.acksSent;
+    }
+    report_.setCounter("server-applied", srv_applied);
+    report_.setCounter("server-duplicates", srv_dups);
+    report_.setCounter("server-makeup-acks", srv_makeup);
+    report_.setCounter("server-recoveries", srv_recoveries);
+    report_.setCounter("server-acks", srv_acks);
 }
 
 const InvariantReport &
@@ -533,6 +670,8 @@ FaultRunner::run(const FaultPlan &plan)
         "fault-plan:" + plan.name + ":seed" +
         std::to_string(config_.testbed.seed));
     sessions_.assign(testbed_->clientCount(), SessionTrack{});
+    for (SessionTrack &track : sessions_)
+        track.appliedByShard.resize(testbed_->shardCount());
 
     testbed_->setHandlerTap([this](std::uint16_t, bool is_update,
                                    const apps::Command &cmd) {
@@ -542,8 +681,11 @@ FaultRunner::run(const FaultPlan &plan)
         if (!parseValue(cmd.args[2], &session, &op))
             return;
         std::size_t idx = static_cast<std::size_t>(session) - 1;
-        if (idx < sessions_.size())
-            sessions_[idx].applied.push_back(op);
+        if (idx < sessions_.size()) {
+            unsigned shard = shardOfKey(cmd.args[1]);
+            std::lock_guard<std::mutex> lock(tapMutex_);
+            sessions_[idx].appliedByShard[shard].push_back(op);
+        }
     });
 
     for (std::size_t c = 0; c < testbed_->clientCount(); c++)
@@ -553,13 +695,24 @@ FaultRunner::run(const FaultPlan &plan)
     issueUpdates();
 
     // Run at least to the end of the plan (a power cut scheduled past
-    // the last completion must still happen), then drain.
+    // the last completion must still happen), then drain. The run is
+    // chopped into drain-sized windows with a repair-coordinator poll
+    // between each, so a repair beginning mid-plan starts its resilver
+    // stream while the chain still holds live entries — not after the
+    // dust has settled.
     TickDelta horizon = 0;
     for (const FaultAction &action : plan.actions) {
         TickDelta end = action.at + action.duration;
         horizon = end > horizon ? end : horizon;
     }
-    testbed_->runFor(horizon);
+    Tick plan_end = testbed_->now() + horizon;
+    for (Tick target = testbed_->now(); target < plan_end;) {
+        target += config_.drainWindow;
+        if (target > plan_end)
+            target = plan_end;
+        testbed_->runUntil(target);
+        repairCoord_->poll();
+    }
     drain("updates");
 
     checkDurabilityAndOrder();

@@ -32,6 +32,7 @@
 #include <memory>
 #include <mutex>
 
+#include "fault/chain_repair.h"
 #include "fault/invariants.h"
 #include "testbed/system.h"
 
@@ -51,6 +52,15 @@ struct FaultAction
         DevicePowerCut,
         /** Permanently replace device `index` (empty log comes back). */
         DeviceReplace,
+        /**
+         * Sharded-fabric chain repair (requires shards > 1): cut
+         * power to device `index` and mark its shard Failed; after
+         * `duration`, swap the unit (replace == true; empty log) or
+         * restore power, mark the shard Resilvering, and hand it to
+         * the ChainRepairCoordinator, which re-silvers the log from
+         * the surviving peers and returns the shard to Healthy.
+         */
+        ChainRepair,
     };
 
     /** Which link a LossBurst/DropNext applies to. */
@@ -74,6 +84,8 @@ struct FaultAction
     /** Device or client index, per Where/Kind. */
     int index = 0;
     Where where = Where::ServerLink;
+    /** ChainRepair: swap the unit (empty log) vs. restore power. */
+    bool replace = true;
 };
 
 /** A named, ordered fault schedule. */
@@ -128,6 +140,9 @@ class FaultRunner
     /** The system under test (valid for the runner's lifetime). */
     testbed::Testbed &testbed() { return *testbed_; }
 
+    /** The repair coordinator (valid for the runner's lifetime). */
+    ChainRepairCoordinator &repairCoordinator() { return *repairCoord_; }
+
     const InvariantReport &report() const { return report_; }
 
   private:
@@ -138,14 +153,19 @@ class FaultRunner
     void issueUpdates();
     void drain(const char *phase);
     std::size_t outstandingTotal() const;
+    /** Owning shard of a scripted key (0 without a shard map). */
+    unsigned shardOfKey(const std::string &key) const;
     void checkDurabilityAndOrder();
     void auditStore();
     void auditCache();
+    void auditCacheOf(unsigned shard, std::uint64_t *persisted,
+                      std::uint64_t *pending, std::uint64_t *stale);
     void auditReadsEndToEnd();
     void collectCounters();
 
     FaultRunConfig config_;
     std::unique_ptr<testbed::Testbed> testbed_;
+    std::unique_ptr<ChainRepairCoordinator> repairCoord_;
     InvariantReport report_;
     /**
      * Guards report_ inside simulation callbacks: with simThreads >= 1
@@ -157,6 +177,13 @@ class FaultRunner
      * either way).
      */
     std::mutex reportMutex_;
+    /**
+     * Guards the handler-tap bookkeeping: with shards > 1 one
+     * session's updates apply on several server partitions, which can
+     * run on different workers. Per-shard apply order is preserved
+     * (each shard's taps are sequential on its own partition).
+     */
+    std::mutex tapMutex_;
     std::vector<SessionTrack> sessions_;
     bool ran_ = false;
 };

@@ -308,6 +308,7 @@ packetTypeName(PacketType type)
       case PacketType::Heartbeat: return "heartbeat";
       case PacketType::HeartbeatAck: return "heartbeat-ack";
       case PacketType::NearDataReq: return "near-data-req";
+      case PacketType::ResilverPush: return "resilver-push";
     }
     return "unknown";
 }
@@ -377,7 +378,7 @@ PmnetHeader::parse(const std::uint8_t *data, std::size_t len,
         return false;
     std::uint8_t raw_type = data[0];
     if (raw_type < 1 ||
-        raw_type > static_cast<std::uint8_t>(PacketType::NearDataReq)) {
+        raw_type > static_cast<std::uint8_t>(PacketType::ResilverPush)) {
         return false;
     }
     out.type = static_cast<PacketType>(raw_type);

@@ -184,7 +184,8 @@ FlightRecorder::lookup(std::uint64_t request_id)
 
 void
 FlightRecorder::begin(std::uint64_t request_id, std::uint16_t session,
-                      std::uint32_t first_seq, bool is_update, Tick now)
+                      std::uint32_t first_seq, bool is_update, Tick now,
+                      std::uint16_t shard)
 {
     if (!enabled_ || request_id == 0)
         return;
@@ -210,6 +211,7 @@ FlightRecorder::begin(std::uint64_t request_id, std::uint16_t session,
     }
 
     trace->session = session;
+    trace->shard = shard;
     trace->firstSeq = first_seq;
     trace->isUpdate = is_update;
     trace->at.fill(RequestTrace::kUnset);

@@ -132,6 +132,14 @@ struct RequestTrace
 
     std::uint64_t requestId = 0; ///< 0 = free slot
     std::uint16_t session = 0;
+    /**
+     * Owning shard in a multi-shard fabric (0 otherwise). The request
+     * id itself is re-keyed with the shard (bits [32,40), see
+     * ClientLib::newRequestId), so the open-addressing id index keeps
+     * two shards' equal local seqs on distinct traces without
+     * widening every stamp; the field here is attribution metadata.
+     */
+    std::uint16_t shard = 0;
     std::uint32_t firstSeq = 0;
     bool isUpdate = false;
     bool completed = false;
@@ -183,17 +191,20 @@ class FlightRecorder
     void setConcurrent(bool on) { concurrent_ = on; }
 
 #ifdef PMNET_OBS_NO_TRACING
-    void begin(std::uint64_t, std::uint16_t, std::uint32_t, bool, Tick) {}
+    void begin(std::uint64_t, std::uint16_t, std::uint32_t, bool, Tick,
+               std::uint16_t = 0) {}
     void stampAt(std::uint64_t, Stamp, Tick) {}
     void complete(std::uint64_t, Tick, bool) {}
 #else
     /**
      * Open a trace for @p request_id and record ClientSend at @p now.
      * Evicts the oldest trace when the slab is full (wrap-around).
-     * request_id 0 is reserved/invalid and ignored.
+     * request_id 0 is reserved/invalid and ignored. @p shard tags the
+     * trace with the owning fabric shard (0 without sharding).
      */
     void begin(std::uint64_t request_id, std::uint16_t session,
-               std::uint32_t first_seq, bool is_update, Tick now);
+               std::uint32_t first_seq, bool is_update, Tick now,
+               std::uint16_t shard = 0);
 
     /**
      * Record @p stamp at @p now. Unknown ids, frozen (completed)

@@ -102,6 +102,9 @@ PmnetDevice::process(PacketPtr pkt)
       case PacketType::RecoveryPoll:
         handleRecoveryPoll(pkt);
         break;
+      case PacketType::ResilverPush:
+        handleResilverPush(pkt);
+        break;
       case PacketType::Heartbeat:
         // Another device's probe passing through.
         forward(std::move(pkt));
@@ -654,6 +657,160 @@ PmnetDevice::recoveryResendNext(std::vector<std::uint32_t> hashes,
 }
 
 void
+PmnetDevice::resilverTo(net::NodeId peer)
+{
+    std::vector<std::uint32_t> hashes;
+    hashes.reserve(store_.size());
+    store_.forEach([&](const pm::LogEntry &entry) {
+        hashes.push_back(entry.hashVal);
+    });
+    resilverActive_ = true;
+    resilverNext(std::move(hashes), 0, peer);
+}
+
+void
+PmnetDevice::resilverNext(std::vector<std::uint32_t> hashes,
+                          std::size_t index, net::NodeId peer)
+{
+    // Skip entries invalidated (server-acked) since the scan.
+    while (index < hashes.size() && !store_.lookup(hashes[index]))
+        index++;
+    if (index >= hashes.size()) {
+        resilverActive_ = false;
+        return;
+    }
+
+    const pm::LogEntry *entry = store_.lookup(hashes[index]);
+    auto done = readQueue_.admitRead(entry->packet->wireSize(), now());
+    if (!done) {
+        scheduleGuarded(config_.recoveryRetryGap,
+                        [this, hashes = std::move(hashes), index,
+                         peer]() mutable {
+                            resilverNext(std::move(hashes), index, peer);
+                        });
+        return;
+    }
+
+    // Wrap the logged packet: the push travels device-to-device, so
+    // the original envelope (addresses, ports, sim identity) and wire
+    // payload ride inside the push payload and are reconstructed by
+    // the receiver. The push itself is self-hashed, so a corrupting
+    // link cannot smuggle a damaged entry into the replacement's log.
+    const net::PacketPtr logged = entry->packet;
+    Bytes wrapped;
+    ByteWriter writer(wrapped);
+    writer.writeU32(logged->src);
+    writer.writeU32(logged->dst);
+    writer.writeU16(logged->srcPort);
+    writer.writeU16(logged->dstPort);
+    writer.writeU64(logged->requestId);
+    writer.writeU32(logged->fragment);
+    writer.writeU32(logged->fragmentCount);
+    Bytes inner = logged->serializePayload();
+    writer.writeU32(static_cast<std::uint32_t>(inner.size()));
+    writer.writeBytes(inner.data(), inner.size());
+
+    scheduleGuarded(*done - now(),
+                    [this, hashes = std::move(hashes), index, peer,
+                     wrapped = std::move(wrapped), logged]() mutable {
+        stats.resilverPushesSent++;
+        traceEvent("resilver-push", *logged);
+        forward(net::makePmnetPacket(id(), peer,
+                                     PacketType::ResilverPush,
+                                     logged->pmnet->sessionId,
+                                     logged->pmnet->seqNum,
+                                     std::move(wrapped)));
+        resilverNext(std::move(hashes), index + 1, peer);
+    });
+}
+
+void
+PmnetDevice::handleResilverPush(const PacketPtr &pkt)
+{
+    if (pkt->dst != id()) {
+        forward(pkt);
+        return;
+    }
+    stats.resilverReceived++;
+    if (!pkt->verifyHash()) {
+        stats.resilverSkipped++;
+        return;
+    }
+
+    ByteReader reader(pkt->payload);
+    auto rebuilt = net::makePacket();
+    rebuilt->src = reader.readU32();
+    rebuilt->dst = reader.readU32();
+    rebuilt->srcPort = reader.readU16();
+    rebuilt->dstPort = reader.readU16();
+    rebuilt->requestId = reader.readU64();
+    rebuilt->fragment = reader.readU32();
+    rebuilt->fragmentCount = reader.readU32();
+    std::uint32_t inner_len = reader.readU32();
+    if (!reader.ok() || reader.remaining() != inner_len) {
+        stats.resilverSkipped++;
+        return;
+    }
+    Bytes inner = reader.readBytes(inner_len);
+    if (!rebuilt->parsePayload(inner) || !rebuilt->verifyHash()) {
+        stats.resilverSkipped++;
+        return;
+    }
+
+    const std::uint32_t hash_val = rebuilt->pmnet->hashVal;
+    if (store_.lookup(hash_val) || logWriteInFlight(hash_val)) {
+        // Already held (or landing): re-silvering is idempotent.
+        stats.resilverSkipped++;
+        return;
+    }
+    if (rebuilt->wireSize() > config_.pm.slotBytes || store_.full() ||
+        !store_.slotFree(hash_val)) {
+        // Same degradations as the live logging path; the entry stays
+        // recoverable from the surviving replica.
+        stats.resilverSkipped++;
+        return;
+    }
+
+    resilverAdmit(std::move(rebuilt));
+}
+
+void
+PmnetDevice::resilverAdmit(net::PacketPtr restored)
+{
+    const std::uint32_t hash_val = restored->pmnet->hashVal;
+    if (store_.lookup(hash_val) || logWriteInFlight(hash_val)) {
+        stats.resilverSkipped++;
+        return;
+    }
+    auto done = writeQueue_.admitWrite(restored->wireSize(), now());
+    if (!done) {
+        // SRAM write queue momentarily full: retry this push after
+        // the recovery gap rather than dropping it — the source has
+        // already moved on, and a hole would force another full pass.
+        scheduleGuarded(config_.recoveryRetryGap,
+                        [this, restored = std::move(restored)]() mutable {
+                            resilverAdmit(std::move(restored));
+                        });
+        return;
+    }
+    inflightLogWrites_.push_back(hash_val);
+    scheduleGuarded(*done - now(), [this, restored]() {
+        const std::uint32_t h = restored->pmnet->hashVal;
+        logWriteLanded(h);
+        auto result = store_.insert(h, restored, now());
+        if (result == pm::LogInsertResult::Ok) {
+            stats.resilverLogged++;
+            traceEvent("resilver-logged", *restored);
+        } else {
+            stats.resilverSkipped++;
+        }
+        // No client ACK and no epoch staging: the original update's
+        // durability was acknowledged long ago; this write only
+        // restores the replica count.
+    });
+}
+
+void
 PmnetDevice::registerMetrics(obs::MetricRegistry &registry,
                              std::string_view prefix)
 {
@@ -677,6 +834,10 @@ PmnetDevice::registerMetrics(obs::MetricRegistry &registry,
     registry.attach(base + ".nearDataServed", stats.nearDataServed);
     registry.attach(base + ".recoveryPolls", stats.recoveryPolls);
     registry.attach(base + ".recoveryResent", stats.recoveryResent);
+    registry.attach(base + ".resilverPushesSent", stats.resilverPushesSent);
+    registry.attach(base + ".resilverReceived", stats.resilverReceived);
+    registry.attach(base + ".resilverLogged", stats.resilverLogged);
+    registry.attach(base + ".resilverSkipped", stats.resilverSkipped);
     registry.attach(base + ".nonPmnetForwarded", stats.nonPmnetForwarded);
     registry.attach(base + ".heartbeatsSent", stats.heartbeatsSent);
     registry.attach(base + ".heartbeatAcks", stats.heartbeatAcks);
@@ -776,6 +937,7 @@ PmnetDevice::onPowerFail()
             store_.erase(hash_val);
     fencePending_.clear();
     inflightLogWrites_.clear();
+    resilverActive_ = false;
     commitEpoch_.abandon();
     writeQueue_.clear();
     readQueue_.clear();

@@ -127,6 +127,10 @@ struct DeviceStats
     obs::Counter nearDataServed; ///< RMW answered in-network
     obs::Counter recoveryPolls;
     obs::Counter recoveryResent;
+    obs::Counter resilverPushesSent;
+    obs::Counter resilverReceived;
+    obs::Counter resilverLogged;
+    obs::Counter resilverSkipped; ///< duplicate / unparseable push
     obs::Counter nonPmnetForwarded;
     obs::Counter heartbeatsSent;
     obs::Counter heartbeatAcks;
@@ -166,6 +170,25 @@ class PmnetDevice : public net::ForwardingNode
 
     /** True while the monitored server is considered failed. */
     bool serverConsideredDown() const { return serverDown_; }
+
+    /**
+     * Chain repair (DESIGN.md section 14): stream every live log
+     * entry to @p peer — a freshly swapped-in replacement unit in the
+     * same shard chain — as ResilverPush packets, paced by the PM
+     * read queue exactly like a recovery replay. The receiver logs
+     * entries it is missing without generating client ACKs; pushes
+     * for entries it already holds are no-ops, so re-silvering is
+     * idempotent and a crashed stream can simply be restarted.
+     */
+    void resilverTo(net::NodeId peer);
+
+    /**
+     * True while a resilver stream is still pushing entries. Cleared
+     * when the stream finishes or this device loses power; the repair
+     * coordinator polls it between engine windows (quiescent) and
+     * restarts the stream if the source died mid-push.
+     */
+    bool resilverActive() const { return resilverActive_; }
 
     /**
      * Attach an event trace (owned by the caller; nullptr detaches).
@@ -215,6 +238,21 @@ class PmnetDevice : public net::ForwardingNode
     void handleRetrans(const net::PacketPtr &pkt);
     void handleResponse(const net::PacketPtr &pkt);
     void handleRecoveryPoll(const net::PacketPtr &pkt);
+    void handleResilverPush(const net::PacketPtr &pkt);
+
+    /**
+     * Continue a resilver stream over @p hashes toward @p peer (same
+     * move-the-vector pacing discipline as recoveryResendNext).
+     */
+    void resilverNext(std::vector<std::uint32_t> hashes,
+                      std::size_t index, net::NodeId peer);
+
+    /**
+     * Admit a reconstructed resilver entry to the SRAM write queue
+     * (retrying while it is full) and write it to the log. No client
+     * ACK is generated — the write only restores replica count.
+     */
+    void resilverAdmit(net::PacketPtr restored);
 
     /**
      * Continue the recovery resend chain over @p hashes. The vector is
@@ -331,6 +369,9 @@ class PmnetDevice : public net::ForwardingNode
 
     /** Bumped on power failure to invalidate in-flight callbacks. */
     std::uint64_t epoch_ = 0;
+
+    /** A resilver stream is in flight (see resilverActive()). */
+    bool resilverActive_ = false;
 
     /** Optional event trace. */
     TraceRing *trace_ = nullptr;

@@ -22,6 +22,27 @@ ClientLib::ClientLib(Host &host, ClientConfig config)
 }
 
 void
+ClientLib::setShardMap(const pmnet::ShardMap *map,
+                       std::vector<net::NodeId> shard_servers)
+{
+    shardMap_ = map;
+    shardServers_ = std::move(shard_servers);
+    if (!map) {
+        shardSeqs_.assign(1, ShardSeq{});
+        return;
+    }
+    if (shardServers_.size() != map->shardCount())
+        fatal("ClientLib(%s): %zu shard servers for %u shards",
+              host_.name().c_str(), shardServers_.size(),
+              map->shardCount());
+    if (map->shardCount() > 256)
+        fatal("ClientLib(%s): request ids carry an 8-bit shard "
+              "component (%u shards requested)",
+              host_.name().c_str(), map->shardCount());
+    shardSeqs_.assign(map->shardCount(), ShardSeq{});
+}
+
+void
 ClientLib::startSession()
 {
     sessionOpen_ = true;
@@ -38,28 +59,42 @@ ClientLib::endSession()
 }
 
 std::uint64_t
-ClientLib::newRequestId()
+ClientLib::newRequestId(unsigned shard)
 {
-    return (static_cast<std::uint64_t>(host_.id()) << 40) | nextRequest_++;
+    // Bits [40,64): host. Bits [32,40): shard — two shards issuing
+    // the same local counter value still key distinct FlightRecorder
+    // traces. Bits [0,32): per-client counter. Without a shard map
+    // the shard bits are zero, so ids match the single-shard layout.
+    return (static_cast<std::uint64_t>(host_.id()) << 40) |
+           (static_cast<std::uint64_t>(shard) << 32) | nextRequest_++;
 }
 
 void
-ClientLib::sendUpdate(Bytes payload, UpdateDone done)
+ClientLib::sendUpdate(Bytes payload, std::uint64_t key_hash,
+                      UpdateDone done)
 {
     if (!sessionOpen_)
         fatal("ClientLib(%s): sendUpdate before startSession",
               host_.name().c_str());
     stats.updatesSent++;
 
-    std::uint64_t request_id = newRequestId();
+    unsigned shard = shardFor(key_hash);
+    net::NodeId server = serverFor(shard);
+    ShardSeq &seqs = shardSeqs_[shard];
+
+    std::uint64_t request_id = newRequestId(shard);
     if (obs::kTracingCompiledIn && recorder_)
-        recorder_->begin(request_id, config_.sessionId, nextUpdateSeq_,
-                         true, host_.simulator().now());
+        recorder_->begin(request_id, config_.sessionId, seqs.nextUpdate,
+                         true, host_.simulator().now(), shard);
     Request req;
     req.id = request_id;
     req.isUpdate = true;
+    req.shard = shard;
+    req.requireServerAck =
+        shardMap_ &&
+        shardMap_->health(shard) != pmnet::ShardMap::Health::Healthy;
     req.updateDone = std::move(done);
-    req.firstSeq = nextUpdateSeq_;
+    req.firstSeq = seqs.nextUpdate;
 
     // Fragment into MTU-sized packets, one SeqNum each (Sec IV-A3).
     std::size_t total = payload.size();
@@ -72,9 +107,9 @@ ClientLib::sendUpdate(Bytes payload, UpdateDone done)
         std::size_t end = std::min(total, begin + config_.mtuPayload);
         Bytes chunk(payload.begin() + static_cast<long>(begin),
                     payload.begin() + static_cast<long>(end));
-        std::uint32_t seq = nextUpdateSeq_++;
+        std::uint32_t seq = seqs.nextUpdate++;
         net::MutPacketPtr pkt_mut = net::makePmnetPacketMut(
-            host_.id(), config_.server, PacketType::UpdateReq,
+            host_.id(), server, PacketType::UpdateReq,
             config_.sessionId, seq, std::move(chunk), request_id);
         pkt_mut->fragment = static_cast<std::uint32_t>(i);
         pkt_mut->fragmentCount = static_cast<std::uint32_t>(frag_count);
@@ -88,11 +123,18 @@ ClientLib::sendUpdate(Bytes payload, UpdateDone done)
     auto [it, inserted] = requests_.emplace(request_id, std::move(req));
     (void)inserted;
     armTimer(it->second);
+    if (shardDark(shard)) {
+        // The chain is severed: transmitting now feeds a black hole.
+        // Park the request; the retry timer flushes it once repair
+        // begins (the seq is already assigned, so order is kept).
+        stats.shardParked++;
+        return;
+    }
     host_.appSend(std::move(burst));
 }
 
 void
-ClientLib::bypass(Bytes payload, BypassDone done)
+ClientLib::bypass(Bytes payload, std::uint64_t key_hash, BypassDone done)
 {
     if (!sessionOpen_)
         fatal("ClientLib(%s): bypass before startSession",
@@ -102,12 +144,15 @@ ClientLib::bypass(Bytes payload, BypassDone done)
               host_.name().c_str(), payload.size(), config_.mtuPayload);
     stats.bypassSent++;
 
-    std::uint64_t request_id = newRequestId();
-    std::uint32_t seq = nextBypassSeq_++;
+    unsigned shard = shardFor(key_hash);
+    ShardSeq &seqs = shardSeqs_[shard];
+
+    std::uint64_t request_id = newRequestId(shard);
+    std::uint32_t seq = seqs.nextBypass++;
     if (obs::kTracingCompiledIn && recorder_)
         recorder_->begin(request_id, config_.sessionId, seq, false,
-                         host_.simulator().now());
-    PacketPtr pkt = net::makePmnetPacket(host_.id(), config_.server,
+                         host_.simulator().now(), shard);
+    PacketPtr pkt = net::makePmnetPacket(host_.id(), serverFor(shard),
                                          PacketType::BypassReq,
                                          config_.sessionId, seq,
                                          std::move(payload), request_id);
@@ -115,6 +160,7 @@ ClientLib::bypass(Bytes payload, BypassDone done)
     Request req;
     req.id = request_id;
     req.isUpdate = false;
+    req.shard = shard;
     req.bypassDone = std::move(done);
     req.firstSeq = seq;
     req.fragments.push_back(Fragment{pkt, {}, false});
@@ -123,11 +169,16 @@ ClientLib::bypass(Bytes payload, BypassDone done)
     auto [it, inserted] = requests_.emplace(request_id, std::move(req));
     (void)inserted;
     armTimer(it->second);
+    if (shardDark(shard)) {
+        stats.shardParked++;
+        return;
+    }
     host_.appSend({pkt});
 }
 
 void
-ClientLib::sendNearData(Bytes payload, BypassDone done)
+ClientLib::sendNearData(Bytes payload, std::uint64_t key_hash,
+                        BypassDone done)
 {
     if (!sessionOpen_)
         fatal("ClientLib(%s): sendNearData before startSession",
@@ -138,14 +189,17 @@ ClientLib::sendNearData(Bytes payload, BypassDone done)
               host_.name().c_str(), payload.size(), config_.mtuPayload);
     stats.nearDataSent++;
 
-    std::uint64_t request_id = newRequestId();
+    unsigned shard = shardFor(key_hash);
+    ShardSeq &seqs = shardSeqs_[shard];
+
+    std::uint64_t request_id = newRequestId(shard);
     // Near-data requests are update-class: they consume the update
     // sequence space so the server's redo log stays contiguous.
-    std::uint32_t seq = nextUpdateSeq_++;
+    std::uint32_t seq = seqs.nextUpdate++;
     if (obs::kTracingCompiledIn && recorder_)
         recorder_->begin(request_id, config_.sessionId, seq, true,
-                         host_.simulator().now());
-    PacketPtr pkt = net::makePmnetPacket(host_.id(), config_.server,
+                         host_.simulator().now(), shard);
+    PacketPtr pkt = net::makePmnetPacket(host_.id(), serverFor(shard),
                                          PacketType::NearDataReq,
                                          config_.sessionId, seq,
                                          std::move(payload), request_id);
@@ -154,6 +208,10 @@ ClientLib::sendNearData(Bytes payload, BypassDone done)
     req.id = request_id;
     req.isUpdate = true;
     req.isNearData = true;
+    req.shard = shard;
+    req.requireServerAck =
+        shardMap_ &&
+        shardMap_->health(shard) != pmnet::ShardMap::Health::Healthy;
     req.bypassDone = std::move(done);
     req.firstSeq = seq;
     req.fragments.push_back(Fragment{pkt, {}, false});
@@ -162,6 +220,10 @@ ClientLib::sendNearData(Bytes payload, BypassDone done)
     auto [it, inserted] = requests_.emplace(request_id, std::move(req));
     (void)inserted;
     armTimer(it->second);
+    if (shardDark(shard)) {
+        stats.shardParked++;
+        return;
+    }
     host_.appSend({pkt});
 }
 
@@ -194,6 +256,11 @@ ClientLib::fragmentComplete(const Request &req, const Fragment &frag) const
 {
     if (frag.serverAcked)
         return true;
+    // Fail-over to tail: while the shard's chain is being repaired
+    // the replica count is not trustworthy, so only the tail (the
+    // shard server itself) can complete the fragment.
+    if (req.requireServerAck)
+        return false;
     return req.isUpdate &&
            frag.pmnetAckers.size() >= config_.replicationDegree;
 }
@@ -368,6 +435,8 @@ ClientLib::registerMetrics(obs::MetricRegistry &registry,
     registry.attach(base + ".timeouts", stats.timeouts);
     registry.attach(base + ".packetsResent", stats.packetsResent);
     registry.attach(base + ".retransAnswered", stats.retransAnswered);
+    registry.attach(base + ".shardParked", stats.shardParked);
+    registry.attach(base + ".shardHeld", stats.shardHeld);
 }
 
 void
@@ -386,6 +455,14 @@ ClientLib::onTimeout(std::uint64_t request_id)
     if (it == requests_.end())
         return;
     Request &req = it->second;
+    if (shardDark(req.shard)) {
+        // Still a black hole: hold the request instead of feeding
+        // retries into a severed chain. The next timer fire after the
+        // repair begins transmits the pending fragments.
+        stats.shardHeld++;
+        armTimer(req);
+        return;
+    }
     stats.timeouts++;
 
     std::vector<PacketPtr> resend;

@@ -35,6 +35,7 @@
 #include <unordered_map>
 
 #include "obs/metric_registry.h"
+#include "pmnet/shard_map.h"
 #include "stack/host.h"
 
 namespace pmnet::stack {
@@ -78,6 +79,8 @@ struct ClientStats
     obs::Counter timeouts;
     obs::Counter packetsResent;
     obs::Counter retransAnswered;
+    obs::Counter shardParked;    ///< requests created while shard dark
+    obs::Counter shardHeld;      ///< timer fires swallowed while dark
 };
 
 /** The client-side PMNet library. One instance per client host. */
@@ -91,6 +94,19 @@ class ClientLib
     /** Completion callback for bypass requests (carries the reply). */
     using BypassDone = std::function<void(const Bytes &response)>;
 
+    /**
+     * Route requests across a sharded PMNet fabric (DESIGN.md §14).
+     * @p map partitions the key space (owned by the testbed, must
+     * outlive this library); @p shard_servers[s] is the server node
+     * of shard s. Each shard gets an independent update/bypass
+     * sequence space so every shard's server sees a contiguous
+     * stream. Callers then pass the key hash computed at parse time
+     * (KeyRef, PR 3 — never rehash) to sendUpdate/bypass/sendNearData.
+     * Without a map, all requests go to config().server unchanged.
+     */
+    void setShardMap(const pmnet::ShardMap *map,
+                     std::vector<net::NodeId> shard_servers);
+
     /** Open the session (resets sequence numbering). */
     void startSession();
 
@@ -99,16 +115,27 @@ class ClientLib
 
     /**
      * Send an update request; @p done fires when the update is
-     * persistent (in-network or on the server).
+     * persistent (in-network or on the server). @p key_hash selects
+     * the owning shard when a shard map is set (ignored otherwise).
      */
-    void sendUpdate(Bytes payload, UpdateDone done);
+    void sendUpdate(Bytes payload, std::uint64_t key_hash,
+                    UpdateDone done);
+    void sendUpdate(Bytes payload, UpdateDone done)
+    {
+        sendUpdate(std::move(payload), 0, std::move(done));
+    }
 
     /**
      * Send a read/synchronization request that must be processed by
      * the server (or the in-switch cache); never logged or
-     * early-ACKed. Must fit in one MTU payload.
+     * early-ACKed. Must fit in one MTU payload. @p key_hash selects
+     * the owning shard when a shard map is set (ignored otherwise).
      */
-    void bypass(Bytes payload, BypassDone done);
+    void bypass(Bytes payload, std::uint64_t key_hash, BypassDone done);
+    void bypass(Bytes payload, BypassDone done)
+    {
+        bypass(std::move(payload), 0, std::move(done));
+    }
 
     /**
      * Send a near-data RMW request (NearPM-style INCR/APPEND/CAS,
@@ -116,9 +143,15 @@ class ClientLib
      * otherwise). Travels in the update sequence space and is logged
      * like an update, but only completes once a Response arrives —
      * the caller needs the computed value, not just durability. Must
-     * fit in one MTU payload.
+     * fit in one MTU payload. @p key_hash selects the owning shard
+     * when a shard map is set (ignored otherwise).
      */
-    void sendNearData(Bytes payload, BypassDone done);
+    void sendNearData(Bytes payload, std::uint64_t key_hash,
+                      BypassDone done);
+    void sendNearData(Bytes payload, BypassDone done)
+    {
+        sendNearData(std::move(payload), 0, std::move(done));
+    }
 
     /** Requests (of both kinds) still in flight. */
     std::size_t outstanding() const { return requests_.size(); }
@@ -154,6 +187,14 @@ class ClientLib
         bool isUpdate = true;
         /** Update-class, but additionally waits for a Response. */
         bool isNearData = false;
+        /** Owning shard (0 without a shard map). */
+        unsigned shard = 0;
+        /**
+         * Fail-over to tail: issued while the shard was not Healthy,
+         * so only the shard server's own ack completes a fragment —
+         * the chain's replica count cannot be trusted mid-repair.
+         */
+        bool requireServerAck = false;
         std::uint32_t firstSeq = 0;
         std::vector<Fragment> fragments;
         UpdateDone updateDone;
@@ -182,20 +223,44 @@ class ClientLib
     void maybeComplete(std::uint64_t request_id);
     void armTimer(Request &req);
     void onTimeout(std::uint64_t request_id);
-    std::uint64_t newRequestId();
+    std::uint64_t newRequestId(unsigned shard);
+
+    /** Owning shard of @p key_hash (0 without a map). */
+    unsigned shardFor(std::uint64_t key_hash) const
+    {
+        return shardMap_ ? shardMap_->ownerOf(key_hash) : 0;
+    }
+    /** Server node of @p shard. */
+    net::NodeId serverFor(unsigned shard) const
+    {
+        return shardMap_ ? shardServers_[shard] : config_.server;
+    }
+    /** True while @p shard drops traffic (chain severed). */
+    bool shardDark(unsigned shard) const
+    {
+        return shardMap_ &&
+               shardMap_->health(shard) == pmnet::ShardMap::Health::Failed;
+    }
 
     Host &host_;
     ClientConfig config_;
     obs::FlightRecorder *recorder_ = nullptr;
     bool sessionOpen_ = false;
+    const pmnet::ShardMap *shardMap_ = nullptr;
+    std::vector<net::NodeId> shardServers_;
     /**
      * Updates and bypass requests number independently: the update
      * stream must stay contiguous for the server's redo-log ordering
      * (Section IV-A4), while bypass requests may be answered by the
-     * in-switch cache and never reach the server at all.
+     * in-switch cache and never reach the server at all. Each shard
+     * keeps its own pair so its server sees a gap-free stream.
      */
-    std::uint32_t nextUpdateSeq_ = 1;
-    std::uint32_t nextBypassSeq_ = 1;
+    struct ShardSeq
+    {
+        std::uint32_t nextUpdate = 1;
+        std::uint32_t nextBypass = 1;
+    };
+    std::vector<ShardSeq> shardSeqs_{1};
     std::uint64_t nextRequest_ = 1;
     std::unordered_map<std::uint64_t, Request> requests_;
     /** Fragment HashVal -> owning request. */

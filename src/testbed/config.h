@@ -61,6 +61,35 @@ struct TestbedConfig
     /** Chained PMNet devices (Section IV-C replication); 1 = plain. */
     unsigned replicationDegree = 1;
 
+    /**
+     * PMNet fabric shards (DESIGN.md §14). 1 keeps the historical
+     * single-chain topology byte-identical. With N > 1, the testbed
+     * builds N independent replication chains — each with its own
+     * server, heap and store — hanging off the shared ToR, and a
+     * consistent-hash ShardMap routes every request by its key hash.
+     * Requires PmnetSwitch mode and ServerKind::CommandStore (the
+     * routing is keyed; ideal handlers have no keys).
+     */
+    unsigned shards = 1;
+
+    /**
+     * Virtual nodes per shard on the consistent-hash ring; more
+     * vnodes = more even key-space split per shard.
+     */
+    unsigned shardVnodes = pmnet::ShardMap::kDefaultVnodes;
+
+    /**
+     * Open-loop clients: instead of issuing the next command when the
+     * previous completes, each driver fires one command every
+     * openLoopGap (ticks of its own partition clock), up to
+     * openLoopMaxOutstanding in flight — the 1024-client shard
+     * scaling regime. 0 keeps the closed-loop driver.
+     */
+    TickDelta openLoopGap = 0;
+
+    /** In-flight cap per open-loop client (issue ticks skip when full). */
+    std::size_t openLoopMaxOutstanding = 64;
+
     /** Enable the in-switch read cache (on the device next to the
      *  server). */
     bool cacheEnabled = false;

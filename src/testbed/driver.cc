@@ -1,11 +1,18 @@
 #include "testbed/driver.h"
 
+#include "common/key.h"
 #include "common/logging.h"
 
 namespace pmnet::testbed {
 
 using apps::Command;
 using apps::CommandClass;
+
+std::uint64_t
+ClientDriver::commandKeyHash(const Command &cmd)
+{
+    return cmd.args.size() > 1 ? hashKey(cmd.args[1]) : 0;
+}
 
 ClientDriver::ClientDriver(sim::Simulator &simulator,
                            stack::ClientLib &lib,
@@ -22,7 +29,10 @@ ClientDriver::start(TickDelta initial_delay)
 {
     running_ = true;
     lib_.startSession();
-    sim_.schedule(initial_delay, [this]() { nextTransaction(); });
+    if (config_.openLoopGap > 0)
+        sim_.schedule(initial_delay, [this]() { openLoopTick(); });
+    else
+        sim_.schedule(initial_delay, [this]() { nextTransaction(); });
 }
 
 void
@@ -40,7 +50,7 @@ ClientDriver::nextTransaction()
 }
 
 void
-ClientDriver::recordAndAdvance(Tick issued_at, bool is_update)
+ClientDriver::record(Tick issued_at, bool is_update)
 {
     completed_++;
     if (sinks_.measuring && *sinks_.measuring) {
@@ -54,6 +64,12 @@ ClientDriver::recordAndAdvance(Tick issued_at, bool is_update)
         if (sinks_.meter)
             sinks_.meter->complete();
     }
+}
+
+void
+ClientDriver::recordAndAdvance(Tick issued_at, bool is_update)
+{
+    record(issued_at, is_update);
     txnIndex_++;
     if (txnIndex_ >= txn_.size()) {
         txns_++;
@@ -71,13 +87,14 @@ ClientDriver::issueCurrent()
     const Command &cmd = txn_[txnIndex_];
     Bytes payload = apps::encodeCommand(cmd);
     CommandClass cls = apps::classifyCommand(cmd.verb());
+    std::uint64_t key_hash = commandKeyHash(cmd);
     Tick issued_at = sim_.now();
 
     if (cls == CommandClass::Update && config_.nearDataOps &&
         apps::isNearDataVerb(cmd.verb())) {
         // NearPM-style near-data op: logged like an update, answered
         // in-flight by a caching device (or by the server).
-        lib_.sendNearData(std::move(payload),
+        lib_.sendNearData(std::move(payload), key_hash,
                           [this, issued_at](const Bytes &) {
                               recordAndAdvance(issued_at, true);
                           });
@@ -89,7 +106,7 @@ ClientDriver::issueCurrent()
             // Fig 17a: the update is persisted by the local logger;
             // the client proceeds then, while the request continues
             // to the server in the background.
-            lib_.sendUpdate(std::move(payload), []() {});
+            lib_.sendUpdate(std::move(payload), key_hash, []() {});
             TickDelta local = config_.replicationDegree > 1
                                   ? config_.clientLogReplicationDelay
                                   : config_.clientLocalLogDelay;
@@ -98,16 +115,17 @@ ClientDriver::issueCurrent()
             });
             return;
         }
-        lib_.sendUpdate(std::move(payload), [this, issued_at]() {
-            recordAndAdvance(issued_at, true);
-        });
+        lib_.sendUpdate(std::move(payload), key_hash,
+                        [this, issued_at]() {
+                            recordAndAdvance(issued_at, true);
+                        });
         return;
     }
 
     // Reads and synchronization primitives wait for the server's (or
     // cache's) response.
     bool is_lock = cmd.verb() == "LOCK";
-    lib_.bypass(std::move(payload),
+    lib_.bypass(std::move(payload), key_hash,
                 [this, issued_at, is_lock](const Bytes &resp) {
                     if (is_lock) {
                         auto decoded = apps::decodeResponse(resp);
@@ -124,6 +142,82 @@ ClientDriver::issueCurrent()
                     }
                     recordAndAdvance(issued_at, false);
                 });
+}
+
+void
+ClientDriver::openLoopTick()
+{
+    if (!running_)
+        return;
+    // The clock, not completions, paces issue: schedule the next tick
+    // before doing anything else.
+    sim_.schedule(config_.openLoopGap, [this]() { openLoopTick(); });
+
+    if (outstanding_ >= config_.openLoopMaxOutstanding) {
+        openLoopSkipped_++;
+        return;
+    }
+
+    // Pull the next command off the workload's transaction stream.
+    while (txnIndex_ >= txn_.size()) {
+        if (!txn_.empty()) {
+            txns_++;
+            txn_.clear();
+        }
+        txn_ = workload_->nextTransaction(rng_);
+        txnIndex_ = 0;
+        if (txn_.empty())
+            return; // nothing to issue this tick
+    }
+    issueOpenLoop(txn_[txnIndex_++]);
+}
+
+void
+ClientDriver::issueOpenLoop(const Command &cmd)
+{
+    Bytes payload = apps::encodeCommand(cmd);
+    CommandClass cls = apps::classifyCommand(cmd.verb());
+    std::uint64_t key_hash = commandKeyHash(cmd);
+    Tick issued_at = sim_.now();
+    outstanding_++;
+
+    if (cls == CommandClass::Update && config_.nearDataOps &&
+        apps::isNearDataVerb(cmd.verb())) {
+        lib_.sendNearData(std::move(payload), key_hash,
+                          [this, issued_at](const Bytes &) {
+                              openLoopComplete(issued_at, true);
+                          });
+        return;
+    }
+
+    if (cls == CommandClass::Update) {
+        lib_.sendUpdate(std::move(payload), key_hash,
+                        [this, issued_at]() {
+                            openLoopComplete(issued_at, true);
+                        });
+        return;
+    }
+
+    bool is_lock = cmd.verb() == "LOCK";
+    lib_.bypass(std::move(payload), key_hash,
+                [this, issued_at, is_lock](const Bytes &resp) {
+                    if (is_lock) {
+                        auto decoded = apps::decodeResponse(resp);
+                        if (decoded && decoded->status ==
+                                           apps::RespStatus::Locked)
+                            // Open loop never blocks on a critical
+                            // section; the conflict is only counted.
+                            lockConflicts_++;
+                    }
+                    openLoopComplete(issued_at, false);
+                });
+}
+
+void
+ClientDriver::openLoopComplete(Tick issued_at, bool is_update)
+{
+    outstanding_--;
+    record(issued_at, is_update);
 }
 
 } // namespace pmnet::testbed

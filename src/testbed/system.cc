@@ -25,6 +25,16 @@ Testbed::Testbed(TestbedConfig config)
         fatal("Testbed: clientCount must be positive");
     if (config_.replicationDegree == 0)
         fatal("Testbed: replicationDegree must be >= 1");
+    if (config_.shards == 0)
+        fatal("Testbed: shards must be >= 1");
+    if (config_.shards > 1) {
+        if (config_.mode != SystemMode::PmnetSwitch)
+            fatal("Testbed: shards > 1 requires PmnetSwitch mode "
+                  "(the fabric routes through PMNet chains)");
+        if (config_.serverKind != ServerKind::CommandStore)
+            fatal("Testbed: shards > 1 requires a CommandStore server "
+                  "(consistent-hash routing is keyed)");
+    }
     updateLatency_.setMode(config_.statsMode);
     readLatency_.setMode(config_.statsMode);
     allLatency_.setMode(config_.statsMode);
@@ -85,8 +95,18 @@ Testbed::buildTopology()
         topo_ = std::make_unique<net::Topology>(sim_);
     }
 
-    serverHost_ = &topo_->addNode<stack::Host>("server",
-                                               config_.serverProfile());
+    shardUnits_.resize(config_.shards);
+    bool multi = config_.shards > 1;
+    if (multi)
+        shardMap_ = std::make_unique<pmnet::ShardMap>(
+            config_.shards, config_.shardVnodes);
+
+    // Node-creation order fixes NodeIds and engine partitions:
+    // [server0, tor, clients..., shard0 devices..., server1, shard1
+    // devices..., ...]. At shards == 1 this is exactly the historical
+    // layout, so every published figure stays byte-identical.
+    shardUnits_[0].serverHost = &topo_->addNode<stack::Host>(
+        multi ? "server0" : "server", config_.serverProfile());
 
     bool pmnet_mode = config_.mode == SystemMode::PmnetSwitch ||
                       config_.mode == SystemMode::PmnetNic;
@@ -108,41 +128,63 @@ Testbed::buildTopology()
         clients_.push_back(Client{&host, nullptr});
     }
 
-    // Chain PMNet devices between the switch and the server.
-    net::Node *tail = &tor;
-    for (unsigned d = 0; d < device_count; d++) {
-        auto &dev = topo_->addNode<pmnetdev::PmnetDevice>(
-            "pmnet" + std::to_string(d), config_.device);
-        topo_->connect(*tail, dev, config_.link);
-        devices_.push_back(&dev);
-        tail = &dev;
-    }
+    // Per shard: chain PMNet devices between the switch and that
+    // shard's server.
+    for (unsigned s = 0; s < config_.shards; s++) {
+        ShardUnit &unit = shardUnits_[s];
+        if (s > 0)
+            unit.serverHost = &topo_->addNode<stack::Host>(
+                "server" + std::to_string(s), config_.serverProfile());
 
-    net::LinkConfig last = config_.link;
-    if (config_.mode == SystemMode::PmnetNic) {
-        // Bump-in-the-wire: the device sits on the server's NIC slot.
-        last.propagation = nanoseconds(50);
+        net::Node *tail = &tor;
+        for (unsigned d = 0; d < device_count; d++) {
+            std::string name =
+                multi ? "s" + std::to_string(s) + ".pmnet" +
+                            std::to_string(d)
+                      : "pmnet" + std::to_string(d);
+            auto &dev = topo_->addNode<pmnetdev::PmnetDevice>(
+                name, config_.device);
+            topo_->connect(*tail, dev, config_.link);
+            unit.devices.push_back(&dev);
+            devices_.push_back(&dev);
+            tail = &dev;
+        }
+
+        net::LinkConfig last = config_.link;
+        if (config_.mode == SystemMode::PmnetNic) {
+            // Bump-in-the-wire: the device sits on the server's NIC
+            // slot.
+            last.propagation = nanoseconds(50);
+        }
+        topo_->connect(*tail, *unit.serverHost, last);
     }
-    topo_->connect(*tail, *serverHost_, last);
 
     topo_->computeRoutes();
 
     if (config_.cacheEnabled) {
         if (devices_.empty())
             fatal("Testbed: cacheEnabled requires a PMNet mode");
-        // The device adjacent to the server is the rack's ToR in the
+        // The device adjacent to each server is the rack's ToR in the
         // paper's caching setup (Section IV-D).
-        devices_.back()->enableCache(&codec_);
+        for (auto &unit : shardUnits_)
+            unit.devices.back()->enableCache(&codec_);
     }
 }
 
 void
 Testbed::buildServerApp()
 {
-    heap_ = std::make_unique<pm::PmHeap>(config_.heapBytes);
-
     stack::ServerConfig server_config = config_.server;
     server_config.dispatchLatency = config_.dispatchLatency();
+    // Session ids are 1-based client indices; a fabric-scale client
+    // fleet (8 shards x 128 clients) walks past the default 1024-slot
+    // watermark table, so grow it to fit. Smaller fleets keep the
+    // default, and the table only costs heap bytes at setup (which
+    // drainCost() discards), so existing runs are unchanged.
+    if (config_.clientCount + 1 >
+        static_cast<int>(server_config.maxSessions))
+        server_config.maxSessions =
+            static_cast<std::uint32_t>(config_.clientCount + 1);
     if (config_.mode == SystemMode::ServerSideLogging) {
         server_config.ackOnArrival = true;
         server_config.arrivalAckExtraDelay =
@@ -151,43 +193,62 @@ Testbed::buildServerApp()
                 : 0;
     }
 
-    serverLib_ = std::make_unique<stack::ServerLib>(*serverHost_, *heap_,
-                                                    server_config);
-    if (config_.deviceHeartbeat) {
-        // Devices detect the failure themselves and replay on their
-        // own; the server never polls.
-        for (auto *dev : devices_)
-            dev->enableHeartbeat(serverHost_->id());
-    } else {
-        std::vector<net::NodeId> device_ids;
-        for (auto *dev : devices_)
-            device_ids.push_back(dev->id());
-        serverLib_->setDevices(std::move(device_ids));
+    for (auto &unit : shardUnits_) {
+        unit.heap = std::make_unique<pm::PmHeap>(config_.heapBytes);
+        unit.serverLib = std::make_unique<stack::ServerLib>(
+            *unit.serverHost, *unit.heap, server_config);
+        if (config_.deviceHeartbeat) {
+            // Devices detect the failure themselves and replay on
+            // their own; the server never polls.
+            for (auto *dev : unit.devices)
+                dev->enableHeartbeat(unit.serverHost->id());
+        } else {
+            std::vector<net::NodeId> device_ids;
+            for (auto *dev : unit.devices)
+                device_ids.push_back(dev->id());
+            unit.serverLib->setDevices(std::move(device_ids));
+        }
     }
 
     if (config_.serverKind == ServerKind::CommandStore) {
-        store_ = std::make_unique<apps::CommandStore>(*heap_,
-                                                      config_.storeKind);
-        serverLib_->setAppRoot(store_->persistentRoot());
-        serverLib_->setRecoveryHook([this]() {
-            store_ = std::make_unique<apps::CommandStore>(
-                *heap_, serverLib_->appRoot());
-        });
-
         // Preload the dataset offline (not simulated, not charged).
+        // One rng_ split regardless of shard count; every shard
+        // populates from a copy, so each preloads the identical full
+        // dataset — ownerOf decides which replica serves each key.
         Rng populate_rng = rng_.split();
-        auto seed_workload = config_.workload(0);
-        seed_workload->populate(*store_, populate_rng);
-        heap_->drainCost();
+        for (std::size_t s = 0; s < shardUnits_.size(); s++) {
+            ShardUnit &unit = shardUnits_[s];
+            unit.store = std::make_unique<apps::CommandStore>(
+                *unit.heap, config_.storeKind);
+            unit.serverLib->setAppRoot(unit.store->persistentRoot());
+            unit.serverLib->setRecoveryHook([this, s]() {
+                ShardUnit &u = shardUnits_[s];
+                u.store = std::make_unique<apps::CommandStore>(
+                    *u.heap, u.serverLib->appRoot());
+            });
+
+            Rng shard_rng = populate_rng;
+            auto seed_workload = config_.workload(0);
+            seed_workload->populate(*unit.store, shard_rng);
+            unit.heap->drainCost();
+        }
     }
 }
 
 void
 Testbed::installHandler()
 {
-    serverLib_->setHandler(
-        [this](std::uint16_t session, bool is_update, bool is_near_data,
-               const Bytes &payload) -> stack::ServerLib::HandlerResult {
+    for (std::size_t s = 0; s < shardUnits_.size(); s++)
+        installHandlerFor(s);
+}
+
+void
+Testbed::installHandlerFor(std::size_t s)
+{
+    shardUnits_[s].serverLib->setHandler(
+        [this, s](std::uint16_t session, bool is_update,
+                  bool is_near_data,
+                  const Bytes &payload) -> stack::ServerLib::HandlerResult {
             stack::ServerLib::HandlerResult result;
             if (config_.serverKind == ServerKind::Ideal) {
                 result.cost = config_.idealHandlerCost;
@@ -206,7 +267,8 @@ Testbed::installHandler()
             }
             if (handlerTap_)
                 handlerTap_(session, is_update, *cmd);
-            Bytes response = store_->executeToResponse(*cmd, session);
+            Bytes response =
+                shardUnits_[s].store->executeToResponse(*cmd, session);
             result.cost += config_.appOverhead;
             // Ordinary updates complete on ACKs alone; near-data RMWs
             // additionally return the computed value.
@@ -223,18 +285,25 @@ Testbed::installHandler()
 void
 Testbed::buildClients()
 {
+    std::vector<net::NodeId> shard_servers;
+    if (shardMap_) {
+        for (auto &unit : shardUnits_)
+            shard_servers.push_back(unit.serverHost->id());
+    }
+
     for (int i = 0; i < config_.clientCount; i++) {
         stack::ClientConfig client_config = config_.clientDefaults;
-        client_config.server = serverHost_->id();
+        client_config.server = shardUnits_[0].serverHost->id();
         client_config.sessionId = static_cast<std::uint16_t>(i + 1);
         client_config.replicationDegree =
             config_.mode == SystemMode::PmnetSwitch
                 ? config_.replicationDegree
                 : 1;
-        clients_[static_cast<std::size_t>(i)].lib =
-            std::make_unique<stack::ClientLib>(
-                *clients_[static_cast<std::size_t>(i)].host,
-                client_config);
+        auto &client = clients_[static_cast<std::size_t>(i)];
+        client.lib = std::make_unique<stack::ClientLib>(*client.host,
+                                                        client_config);
+        if (shardMap_)
+            client.lib->setShardMap(shardMap_.get(), shard_servers);
     }
 
     for (int i = 0; i < config_.clientCount; i++) {
@@ -276,10 +345,24 @@ Testbed::wireObservability()
     for (std::size_t i = 0; i < clients_.size(); i++)
         clients_[i].lib->registerMetrics(metrics_,
                                          "client" + std::to_string(i));
-    serverLib_->registerMetrics(metrics_, "server");
-    for (std::size_t d = 0; d < devices_.size(); d++)
-        devices_[d]->registerMetrics(metrics_,
-                                     "device" + std::to_string(d));
+    if (shardUnits_.size() == 1) {
+        // Historical names, so every existing tool/golden still finds
+        // "server" and "deviceN".
+        shardUnits_[0].serverLib->registerMetrics(metrics_, "server");
+        for (std::size_t d = 0; d < devices_.size(); d++)
+            devices_[d]->registerMetrics(metrics_,
+                                         "device" + std::to_string(d));
+    } else {
+        for (std::size_t s = 0; s < shardUnits_.size(); s++) {
+            std::string prefix = "shard." + std::to_string(s);
+            shardUnits_[s].serverLib->registerMetrics(
+                metrics_, prefix + ".server");
+            const auto &devs = shardUnits_[s].devices;
+            for (std::size_t d = 0; d < devs.size(); d++)
+                devs[d]->registerMetrics(
+                    metrics_, prefix + ".device" + std::to_string(d));
+        }
+    }
     net::PacketPool::local().registerMetrics(metrics_, "packetPool");
 
     if (engine_) {
@@ -318,8 +401,10 @@ Testbed::wireObservability()
     tor_->setRecorder(rec);
     for (auto *dev : devices_)
         dev->setRecorder(rec);
-    serverHost_->setRecorder(rec);
-    serverLib_->setRecorder(rec);
+    for (auto &unit : shardUnits_) {
+        unit.serverHost->setRecorder(rec);
+        unit.serverLib->setRecorder(rec);
+    }
 }
 
 void

@@ -15,6 +15,11 @@
  *   PmnetNic (bump-in-the-wire, Microsoft-style):
  *     clients -- ToR switch -- PMNet-NIC == server   (50 ns wire)
  *
+ *   PmnetSwitch with TestbedConfig::shards = N > 1 (DESIGN.md §14):
+ *     clients -- merge switch ==> N independent chains, one server
+ *     each; a consistent-hash ShardMap routes every keyed request to
+ *     its owning shard's chain.
+ *
  * Failure injection for the recovery experiments drives Node power
  * hooks: the server's ServerLib reloads its PM state and polls every
  * device with RecoveryPoll; devices lose SRAM queues but keep logs.
@@ -27,6 +32,7 @@
 #include "net/topology.h"
 #include "obs/flight_recorder.h"
 #include "obs/metric_registry.h"
+#include "pmnet/shard_map.h"
 #include "testbed/driver.h"
 
 namespace pmnet::testbed {
@@ -98,14 +104,44 @@ class Testbed
     /** @} */
 
     /** @name Component access
+     * The server-side accessors take a shard index (default 0, the
+     * only shard of a classic single-chain testbed). device(i)
+     * indexes the flat device list: all shards' chains concatenated
+     * in shard order, head-to-tail within a shard.
      *  @{
      */
-    stack::Host &serverHost() { return *serverHost_; }
-    stack::ServerLib &serverLib() { return *serverLib_; }
-    pm::PmHeap &serverHeap() { return *heap_; }
-    apps::CommandStore *commandStore() { return store_.get(); }
+    stack::Host &serverHost(std::size_t s = 0)
+    {
+        return *shardUnits_[s].serverHost;
+    }
+    stack::ServerLib &serverLib(std::size_t s = 0)
+    {
+        return *shardUnits_[s].serverLib;
+    }
+    pm::PmHeap &serverHeap(std::size_t s = 0)
+    {
+        return *shardUnits_[s].heap;
+    }
+    apps::CommandStore *commandStore(std::size_t s = 0)
+    {
+        return shardUnits_[s].store.get();
+    }
+    unsigned shardCount() const
+    {
+        return static_cast<unsigned>(shardUnits_.size());
+    }
+    /** The consistent-hash router; null when shards == 1. */
+    pmnet::ShardMap *shardMap() { return shardMap_.get(); }
     std::size_t deviceCount() const { return devices_.size(); }
     pmnetdev::PmnetDevice &device(std::size_t i) { return *devices_[i]; }
+    std::size_t shardDeviceCount(std::size_t s) const
+    {
+        return shardUnits_[s].devices.size();
+    }
+    pmnetdev::PmnetDevice &shardDevice(std::size_t s, std::size_t d)
+    {
+        return *shardUnits_[s].devices[d];
+    }
     std::size_t clientCount() const { return clients_.size(); }
     stack::ClientLib &clientLib(std::size_t i);
     stack::Host &clientHost(std::size_t i) { return *clients_[i].host; }
@@ -167,6 +203,7 @@ class Testbed
     void buildServerApp();
     void buildClients();
     void installHandler();
+    void installHandlerFor(std::size_t s);
     void wireObservability();
 
     TestbedConfig config_;
@@ -180,10 +217,22 @@ class Testbed
     std::unique_ptr<obs::FlightRecorder> recorder_;
     net::BasicSwitch *tor_ = nullptr;
 
-    stack::Host *serverHost_ = nullptr;
-    std::unique_ptr<pm::PmHeap> heap_;
-    std::unique_ptr<stack::ServerLib> serverLib_;
-    std::unique_ptr<apps::CommandStore> store_;
+    /**
+     * One fabric shard: an independent server (own heap/store) fed by
+     * its own PMNet replication chain off the shared ToR. A classic
+     * single-chain testbed is exactly one ShardUnit.
+     */
+    struct ShardUnit
+    {
+        stack::Host *serverHost = nullptr;
+        std::unique_ptr<pm::PmHeap> heap;
+        std::unique_ptr<stack::ServerLib> serverLib;
+        std::unique_ptr<apps::CommandStore> store;
+        std::vector<pmnetdev::PmnetDevice *> devices; ///< head..tail
+    };
+
+    std::vector<ShardUnit> shardUnits_;
+    std::unique_ptr<pmnet::ShardMap> shardMap_; ///< shards > 1 only
     apps::KvCacheCodec codec_;
 
     std::vector<pmnetdev::PmnetDevice *> devices_;

@@ -33,9 +33,11 @@ TEST(WireFuzz, PmnetHeaderParseNeverCrashes)
         ByteReader reader(junk);
         auto header = net::PmnetHeader::parse(reader);
         if (header) {
-            // Anything accepted must carry a known type.
+            // Anything accepted must carry a known type
+            // (1 = UpdateReq .. 11 = ResilverPush).
             EXPECT_GE(static_cast<int>(header->type), 1);
-            EXPECT_LE(static_cast<int>(header->type), 10);
+            EXPECT_LE(static_cast<int>(header->type),
+                      static_cast<int>(net::PacketType::ResilverPush));
         }
     }
 }

@@ -38,6 +38,7 @@ struct Options
     double updateRatio = 1.0;
     std::size_t valueSize = 100;
     unsigned replication = 1;
+    unsigned shards = 1;
     bool cache = false;
     bool vma = false;
     bool heartbeat = false;
@@ -111,6 +112,10 @@ parseArgs(int argc, char **argv)
     parser.optionUnsigned("--replication", "K",
                           "chained PMNet devices / ack quorum",
                           &opts.replication);
+    parser.optionUnsigned("--shards", "N",
+                          "consistent-hash fabric shards, one chain "
+                          "each (default 1; pmnet-switch only)",
+                          &opts.shards);
     parser.flag("--cache", "enable the in-switch read cache",
                 &opts.cache);
     parser.flag("--vma", "libVMA-style user-space stacks", &opts.vma);
@@ -182,6 +187,7 @@ makeSnapshot(const Options &opts, testbed::Testbed &bed,
     snapshot.put("run.value_size",
                  static_cast<std::uint64_t>(opts.valueSize));
     snapshot.put("run.replication", opts.replication);
+    snapshot.put("run.shards", opts.shards);
     snapshot.put("run.cache", opts.cache);
     snapshot.put("run.vma", opts.vma);
     snapshot.put("run.seed", opts.common.seed);
@@ -300,6 +306,7 @@ main(int argc, char **argv)
     config.mode = opts.mode;
     config.clientCount = opts.clients;
     config.replicationDegree = opts.replication;
+    config.shards = opts.shards;
     config.cacheEnabled = opts.cache;
     config.vmaStack = opts.vma;
     config.deviceHeartbeat = opts.heartbeat;
