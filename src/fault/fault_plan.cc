@@ -131,6 +131,33 @@ FaultRunner::resolveLink(const FaultAction &action)
     fatal("FaultRunner: unknown link selector");
 }
 
+net::Node &
+FaultRunner::transmitEndpoint(const FaultAction &action, net::Link &link,
+                              bool toward_server)
+{
+    // Link state belongs to the *transmitting* end: server-bound
+    // traffic leaves the end farther from the server, and vice versa.
+    switch (action.where) {
+      case FaultAction::Where::ServerLink:
+        return toward_server
+                   ? link.peerOf(testbed_->serverHost())
+                   : static_cast<net::Node &>(testbed_->serverHost());
+      case FaultAction::Where::ClientLink: {
+        auto &host =
+            testbed_->clientHost(static_cast<std::size_t>(action.index));
+        return toward_server ? static_cast<net::Node &>(host)
+                             : link.peerOf(host);
+      }
+      case FaultAction::Where::DeviceClientSide: {
+        auto &dev =
+            testbed_->device(static_cast<std::size_t>(action.index));
+        return toward_server ? link.peerOf(dev)
+                             : static_cast<net::Node &>(dev);
+      }
+    }
+    fatal("FaultRunner: unknown link selector");
+}
+
 void
 FaultRunner::scheduleAction(const FaultAction &action)
 {
@@ -151,34 +178,28 @@ FaultRunner::scheduleAction(const FaultAction &action)
       }
       case FaultAction::Kind::DropNext: {
         net::Link *link = &resolveLink(action);
-        // dropNext takes the *transmitting* end: server-bound traffic
-        // leaves the end farther from the server, and vice versa.
-        net::Node *from = nullptr;
-        switch (action.where) {
-          case FaultAction::Where::ServerLink:
-            from = action.towardServer
-                       ? &link->peerOf(testbed_->serverHost())
-                       : static_cast<net::Node *>(&testbed_->serverHost());
-            break;
-          case FaultAction::Where::ClientLink: {
-            auto &host = testbed_->clientHost(
-                static_cast<std::size_t>(action.index));
-            from = action.towardServer
-                       ? static_cast<net::Node *>(&host)
-                       : &link->peerOf(host);
-            break;
-          }
-          case FaultAction::Where::DeviceClientSide: {
-            auto &dev =
-                testbed_->device(static_cast<std::size_t>(action.index));
-            from = action.towardServer
-                       ? &link->peerOf(dev)
-                       : static_cast<net::Node *>(&dev);
-            break;
-          }
-        }
+        net::Node *from =
+            &transmitEndpoint(action, *link, action.towardServer);
         link->scheduleDropNextAt(base_tick + action.at, *from,
                                  action.count);
+        break;
+      }
+      case FaultAction::Kind::Impair: {
+        net::Link *link = &resolveLink(action);
+        auto arm = [&](bool toward_server) {
+            net::Node &from =
+                transmitEndpoint(action, *link, toward_server);
+            link->scheduleImpairmentAt(base_tick + action.at, from,
+                                       action.impair);
+            if (action.duration > 0)
+                link->scheduleImpairmentAt(
+                    base_tick + action.at + action.duration, from,
+                    net::Impairment{});
+        };
+        if (action.dir != FaultAction::Dir::TowardClient)
+            arm(/*toward_server=*/true);
+        if (action.dir != FaultAction::Dir::TowardServer)
+            arm(/*toward_server=*/false);
         break;
       }
       case FaultAction::Kind::ServerPowerCut: {
@@ -583,12 +604,16 @@ FaultRunner::collectCounters()
     // the middle only connects to clients, devices and the server).
     std::set<net::Link *> links;
     std::uint64_t losses = 0, drops = 0;
+    std::uint64_t corruptions = 0, duplicates = 0, reorders = 0;
     auto add = [&](net::Node &node) {
         for (int p = 0; p < node.portCount(); p++) {
             net::Link *link = node.linkAt(p);
             if (link != nullptr && links.insert(link).second) {
                 losses += link->losses();
                 drops += link->drops();
+                corruptions += link->corruptions();
+                duplicates += link->duplicates();
+                reorders += link->reorders();
             }
         }
     };
@@ -600,6 +625,9 @@ FaultRunner::collectCounters()
         add(testbed_->clientHost(c));
     report_.setCounter("link-losses", losses);
     report_.setCounter("link-drops", drops);
+    report_.setCounter("link-corruptions", corruptions);
+    report_.setCounter("link-duplicates", duplicates);
+    report_.setCounter("link-reorders", reorders);
 
     std::uint64_t acked = 0, applied = 0;
     std::uint64_t timeouts = 0, resent = 0, by_pmnet = 0, by_server = 0;
@@ -620,6 +648,7 @@ FaultRunner::collectCounters()
     report_.setCounter("client-completed-server", by_server);
 
     std::uint64_t logged = 0, reacked = 0, retrans = 0, replayed = 0;
+    std::uint64_t reforwarded = 0;
     std::uint64_t resilver_sent = 0, resilver_logged = 0;
     for (std::size_t i = 0; i < testbed_->deviceCount(); i++) {
         const pmnetdev::DeviceStats &ds = testbed_->device(i).stats;
@@ -627,6 +656,7 @@ FaultRunner::collectCounters()
         reacked += ds.updatesReAcked;
         retrans += ds.retransServed;
         replayed += ds.recoveryResent;
+        reforwarded += ds.reforwarded;
         resilver_sent += ds.resilverPushesSent;
         resilver_logged += ds.resilverLogged;
     }
@@ -634,6 +664,7 @@ FaultRunner::collectCounters()
     report_.setCounter("device-reacked", reacked);
     report_.setCounter("device-retrans-served", retrans);
     report_.setCounter("device-recovery-resent", replayed);
+    report_.setCounter("device-reforwarded", reforwarded);
     if (testbed_->shardMap() != nullptr) {
         report_.setCounter("resilver-pushes", resilver_sent);
         report_.setCounter("resilver-logged", resilver_logged);

@@ -61,6 +61,14 @@ struct FaultAction
          * the surviving peers and returns the shard to Healthy.
          */
         ChainRepair,
+        /**
+         * Install `impair` on the selected link's direction(s) at
+         * `at`; restore the clean channel after `duration` (an
+         * impairment with duration 0 lasts to the end of the run —
+         * note the post-drain audits then run over the impaired
+         * channel too).
+         */
+        Impair,
     };
 
     /** Which link a LossBurst/DropNext applies to. */
@@ -86,6 +94,18 @@ struct FaultAction
     Where where = Where::ServerLink;
     /** ChainRepair: swap the unit (empty log) vs. restore power. */
     bool replace = true;
+
+    /** Impair: which direction(s) of the link get the channel. */
+    enum class Dir {
+        TowardServer, ///< the direction carrying requests upstream
+        TowardClient, ///< the direction carrying acks/responses back
+        Both,
+    };
+
+    /** Impair only (appended so older aggregate initializers keep
+     *  their meaning): direction selector and the channel itself. */
+    Dir dir = Dir::Both;
+    net::Impairment impair;
 };
 
 /** A named, ordered fault schedule. */
@@ -150,6 +170,9 @@ class FaultRunner
 
     void scheduleAction(const FaultAction &action);
     net::Link &resolveLink(const FaultAction &action);
+    /** The link endpoint transmitting in the given direction. */
+    net::Node &transmitEndpoint(const FaultAction &action,
+                                net::Link &link, bool toward_server);
     void issueUpdates();
     void drain(const char *phase);
     std::size_t outstandingTotal() const;

@@ -1,0 +1,238 @@
+#include "net/impairment.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+namespace pmnet::net {
+
+namespace {
+
+bool
+parseNumber(const std::string &text, double *out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    double value = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size())
+        return false;
+    *out = value;
+    return true;
+}
+
+/** Render a probability the way the grammar spells it ("3%", "0.5%"). */
+std::string
+fmtProbability(double p)
+{
+    char buf[32];
+    double pct = p * 100.0;
+    if (pct == static_cast<double>(static_cast<long long>(pct)))
+        std::snprintf(buf, sizeof(buf), "%lld%%",
+                      static_cast<long long>(pct));
+    else
+        std::snprintf(buf, sizeof(buf), "%g%%", pct);
+    return buf;
+}
+
+/** Render ticks in the largest unit that divides them evenly. */
+std::string
+fmtDuration(TickDelta d)
+{
+    char buf[32];
+    if (d % milliseconds(1) == 0 && d != 0)
+        std::snprintf(buf, sizeof(buf), "%lldms",
+                      static_cast<long long>(d / milliseconds(1)));
+    else if (d % microseconds(1) == 0 && d != 0)
+        std::snprintf(buf, sizeof(buf), "%lldus",
+                      static_cast<long long>(d / microseconds(1)));
+    else
+        std::snprintf(buf, sizeof(buf), "%lldns",
+                      static_cast<long long>(d / nanoseconds(1)));
+    return buf;
+}
+
+std::string
+fmtGbps(double gbps)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", gbps);
+    return buf;
+}
+
+} // namespace
+
+bool
+parseDuration(const std::string &text, TickDelta *out)
+{
+    std::size_t unit = 0;
+    while (unit < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[unit])) ||
+            text[unit] == '.' || text[unit] == '-'))
+        unit++;
+    double value = 0;
+    if (unit == 0 || !parseNumber(text.substr(0, unit), &value) ||
+        value < 0)
+        return false;
+    std::string suffix = text.substr(unit);
+    if (suffix == "ns")
+        *out = nanoseconds(value);
+    else if (suffix == "us")
+        *out = microseconds(value);
+    else if (suffix == "ms")
+        *out = milliseconds(value);
+    else
+        return false;
+    return true;
+}
+
+bool
+parseProbability(const std::string &text, double *out)
+{
+    std::string body = text;
+    double scale = 1.0;
+    if (!body.empty() && body.back() == '%') {
+        body.pop_back();
+        scale = 0.01;
+    }
+    double value = 0;
+    if (!parseNumber(body, &value))
+        return false;
+    value *= scale;
+    if (value < 0.0 || value > 1.0)
+        return false;
+    *out = value;
+    return true;
+}
+
+bool
+parseImpairment(const std::string &tokens, Impairment *out,
+                std::string *error)
+{
+    auto fail = [&](const std::string &why) {
+        if (error != nullptr)
+            *error = why;
+        return false;
+    };
+
+    std::vector<std::string> words;
+    std::istringstream stream(tokens);
+    for (std::string word; stream >> word;)
+        words.push_back(word);
+
+    Impairment imp;
+    std::size_t i = 0;
+    auto needDuration = [&](const char *knob, TickDelta *slot) {
+        if (i >= words.size())
+            return fail(std::string(knob) + ": missing duration");
+        if (!parseDuration(words[i], slot))
+            return fail(std::string(knob) + ": bad duration '" +
+                        words[i] + "'");
+        i++;
+        return true;
+    };
+    auto needProbability = [&](const char *knob, double *slot) {
+        if (i >= words.size())
+            return fail(std::string(knob) + ": missing probability");
+        if (!parseProbability(words[i], slot))
+            return fail(std::string(knob) + ": bad probability '" +
+                        words[i] + "'");
+        i++;
+        return true;
+    };
+
+    while (i < words.size()) {
+        const std::string knob = words[i++];
+        if (knob == "delay") {
+            if (!needDuration("delay", &imp.extraDelay))
+                return false;
+        } else if (knob == "jitter") {
+            if (!needDuration("jitter", &imp.jitter))
+                return false;
+        } else if (knob == "dup") {
+            if (!needProbability("dup", &imp.duplicateRate))
+                return false;
+        } else if (knob == "corrupt") {
+            if (!needProbability("corrupt", &imp.corruptRate))
+                return false;
+        } else if (knob == "reorder") {
+            if (!needProbability("reorder", &imp.reorderRate) ||
+                !needDuration("reorder", &imp.reorderDelay))
+                return false;
+        } else if (knob == "rate") {
+            if (i >= words.size())
+                return fail("rate: missing Gbit/s value");
+            double gbps = 0;
+            if (!parseNumber(words[i], &gbps) || gbps <= 0.0)
+                return fail("rate: bad Gbit/s value '" + words[i] +
+                            "'");
+            imp.bandwidthGbps = gbps;
+            i++;
+        } else if (knob == "loss") {
+            double p = 0;
+            if (!needProbability("loss", &p))
+                return false;
+            imp.geLossGood = p;
+            imp.geLossBad = p;
+        } else if (knob == "ge") {
+            if (!needProbability("ge", &imp.geGoodToBad) ||
+                !needProbability("ge", &imp.geBadToGood) ||
+                !needProbability("ge", &imp.geLossBad))
+                return false;
+            // Optional loss-in-good: present iff the next word parses
+            // as a probability (the next knob name never does).
+            double loss_good = 0;
+            if (i < words.size() &&
+                parseProbability(words[i], &loss_good)) {
+                imp.geLossGood = loss_good;
+                i++;
+            }
+        } else {
+            return fail("unknown impairment knob '" + knob + "'");
+        }
+    }
+    *out = imp;
+    return true;
+}
+
+std::string
+describeImpairment(const Impairment &imp)
+{
+    std::string out;
+    auto emit = [&](const std::string &piece) {
+        if (!out.empty())
+            out += ' ';
+        out += piece;
+    };
+    if (imp.extraDelay != 0)
+        emit("delay " + fmtDuration(imp.extraDelay));
+    if (imp.jitter != 0)
+        emit("jitter " + fmtDuration(imp.jitter));
+    if (imp.duplicateRate > 0.0)
+        emit("dup " + fmtProbability(imp.duplicateRate));
+    if (imp.corruptRate > 0.0)
+        emit("corrupt " + fmtProbability(imp.corruptRate));
+    if (imp.reorderRate > 0.0)
+        emit("reorder " + fmtProbability(imp.reorderRate) + " " +
+             fmtDuration(imp.reorderDelay));
+    if (imp.bandwidthGbps > 0.0)
+        emit("rate " + fmtGbps(imp.bandwidthGbps));
+    if (imp.hasLoss()) {
+        if (imp.geGoodToBad == 0.0 && imp.geBadToGood == 0.0 &&
+            imp.geLossGood == imp.geLossBad) {
+            emit("loss " + fmtProbability(imp.geLossGood));
+        } else {
+            std::string ge = "ge " + fmtProbability(imp.geGoodToBad) +
+                             " " + fmtProbability(imp.geBadToGood) +
+                             " " + fmtProbability(imp.geLossBad);
+            if (imp.geLossGood > 0.0)
+                ge += " " + fmtProbability(imp.geLossGood);
+            emit(ge);
+        }
+    }
+    return out;
+}
+
+} // namespace pmnet::net

@@ -67,6 +67,11 @@ Link::Link(sim::Simulator &simulator, std::string object_name, Node &end_a,
     dirs_[1].lossRate = config_.lossRate;
     dirs_[0].lossRng = Rng(config_.lossSeed);
     dirs_[1].lossRng = Rng(config_.lossSeed ^ 0x9E3779B97F4A7C15ull);
+    // Impairment draws get their own per-direction streams so the
+    // adversarial channel composes with (never perturbs) lossRate.
+    dirs_[0].impairRng = Rng(config_.lossSeed ^ 0x494D5041ull);
+    dirs_[1].impairRng =
+        Rng(config_.lossSeed ^ 0x494D5041ull ^ 0x9E3779B97F4A7C15ull);
 
     if (dirs_[0].sim != dirs_[1].sim) {
         if (engine == nullptr)
@@ -152,6 +157,24 @@ Link::scheduleCorruptNextAt(Tick when, const Node &from, int n)
     dir.sim->scheduleAt(when, [&dir, n]() { dir.corruptNext += n; });
 }
 
+void
+Link::setImpairment(const Node &from, const Impairment &imp)
+{
+    Direction &dir = directionFrom(from);
+    dir.impair = imp;
+    dir.geState = 0;
+}
+
+void
+Link::scheduleImpairmentAt(Tick when, const Node &from, Impairment imp)
+{
+    Direction &dir = directionFrom(from);
+    dir.sim->scheduleAt(when, [&dir, imp]() {
+        dir.impair = imp;
+        dir.geState = 0;
+    });
+}
+
 bool
 Link::transmit(const Node &from, PacketPtr pkt)
 {
@@ -159,7 +182,10 @@ Link::transmit(const Node &from, PacketPtr pkt)
     std::size_t size = pkt->wireSize();
 
     // Injected loss: the packet occupies the line as usual but never
-    // arrives (it is "corrupted on the wire").
+    // arrives (it is "corrupted on the wire"). The Gilbert–Elliott
+    // channel composes with (runs after) the legacy uniform process:
+    // first the state's loss draw, then the state-transition draw, so
+    // one packet always costs the same number of impairRng draws.
     bool lose = false;
     if (dir.dropNext > 0) {
         dir.dropNext--;
@@ -168,13 +194,25 @@ Link::transmit(const Node &from, PacketPtr pkt)
                dir.lossRng.nextBool(dir.lossRate)) {
         lose = true;
     }
+    if (!lose && dir.impair.hasLoss()) {
+        const Impairment &imp = dir.impair;
+        lose = dir.impairRng.nextBool(
+            dir.geState == 0 ? imp.geLossGood : imp.geLossBad);
+        if (dir.impairRng.nextBool(dir.geState == 0 ? imp.geGoodToBad
+                                                    : imp.geBadToGood))
+            dir.geState ^= 1;
+    }
     if (lose) {
         dir.losses++;
         return true;
     }
 
-    if (dir.corruptNext > 0) {
+    bool corrupt_this = dir.corruptNext > 0;
+    if (corrupt_this)
         dir.corruptNext--;
+    else if (dir.impair.corruptRate > 0.0)
+        corrupt_this = dir.impairRng.nextBool(dir.impair.corruptRate);
+    if (corrupt_this) {
         dir.corrupted++;
         // Flip one bit of the wire image. For PMNet packets the bit
         // lands in the CRC-covered header region (SeqNum), so the
@@ -188,6 +226,9 @@ Link::transmit(const Node &from, PacketPtr pkt)
         pkt = std::move(damaged);
     }
 
+    bool duplicate = dir.impair.duplicateRate > 0.0 &&
+                     dir.impairRng.nextBool(dir.impair.duplicateRate);
+
     if (dir.queuedBytes + size > config_.queueBytes) {
         dir.drops++;
         return false;
@@ -195,23 +236,67 @@ Link::transmit(const Node &from, PacketPtr pkt)
 
     Tick now = dir.sim->now();
     Tick depart = std::max(now, dir.lineFreeAt);
-    TickDelta serialize = serializationDelay(size, config_.gbps);
+    double gbps = dir.impair.bandwidthGbps > 0.0
+                      ? dir.impair.bandwidthGbps
+                      : config_.gbps;
+    TickDelta serialize = serializationDelay(size, gbps);
     dir.lineFreeAt = depart + serialize;
     dir.queuedBytes += size;
 
+    // Post-serialization latency impairments only ever *add* delay,
+    // so a cross-partition arrival still respects the channel's
+    // propagation lookahead bound, and the mailbox's (arrive, sent)
+    // drain order makes overtaking deliveries deterministic.
+    TickDelta extra = dir.impair.extraDelay;
+    if (dir.impair.jitter > 0)
+        extra += static_cast<TickDelta>(dir.impairRng.nextUInt(
+            static_cast<std::uint64_t>(dir.impair.jitter) + 1));
+    if (dir.impair.reorderRate > 0.0 &&
+        dir.impairRng.nextBool(dir.impair.reorderRate)) {
+        extra += dir.impair.reorderDelay;
+        dir.reordered++;
+    }
+    if (duplicate)
+        dir.duplicated++;
+
     Tick arrive = depart + serialize + config_.propagation;
     if (dir.channel == nullptr) {
-        // Keep the capture list at 32 bytes so the event callback
-        // stays in the scheduler's inline small-buffer storage (no
-        // heap per hop); the destination node/port are re-read from
-        // dir on delivery.
-        dir.sim->scheduleAt(arrive, [&dir, size,
-                                     pkt = std::move(pkt)]() {
+        if (extra == 0 && !duplicate) {
+            // Clean-channel fast path, byte-identical to the
+            // pre-impairment link: one event, and a capture list
+            // small enough for the scheduler's inline small-buffer
+            // storage (no heap per hop); the destination node/port
+            // are re-read from dir on delivery.
+            dir.sim->scheduleAt(arrive, [&dir, size,
+                                         pkt = std::move(pkt)]() {
+                dir.queuedBytes -= size;
+                dir.bytesCarried += size;
+                if (dir.to->isUp())
+                    dir.to->receive(pkt, dir.toPort);
+            });
+            return true;
+        }
+        // Impaired path: wire/queue accounting keeps the un-impaired
+        // arrival tick (the line itself is done with the packet), the
+        // delivery lands `extra` later, and a duplicate follows one
+        // serialization time after the original copy.
+        dir.sim->scheduleAt(arrive, [&dir, size]() {
             dir.queuedBytes -= size;
             dir.bytesCarried += size;
-            if (dir.to->isUp())
-                dir.to->receive(pkt, dir.toPort);
         });
+        if (duplicate) {
+            dir.sim->scheduleAt(arrive + extra + serialize,
+                                [&dir, pkt]() {
+                                    if (dir.to->isUp())
+                                        dir.to->receive(pkt,
+                                                        dir.toPort);
+                                });
+        }
+        dir.sim->scheduleAt(arrive + extra,
+                            [&dir, pkt = std::move(pkt)]() {
+                                if (dir.to->isUp())
+                                    dir.to->receive(pkt, dir.toPort);
+                            });
         return true;
     }
 
@@ -223,10 +308,18 @@ Link::transmit(const Node &from, PacketPtr pkt)
         dir.queuedBytes -= size;
         dir.bytesCarried += size;
     });
-    dir.channel->push(arrive, now, [&dir, pkt = std::move(pkt)]() {
-        if (dir.to->isUp())
-            dir.to->receive(pkt, dir.toPort);
-    });
+    if (duplicate) {
+        dir.channel->push(arrive + extra + serialize, now,
+                          [&dir, pkt]() {
+                              if (dir.to->isUp())
+                                  dir.to->receive(pkt, dir.toPort);
+                          });
+    }
+    dir.channel->push(arrive + extra, now,
+                      [&dir, pkt = std::move(pkt)]() {
+                          if (dir.to->isUp())
+                              dir.to->receive(pkt, dir.toPort);
+                      });
     return true;
 }
 

@@ -18,6 +18,7 @@
 
 #include "common/rng.h"
 #include "common/stats.h"
+#include "net/impairment.h"
 #include "net/node.h"
 
 namespace pmnet::sim {
@@ -113,6 +114,34 @@ class Link : public sim::SimObject
     /** Partition-safe scheduled form of corruptNext. */
     void scheduleCorruptNextAt(Tick when, const Node &from, int n);
 
+    /**
+     * Install an adversarial channel on the direction transmitting
+     * away from @p from (DESIGN.md section 15). Replaces any previous
+     * impairment; `Impairment{}` restores the clean channel. Resets
+     * the Gilbert–Elliott state to Good. Only safe while the
+     * simulation is not running — mid-run, use scheduleImpairmentAt.
+     */
+    void setImpairment(const Node &from, const Impairment &imp);
+
+    /** Partition-safe scheduled form of setImpairment. */
+    void scheduleImpairmentAt(Tick when, const Node &from,
+                              Impairment imp);
+
+    /** Extra copies delivered by the duplication impairment. */
+    std::uint64_t
+    duplicates() const
+    {
+        return dirs_[0].duplicated + dirs_[1].duplicated;
+    }
+
+    /** Packets held back by the reordering impairment (and thus
+     *  overtaken by any packet serialized within the window). */
+    std::uint64_t
+    reorders() const
+    {
+        return dirs_[0].reordered + dirs_[1].reordered;
+    }
+
     /** Packets delivered with an injected corruption. */
     std::uint64_t
     corruptions() const
@@ -159,9 +188,21 @@ class Link : public sim::SimObject
         int corruptNext = 0;
         double lossRate = 0.0;
         Rng lossRng{0};
+        /**
+         * The direction's adversarial channel. All impairment draws
+         * come from impairRng — a stream separate from lossRng, so
+         * installing an impairment never shifts the legacy lossRate
+         * process — and an inactive impairment consumes zero draws.
+         */
+        Impairment impair;
+        /** Gilbert–Elliott channel state: 0 = Good, 1 = Bad. */
+        int geState = 0;
+        Rng impairRng{0};
         std::uint64_t drops = 0;
         std::uint64_t losses = 0;
         std::uint64_t corrupted = 0;
+        std::uint64_t duplicated = 0;
+        std::uint64_t reordered = 0;
         std::uint64_t bytesCarried = 0;
     };
 

@@ -206,7 +206,16 @@ PmnetDevice::handleUpdateReq(const PacketPtr &pkt)
     forward(pkt);
 
     LogAttempt attempt = tryLogAndAck(pkt);
-    bool logged = attempt != LogAttempt::Bypassed;
+    if (attempt == LogAttempt::Duplicate) {
+        // Resend or replay (client retry, recovery resend, stale-log
+        // re-forward) of a packet the log already covers. Its value
+        // can be *behind* the key's latest committed value — a
+        // replayed old SET arriving after a newer one committed must
+        // not regress a Persisted entry, so duplicates never touch
+        // the cache; the first pass already drove the state machine.
+        return;
+    }
+    bool logged = attempt == LogAttempt::Logged;
 
     // Read-cache maintenance (T1/T3/T4/T5 and the bypassed case).
     if (auto parsed = parsedKeyOf(*pkt)) {
@@ -289,6 +298,7 @@ PmnetDevice::tryLogAndAck(const PacketPtr &pkt)
                 recorder_->stampAt(pkt->requestId,
                                    obs::Stamp::PersistStage, now());
             finishLoggedWrite(pkt);
+            scheduleReforwardScan();
         });
         return LogAttempt::Logged;
     }
@@ -657,6 +667,68 @@ PmnetDevice::recoveryResendNext(std::vector<std::uint32_t> hashes,
 }
 
 void
+PmnetDevice::scheduleReforwardScan()
+{
+    if (config_.reforwardAge <= 0 || reforwardScanPending_ ||
+        store_.size() == 0)
+        return;
+    reforwardScanPending_ = true;
+    scheduleGuarded(config_.reforwardInterval, [this]() {
+        reforwardScanPending_ = false;
+        reforwardScan();
+    });
+}
+
+void
+PmnetDevice::reforwardScan()
+{
+    // Entries older than reforwardAge are still valid (never
+    // server-ACKed): either the forwarded update or its ACK died on
+    // the wire. Re-send them; the server drops duplicates and
+    // re-ACKs, which invalidates the entry and drains the log.
+    std::vector<std::uint32_t> hashes;
+    store_.forEach([&](const pm::LogEntry &entry) {
+        if (now() - entry.loggedAt >= config_.reforwardAge)
+            hashes.push_back(entry.hashVal);
+    });
+    reforwardNext(std::move(hashes), 0);
+    scheduleReforwardScan();
+}
+
+void
+PmnetDevice::reforwardNext(std::vector<std::uint32_t> hashes,
+                           std::size_t index)
+{
+    // Same pacing discipline as recoveryResendNext: skip entries
+    // invalidated since the scan, one PM read-queue admission per
+    // packet, the hash vector moved lambda-to-lambda.
+    while (index < hashes.size() && !store_.lookup(hashes[index]))
+        index++;
+    if (index >= hashes.size())
+        return;
+
+    const pm::LogEntry *entry = store_.lookup(hashes[index]);
+    auto done = readQueue_.admitRead(entry->packet->wireSize(), now());
+    if (!done) {
+        scheduleGuarded(config_.recoveryRetryGap,
+                        [this, hashes = std::move(hashes),
+                         index]() mutable {
+                            reforwardNext(std::move(hashes), index);
+                        });
+        return;
+    }
+    net::PacketPtr logged = entry->packet;
+    scheduleGuarded(*done - now(),
+                    [this, hashes = std::move(hashes), index,
+                     logged]() mutable {
+                        stats.reforwarded++;
+                        traceEvent("reforward", *logged);
+                        forward(logged);
+                        reforwardNext(std::move(hashes), index + 1);
+                    });
+}
+
+void
 PmnetDevice::resilverTo(net::NodeId peer)
 {
     std::vector<std::uint32_t> hashes;
@@ -801,6 +873,7 @@ PmnetDevice::resilverAdmit(net::PacketPtr restored)
         if (result == pm::LogInsertResult::Ok) {
             stats.resilverLogged++;
             traceEvent("resilver-logged", *restored);
+            scheduleReforwardScan();
         } else {
             stats.resilverSkipped++;
         }
@@ -834,6 +907,7 @@ PmnetDevice::registerMetrics(obs::MetricRegistry &registry,
     registry.attach(base + ".nearDataServed", stats.nearDataServed);
     registry.attach(base + ".recoveryPolls", stats.recoveryPolls);
     registry.attach(base + ".recoveryResent", stats.recoveryResent);
+    registry.attach(base + ".reforwarded", stats.reforwarded);
     registry.attach(base + ".resilverPushesSent", stats.resilverPushesSent);
     registry.attach(base + ".resilverReceived", stats.resilverReceived);
     registry.attach(base + ".resilverLogged", stats.resilverLogged);
@@ -938,6 +1012,7 @@ PmnetDevice::onPowerFail()
     fencePending_.clear();
     inflightLogWrites_.clear();
     resilverActive_ = false;
+    reforwardScanPending_ = false;
     commitEpoch_.abandon();
     writeQueue_.clear();
     readQueue_.clear();
@@ -957,6 +1032,9 @@ PmnetDevice::onPowerRestore()
         serverDown_ = false;
         heartbeatTick();
     }
+    // Committed entries survived the outage; re-arm the stale-log
+    // watcher for them (the pending flag died with the old epoch).
+    scheduleReforwardScan();
 }
 
 } // namespace pmnet::pmnetdev

@@ -97,6 +97,27 @@ struct DeviceConfig
      */
     TickDelta fenceLatency = 0;
     /** @} */
+
+    /** @name Stale-log re-forwarding (DESIGN.md section 15)
+     * A logged entry whose server-ACK never arrives means either the
+     * forwarded update or the ACK died on the wire after the client
+     * already completed on the PMNet-ACK. When the loss swallowed the
+     * *tail* of a session's stream, the server's gap detector has no
+     * later packet to notice the hole with, so nothing ever asks for
+     * a retransmission — the op would stay durable-but-unapplied
+     * until the next recovery replay. With reforwardAge nonzero the
+     * device periodically re-forwards log entries older than it
+     * toward their server (which drops duplicates and re-ACKs), and
+     * that closes the window. Off by default so the historical packet
+     * flows stay byte-identical; the adversarial scenario runner
+     * (fault::runScenario) switches it on.
+     *  @{
+     */
+    TickDelta reforwardAge = 0;
+    /** Scan cadence while re-forwarding is on and the log holds
+     *  entries; an empty log schedules nothing. */
+    TickDelta reforwardInterval = microseconds(100);
+    /** @} */
 };
 
 /**
@@ -127,6 +148,7 @@ struct DeviceStats
     obs::Counter nearDataServed; ///< RMW answered in-network
     obs::Counter recoveryPolls;
     obs::Counter recoveryResent;
+    obs::Counter reforwarded; ///< stale un-ACKed entries re-sent
     obs::Counter resilverPushesSent;
     obs::Counter resilverReceived;
     obs::Counter resilverLogged;
@@ -262,6 +284,18 @@ class PmnetDevice : public net::ForwardingNode
     void recoveryResendNext(std::vector<std::uint32_t> hashes,
                             std::size_t index, net::NodeId server);
 
+    /** @name Stale-log re-forward timer (see DeviceConfig)
+     * The timer is lazy: armed when a log write (or resilver write,
+     * or power restore) leaves the store non-empty, re-armed after
+     * each scan while entries remain, gone the moment the log drains.
+     *  @{
+     */
+    void scheduleReforwardScan();
+    void reforwardScan();
+    void reforwardNext(std::vector<std::uint32_t> hashes,
+                       std::size_t index);
+    /** @} */
+
     /**
      * Schedule @p fn guarded by the device epoch: it silently does
      * nothing if the device lost power in between.
@@ -372,6 +406,9 @@ class PmnetDevice : public net::ForwardingNode
 
     /** A resilver stream is in flight (see resilverActive()). */
     bool resilverActive_ = false;
+
+    /** A reforward scan is already scheduled (at most one pending). */
+    bool reforwardScanPending_ = false;
 
     /** Optional event trace. */
     TraceRing *trace_ = nullptr;

@@ -9,10 +9,12 @@
 
 #include <algorithm>
 
+#include "apps/kv_protocol.h"
 #include "net/link.h"
 #include "net/packet.h"
 #include "net/switch.h"
 #include "net/topology.h"
+#include "testbed/system.h"
 
 namespace pmnet::net {
 namespace {
@@ -565,6 +567,102 @@ TEST(Topology, NodeLookup)
     auto &host_a = topo.addNode<SinkNode>("ha");
     EXPECT_EQ(&topo.node(host_a.id()), &host_a);
     EXPECT_EQ(topo.nodeCount(), 1u);
+}
+
+// --------------------- rate-based corruption against the full stack
+
+namespace corrupt_rig {
+
+testbed::TestbedConfig
+oneClient()
+{
+    testbed::TestbedConfig config;
+    config.mode = testbed::SystemMode::PmnetSwitch;
+    config.clientCount = 1;
+    config.workload = [](std::uint16_t session) {
+        apps::YcsbConfig ycsb;
+        ycsb.keyCount = 16;
+        return apps::makeYcsbWorkload(ycsb, session);
+    };
+    return config;
+}
+
+void
+fireUpdates(testbed::Testbed &bed, int count)
+{
+    auto &lib = bed.clientLib(0);
+    lib.startSession();
+    for (int i = 0; i < count; i++) {
+        Bytes cmd = apps::encodeCommand(
+            apps::Command{{"SET", "k" + std::to_string(i), "v"}});
+        lib.sendUpdate(cmd, []() {});
+    }
+    auto &sim = bed.simulator();
+    sim.run(sim.now() + microseconds(300));
+}
+
+} // namespace corrupt_rig
+
+TEST(CorruptRate, ServerCountsEveryDamagedPacketAsHashRejected)
+{
+    // Sustained corruption on the switch->server hop: the device logs
+    // and PMNet-ACKs each update, then the copy is damaged in flight.
+    // Every damaged arrival must die on the server's CRC check and be
+    // counted — never parsed, never applied.
+    testbed::Testbed bed(corrupt_rig::oneClient());
+    Link *link = bed.serverHost().linkAt(0);
+    ASSERT_NE(link, nullptr);
+    Impairment imp;
+    imp.corruptRate = 1.0;
+    link->setImpairment(link->peerOf(bed.serverHost()), imp);
+
+    corrupt_rig::fireUpdates(bed, 6);
+
+    EXPECT_GT(link->corruptions(), 0u);
+    EXPECT_EQ(bed.serverLib().stats.hashRejected, link->corruptions())
+        << "every corrupted delivery rejected and counted, nothing "
+           "else rejected";
+    EXPECT_EQ(bed.serverLib().stats.updatesApplied, 0u);
+}
+
+TEST(CorruptRate, DeviceCountsEveryDamagedPacketAsBypassBadHash)
+{
+    // Same fire aimed at the client->switch hop: the device's CRC
+    // check is the first line of defence — damaged updates are
+    // dropped outright (bypassBadHash), never logged, never
+    // forwarded.
+    testbed::Testbed bed(corrupt_rig::oneClient());
+    Link *link = bed.clientHost(0).linkAt(0);
+    ASSERT_NE(link, nullptr);
+    Impairment imp;
+    imp.corruptRate = 1.0;
+    link->setImpairment(bed.clientHost(0), imp);
+
+    corrupt_rig::fireUpdates(bed, 6);
+
+    EXPECT_GT(link->corruptions(), 0u);
+    EXPECT_EQ(bed.device(0).stats.bypassBadHash, link->corruptions());
+    EXPECT_EQ(bed.device(0).stats.updatesLogged, 0u);
+    EXPECT_EQ(bed.serverLib().stats.updatesApplied, 0u)
+        << "nothing corrupt may leak past the device";
+}
+
+TEST(CorruptRate, PartialRateLetsCleanPacketsThrough)
+{
+    // A 50% rate must damage some and pass the rest: the injected
+    // count on the link equals the receiver's reject count exactly,
+    // and clean packets still commit.
+    testbed::Testbed bed(corrupt_rig::oneClient());
+    Link *link = bed.serverHost().linkAt(0);
+    Impairment imp;
+    imp.corruptRate = 0.5;
+    link->setImpairment(link->peerOf(bed.serverHost()), imp);
+
+    corrupt_rig::fireUpdates(bed, 12);
+
+    EXPECT_GT(link->corruptions(), 0u);
+    EXPECT_EQ(bed.serverLib().stats.hashRejected, link->corruptions());
+    EXPECT_GT(bed.serverLib().stats.updatesApplied, 0u);
 }
 
 } // namespace

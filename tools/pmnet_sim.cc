@@ -14,6 +14,10 @@
  *   pmnet_sim --mode pmnet-switch --cache --replication 3 --vma
  *   pmnet_sim --mode pmnet-switch --fail-server-at-ms 20
  *   pmnet_sim --smoke --json        # schema-validated CI snapshot
+ *   pmnet_sim --scenario list       # adversarial link scenarios
+ *   pmnet_sim --scenario ge-burst-loss --threads 4
+ *   pmnet_sim --scenario all        # the whole CI sweep, exit != 0
+ *                                   # on any P1-P3 violation
  */
 
 #include <cstdio>
@@ -21,6 +25,7 @@
 
 #include "bench/bench_util.h"
 #include "common/logging.h"
+#include "fault/scenario.h"
 #include "obs/snapshot.h"
 #include "testbed/system.h"
 #include "tools/cli.h"
@@ -49,6 +54,7 @@ struct Options
     double failServerAtMs = -1;
     double outageMs = 1;
     unsigned threads = 0;
+    std::string scenario;
     cli::CommonOptions common;
 };
 
@@ -139,6 +145,13 @@ parseArgs(int argc, char **argv)
                           "simulation worker threads (0 = single "
                           "simulator; >=1 partitions per node)",
                           &opts.threads);
+    parser.optionString("--scenario", "S",
+                        "run an adversarial link-condition scenario "
+                        "against the P1-P3 invariant checker: a name, "
+                        "'list', 'all', or an inline "
+                        "'name | linkspecs | extras' row "
+                        "(DESIGN.md section 15)",
+                        &opts.scenario);
     cli::addSeed(parser, opts.common);
     cli::addSmoke(parser, opts.common);
     cli::addJsonFlag(parser, opts.common);
@@ -294,12 +307,70 @@ printTextReport(const Options &opts, testbed::Testbed &bed,
     }
 }
 
+/**
+ * --scenario mode: run rows of the adversarial link-condition table
+ * through the fault runner and print each InvariantReport. Exits
+ * non-zero if any scenario violates P1-P3 — the CI contract.
+ */
+int
+runScenarioMode(const Options &opts)
+{
+    if (opts.scenario == "list") {
+        for (const fault::Scenario &scenario :
+             fault::builtinScenarios())
+            std::printf("%-22s %s\n", scenario.name.c_str(),
+                        scenario.spec.c_str());
+        return 0;
+    }
+
+    fault::Scenario inline_row;
+    std::vector<const fault::Scenario *> selected;
+    if (opts.scenario == "all") {
+        for (const fault::Scenario &scenario :
+             fault::builtinScenarios())
+            selected.push_back(&scenario);
+    } else if (opts.scenario.find('|') != std::string::npos) {
+        std::string error;
+        if (!fault::parseScenario(opts.scenario, &inline_row, &error))
+            fatal("%s", error.c_str());
+        selected.push_back(&inline_row);
+    } else {
+        const fault::Scenario *scenario =
+            fault::findScenario(opts.scenario);
+        if (scenario == nullptr)
+            fatal("unknown scenario '%s' (try --scenario list)",
+                  opts.scenario.c_str());
+        selected.push_back(scenario);
+    }
+
+    fault::ScenarioRunOptions run_opts;
+    run_opts.kind = parseStructure(opts.structure);
+    run_opts.simThreads = opts.threads;
+    run_opts.seed = opts.common.seed;
+
+    std::size_t violations = 0;
+    for (const fault::Scenario *scenario : selected) {
+        std::printf("== %s | %s\n", scenario->name.c_str(),
+                    scenario->spec.c_str());
+        fault::InvariantReport report =
+            fault::runScenario(*scenario, run_opts);
+        std::fputs(report.text().c_str(), stdout);
+        violations += report.violations().size();
+    }
+    if (selected.size() > 1)
+        std::printf("\n%zu scenario(s), %zu violation(s)\n",
+                    selected.size(), violations);
+    return violations == 0 ? 0 : 1;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     Options opts = parseArgs(argc, argv);
+    if (!opts.scenario.empty())
+        return runScenarioMode(opts);
     benchutil::WorkloadSpec spec = specFor(opts);
 
     testbed::TestbedConfig config;
