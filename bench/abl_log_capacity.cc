@@ -48,19 +48,19 @@ main()
         testbed::Testbed bed(std::move(config));
         bed.run(milliseconds(2), milliseconds(25));
 
-        const auto &stats = bed.device(0).stats;
+        const obs::MetricRegistry &m = bed.metrics();
         const auto &store = bed.device(0).logStore();
-        double seen = static_cast<double>(stats.updatesSeen);
+        double seen = static_cast<double>(m.value("device0.updatesSeen"));
         table.addRow(
             {std::to_string(slots),
-             TablePrinter::fmt((stats.updatesLogged +
-                                stats.updatesReAcked) /
+             TablePrinter::fmt((m.value("device0.updatesLogged") +
+                                m.value("device0.updatesReAcked")) /
                                    seen * 100,
                                1) +
                  "%",
-             TablePrinter::fmt(stats.bypassCollision / seen * 100, 1) +
+             TablePrinter::fmt(m.value("device0.bypassCollision") / seen * 100, 1) +
                  "%",
-             TablePrinter::fmt(stats.bypassQueueFull / seen * 100, 1) +
+             TablePrinter::fmt(m.value("device0.bypassQueueFull") / seen * 100, 1) +
                  "%",
              TablePrinter::fmt(
                  static_cast<double>(store.highWater) /

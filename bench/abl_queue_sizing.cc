@@ -47,13 +47,13 @@ measure(double gbps, std::size_t queue_bytes, double pm_gbps)
     testbed::Testbed bed(std::move(config));
     auto results = bed.run(milliseconds(2), milliseconds(15));
 
-    const auto &stats = bed.device(0).stats;
+    const obs::MetricRegistry &m = bed.metrics();
     Point point;
     point.coverage =
-        stats.updatesSeen
-            ? static_cast<double>(stats.updatesLogged +
-                                  stats.updatesReAcked) /
-                  static_cast<double>(stats.updatesSeen)
+        m.value("device0.updatesSeen")
+            ? static_cast<double>(m.value("device0.updatesLogged") +
+                                  m.value("device0.updatesReAcked")) /
+                  static_cast<double>(m.value("device0.updatesSeen"))
             : 0.0;
     point.mean_us = results.updateLatency.empty()
                         ? 0.0

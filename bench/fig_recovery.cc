@@ -83,7 +83,8 @@ main()
             break;
     }
 
-    std::uint64_t resent = bed.device(0).stats.recoveryResent;
+    std::uint64_t resent =
+        bed.metrics().value("device0.recoveryResent");
     double replay_time = static_cast<double>(drained_at - restore_at);
 
     TablePrinter table({"metric", "measured", "paper"});

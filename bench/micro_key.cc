@@ -198,12 +198,28 @@ class OldPmHashmap : public kv::StoreBase
         heap_.flush(buckets_, bucketCount_ * 8);
     }
 
-    using KvStore::erase;
-    using KvStore::get;
-    using KvStore::put;
+    /** KeyRef surface required by KvStore; the old structure has no
+     *  hash fast path, so both forms pay the full walk. */
+    void
+    put(KeyRef key, const Bytes &value) override
+    {
+        put(std::string(key.view()), value);
+    }
+
+    std::optional<Bytes>
+    get(KeyRef key) const override
+    {
+        return get(std::string(key.view()));
+    }
+
+    bool
+    erase(KeyRef key) override
+    {
+        return erase(std::string(key.view()));
+    }
 
     void
-    put(const std::string &key, const Bytes &value) override
+    put(const std::string &key, const Bytes &value)
     {
         std::uint64_t slot = bucketSlot(key);
         pm::PmOffset cursor = heap_.readObj<std::uint64_t>(slot);
@@ -240,7 +256,7 @@ class OldPmHashmap : public kv::StoreBase
     }
 
     std::optional<Bytes>
-    get(const std::string &key) const override
+    get(const std::string &key) const
     {
         pm::PmOffset cursor = heap_.readObj<std::uint64_t>(bucketSlot(key));
         while (cursor != pm::kNullOffset) {
@@ -253,7 +269,7 @@ class OldPmHashmap : public kv::StoreBase
     }
 
     bool
-    erase(const std::string &key) override
+    erase(const std::string &key)
     {
         std::uint64_t prev_slot = bucketSlot(key);
         pm::PmOffset cursor = heap_.readObj<std::uint64_t>(prev_slot);
@@ -473,7 +489,7 @@ BM_HashmapGet_New(benchmark::State &state)
     pm::PmHeap heap(kHeapBytes);
     kv::PmHashmap map(heap, kMapBucketBits);
     for (const auto &key : keys)
-        map.put(key, kValue);
+        map.put(kv::asKey(key), kValue);
     std::size_t i = 0;
     for (auto _ : state) {
         benchmark::DoNotOptimize(
@@ -508,7 +524,7 @@ BM_HashmapPut_New(benchmark::State &state)
     pm::PmHeap heap(kHeapBytes);
     kv::PmHashmap map(heap, kMapBucketBits);
     for (const auto &key : keys)
-        map.put(key, kValue);
+        map.put(kv::asKey(key), kValue);
     std::size_t i = 0;
     for (auto _ : state) {
         map.put(KeyRef(std::string_view(keys[i])), kValue);

@@ -39,12 +39,12 @@ BM_KvPut(benchmark::State &state)
     Bytes value(100);
     // Preload a realistic population.
     for (int i = 0; i < 20000; i++)
-        store->put("user" + std::to_string(i), value);
+        store->put(kv::asKey("user" + std::to_string(i)), value);
     heap.drainCost();
 
     std::uint64_t ops = 0;
     for (auto _ : state) {
-        store->put("user" + std::to_string(rng.nextUInt(20000)), value);
+        store->put(kv::asKey("user" + std::to_string(rng.nextUInt(20000))), value);
         ops++;
     }
     state.SetLabel(kv::kvKindName(store->kind()));
@@ -63,13 +63,13 @@ BM_KvGet(benchmark::State &state)
     Rng rng(11);
     Bytes value(100);
     for (int i = 0; i < 20000; i++)
-        store->put("user" + std::to_string(i), value);
+        store->put(kv::asKey("user" + std::to_string(i)), value);
     heap.drainCost();
 
     std::uint64_t ops = 0;
     for (auto _ : state) {
         benchmark::DoNotOptimize(
-            store->get("user" + std::to_string(rng.nextUInt(20000))));
+            store->get(kv::asKey("user" + std::to_string(rng.nextUInt(20000)))));
         ops++;
     }
     state.SetLabel(kv::kvKindName(store->kind()));
@@ -88,16 +88,16 @@ BM_KvMixed(benchmark::State &state)
     Rng rng(13);
     Bytes value(100);
     for (int i = 0; i < 20000; i++)
-        store->put("user" + std::to_string(i), value);
+        store->put(kv::asKey("user" + std::to_string(i)), value);
     heap.drainCost();
 
     std::uint64_t ops = 0;
     for (auto _ : state) {
         std::string key = "user" + std::to_string(rng.nextUInt(20000));
         if (rng.nextBool(0.5))
-            store->put(key, value);
+            store->put(kv::asKey(key), value);
         else
-            benchmark::DoNotOptimize(store->get(key));
+            benchmark::DoNotOptimize(store->get(kv::asKey(key)));
         ops++;
     }
     state.SetLabel(kv::kvKindName(store->kind()));

@@ -12,7 +12,7 @@
 
 #include <cstdio>
 
-#include "testbed/system.h"
+#include "pmnet/pmnet_api.h"
 
 using namespace pmnet;
 

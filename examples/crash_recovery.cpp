@@ -13,7 +13,7 @@
 
 #include <cstdio>
 
-#include "testbed/system.h"
+#include "pmnet/pmnet_api.h"
 
 using namespace pmnet;
 
@@ -73,7 +73,7 @@ main()
                 "watermark now %u/8; log holds %zu entries\n",
                 toMicroseconds(sim.now()),
                 static_cast<unsigned long long>(
-                    bed.device(0).stats.recoveryResent),
+                    bed.metrics().value("device0.recoveryResent")),
                 bed.serverLib().appliedSeq(1),
                 static_cast<std::size_t>(
                     bed.device(0).logStore().size()));

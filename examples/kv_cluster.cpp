@@ -11,7 +11,7 @@
 
 #include <cstdio>
 
-#include "testbed/system.h"
+#include "pmnet/pmnet_api.h"
 
 using namespace pmnet;
 

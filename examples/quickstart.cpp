@@ -10,7 +10,7 @@
 
 #include <cstdio>
 
-#include "testbed/system.h"
+#include "pmnet/pmnet_api.h"
 
 using namespace pmnet;
 

@@ -11,7 +11,7 @@
 
 #include <cstdio>
 
-#include "testbed/system.h"
+#include "pmnet/pmnet_api.h"
 
 using namespace pmnet;
 
@@ -51,8 +51,9 @@ main()
                 toMicroseconds(results.updateLatency.percentile(99)));
     for (std::size_t d = 0; d < bed.deviceCount(); d++)
         std::printf("  switch #%zu logged %llu updates\n", d + 1,
-                    static_cast<unsigned long long>(
-                        bed.device(d).stats.updatesLogged));
+                    static_cast<unsigned long long>(bed.metrics().value(
+                        "device" + std::to_string(d) +
+                        ".updatesLogged")));
 
     // Permanent failure of one replica + server crash: any surviving
     // switch can replay the log (Section IV-E2).

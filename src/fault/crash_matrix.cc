@@ -86,9 +86,9 @@ void
 applyToStore(kv::KvStore &store, const Op &op)
 {
     if (op.isPut)
-        store.put(op.key, toBytes(op.value));
+        store.put(kv::asKey(op.key), toBytes(op.value));
     else
-        store.erase(op.key);
+        store.erase(kv::asKey(op.key));
 }
 
 void
@@ -114,7 +114,7 @@ checkContent(const kv::KvStore &store,
 {
     for (int k = 0; k < key_count; k++) {
         std::string key = "k" + std::to_string(k);
-        std::optional<Bytes> got = store.get(key);
+        std::optional<Bytes> got = store.get(kv::asKey(key));
         auto want = model.find(key);
         if (want == model.end()) {
             if (got)
@@ -244,7 +244,7 @@ runCrashMatrix(const CrashMatrixConfig &config)
         // values are unique, so the probe cannot be fooled by an
         // earlier write of the same key.
         const Op &inflight = ops[j];
-        std::optional<Bytes> probe = store->get(inflight.key);
+        std::optional<Bytes> probe = store->get(kv::asKey(inflight.key));
         bool applied;
         if (inflight.isPut)
             applied = probe && toString(*probe) == inflight.value;
@@ -467,7 +467,7 @@ runGroupCommitMatrix(const GroupCommitMatrixConfig &config)
             applyToModel(model, ops[r]);
         if (site == GcCrashSite::Apply) {
             const Op &inflight = ops[j];
-            std::optional<Bytes> probe = store->get(inflight.key);
+            std::optional<Bytes> probe = store->get(kv::asKey(inflight.key));
             bool op_applied;
             if (inflight.isPut)
                 op_applied = probe && toString(*probe) == inflight.value;

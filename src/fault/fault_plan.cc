@@ -631,14 +631,15 @@ FaultRunner::collectCounters()
 
     std::uint64_t acked = 0, applied = 0;
     std::uint64_t timeouts = 0, resent = 0, by_pmnet = 0, by_server = 0;
+    const obs::MetricRegistry &metrics = testbed_->metrics();
     for (std::size_t c = 0; c < testbed_->clientCount(); c++) {
         acked += sessions_[c].acked.size();
         applied += sessions_[c].appliedTotal();
-        const stack::ClientStats &cs = testbed_->clientLib(c).stats;
-        timeouts += cs.timeouts;
-        resent += cs.packetsResent;
-        by_pmnet += cs.completedByPmnetAck;
-        by_server += cs.completedByServerAck;
+        std::string cp = testbed_->clientPrefix(c);
+        timeouts += metrics.value(cp + ".timeouts");
+        resent += metrics.value(cp + ".packetsResent");
+        by_pmnet += metrics.value(cp + ".completedByPmnetAck");
+        by_server += metrics.value(cp + ".completedByServerAck");
     }
     report_.setCounter("acked-total", acked);
     report_.setCounter("applied-total", applied);
@@ -651,14 +652,14 @@ FaultRunner::collectCounters()
     std::uint64_t reforwarded = 0;
     std::uint64_t resilver_sent = 0, resilver_logged = 0;
     for (std::size_t i = 0; i < testbed_->deviceCount(); i++) {
-        const pmnetdev::DeviceStats &ds = testbed_->device(i).stats;
-        logged += ds.updatesLogged;
-        reacked += ds.updatesReAcked;
-        retrans += ds.retransServed;
-        replayed += ds.recoveryResent;
-        reforwarded += ds.reforwarded;
-        resilver_sent += ds.resilverPushesSent;
-        resilver_logged += ds.resilverLogged;
+        std::string dp = testbed_->devicePrefix(i);
+        logged += metrics.value(dp + ".updatesLogged");
+        reacked += metrics.value(dp + ".updatesReAcked");
+        retrans += metrics.value(dp + ".retransServed");
+        replayed += metrics.value(dp + ".recoveryResent");
+        reforwarded += metrics.value(dp + ".reforwarded");
+        resilver_sent += metrics.value(dp + ".resilverPushesSent");
+        resilver_logged += metrics.value(dp + ".resilverLogged");
     }
     report_.setCounter("device-logged", logged);
     report_.setCounter("device-reacked", reacked);
@@ -677,12 +678,12 @@ FaultRunner::collectCounters()
     std::uint64_t srv_applied = 0, srv_dups = 0, srv_makeup = 0;
     std::uint64_t srv_recoveries = 0, srv_acks = 0;
     for (unsigned s = 0; s < testbed_->shardCount(); s++) {
-        const stack::ServerStats &ss = testbed_->serverLib(s).stats;
-        srv_applied += ss.updatesApplied;
-        srv_dups += ss.duplicatesDropped;
-        srv_makeup += ss.makeupAcks;
-        srv_recoveries += ss.recoveries;
-        srv_acks += ss.acksSent;
+        std::string sp = testbed_->serverPrefix(s);
+        srv_applied += metrics.value(sp + ".updatesApplied");
+        srv_dups += metrics.value(sp + ".duplicatesDropped");
+        srv_makeup += metrics.value(sp + ".makeupAcks");
+        srv_recoveries += metrics.value(sp + ".recoveries");
+        srv_acks += metrics.value(sp + ".acksSent");
     }
     report_.setCounter("server-applied", srv_applied);
     report_.setCounter("server-duplicates", srv_dups);

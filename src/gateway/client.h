@@ -1,0 +1,100 @@
+/**
+ * @file
+ * GatewayClient — a loopback/remote client for pmnetd.
+ *
+ * The mirror image of GatewayServer: an embedded simulator drives the
+ * *unchanged* stack::ClientLib, and a Client-role GatewayBridge turns
+ * its packets into datagrams aimed at one daemon endpoint:
+ *
+ *   client Host(100+sid) --- GatewayBridge(0) <-> socket
+ *
+ * The blocking helpers (set/get/exec) run the event loop until the
+ * request completes, so `pmnet_cli` and the cross-validation tests
+ * read like ordinary synchronous code while retries, duplicate
+ * suppression and early-ACK completion all run the real protocol
+ * under wall-clock timers.
+ */
+
+#ifndef PMNET_GATEWAY_CLIENT_H
+#define PMNET_GATEWAY_CLIENT_H
+
+#include <optional>
+#include <string>
+
+#include "apps/kv_protocol.h"
+#include "gateway/bridge.h"
+#include "gateway/runtime.h"
+#include "net/link.h"
+#include "stack/client_lib.h"
+
+namespace pmnet::gateway {
+
+/** One PMNet session speaking to a daemon over UDP. */
+class GatewayClient
+{
+  public:
+    struct Config
+    {
+        /** The daemon. */
+        Endpoint server;
+        /** PMNet session (also fixes this client's NodeId). */
+        std::uint16_t sessionId = 1;
+        /** Wall-clock protocol timers (retry in real nanoseconds). */
+        stack::ClientConfig client = wallClientDefaults();
+
+        static stack::ClientConfig wallClientDefaults();
+    };
+
+    explicit GatewayClient(Config config);
+
+    /** @name Blocking command helpers
+     * Each runs the event loop until the request completes (or
+     * @p timeout wall-nanoseconds elapse — 0 = wait forever).
+     *  @{
+     */
+
+    /** SET; true when the update was acknowledged durable. */
+    bool set(const std::string &key, const std::string &value,
+             Tick timeout = 0);
+
+    /** GET; nullopt on absent key or timeout. */
+    std::optional<std::string> get(const std::string &key,
+                                   Tick timeout = 0);
+
+    /**
+     * Any argv command. Update-class verbs complete on the durability
+     * ACK (no payload); read/sync verbs return the decoded response.
+     */
+    std::optional<apps::Response> exec(const apps::Command &cmd,
+                                       Tick timeout = 0);
+    /** @} */
+
+    /** Fire-and-collect: send @p cmd, don't wait. */
+    void execAsync(const apps::Command &cmd);
+
+    /** Run the loop until nothing is in flight (or timeout). */
+    bool drainOutstanding(Tick timeout = 0);
+
+    stack::ClientLib &lib() { return *lib_; }
+    GatewayRuntime &runtime() { return runtime_; }
+    GatewayBridge &bridge() { return bridge_; }
+    UdpTransport &transport() { return transport_; }
+
+  private:
+    /** Run the loop until @p done (or @p timeout). @return !timed out. */
+    bool await(const std::function<bool()> &done, Tick timeout);
+
+    Config config_;
+    sim::Simulator sim_;
+    WallClock clock_;
+    UdpTransport transport_;
+    GatewayBridge bridge_;
+    stack::Host clientHost_;
+    net::Link link_;
+    std::unique_ptr<stack::ClientLib> lib_;
+    GatewayRuntime runtime_;
+};
+
+} // namespace pmnet::gateway
+
+#endif // PMNET_GATEWAY_CLIENT_H

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The clock seam of gateway mode (DESIGN.md section 17).
+ *
+ * Every state machine in the repo reads time as a sim::Simulator Tick
+ * (integer nanoseconds). In sim mode the simulator's event loop owns
+ * that clock; in gateway mode an external epoll loop advances the same
+ * simulator to *wall-derived* ticks, so the unchanged ServerLib /
+ * PmnetDevice / persist-path code runs against real time without
+ * knowing it. Clock is the source the gateway runtime locks the
+ * simulator to: WallClock for a real daemon, SimClock to drive the
+ * runtime machinery deterministically in tests.
+ */
+
+#ifndef PMNET_GATEWAY_CLOCK_H
+#define PMNET_GATEWAY_CLOCK_H
+
+#include <ctime>
+
+#include "common/time.h"
+#include "sim/simulator.h"
+
+namespace pmnet::gateway {
+
+/** Monotonic nanosecond time source the runtime follows. */
+class Clock
+{
+  public:
+    virtual ~Clock() = default;
+
+    /** Nanoseconds since an arbitrary fixed epoch; never decreases. */
+    virtual Tick now() const = 0;
+};
+
+/**
+ * CLOCK_MONOTONIC, rebased so tick 0 is this clock's construction —
+ * ticks stay small and sim-like, and two processes never compare raw
+ * values (only durations and wire bytes cross the socket).
+ */
+class WallClock : public Clock
+{
+  public:
+    WallClock() : epoch_(rawNow()) {}
+
+    Tick now() const override { return rawNow() - epoch_; }
+
+  private:
+    static Tick
+    rawNow()
+    {
+        timespec ts{};
+        clock_gettime(CLOCK_MONOTONIC, &ts);
+        return static_cast<Tick>(ts.tv_sec) * 1'000'000'000 +
+               static_cast<Tick>(ts.tv_nsec);
+    }
+
+    Tick epoch_;
+};
+
+/**
+ * A clock that reads the simulator itself — lets tests drive the
+ * gateway runtime's advance/drain machinery deterministically, with
+ * no real time involved.
+ */
+class SimClock : public Clock
+{
+  public:
+    explicit SimClock(const sim::Simulator &simulator)
+        : sim_(simulator)
+    {}
+
+    Tick now() const override { return sim_.now(); }
+
+  private:
+    const sim::Simulator &sim_;
+};
+
+} // namespace pmnet::gateway
+
+#endif // PMNET_GATEWAY_CLOCK_H

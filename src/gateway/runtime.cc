@@ -1,0 +1,153 @@
+#include "gateway/runtime.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/epoll.h>
+#include <sys/timerfd.h>
+#include <unistd.h>
+
+#include "common/logging.h"
+
+namespace pmnet::gateway {
+
+namespace {
+/** epoll user-data slot reserved for the protocol timerfd. */
+constexpr std::uint64_t kTimerSlot = 0;
+} // namespace
+
+GatewayRuntime::GatewayRuntime(sim::Simulator &simulator, Clock &clock)
+    : sim_(simulator), clock_(clock)
+{
+    epollFd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epollFd_ < 0)
+        fatal("GatewayRuntime: epoll_create1: %s", std::strerror(errno));
+    timerFd_ = ::timerfd_create(CLOCK_MONOTONIC, TFD_NONBLOCK | TFD_CLOEXEC);
+    if (timerFd_ < 0)
+        fatal("GatewayRuntime: timerfd_create: %s", std::strerror(errno));
+
+    // Slot 0 is the timer; handlers for real fds start at 1.
+    fdHandlers_.emplace_back([] {});
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kTimerSlot;
+    if (::epoll_ctl(epollFd_, EPOLL_CTL_ADD, timerFd_, &ev) != 0)
+        fatal("GatewayRuntime: epoll_ctl(timerfd): %s",
+              std::strerror(errno));
+}
+
+GatewayRuntime::~GatewayRuntime()
+{
+    if (timerFd_ >= 0)
+        ::close(timerFd_);
+    if (epollFd_ >= 0)
+        ::close(epollFd_);
+}
+
+void
+GatewayRuntime::addTransport(Transport &transport)
+{
+    transports_.push_back(&transport);
+    addFd(transport.pollFd(), [this, &transport] {
+        catchUp();
+        transport.drain();
+    });
+}
+
+void
+GatewayRuntime::addFd(int fd, std::function<void()> fn)
+{
+    std::uint64_t slot = fdHandlers_.size();
+    fdHandlers_.push_back(std::move(fn));
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = slot;
+    if (::epoll_ctl(epollFd_, EPOLL_CTL_ADD, fd, &ev) != 0)
+        fatal("GatewayRuntime: epoll_ctl(fd %d): %s", fd,
+              std::strerror(errno));
+}
+
+std::uint64_t
+GatewayRuntime::catchUp()
+{
+    std::uint64_t fired = sim_.advanceTo(clock_.now());
+    eventsFired += fired;
+    return fired;
+}
+
+void
+GatewayRuntime::armTimer()
+{
+    itimerspec spec{};
+    Tick next = sim_.nextEventAt();
+    if (next != kTickMax) {
+        TickDelta delta = next - clock_.now();
+        if (delta < 1)
+            delta = 1; // already due: fire immediately
+        spec.it_value.tv_sec = delta / 1'000'000'000;
+        spec.it_value.tv_nsec = delta % 1'000'000'000;
+    }
+    // A zeroed it_value disarms the timer: idle heap, sleep until IO.
+    if (::timerfd_settime(timerFd_, 0, &spec, nullptr) != 0)
+        fatal("GatewayRuntime: timerfd_settime: %s", std::strerror(errno));
+}
+
+int
+GatewayRuntime::pollOnce(int max_wait_ms)
+{
+    std::uint64_t progressed = catchUp();
+    for (Transport *transport : transports_)
+        progressed += transport->drain();
+    progressed += catchUp();
+    // A datagram that landed before this call (or a timer that came
+    // due) may have completed the very condition the caller's loop is
+    // waiting on — and completing a request cancels its retry timer,
+    // so nothing would wake the sleep below. Hand control back
+    // instead of sleeping whenever the catch-up phase did any work;
+    // an idle next call falls through to the sleep as before.
+    if (progressed > 0)
+        return 0;
+    armTimer();
+
+    epoll_event events[16];
+    int n = ::epoll_wait(epollFd_, events, 16, max_wait_ms);
+    if (n < 0) {
+        if (errno == EINTR)
+            return 0;
+        fatal("GatewayRuntime: epoll_wait: %s", std::strerror(errno));
+    }
+    wakeups++;
+    for (int i = 0; i < n; i++) {
+        std::uint64_t slot = events[i].data.u64;
+        if (slot == kTimerSlot) {
+            std::uint64_t expirations = 0;
+            while (::read(timerFd_, &expirations, sizeof(expirations)) > 0)
+                ;
+            timerFires++;
+            continue;
+        }
+        fdHandlers_[slot]();
+    }
+    catchUp();
+    return n;
+}
+
+void
+GatewayRuntime::runUntil(const std::function<bool()> &done)
+{
+    stopped_ = false;
+    while (!stopped_ && !done())
+        pollOnce(-1);
+}
+
+void
+GatewayRuntime::registerMetrics(obs::MetricRegistry &registry,
+                                std::string_view prefix)
+{
+    std::string base(prefix);
+    registry.attach(base + ".wakeups", wakeups);
+    registry.attach(base + ".timerFires", timerFires);
+    registry.attach(base + ".eventsFired", eventsFired);
+}
+
+} // namespace pmnet::gateway

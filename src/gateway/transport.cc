@@ -1,0 +1,108 @@
+#include "gateway/transport.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.h"
+
+namespace pmnet::gateway {
+
+Endpoint
+Endpoint::loopback(std::uint16_t port)
+{
+    return Endpoint{INADDR_LOOPBACK, port};
+}
+
+std::string
+Endpoint::describe() const
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u:%u", (ip >> 24) & 0xFF,
+                  (ip >> 16) & 0xFF, (ip >> 8) & 0xFF, ip & 0xFF, port);
+    return buf;
+}
+
+UdpTransport::UdpTransport(std::uint16_t port)
+{
+    fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (fd_ < 0)
+        fatal("UdpTransport: socket() failed: %s", std::strerror(errno));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd_, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) != 0)
+        fatal("UdpTransport: cannot bind 127.0.0.1:%u: %s", port,
+              std::strerror(errno));
+
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd_, reinterpret_cast<sockaddr *>(&addr), &len) != 0)
+        fatal("UdpTransport: getsockname failed: %s", std::strerror(errno));
+    localPort_ = ntohs(addr.sin_port);
+}
+
+UdpTransport::~UdpTransport()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+bool
+UdpTransport::send(const Endpoint &to, const std::uint8_t *data,
+                   std::size_t len)
+{
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(to.ip);
+    addr.sin_port = htons(to.port);
+    ssize_t n = ::sendto(fd_, data, len, 0,
+                         reinterpret_cast<sockaddr *>(&addr), sizeof(addr));
+    if (n != static_cast<ssize_t>(len)) {
+        sendErrors++;
+        return false;
+    }
+    datagramsSent++;
+    bytesSent += len;
+    return true;
+}
+
+std::size_t
+UdpTransport::drain()
+{
+    std::size_t delivered = 0;
+    std::uint8_t buf[65536];
+    for (;;) {
+        sockaddr_in from{};
+        socklen_t from_len = sizeof(from);
+        ssize_t n = ::recvfrom(fd_, buf, sizeof(buf), 0,
+                               reinterpret_cast<sockaddr *>(&from),
+                               &from_len);
+        if (n < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                break;
+            if (errno == EINTR)
+                continue;
+            // ICMP port-unreachable from a dead peer surfaces here on
+            // connected sockets; on unconnected ones anything else is
+            // unexpected but not fatal for a daemon.
+            break;
+        }
+        datagramsReceived++;
+        bytesReceived += static_cast<std::uint64_t>(n);
+        if (recv_) {
+            Endpoint ep{ntohl(from.sin_addr.s_addr),
+                        ntohs(from.sin_port)};
+            recv_(ep, buf, static_cast<std::size_t>(n));
+        }
+        delivered++;
+    }
+    return delivered;
+}
+
+} // namespace pmnet::gateway

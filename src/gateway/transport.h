@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The transport seam of gateway mode (DESIGN.md section 17).
+ *
+ * A Transport moves raw datagrams — exactly the bytes
+ * Packet::serializePayload() produces — between this process and a
+ * peer endpoint. The GatewayBridge sits on top and translates between
+ * datagrams and typed Packets; nothing above the bridge knows whether
+ * the bytes crossed a real socket (UdpTransport) or a test double.
+ */
+
+#ifndef PMNET_GATEWAY_TRANSPORT_H
+#define PMNET_GATEWAY_TRANSPORT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace pmnet::gateway {
+
+/** One peer address (IPv4 host-order + UDP port). */
+struct Endpoint
+{
+    std::uint32_t ip = 0;
+    std::uint16_t port = 0;
+
+    bool operator==(const Endpoint &) const = default;
+
+    bool valid() const { return port != 0; }
+
+    /** 127.0.0.1:@p port. */
+    static Endpoint loopback(std::uint16_t port);
+
+    std::string describe() const;
+};
+
+/** Abstract datagram transport. */
+class Transport
+{
+  public:
+    virtual ~Transport() = default;
+
+    /** Delivered for each datagram drained off the transport. */
+    using RecvFn = std::function<void(const Endpoint &from,
+                                      const std::uint8_t *data,
+                                      std::size_t len)>;
+
+    void setReceive(RecvFn fn) { recv_ = std::move(fn); }
+
+    /** Send one datagram to @p to. @return false on transient error. */
+    virtual bool send(const Endpoint &to, const std::uint8_t *data,
+                      std::size_t len) = 0;
+
+    /**
+     * Readable fd the runtime can epoll on; -1 when the transport has
+     * no kernel-visible readiness (in-memory test doubles).
+     */
+    virtual int pollFd() const = 0;
+
+    /**
+     * Deliver every pending datagram to the receive callback.
+     * @return number of datagrams delivered.
+     */
+    virtual std::size_t drain() = 0;
+
+  protected:
+    RecvFn recv_;
+};
+
+/**
+ * Nonblocking UDP socket bound to 127.0.0.1 (gateway mode is a
+ * single-machine bridge-to-real-sockets step; binding wider is a
+ * one-line change once anything remote should talk to it).
+ */
+class UdpTransport : public Transport
+{
+  public:
+    /** Bind to @p port (0 = kernel-assigned ephemeral port). */
+    explicit UdpTransport(std::uint16_t port = 0);
+    ~UdpTransport() override;
+
+    UdpTransport(const UdpTransport &) = delete;
+    UdpTransport &operator=(const UdpTransport &) = delete;
+
+    /** The locally bound UDP port. */
+    std::uint16_t localPort() const { return localPort_; }
+
+    bool send(const Endpoint &to, const std::uint8_t *data,
+              std::size_t len) override;
+    int pollFd() const override { return fd_; }
+    std::size_t drain() override;
+
+    /** @name Wire counters (snapshot probes)
+     *  @{
+     */
+    std::uint64_t datagramsSent = 0;
+    std::uint64_t datagramsReceived = 0;
+    std::uint64_t bytesSent = 0;
+    std::uint64_t bytesReceived = 0;
+    std::uint64_t sendErrors = 0;
+    /** @} */
+
+  private:
+    int fd_ = -1;
+    std::uint16_t localPort_ = 0;
+};
+
+} // namespace pmnet::gateway
+
+#endif // PMNET_GATEWAY_TRANSPORT_H

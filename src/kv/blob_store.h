@@ -40,11 +40,33 @@ class PmBlobStore : public StoreBase
     /** Re-open after a crash. */
     PmBlobStore(pm::PmHeap &heap, pm::PmOffset header_offset);
 
-    void put(const std::string &key, const Bytes &value) override;
-    std::optional<Bytes> get(const std::string &key) const override;
-    bool erase(const std::string &key) override;
+    /** Linear scan: the hash is unused; the key bytes are
+     *  materialized once and compared for equality. */
+    void
+    put(KeyRef key, const Bytes &value) override
+    {
+        put(std::string(key.view()), value);
+    }
+
+    std::optional<Bytes>
+    get(KeyRef key) const override
+    {
+        return get(std::string(key.view()));
+    }
+
+    bool
+    erase(KeyRef key) override
+    {
+        return erase(std::string(key.view()));
+    }
 
   private:
+    /** String-keyed implementation (the persistent layout stores the
+     *  whole key; lookup never consults the hash). */
+    void put(const std::string &key, const Bytes &value);
+    std::optional<Bytes> get(const std::string &key) const;
+    bool erase(const std::string &key);
+
     /** List node; same persistent shape as the hashmap's chain node. */
     struct Node
     {

@@ -36,14 +36,25 @@ class PmBTree : public StoreBase
     explicit PmBTree(pm::PmHeap &heap);
     PmBTree(pm::PmHeap &heap, pm::PmOffset header_offset);
 
-    /** Comparison-ordered: KeyRef adapters from KvStore apply. */
-    using KvStore::put;
-    using KvStore::get;
-    using KvStore::erase;
+    /** Comparison-ordered: the hash is unused; the key bytes are
+     *  materialized once and compared lexicographically. */
+    void
+    put(KeyRef key, const Bytes &value) override
+    {
+        put(std::string(key.view()), value);
+    }
 
-    void put(const std::string &key, const Bytes &value) override;
-    std::optional<Bytes> get(const std::string &key) const override;
-    bool erase(const std::string &key) override;
+    std::optional<Bytes>
+    get(KeyRef key) const override
+    {
+        return get(std::string(key.view()));
+    }
+
+    bool
+    erase(KeyRef key) override
+    {
+        return erase(std::string(key.view()));
+    }
 
     /** Depth of the tree (test/diagnostic aid); 0 for empty. */
     unsigned height() const;
@@ -57,6 +68,11 @@ class PmBTree : public StoreBase
     bool validate(bool strict_depth = false) const;
 
   private:
+    /** String-keyed implementation (the persistent layout stores the
+     *  whole key; ordering never consults the hash). */
+    void put(const std::string &key, const Bytes &value);
+    std::optional<Bytes> get(const std::string &key) const;
+    bool erase(const std::string &key);
     struct Node
     {
         std::uint16_t count = 0;

@@ -56,25 +56,6 @@ class PmHashmap : public StoreBase
     std::optional<Bytes> get(KeyRef key) const override;
     bool erase(KeyRef key) override;
 
-    /** String adapters: hash once, then take the fast path. */
-    void
-    put(const std::string &key, const Bytes &value) override
-    {
-        put(KeyRef(std::string_view(key)), value);
-    }
-
-    std::optional<Bytes>
-    get(const std::string &key) const override
-    {
-        return get(KeyRef(std::string_view(key)));
-    }
-
-    bool
-    erase(const std::string &key) override
-    {
-        return erase(KeyRef(std::string_view(key)));
-    }
-
   private:
     /**
      * Chain node — the exact persistent layout (and therefore the

@@ -51,12 +51,13 @@ const char *kvKindName(KvKind kind);
 /**
  * Uniform key-value API over any of the five structures.
  *
- * Each operation has two entry points: the classic std::string form
- * and a KeyRef form carrying the hash computed where the request was
- * parsed. Hash-indexed structures (Hashmap) override the KeyRef form
- * as their fast path; comparison-ordered structures (trees, skip
- * list) ignore the hash and the default adapters below forward to
- * the string form.
+ * The public surface is KeyRef-only: a key is hashed exactly once,
+ * where the request is parsed, and carried with its hash (see
+ * common/key.h). Hash-indexed structures (Hashmap) index by
+ * key.hash() directly and never copy the key on lookup paths;
+ * comparison-ordered structures (trees, skip list) materialize the
+ * key bytes internally. Call sites holding an owned string go
+ * through asKey() — the one explicit conversion point.
  */
 class KvStore
 {
@@ -64,38 +65,13 @@ class KvStore
     virtual ~KvStore() = default;
 
     /** Insert or overwrite; durable when the call returns. */
-    virtual void put(const std::string &key, const Bytes &value) = 0;
+    virtual void put(KeyRef key, const Bytes &value) = 0;
 
     /** Value for @p key, or nullopt. */
-    virtual std::optional<Bytes> get(const std::string &key) const = 0;
+    virtual std::optional<Bytes> get(KeyRef key) const = 0;
 
     /** Remove @p key. @return true if it existed. */
-    virtual bool erase(const std::string &key) = 0;
-
-    /** @name Hash-once entry points
-     * Default adapters materialize a std::string; hash-indexed
-     * structures override them to use key.hash() directly and never
-     * copy the key on lookup paths.
-     *  @{
-     */
-    virtual void
-    put(KeyRef key, const Bytes &value)
-    {
-        put(std::string(key.view()), value);
-    }
-
-    virtual std::optional<Bytes>
-    get(KeyRef key) const
-    {
-        return get(std::string(key.view()));
-    }
-
-    virtual bool
-    erase(KeyRef key)
-    {
-        return erase(std::string(key.view()));
-    }
-    /** @} */
+    virtual bool erase(KeyRef key) = 0;
 
     /** Number of live keys (persisted counter). */
     virtual std::uint64_t size() const = 0;
@@ -105,6 +81,19 @@ class KvStore
 
     virtual KvKind kind() const = 0;
 };
+
+/**
+ * The one explicit string-to-KeyRef conversion (tests, benches,
+ * harnesses): hashes @p key once. The returned view borrows @p key's
+ * bytes, which must stay alive for the call it is passed into — a
+ * temporary argument lives to the end of the full expression, so
+ * store->put(asKey(name + suffix), value) is safe.
+ */
+inline KeyRef
+asKey(const std::string &key)
+{
+    return KeyRef(std::string_view(key));
+}
 
 /**
  * Create a fresh store of @p kind in @p heap.

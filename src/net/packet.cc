@@ -253,12 +253,6 @@ PacketPool::acquire()
                         CtrlArenaAlloc<Packet>(impl_));
 }
 
-const PacketPool::Stats &
-PacketPool::stats() const
-{
-    return impl_->stats;
-}
-
 void
 PacketPool::registerMetrics(obs::MetricRegistry &registry,
                             std::string_view prefix)

@@ -56,6 +56,8 @@ PmLogStore::insert(std::uint32_t hash, net::PacketPtr pkt, Tick now)
     live_++;
     highWater = std::max(highWater, live_);
     insertOk++;
+    if (observer_)
+        observer_->onLogInsert(slot.entry);
     return LogInsertResult::Ok;
 }
 
@@ -85,6 +87,8 @@ PmLogStore::erase(std::uint32_t hash)
     slot.entry = {};
     markOccupied(index, false);
     live_--;
+    if (observer_)
+        observer_->onLogErase(hash);
     return true;
 }
 
@@ -118,6 +122,8 @@ PmLogStore::clear()
         occupied_[word] = 0;
     }
     live_ = 0;
+    if (observer_)
+        observer_->onLogClear();
 }
 
 } // namespace pmnet::pm

@@ -44,11 +44,36 @@ enum class LogInsertResult {
     TooLarge,  ///< packet exceeds the slot size
 };
 
+/**
+ * Observer of log mutations. In gateway mode the device journal
+ * (gateway::LogJournal) mirrors every committed/invalidated entry to
+ * an append-only file through this seam, so a SIGKILLed daemon can
+ * rebuild the log on restart. Unset in sim mode: one branch per
+ * mutation, no behavior change.
+ */
+class LogStoreObserver
+{
+  public:
+    virtual ~LogStoreObserver() = default;
+
+    /** A new entry was committed (insert returned Ok). */
+    virtual void onLogInsert(const LogEntry &entry) = 0;
+
+    /** The entry for @p hash was invalidated. */
+    virtual void onLogErase(std::uint32_t hash) = 0;
+
+    /** Every entry was dropped (fresh device). */
+    virtual void onLogClear() = 0;
+};
+
 /** HashVal-indexed persistent log. */
 class PmLogStore
 {
   public:
     explicit PmLogStore(DevicePmConfig config = {});
+
+    /** Install @p observer (nullptr to remove). */
+    void setObserver(LogStoreObserver *observer) { observer_ = observer; }
 
     /** Attempt to log @p pkt under @p hash. */
     LogInsertResult insert(std::uint32_t hash, net::PacketPtr pkt,
@@ -115,6 +140,7 @@ class PmLogStore
     void markOccupied(std::size_t index, bool occupied);
 
     DevicePmConfig config_;
+    LogStoreObserver *observer_ = nullptr;
     std::vector<Slot> slots_;
     /** One bit per slot; lets scans skip 64 empty slots at a time. */
     std::vector<std::uint64_t> occupied_;

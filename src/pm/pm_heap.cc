@@ -2,6 +2,10 @@
 
 #include <cstring>
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include "common/logging.h"
 
 namespace pmnet::pm {
@@ -31,6 +35,86 @@ PmHeap::PmHeap(std::uint64_t capacity_bytes, CostModel model)
     // Construction cost is not part of any request.
     accrued_ = 0;
     counts_ = {};
+}
+
+PmHeap::~PmHeap()
+{
+    if (backingFd_ >= 0)
+        ::close(backingFd_);
+}
+
+void
+PmHeap::backingWrite(PmOffset offset, const void *data, std::size_t len)
+{
+    const char *p = static_cast<const char *>(data);
+    while (len > 0) {
+        ssize_t n = ::pwrite(backingFd_, p, len,
+                             static_cast<off_t>(offset));
+        if (n < 0)
+            fatal("PmHeap: backing-file write failed at %llu",
+                  static_cast<unsigned long long>(offset));
+        p += n;
+        offset += static_cast<PmOffset>(n);
+        len -= static_cast<std::size_t>(n);
+    }
+}
+
+PmHeap::BackingState
+PmHeap::attachBackingFile(const std::string &path, bool sync_every_fence)
+{
+    if (backingFd_ >= 0)
+        panic("PmHeap: backing file already attached");
+    int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (fd < 0)
+        fatal("PmHeap: cannot open backing file %s", path.c_str());
+    backingFd_ = fd;
+    syncEveryFence_ = sync_every_fence;
+
+    struct stat st = {};
+    if (::fstat(fd, &st) != 0)
+        fatal("PmHeap: cannot stat backing file %s", path.c_str());
+
+    if (static_cast<std::uint64_t>(st.st_size) == capacity_) {
+        Bytes image(capacity_);
+        std::uint64_t got = 0;
+        while (got < capacity_) {
+            ssize_t n = ::pread(fd, image.data() + got, capacity_ - got,
+                                static_cast<off_t>(got));
+            if (n <= 0)
+                fatal("PmHeap: backing-file read failed at %llu",
+                      static_cast<unsigned long long>(got));
+            got += static_cast<std::uint64_t>(n);
+        }
+        Header header;
+        std::memcpy(&header, image.data(), sizeof(header));
+        if (header.magic == kMagic) {
+            durableImage_ = std::move(image);
+            // Same state as right after a power failure: volatile
+            // reverts to durable, staged/free-list state is gone.
+            volatileImage_ = durableImage_;
+            staged_.clear();
+            stageArena_.clear();
+            for (std::vector<PmOffset> &list : smallFree_)
+                list.clear();
+            freeLists_.clear();
+            freeBytes_ = 0;
+            accrued_ = 0;
+            counts_ = {};
+            return BackingState::Reopened;
+        }
+    }
+
+    if (::ftruncate(fd, static_cast<off_t>(capacity_)) != 0)
+        fatal("PmHeap: cannot size backing file %s", path.c_str());
+    backingWrite(0, durableImage_.data(), durableImage_.size());
+    return BackingState::Fresh;
+}
+
+void
+PmHeap::syncBackingFile()
+{
+    if (backingFd_ >= 0)
+        ::fdatasync(backingFd_);
 }
 
 void
@@ -171,7 +255,11 @@ PmHeap::fence()
         for (const StagedRange &r : staged_) {
             std::memcpy(durableImage_.data() + r.off,
                         stageArena_.data() + r.pos, r.len);
+            if (backingFd_ >= 0)
+                backingWrite(r.off, stageArena_.data() + r.pos, r.len);
         }
+        if (backingFd_ >= 0 && syncEveryFence_)
+            ::fdatasync(backingFd_);
         staged_.clear();
         stageArena_.clear();
         accrued_ += model_.fenceDrain;

@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "common/bytes.h"
@@ -92,6 +93,48 @@ class PmHeap
      */
     explicit PmHeap(std::uint64_t capacity_bytes = 64ull << 20,
                     CostModel model = {});
+
+    ~PmHeap();
+
+    PmHeap(const PmHeap &) = delete;
+    PmHeap &operator=(const PmHeap &) = delete;
+
+    /** @name File-backed durability (gateway mode)
+     *
+     * In sim mode both images are DRAM and "durability" means
+     * surviving crash(). A gateway process needs the durable image to
+     * survive the *process*: attachBackingFile() binds the durable
+     * image to a file, and every fence() writes the just-retired
+     * staged ranges through to it. A SIGKILLed daemon restarted on
+     * the same file recovers exactly what it had fenced — the same
+     * contract crash() models in-process. (Write-through lands in the
+     * OS page cache; surviving kernel/power loss additionally needs
+     * @p sync_every_fence, at a large per-fence cost.)
+     *  @{
+     */
+
+    /** Outcome of attachBackingFile(). */
+    enum class BackingState {
+        Fresh,    ///< new or incompatible file — initialized from this heap
+        Reopened, ///< existing pool image loaded (recovery path)
+    };
+
+    /**
+     * Bind the durable image to @p path. If the file holds a pool of
+     * this capacity with a valid header, both images are loaded from
+     * it (volatile := durable, as after crash()) and Reopened is
+     * returned; otherwise the file is (re)initialized from the
+     * current durable image. Call at most once, before serving.
+     */
+    BackingState attachBackingFile(const std::string &path,
+                                   bool sync_every_fence = false);
+
+    /** True when fence() writes through to a backing file. */
+    bool fileBacked() const { return backingFd_ >= 0; }
+
+    /** fdatasync the backing file (no-op without one). */
+    void syncBackingFile();
+    /** @} */
 
     /** @name Allocation
      *  @{
@@ -255,6 +298,8 @@ class PmHeap
     void checkRange(PmOffset offset, std::size_t len) const;
     Header loadHeader() const;
     void storeHeader(const Header &header);
+    void backingWrite(PmOffset offset, const void *data,
+                      std::size_t len);
 
     std::uint64_t capacity_;
     CostModel model_;
@@ -290,6 +335,10 @@ class PmHeap
 
     std::uint64_t crashEpoch_ = 0;
     PersistBoundaryHook boundaryHook_;
+
+    /** Backing-file descriptor; -1 in sim (DRAM-only) mode. */
+    int backingFd_ = -1;
+    bool syncEveryFence_ = false;
 };
 
 } // namespace pmnet::pm

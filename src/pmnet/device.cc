@@ -64,7 +64,7 @@ PmnetDevice::process(PacketPtr pkt)
 {
     // Ingress stage: non-PMNet traffic is plain-forwarded.
     if (!pkt->isPmnet() || !net::isPmnetPort(pkt->dstPort)) {
-        stats.nonPmnetForwarded++;
+        stats_.nonPmnetForwarded++;
         forward(std::move(pkt));
         return;
     }
@@ -137,17 +137,17 @@ PmnetDevice::heartbeatTick()
     } else if (++heartbeatMisses_ >= config_.heartbeatMissThreshold &&
                !serverDown_) {
         serverDown_ = true;
-        stats.serverDownEvents++;
+        stats_.serverDownEvents++;
         debug("%s: server %u declared down after %u missed heartbeats",
               name().c_str(), heartbeatServer_, heartbeatMisses_);
     }
     heartbeatAckSeen_ = false;
 
-    stats.heartbeatsSent++;
+    stats_.heartbeatsSent++;
     forward(net::makeRefPacket(id(), heartbeatServer_,
                                PacketType::Heartbeat, 0,
                                static_cast<std::uint32_t>(
-                                   stats.heartbeatsSent),
+                                   stats_.heartbeatsSent),
                                0));
     scheduleGuarded(config_.heartbeatInterval,
                     [this]() { heartbeatTick(); });
@@ -160,14 +160,14 @@ PmnetDevice::handleHeartbeatAck(const net::PacketPtr &pkt)
         forward(pkt);
         return;
     }
-    stats.heartbeatAcks++;
+    stats_.heartbeatAcks++;
     heartbeatAckSeen_ = true;
     if (serverDown_) {
         // The server is back: replay our log for it (Fig 3, steps
         // 6-7) without waiting for a RecoveryPoll.
         serverDown_ = false;
         heartbeatMisses_ = 0;
-        stats.serverUpEvents++;
+        stats_.serverUpEvents++;
         std::vector<std::uint32_t> hashes;
         hashes.reserve(store_.size());
         net::NodeId server = heartbeatServer_;
@@ -190,13 +190,13 @@ PmnetDevice::parsedKeyOf(const net::Packet &pkt) const
 void
 PmnetDevice::handleUpdateReq(const PacketPtr &pkt)
 {
-    stats.updatesSeen++;
+    stats_.updatesSeen++;
 
     // The HashVal doubles as an integrity check (Section IV-A1); a
     // corrupt header is dropped outright — never logged, never
     // delivered — and the client's retry timer resends the request.
     if (!pkt->verifyHash()) {
-        stats.bypassBadHash++;
+        stats_.bypassBadHash++;
         traceEvent("bad-hash drop", *pkt);
         return;
     }
@@ -244,8 +244,8 @@ PmnetDevice::tryLogAndAck(const PacketPtr &pkt)
         // fence retirement will send the first ACK.
         if (stagedUnfenced(header.hashVal))
             return LogAttempt::Duplicate;
-        stats.updatesReAcked++;
-        stats.acksSent++;
+        stats_.updatesReAcked++;
+        stats_.acksSent++;
         if (obs::kTracingCompiledIn && recorder_) {
             recorder_->stampAt(pkt->requestId, obs::Stamp::PersistStage,
                                now());
@@ -265,15 +265,15 @@ PmnetDevice::tryLogAndAck(const PacketPtr &pkt)
         return LogAttempt::Duplicate;
     }
     if (pkt->wireSize() > config_.pm.slotBytes) {
-        stats.bypassTooLarge++;
+        stats_.bypassTooLarge++;
         return LogAttempt::Bypassed;
     }
     if (store_.full()) {
-        stats.bypassQueueFull++;
+        stats_.bypassQueueFull++;
         return LogAttempt::Bypassed;
     }
     if (!store_.slotFree(header.hashVal)) {
-        stats.bypassCollision++;
+        stats_.bypassCollision++;
         return LogAttempt::Bypassed;
     }
     if (auto done = writeQueue_.admitWrite(pkt->wireSize(), now())) {
@@ -289,11 +289,11 @@ PmnetDevice::tryLogAndAck(const PacketPtr &pkt)
                 result != pm::LogInsertResult::Duplicate) {
                 // Lost a race for the slot while queued; the client
                 // will fall back to the server ACK.
-                stats.bypassStoreRace++;
+                stats_.bypassStoreRace++;
                 traceEvent("slot-race bypass", *pkt);
                 return;
             }
-            stats.updatesLogged++;
+            stats_.updatesLogged++;
             if (obs::kTracingCompiledIn && recorder_)
                 recorder_->stampAt(pkt->requestId,
                                    obs::Stamp::PersistStage, now());
@@ -302,7 +302,7 @@ PmnetDevice::tryLogAndAck(const PacketPtr &pkt)
         });
         return LogAttempt::Logged;
     }
-    stats.bypassQueueFull++;
+    stats_.bypassQueueFull++;
     return LogAttempt::Bypassed;
 }
 
@@ -310,7 +310,7 @@ void
 PmnetDevice::sendPmnetAck(const PacketPtr &pkt)
 {
     const net::PmnetHeader &h = *pkt->pmnet;
-    stats.acksSent++;
+    stats_.acksSent++;
     if (obs::kTracingCompiledIn && recorder_)
         recorder_->stampAt(pkt->requestId, obs::Stamp::PersistDone,
                            now());
@@ -445,11 +445,11 @@ PmnetDevice::logWriteLanded(std::uint32_t hash_val)
 void
 PmnetDevice::handleNearData(const PacketPtr &pkt)
 {
-    stats.nearDataSeen++;
+    stats_.nearDataSeen++;
 
     // Same integrity discipline as updates: drop on hash mismatch.
     if (!pkt->verifyHash()) {
-        stats.bypassBadHash++;
+        stats_.bypassBadHash++;
         traceEvent("bad-hash drop", *pkt);
         return;
     }
@@ -484,7 +484,7 @@ PmnetDevice::handleNearData(const PacketPtr &pkt)
         return;
     if (const Bytes *cached = cache_.lookup(*key)) {
         if (auto applied = codec_->applyNearData(pkt->payload, *cached)) {
-            stats.nearDataServed++;
+            stats_.nearDataServed++;
             traceEvent("near-data served", *pkt);
             if (applied->wrote)
                 cache_.onUpdate(
@@ -533,7 +533,7 @@ PmnetDevice::handleBypassReq(const PacketPtr &pkt)
             if (const Bytes *value = cache_.lookup(*key)) {
                 // Cache hit: answer directly with a Response that
                 // looks exactly like the server's (Fig 10, step 3).
-                stats.cacheResponses++;
+                stats_.cacheResponses++;
                 net::MutPacketPtr resp = net::makePacket();
                 resp->src = pkt->dst; // answer on the server's behalf
                 resp->dst = pkt->src;
@@ -558,7 +558,7 @@ PmnetDevice::handleBypassReq(const PacketPtr &pkt)
 void
 PmnetDevice::handleServerAck(const PacketPtr &pkt)
 {
-    stats.serverAcks++;
+    stats_.serverAcks++;
     const net::PmnetHeader &header = *pkt->pmnet;
 
     if (const pm::LogEntry *entry = store_.lookup(header.hashVal)) {
@@ -569,7 +569,7 @@ PmnetDevice::handleServerAck(const PacketPtr &pkt)
             if (auto key = codec_->parseNearData(entry->packet->payload))
                 cache_.onServerAck(*key);
         store_.erase(header.hashVal);
-        stats.invalidations++;
+        stats_.invalidations++;
         traceEvent("invalidate", *pkt);
     } else if (codec_) {
         auto it = unloggedKeys_.find(header.hashVal);
@@ -587,13 +587,13 @@ PmnetDevice::handleServerAck(const PacketPtr &pkt)
 void
 PmnetDevice::handleRetrans(const PacketPtr &pkt)
 {
-    stats.retransSeen++;
+    stats_.retransSeen++;
     const net::PmnetHeader &header = *pkt->pmnet;
     const pm::LogEntry *entry = store_.lookup(header.hashVal);
     if (entry) {
         if (auto done = readQueue_.admitRead(entry->packet->wireSize(),
                                              now())) {
-            stats.retransServed++;
+            stats_.retransServed++;
             traceEvent("retrans-served", *pkt);
             net::PacketPtr logged = entry->packet;
             scheduleGuarded(*done - now(), [this, logged]() {
@@ -602,7 +602,7 @@ PmnetDevice::handleRetrans(const PacketPtr &pkt)
             return; // drop the Retrans; it is satisfied from the log
         }
     }
-    stats.retransForwarded++;
+    stats_.retransForwarded++;
     forward(pkt);
 }
 
@@ -623,7 +623,7 @@ PmnetDevice::handleRecoveryPoll(const PacketPtr &pkt)
         forward(pkt);
         return;
     }
-    stats.recoveryPolls++;
+    stats_.recoveryPolls++;
     net::NodeId server = pkt->src;
     std::vector<std::uint32_t> hashes;
     hashes.reserve(store_.size());
@@ -659,7 +659,7 @@ PmnetDevice::recoveryResendNext(std::vector<std::uint32_t> hashes,
     net::PacketPtr logged = entry->packet;
     scheduleGuarded(*done - now(), [this, hashes = std::move(hashes), index,
                                     server, logged]() mutable {
-        stats.recoveryResent++;
+        stats_.recoveryResent++;
         traceEvent("replay", *logged);
         forward(logged);
         recoveryResendNext(std::move(hashes), index + 1, server);
@@ -721,7 +721,7 @@ PmnetDevice::reforwardNext(std::vector<std::uint32_t> hashes,
     scheduleGuarded(*done - now(),
                     [this, hashes = std::move(hashes), index,
                      logged]() mutable {
-                        stats.reforwarded++;
+                        stats_.reforwarded++;
                         traceEvent("reforward", *logged);
                         forward(logged);
                         reforwardNext(std::move(hashes), index + 1);
@@ -785,7 +785,7 @@ PmnetDevice::resilverNext(std::vector<std::uint32_t> hashes,
     scheduleGuarded(*done - now(),
                     [this, hashes = std::move(hashes), index, peer,
                      wrapped = std::move(wrapped), logged]() mutable {
-        stats.resilverPushesSent++;
+        stats_.resilverPushesSent++;
         traceEvent("resilver-push", *logged);
         forward(net::makePmnetPacket(id(), peer,
                                      PacketType::ResilverPush,
@@ -803,9 +803,9 @@ PmnetDevice::handleResilverPush(const PacketPtr &pkt)
         forward(pkt);
         return;
     }
-    stats.resilverReceived++;
+    stats_.resilverReceived++;
     if (!pkt->verifyHash()) {
-        stats.resilverSkipped++;
+        stats_.resilverSkipped++;
         return;
     }
 
@@ -820,26 +820,26 @@ PmnetDevice::handleResilverPush(const PacketPtr &pkt)
     rebuilt->fragmentCount = reader.readU32();
     std::uint32_t inner_len = reader.readU32();
     if (!reader.ok() || reader.remaining() != inner_len) {
-        stats.resilverSkipped++;
+        stats_.resilverSkipped++;
         return;
     }
     Bytes inner = reader.readBytes(inner_len);
     if (!rebuilt->parsePayload(inner) || !rebuilt->verifyHash()) {
-        stats.resilverSkipped++;
+        stats_.resilverSkipped++;
         return;
     }
 
     const std::uint32_t hash_val = rebuilt->pmnet->hashVal;
     if (store_.lookup(hash_val) || logWriteInFlight(hash_val)) {
         // Already held (or landing): re-silvering is idempotent.
-        stats.resilverSkipped++;
+        stats_.resilverSkipped++;
         return;
     }
     if (rebuilt->wireSize() > config_.pm.slotBytes || store_.full() ||
         !store_.slotFree(hash_val)) {
         // Same degradations as the live logging path; the entry stays
         // recoverable from the surviving replica.
-        stats.resilverSkipped++;
+        stats_.resilverSkipped++;
         return;
     }
 
@@ -851,7 +851,7 @@ PmnetDevice::resilverAdmit(net::PacketPtr restored)
 {
     const std::uint32_t hash_val = restored->pmnet->hashVal;
     if (store_.lookup(hash_val) || logWriteInFlight(hash_val)) {
-        stats.resilverSkipped++;
+        stats_.resilverSkipped++;
         return;
     }
     auto done = writeQueue_.admitWrite(restored->wireSize(), now());
@@ -871,11 +871,11 @@ PmnetDevice::resilverAdmit(net::PacketPtr restored)
         logWriteLanded(h);
         auto result = store_.insert(h, restored, now());
         if (result == pm::LogInsertResult::Ok) {
-            stats.resilverLogged++;
+            stats_.resilverLogged++;
             traceEvent("resilver-logged", *restored);
             scheduleReforwardScan();
         } else {
-            stats.resilverSkipped++;
+            stats_.resilverSkipped++;
         }
         // No client ACK and no epoch staging: the original update's
         // durability was acknowledged long ago; this write only
@@ -883,40 +883,58 @@ PmnetDevice::resilverAdmit(net::PacketPtr restored)
     });
 }
 
+bool
+PmnetDevice::restoreLogEntry(net::PacketPtr pkt)
+{
+    if (!pkt->pmnet || !pkt->verifyHash())
+        return false;
+    const std::uint32_t hash_val = pkt->pmnet->hashVal;
+    if (store_.lookup(hash_val))
+        return true;
+    if (pkt->wireSize() > config_.pm.slotBytes ||
+        !store_.slotFree(hash_val))
+        return false;
+    if (store_.insert(hash_val, std::move(pkt), now()) !=
+        pm::LogInsertResult::Ok)
+        return false;
+    scheduleReforwardScan();
+    return true;
+}
+
 void
 PmnetDevice::registerMetrics(obs::MetricRegistry &registry,
                              std::string_view prefix)
 {
     std::string base(prefix);
-    registry.attach(base + ".updatesSeen", stats.updatesSeen);
-    registry.attach(base + ".updatesLogged", stats.updatesLogged);
-    registry.attach(base + ".updatesReAcked", stats.updatesReAcked);
-    registry.attach(base + ".bypassCollision", stats.bypassCollision);
-    registry.attach(base + ".bypassQueueFull", stats.bypassQueueFull);
-    registry.attach(base + ".bypassStoreRace", stats.bypassStoreRace);
-    registry.attach(base + ".bypassTooLarge", stats.bypassTooLarge);
-    registry.attach(base + ".bypassBadHash", stats.bypassBadHash);
-    registry.attach(base + ".acksSent", stats.acksSent);
-    registry.attach(base + ".serverAcks", stats.serverAcks);
-    registry.attach(base + ".invalidations", stats.invalidations);
-    registry.attach(base + ".retransSeen", stats.retransSeen);
-    registry.attach(base + ".retransServed", stats.retransServed);
-    registry.attach(base + ".retransForwarded", stats.retransForwarded);
-    registry.attach(base + ".cacheResponses", stats.cacheResponses);
-    registry.attach(base + ".nearDataSeen", stats.nearDataSeen);
-    registry.attach(base + ".nearDataServed", stats.nearDataServed);
-    registry.attach(base + ".recoveryPolls", stats.recoveryPolls);
-    registry.attach(base + ".recoveryResent", stats.recoveryResent);
-    registry.attach(base + ".reforwarded", stats.reforwarded);
-    registry.attach(base + ".resilverPushesSent", stats.resilverPushesSent);
-    registry.attach(base + ".resilverReceived", stats.resilverReceived);
-    registry.attach(base + ".resilverLogged", stats.resilverLogged);
-    registry.attach(base + ".resilverSkipped", stats.resilverSkipped);
-    registry.attach(base + ".nonPmnetForwarded", stats.nonPmnetForwarded);
-    registry.attach(base + ".heartbeatsSent", stats.heartbeatsSent);
-    registry.attach(base + ".heartbeatAcks", stats.heartbeatAcks);
-    registry.attach(base + ".serverDownEvents", stats.serverDownEvents);
-    registry.attach(base + ".serverUpEvents", stats.serverUpEvents);
+    registry.attach(base + ".updatesSeen", stats_.updatesSeen);
+    registry.attach(base + ".updatesLogged", stats_.updatesLogged);
+    registry.attach(base + ".updatesReAcked", stats_.updatesReAcked);
+    registry.attach(base + ".bypassCollision", stats_.bypassCollision);
+    registry.attach(base + ".bypassQueueFull", stats_.bypassQueueFull);
+    registry.attach(base + ".bypassStoreRace", stats_.bypassStoreRace);
+    registry.attach(base + ".bypassTooLarge", stats_.bypassTooLarge);
+    registry.attach(base + ".bypassBadHash", stats_.bypassBadHash);
+    registry.attach(base + ".acksSent", stats_.acksSent);
+    registry.attach(base + ".serverAcks", stats_.serverAcks);
+    registry.attach(base + ".invalidations", stats_.invalidations);
+    registry.attach(base + ".retransSeen", stats_.retransSeen);
+    registry.attach(base + ".retransServed", stats_.retransServed);
+    registry.attach(base + ".retransForwarded", stats_.retransForwarded);
+    registry.attach(base + ".cacheResponses", stats_.cacheResponses);
+    registry.attach(base + ".nearDataSeen", stats_.nearDataSeen);
+    registry.attach(base + ".nearDataServed", stats_.nearDataServed);
+    registry.attach(base + ".recoveryPolls", stats_.recoveryPolls);
+    registry.attach(base + ".recoveryResent", stats_.recoveryResent);
+    registry.attach(base + ".reforwarded", stats_.reforwarded);
+    registry.attach(base + ".resilverPushesSent", stats_.resilverPushesSent);
+    registry.attach(base + ".resilverReceived", stats_.resilverReceived);
+    registry.attach(base + ".resilverLogged", stats_.resilverLogged);
+    registry.attach(base + ".resilverSkipped", stats_.resilverSkipped);
+    registry.attach(base + ".nonPmnetForwarded", stats_.nonPmnetForwarded);
+    registry.attach(base + ".heartbeatsSent", stats_.heartbeatsSent);
+    registry.attach(base + ".heartbeatAcks", stats_.heartbeatAcks);
+    registry.attach(base + ".serverDownEvents", stats_.serverDownEvents);
+    registry.attach(base + ".serverUpEvents", stats_.serverUpEvents);
     registry.probe(base + ".log.size", [this]() {
         return obs::Json(store_.size());
     });

@@ -121,11 +121,9 @@ struct DeviceConfig
 };
 
 /**
- * Observable event counters of one device.
- * @deprecated Thin adapter over obs::MetricRegistry registrations —
- * new code should read the registry ("deviceN.*" after
- * PmnetDevice::registerMetrics); the fields stay as obs::Counter
- * handles so existing call sites compile unchanged.
+ * Observable event counters of one device. Private to the device —
+ * readers go through obs::MetricRegistry ("deviceN.*" after
+ * PmnetDevice::registerMetrics), the one public metrics surface.
  */
 struct DeviceStats
 {
@@ -238,14 +236,32 @@ class PmnetDevice : public net::ForwardingNode
         recorder_ = recorder;
     }
 
+    /**
+     * Install a log-store observer (nullptr detaches). The gateway's
+     * journal mirrors committed/invalidated log entries through it so
+     * a SIGKILLed daemon can rebuild the log on restart.
+     */
+    void setLogObserver(pm::LogStoreObserver *observer)
+    {
+        store_.setObserver(observer);
+    }
+
+    /**
+     * Gateway restart path: re-insert a journaled log entry directly
+     * into the persistent store — no SRAM queueing, no modeled
+     * timing, no client ACK. The entry was durable before the process
+     * died; this only rebuilds its in-memory image and must run
+     * before the daemon starts serving.
+     * @return true if the entry is (now) present.
+     */
+    bool restoreLogEntry(net::PacketPtr pkt);
+
     const pm::PmLogStore &logStore() const { return store_; }
     const pm::LogQueue &writeQueue() const { return writeQueue_; }
     const pm::LogQueue &readQueue() const { return readQueue_; }
     const pm::CommitEpoch &commitEpoch() const { return commitEpoch_; }
     ReadCache &cache() { return cache_; }
     const DeviceConfig &config() const { return config_; }
-
-    DeviceStats stats;
 
   protected:
     void onPowerFail() override;
@@ -352,6 +368,7 @@ class PmnetDevice : public net::ForwardingNode
     void logWriteLanded(std::uint32_t hash_val);
 
     DeviceConfig config_;
+    DeviceStats stats_;
     pm::PmLogStore store_;
     pm::LogQueue writeQueue_;
     pm::LogQueue readQueue_;

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Umbrella public header — the one include for programs embedding the
+ * PMNet runtime (DESIGN.md §17).
+ *
+ * `pmnetd`, `pmnet_cli`, the examples and external embedders program
+ * against the types re-exported here and stop depending on the
+ * internal header layout:
+ *
+ *  - the transport seam: gateway::Transport / Endpoint /
+ *    UdpTransport (gateway/transport.h);
+ *  - the clock seam: gateway::Clock / WallClock / SimClock
+ *    (gateway/clock.h);
+ *  - the unchanged protocol stack: ClientLib, ServerLib and their
+ *    configs (stack/client_lib.h, stack/server_lib.h);
+ *  - the in-network device: pmnetdev::PmnetDevice and
+ *    pmnetdev::DeviceConfig (pmnet/device.h);
+ *  - process assemblies: gateway::GatewayServer (a whole `pmnetd`)
+ *    and gateway::GatewayClient (a loopback/remote client endpoint);
+ *  - observability: obs::Snapshot and obs::MetricRegistry — every
+ *    component above registers into a registry and the snapshot
+ *    renders it (obs/snapshot.h, via the stack headers);
+ *  - the simulator facade: testbed::Testbed, the all-in-one modeled
+ *    system the examples and benchmarks drive (testbed/system.h).
+ *
+ * Internal code keeps including the specific headers it needs; this
+ * aggregation exists only for the runtime-facing boundary, so its
+ * include set is the definition of "public surface". Anything not
+ * reachable from here is internal and free to churn.
+ */
+
+#ifndef PMNET_PMNET_API_H
+#define PMNET_PMNET_API_H
+
+// Transport + clock seams and the two process assemblies.
+#include "gateway/client.h"
+#include "gateway/clock.h"
+#include "gateway/server.h"
+#include "gateway/transport.h"
+
+// Protocol stack endpoints (Transport-agnostic state machines).
+#include "stack/client_lib.h"
+#include "stack/server_lib.h"
+
+// In-network device model and its config.
+#include "pmnet/device.h"
+
+// Observability: metric registry, JSON snapshot renderer.
+#include "obs/metric_registry.h"
+#include "obs/snapshot.h"
+
+// Simulated-cluster facade (examples, benchmarks, experiments).
+#include "testbed/system.h"
+
+#endif // PMNET_PMNET_API_H

@@ -242,6 +242,19 @@ Simulator::runWindow(Tick horizon)
     return fired;
 }
 
+std::uint64_t
+Simulator::advanceTo(Tick when)
+{
+    if (when < now_)
+        panic("Simulator::advanceTo: target %lld is before now %lld",
+              static_cast<long long>(when),
+              static_cast<long long>(now_));
+    std::uint64_t fired = run(when);
+    if (now_ < when)
+        now_ = when;
+    return fired;
+}
+
 Tick
 Simulator::nextEventTime()
 {

@@ -245,6 +245,29 @@ class Simulator
      *  Under an Engine this stops the whole engine run. */
     void stop();
 
+    /** @name External (wall-clock) driver interface — gateway mode
+     *
+     * A gateway runtime (src/gateway) embeds a Simulator and keeps
+     * its clock locked to real time: it asks when the next timer is
+     * due, arms an OS timer for that instant, and on every wakeup
+     * advances the simulation to the wall-derived tick. Both calls
+     * are additive — sim-mode drivers never need them.
+     *  @{
+     */
+
+    /** Tick of the earliest live event; kTickMax when idle. */
+    Tick nextEventAt() { return nextEventTime(); }
+
+    /**
+     * Execute every event due at or before @p when, then move the
+     * clock to exactly @p when even if later events remain — unlike
+     * run(), which leaves now() at the last executed event when the
+     * queue is non-empty. @pre when >= now().
+     * @return number of events executed.
+     */
+    std::uint64_t advanceTo(Tick when);
+    /** @} */
+
     /** True if no live (uncancelled, unfired) events remain. */
     bool idle() const { return live_ == 0; }
 

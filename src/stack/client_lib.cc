@@ -76,7 +76,7 @@ ClientLib::sendUpdate(Bytes payload, std::uint64_t key_hash,
     if (!sessionOpen_)
         fatal("ClientLib(%s): sendUpdate before startSession",
               host_.name().c_str());
-    stats.updatesSent++;
+    stats_.updatesSent++;
 
     unsigned shard = shardFor(key_hash);
     net::NodeId server = serverFor(shard);
@@ -127,7 +127,7 @@ ClientLib::sendUpdate(Bytes payload, std::uint64_t key_hash,
         // The chain is severed: transmitting now feeds a black hole.
         // Park the request; the retry timer flushes it once repair
         // begins (the seq is already assigned, so order is kept).
-        stats.shardParked++;
+        stats_.shardParked++;
         return;
     }
     host_.appSend(std::move(burst));
@@ -142,7 +142,7 @@ ClientLib::bypass(Bytes payload, std::uint64_t key_hash, BypassDone done)
     if (payload.size() > config_.mtuPayload)
         fatal("ClientLib(%s): bypass payload %zu exceeds MTU payload %zu",
               host_.name().c_str(), payload.size(), config_.mtuPayload);
-    stats.bypassSent++;
+    stats_.bypassSent++;
 
     unsigned shard = shardFor(key_hash);
     ShardSeq &seqs = shardSeqs_[shard];
@@ -170,7 +170,7 @@ ClientLib::bypass(Bytes payload, std::uint64_t key_hash, BypassDone done)
     (void)inserted;
     armTimer(it->second);
     if (shardDark(shard)) {
-        stats.shardParked++;
+        stats_.shardParked++;
         return;
     }
     host_.appSend({pkt});
@@ -187,7 +187,7 @@ ClientLib::sendNearData(Bytes payload, std::uint64_t key_hash,
         fatal("ClientLib(%s): near-data payload %zu exceeds MTU "
               "payload %zu",
               host_.name().c_str(), payload.size(), config_.mtuPayload);
-    stats.nearDataSent++;
+    stats_.nearDataSent++;
 
     unsigned shard = shardFor(key_hash);
     ShardSeq &seqs = shardSeqs_[shard];
@@ -221,7 +221,7 @@ ClientLib::sendNearData(Bytes payload, std::uint64_t key_hash,
     (void)inserted;
     armTimer(it->second);
     if (shardDark(shard)) {
-        stats.shardParked++;
+        stats_.shardParked++;
         return;
     }
     host_.appSend({pkt});
@@ -350,8 +350,8 @@ ClientLib::handleRetrans(const net::Packet &pkt)
         requestForHash(pkt.pmnet->hashVal, pkt.pmnet->seqNum, &index);
     if (!req)
         return; // already completed and garbage collected
-    stats.retransAnswered++;
-    stats.packetsResent++;
+    stats_.retransAnswered++;
+    stats_.packetsResent++;
     host_.appSend({req->fragments[index].packet});
 }
 
@@ -376,18 +376,18 @@ ClientLib::maybeComplete(std::uint64_t request_id)
         if (req.isNearData && !req.responseReceived)
             return;
         if (req.isNearData)
-            stats.nearDataCompleted++;
+            stats_.nearDataCompleted++;
         else
-            stats.updatesCompleted++;
+            stats_.updatesCompleted++;
         by_pmnet_ack = all_pmnet;
         if (all_pmnet)
-            stats.completedByPmnetAck++;
+            stats_.completedByPmnetAck++;
         else
-            stats.completedByServerAck++;
+            stats_.completedByServerAck++;
     } else {
         if (!req.responseReceived)
             return;
-        stats.bypassCompleted++;
+        stats_.bypassCompleted++;
     }
 
     if (obs::kTracingCompiledIn && recorder_)
@@ -421,22 +421,22 @@ ClientLib::registerMetrics(obs::MetricRegistry &registry,
                            std::string_view prefix)
 {
     std::string base(prefix);
-    registry.attach(base + ".updatesSent", stats.updatesSent);
-    registry.attach(base + ".bypassSent", stats.bypassSent);
-    registry.attach(base + ".nearDataSent", stats.nearDataSent);
-    registry.attach(base + ".updatesCompleted", stats.updatesCompleted);
-    registry.attach(base + ".bypassCompleted", stats.bypassCompleted);
+    registry.attach(base + ".updatesSent", stats_.updatesSent);
+    registry.attach(base + ".bypassSent", stats_.bypassSent);
+    registry.attach(base + ".nearDataSent", stats_.nearDataSent);
+    registry.attach(base + ".updatesCompleted", stats_.updatesCompleted);
+    registry.attach(base + ".bypassCompleted", stats_.bypassCompleted);
     registry.attach(base + ".nearDataCompleted",
-                    stats.nearDataCompleted);
+                    stats_.nearDataCompleted);
     registry.attach(base + ".completedByPmnetAck",
-                    stats.completedByPmnetAck);
+                    stats_.completedByPmnetAck);
     registry.attach(base + ".completedByServerAck",
-                    stats.completedByServerAck);
-    registry.attach(base + ".timeouts", stats.timeouts);
-    registry.attach(base + ".packetsResent", stats.packetsResent);
-    registry.attach(base + ".retransAnswered", stats.retransAnswered);
-    registry.attach(base + ".shardParked", stats.shardParked);
-    registry.attach(base + ".shardHeld", stats.shardHeld);
+                    stats_.completedByServerAck);
+    registry.attach(base + ".timeouts", stats_.timeouts);
+    registry.attach(base + ".packetsResent", stats_.packetsResent);
+    registry.attach(base + ".retransAnswered", stats_.retransAnswered);
+    registry.attach(base + ".shardParked", stats_.shardParked);
+    registry.attach(base + ".shardHeld", stats_.shardHeld);
 }
 
 void
@@ -459,11 +459,11 @@ ClientLib::onTimeout(std::uint64_t request_id)
         // Still a black hole: hold the request instead of feeding
         // retries into a severed chain. The next timer fire after the
         // repair begins transmits the pending fragments.
-        stats.shardHeld++;
+        stats_.shardHeld++;
         armTimer(req);
         return;
     }
-    stats.timeouts++;
+    stats_.timeouts++;
 
     std::vector<PacketPtr> resend;
     for (const Fragment &frag : req.fragments) {
@@ -475,7 +475,7 @@ ClientLib::onTimeout(std::uint64_t request_id)
         resend.push_back(req.fragments.front().packet);
 
     if (!resend.empty()) {
-        stats.packetsResent += resend.size();
+        stats_.packetsResent += resend.size();
         req.resends++;
         host_.appSend(std::move(resend));
     }

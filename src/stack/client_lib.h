@@ -60,11 +60,9 @@ struct ClientConfig
 };
 
 /**
- * Aggregate client-side protocol statistics.
- * @deprecated Thin adapter over obs::MetricRegistry registrations —
- * new code should read the registry ("clientN.*" after
- * ClientLib::registerMetrics); the fields stay as obs::Counter
- * handles so existing call sites compile unchanged.
+ * Aggregate client-side protocol statistics. Private to the library —
+ * readers go through obs::MetricRegistry ("clientN.*" after
+ * ClientLib::registerMetrics), the one public metrics surface.
  */
 struct ClientStats
 {
@@ -171,7 +169,6 @@ class ClientLib
     }
 
     const ClientConfig &config() const { return config_; }
-    ClientStats stats;
 
   private:
     struct Fragment
@@ -244,6 +241,7 @@ class ClientLib
 
     Host &host_;
     ClientConfig config_;
+    ClientStats stats_;
     obs::FlightRecorder *recorder_ = nullptr;
     bool sessionOpen_ = false;
     const pmnet::ShardMap *shardMap_ = nullptr;

@@ -98,17 +98,17 @@ ServerLib::registerMetrics(obs::MetricRegistry &registry,
                            std::string_view prefix)
 {
     std::string base(prefix);
-    registry.attach(base + ".updatesApplied", stats.updatesApplied);
-    registry.attach(base + ".bypassApplied", stats.bypassApplied);
-    registry.attach(base + ".nearDataApplied", stats.nearDataApplied);
-    registry.attach(base + ".duplicatesDropped", stats.duplicatesDropped);
-    registry.attach(base + ".hashRejected", stats.hashRejected);
-    registry.attach(base + ".makeupAcks", stats.makeupAcks);
-    registry.attach(base + ".replayedReplies", stats.replayedReplies);
-    registry.attach(base + ".retransRequested", stats.retransRequested);
-    registry.attach(base + ".acksSent", stats.acksSent);
-    registry.attach(base + ".responsesSent", stats.responsesSent);
-    registry.attach(base + ".recoveries", stats.recoveries);
+    registry.attach(base + ".updatesApplied", stats_.updatesApplied);
+    registry.attach(base + ".bypassApplied", stats_.bypassApplied);
+    registry.attach(base + ".nearDataApplied", stats_.nearDataApplied);
+    registry.attach(base + ".duplicatesDropped", stats_.duplicatesDropped);
+    registry.attach(base + ".hashRejected", stats_.hashRejected);
+    registry.attach(base + ".makeupAcks", stats_.makeupAcks);
+    registry.attach(base + ".replayedReplies", stats_.replayedReplies);
+    registry.attach(base + ".retransRequested", stats_.retransRequested);
+    registry.attach(base + ".acksSent", stats_.acksSent);
+    registry.attach(base + ".responsesSent", stats_.responsesSent);
+    registry.attach(base + ".recoveries", stats_.recoveries);
     registry.probe(base + ".backlog", [this]() {
         return obs::Json(static_cast<std::uint64_t>(backlog()));
     });
@@ -161,7 +161,7 @@ ServerLib::onReceive(const PacketPtr &pkt)
     // packet was corrupted in flight. Drop it — the client's retry
     // timer re-sends a clean copy (Section IV-A2).
     if (!pkt->verifyHash()) {
-        stats.hashRejected++;
+        stats_.hashRejected++;
         debug("%s: CRC mismatch on %s; dropped", host_.name().c_str(),
               net::describe(*pkt).c_str());
         return;
@@ -184,7 +184,7 @@ ServerLib::onReceive(const PacketPtr &pkt)
     }
     if (header.seqNum < session.nextExpected) {
         // Already assembled and queued; the original will be applied.
-        stats.duplicatesDropped++;
+        stats_.duplicatesDropped++;
         return;
     }
     bool was_new = session.pending.emplace(header.seqNum, pkt).second;
@@ -203,7 +203,7 @@ ServerLib::onReceive(const PacketPtr &pkt)
             [this, epoch, ack]() {
                 if (epoch != epoch_ || !host_.isUp())
                     return;
-                stats.acksSent++;
+                stats_.acksSent++;
                 host_.appSend({ack});
             });
     }
@@ -217,14 +217,14 @@ ServerLib::onReceive(const PacketPtr &pkt)
 void
 ServerLib::handleDuplicate(Session &session, const net::Packet &pkt)
 {
-    stats.duplicatesDropped++;
+    stats_.duplicatesDropped++;
     const net::PmnetHeader &header = *pkt.pmnet;
 
     // Make-up server-ACK (Section IV-E1): the request was already
     // committed, so re-acknowledge to invalidate stray log entries
     // and unblock the client.
-    stats.makeupAcks++;
-    stats.acksSent++;
+    stats_.makeupAcks++;
+    stats_.acksSent++;
     std::vector<PacketPtr> out;
     out.push_back(net::makeRefPacket(host_.id(), pkt.src,
                                      PacketType::ServerAck,
@@ -236,8 +236,8 @@ ServerLib::handleDuplicate(Session &session, const net::Packet &pkt)
     if (header.type == PacketType::NearDataReq) {
         auto cached = session.nearDataReplyCache.find(header.seqNum);
         if (cached != session.nearDataReplyCache.end()) {
-            stats.replayedReplies++;
-            stats.responsesSent++;
+            stats_.replayedReplies++;
+            stats_.responsesSent++;
             net::MutPacketPtr resp = net::makeRefPacketMut(
                 host_.id(), pkt.src, PacketType::Response,
                 header.sessionId, header.seqNum, header.hashVal,
@@ -258,9 +258,9 @@ ServerLib::handleBypassArrival(std::uint16_t sid, Session &session,
     // Already answered: replay the cached reply (lost-response retry).
     auto cached = session.replyCache.find(header.seqNum);
     if (cached != session.replyCache.end()) {
-        stats.duplicatesDropped++;
-        stats.replayedReplies++;
-        stats.responsesSent++;
+        stats_.duplicatesDropped++;
+        stats_.replayedReplies++;
+        stats_.responsesSent++;
         net::MutPacketPtr resp = net::makeRefPacketMut(
             host_.id(), pkt->src, PacketType::Response, header.sessionId,
             header.seqNum, header.hashVal, pkt->requestId);
@@ -270,7 +270,7 @@ ServerLib::handleBypassArrival(std::uint16_t sid, Session &session,
     }
     // Queued or in service: drop the retransmit.
     if (!session.bypassInFlight.insert(header.seqNum).second) {
-        stats.duplicatesDropped++;
+        stats_.duplicatesDropped++;
         return;
     }
     // If the reply cache evicted an old seq and a very late duplicate
@@ -391,7 +391,7 @@ ServerLib::gapCheck(std::uint16_t sid)
             now - asked->second < config_.retransInterval)
             continue;
         session.retransAskedAt[seq] = now;
-        stats.retransRequested++;
+        stats_.retransRequested++;
         // The hash references the missing update packet so a PMNet
         // device can serve it straight from its log (Fig 7b).
         std::uint32_t hash = net::PmnetHeader::computeHash(
@@ -492,23 +492,23 @@ ServerLib::finishRequest(std::uint16_t sid, const ReadyRequest &req,
     std::vector<PacketPtr> out;
     if (req.isUpdate) {
         if (req.isNearData)
-            stats.nearDataApplied++;
+            stats_.nearDataApplied++;
         else
-            stats.updatesApplied++;
+            stats_.updatesApplied++;
         for (std::uint32_t i = 0;
              !config_.ackOnArrival && i < req.fragHashes.size(); i++) {
-            stats.acksSent++;
+            stats_.acksSent++;
             out.push_back(net::makeRefPacket(
                 host_.id(), req.client, PacketType::ServerAck, sid,
                 req.firstSeq + i, req.fragHashes[i], req.requestId));
         }
     } else {
-        stats.bypassApplied++;
+        stats_.bypassApplied++;
     }
 
     if (result.response || !req.isUpdate) {
         Bytes body = result.response.value_or(Bytes{});
-        stats.responsesSent++;
+        stats_.responsesSent++;
         net::MutPacketPtr resp = net::makeRefPacketMut(
             host_.id(), req.client, PacketType::Response, sid,
             req.firstSeq, req.fragHashes.front(), req.requestId);
@@ -548,7 +548,7 @@ ServerLib::onPowerFailApp()
 void
 ServerLib::onPowerRestoreApp()
 {
-    stats.recoveries++;
+    stats_.recoveries++;
     // Re-open the pool: the superblock and watermark table survived.
     superOff_ = heap_.root();
     Superblock sb = heap_.readObj<Superblock>(superOff_);

@@ -72,11 +72,9 @@ struct ServerConfig
 };
 
 /**
- * Aggregate server-side statistics.
- * @deprecated Thin adapter over obs::MetricRegistry registrations —
- * new code should read the registry ("server.*" after
- * ServerLib::registerMetrics); the fields stay as obs::Counter
- * handles so existing call sites compile unchanged.
+ * Aggregate server-side statistics. Private to the library — readers
+ * go through obs::MetricRegistry ("server.*" after
+ * ServerLib::registerMetrics), the one public metrics surface.
  */
 struct ServerStats
 {
@@ -156,7 +154,6 @@ class ServerLib
     }
 
     const ServerConfig &config() const { return config_; }
-    ServerStats stats;
 
   private:
     struct ReadyRequest
@@ -221,6 +218,7 @@ class ServerLib
     Host &host_;
     pm::PmHeap &heap_;
     ServerConfig config_;
+    ServerStats stats_;
     obs::FlightRecorder *recorder_ = nullptr;
     Handler handler_;
     std::vector<net::NodeId> devices_;

@@ -336,6 +336,37 @@ Testbed::clientLib(std::size_t i)
     return *clients_[i].lib;
 }
 
+std::string
+Testbed::clientPrefix(std::size_t i) const
+{
+    return "client" + std::to_string(i);
+}
+
+std::string
+Testbed::serverPrefix(std::size_t s) const
+{
+    if (shardUnits_.size() == 1)
+        return "server";
+    return "shard." + std::to_string(s) + ".server";
+}
+
+std::string
+Testbed::devicePrefix(std::size_t i) const
+{
+    if (shardUnits_.size() == 1)
+        return "device" + std::to_string(i);
+    // The flat device list concatenates the shards' chains in shard
+    // order, so peel whole chains off the front to find the owner.
+    for (std::size_t s = 0; s < shardUnits_.size(); s++) {
+        std::size_t chain = shardUnits_[s].devices.size();
+        if (i < chain)
+            return "shard." + std::to_string(s) + ".device" +
+                   std::to_string(i);
+        i -= chain;
+    }
+    fatal("Testbed::devicePrefix: device index out of range");
+}
+
 void
 Testbed::wireObservability()
 {
@@ -463,9 +494,12 @@ Testbed::endMeasurement()
     results.allLatency = allLatency_;
     for (const auto &driver : drivers_)
         results.lockConflicts += driver->lockConflicts();
-    for (auto *dev : devices_) {
-        results.cacheResponses += dev->stats.cacheResponses;
-        results.updatesLogged += dev->stats.updatesLogged;
+    for (std::size_t d = 0; d < devices_.size(); d++) {
+        std::string prefix = devicePrefix(d);
+        results.cacheResponses +=
+            metrics_.value(prefix + ".cacheResponses");
+        results.updatesLogged +=
+            metrics_.value(prefix + ".updatesLogged");
     }
     if (recorder_) {
         recorder_->setAccumulating(false);

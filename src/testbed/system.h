@@ -158,6 +158,17 @@ class Testbed
     obs::MetricRegistry &metrics() { return metrics_; }
     const obs::MetricRegistry &metrics() const { return metrics_; }
     obs::FlightRecorder *flightRecorder() { return recorder_.get(); }
+
+    /**
+     * Registry path prefixes for the indexed components, matching the
+     * names wireObservability() registered ("deviceN" single-shard,
+     * "shard.S.deviceN" multi-shard). Combine with metrics().value():
+     *
+     *   bed.metrics().value(bed.devicePrefix(0) + ".updatesLogged")
+     */
+    std::string clientPrefix(std::size_t i) const;
+    std::string serverPrefix(std::size_t s = 0) const;
+    std::string devicePrefix(std::size_t i) const;
     /** @} */
 
     /** Total requests completed by every driver. */

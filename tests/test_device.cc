@@ -59,6 +59,7 @@ struct DeviceRig
 {
     sim::Simulator sim;
     net::Topology topo{sim};
+    obs::MetricRegistry metrics;
     ProbeNode *client = nullptr;
     PmnetDevice *dev = nullptr;
     ProbeNode *server = nullptr;
@@ -71,6 +72,14 @@ struct DeviceRig
         topo.connect(*client, *dev);
         topo.connect(*dev, *server);
         topo.computeRoutes();
+        dev->registerMetrics(metrics, "dev");
+    }
+
+    /** The device counter registered under "dev.<name>". */
+    std::uint64_t
+    stat(const std::string &name) const
+    {
+        return metrics.value("dev." + name);
     }
 
     static DeviceConfig
@@ -115,7 +124,7 @@ TEST(Device, UpdateForwardedAndAcked)
     EXPECT_EQ(rig.client->countType(PacketType::PmnetAck), 1u)
         << "early ACK generated at persist time";
     EXPECT_EQ(rig.dev->logStore().size(), 1u);
-    EXPECT_EQ(rig.dev->stats.updatesLogged, 1u);
+    EXPECT_EQ(rig.stat("updatesLogged"), 1u);
 
     // The ACK references the update's hash and names the device.
     const auto &ack = rig.client->got.back();
@@ -146,7 +155,7 @@ TEST(Device, CorruptHashDroppedNotForwarded)
     rig.sim.run();
     EXPECT_EQ(rig.server->countType(PacketType::UpdateReq), 0u);
     EXPECT_EQ(rig.client->countType(PacketType::PmnetAck), 0u);
-    EXPECT_EQ(rig.dev->stats.bypassBadHash, 1u);
+    EXPECT_EQ(rig.stat("bypassBadHash"), 1u);
     EXPECT_EQ(rig.dev->logStore().size(), 0u);
 }
 
@@ -159,7 +168,7 @@ TEST(Device, DuplicateUpdateReAcked)
     rig.fromClient(pkt); // client resend after a lost ACK
     rig.sim.run();
     EXPECT_EQ(rig.client->countType(PacketType::PmnetAck), 2u);
-    EXPECT_EQ(rig.dev->stats.updatesReAcked, 1u);
+    EXPECT_EQ(rig.stat("updatesReAcked"), 1u);
     EXPECT_EQ(rig.dev->logStore().size(), 1u) << "still one entry";
     EXPECT_EQ(rig.server->countType(PacketType::UpdateReq), 2u)
         << "duplicates still forwarded (server dedups)";
@@ -177,8 +186,8 @@ TEST(Device, CollisionBypassesLogging)
     EXPECT_EQ(rig.server->countType(PacketType::UpdateReq), 2u);
     EXPECT_EQ(rig.client->countType(PacketType::PmnetAck), 1u)
         << "second update must not be early-ACKed";
-    EXPECT_GE(rig.dev->stats.bypassCollision +
-                  rig.dev->stats.bypassQueueFull,
+    EXPECT_GE(rig.stat("bypassCollision") +
+                  rig.stat("bypassQueueFull"),
               1u);
 }
 
@@ -192,7 +201,7 @@ TEST(Device, OversizedUpdateBypassesLogging)
     rig.sim.run();
     EXPECT_EQ(rig.server->countType(PacketType::UpdateReq), 1u);
     EXPECT_EQ(rig.client->countType(PacketType::PmnetAck), 0u);
-    EXPECT_EQ(rig.dev->stats.bypassTooLarge, 1u);
+    EXPECT_EQ(rig.stat("bypassTooLarge"), 1u);
 }
 
 TEST(Device, WriteQueueFullBypasses)
@@ -207,7 +216,7 @@ TEST(Device, WriteQueueFullBypasses)
     rig.sim.run();
     EXPECT_EQ(rig.server->countType(PacketType::UpdateReq), 2u);
     EXPECT_EQ(rig.client->countType(PacketType::PmnetAck), 1u);
-    EXPECT_EQ(rig.dev->stats.bypassQueueFull, 1u);
+    EXPECT_EQ(rig.stat("bypassQueueFull"), 1u);
 }
 
 TEST(Device, BypassReqNeverLoggedOrAcked)
@@ -238,7 +247,7 @@ TEST(Device, ServerAckInvalidatesAndForwards)
     EXPECT_EQ(rig.dev->logStore().size(), 0u) << "entry reclaimed";
     EXPECT_EQ(rig.client->countType(PacketType::ServerAck), 1u)
         << "ACK continues to the client";
-    EXPECT_EQ(rig.dev->stats.invalidations, 1u);
+    EXPECT_EQ(rig.stat("invalidations"), 1u);
 }
 
 TEST(Device, ServerAckForUnknownHashStillForwards)
@@ -267,7 +276,7 @@ TEST(Device, RetransServedFromLog)
         << "logged packet resent to the server";
     EXPECT_EQ(rig.client->countType(PacketType::Retrans), 0u)
         << "Retrans dropped after being served";
-    EXPECT_EQ(rig.dev->stats.retransServed, 1u);
+    EXPECT_EQ(rig.stat("retransServed"), 1u);
 }
 
 TEST(Device, RetransMissForwardedToClient)
@@ -278,7 +287,7 @@ TEST(Device, RetransMissForwardedToClient)
                                       0xBEEF));
     rig.sim.run();
     EXPECT_EQ(rig.client->countType(PacketType::Retrans), 1u);
-    EXPECT_EQ(rig.dev->stats.retransForwarded, 1u);
+    EXPECT_EQ(rig.stat("retransForwarded"), 1u);
 }
 
 TEST(Device, RecoveryPollReplaysAllLoggedForServer)
@@ -296,7 +305,7 @@ TEST(Device, RecoveryPollReplaysAllLoggedForServer)
     rig.sim.run();
     EXPECT_EQ(rig.server->countType(PacketType::UpdateReq), before + 5)
         << "every logged request replayed";
-    EXPECT_EQ(rig.dev->stats.recoveryResent, 5u);
+    EXPECT_EQ(rig.stat("recoveryResent"), 5u);
     EXPECT_EQ(rig.dev->logStore().size(), 5u)
         << "entries stay until server-ACKed";
 }
@@ -310,7 +319,7 @@ TEST(Device, RecoveryPollForOtherDeviceForwarded)
                                       0));
     rig.sim.run();
     EXPECT_EQ(rig.client->countType(PacketType::RecoveryPoll), 1u);
-    EXPECT_EQ(rig.dev->stats.recoveryPolls, 0u);
+    EXPECT_EQ(rig.stat("recoveryPolls"), 0u);
 }
 
 TEST(Device, NonPmnetTrafficForwarded)
@@ -320,7 +329,7 @@ TEST(Device, NonPmnetTrafficForwarded)
                                         rig.server->id(), Bytes(40)));
     rig.sim.run();
     EXPECT_EQ(rig.server->got.size(), 1u);
-    EXPECT_EQ(rig.dev->stats.nonPmnetForwarded, 1u);
+    EXPECT_EQ(rig.stat("nonPmnetForwarded"), 1u);
 }
 
 TEST(Device, PmnetAckFromAnotherDeviceForwarded)
@@ -353,7 +362,7 @@ TEST(Device, LogSurvivesPowerFailure)
                                       PacketType::Retrans, 1, 1,
                                       pkt->pmnet->hashVal));
     rig.sim.run();
-    EXPECT_EQ(rig.dev->stats.retransServed, 1u);
+    EXPECT_EQ(rig.stat("retransServed"), 1u);
 }
 
 TEST(Device, InFlightLogWriteLostOnPowerFailure)
@@ -425,7 +434,7 @@ TEST(DeviceCache, LoggedSetServesSubsequentGet)
     EXPECT_EQ(rig.server->countType(PacketType::BypassReq), 0u)
         << "GET answered by the switch, not forwarded";
     ASSERT_EQ(rig.client->countType(PacketType::Response), 1u);
-    EXPECT_EQ(rig.dev->stats.cacheResponses, 1u);
+    EXPECT_EQ(rig.stat("cacheResponses"), 1u);
 
     // The response carries the value the SET wrote.
     const auto &resp = rig.client->got.back();
@@ -454,7 +463,7 @@ TEST(DeviceCache, MissForwardsAndResponseFills)
 
     rig.fromClient(rig.getCmd(2, "cold"));
     rig.sim.run();
-    EXPECT_EQ(rig.dev->stats.cacheResponses, 1u) << "now a hit";
+    EXPECT_EQ(rig.stat("cacheResponses"), 1u) << "now a hit";
 }
 
 TEST(DeviceCache, TwoInFlightSetsMakeStaleAndGetGoesToServer)
@@ -636,7 +645,7 @@ TEST(GroupCommit, DuplicateOfStagedEntryNotReAcked)
     rig.fromClient(pkt);
     rig.sim.run(rig.sim.now() + microseconds(10));
     EXPECT_EQ(rig.client->countType(PacketType::PmnetAck), 0u);
-    EXPECT_EQ(rig.dev->stats.updatesReAcked, 0u);
+    EXPECT_EQ(rig.stat("updatesReAcked"), 0u);
 
     rig.sim.run();
     EXPECT_EQ(rig.client->countType(PacketType::PmnetAck), 1u)
@@ -685,7 +694,7 @@ TEST(GroupCommit, DuplicateInFenceWindowWaitsForDeferredAck)
     rig.fromClient(pkt);
     rig.sim.run(rig.sim.now() + microseconds(10));
     EXPECT_EQ(rig.client->countType(PacketType::PmnetAck), 0u);
-    EXPECT_EQ(rig.dev->stats.updatesReAcked, 0u);
+    EXPECT_EQ(rig.stat("updatesReAcked"), 0u);
 
     rig.sim.run();
     EXPECT_EQ(rig.client->countType(PacketType::PmnetAck), 2u)
@@ -694,7 +703,7 @@ TEST(GroupCommit, DuplicateInFenceWindowWaitsForDeferredAck)
     // After retirement the entry is durable: duplicates re-ACK.
     rig.fromClient(pkt);
     rig.sim.run();
-    EXPECT_EQ(rig.dev->stats.updatesReAcked, 1u);
+    EXPECT_EQ(rig.stat("updatesReAcked"), 1u);
     EXPECT_EQ(rig.client->countType(PacketType::PmnetAck), 3u);
 }
 
@@ -736,8 +745,8 @@ TEST(DeviceNearData, IncrServedFromCache)
     // The device computed 5+1, answered on the server's behalf, and
     // still forwarded the request (server stays authoritative) and
     // logged + early-ACKed it like an update.
-    EXPECT_EQ(rig.dev->stats.nearDataSeen, 1u);
-    EXPECT_EQ(rig.dev->stats.nearDataServed, 1u);
+    EXPECT_EQ(rig.stat("nearDataSeen"), 1u);
+    EXPECT_EQ(rig.stat("nearDataServed"), 1u);
     EXPECT_EQ(rig.server->countType(PacketType::NearDataReq), 1u);
     EXPECT_EQ(rig.client->countType(PacketType::PmnetAck), 2u);
     ASSERT_EQ(rig.client->countType(PacketType::Response), 1u);
@@ -784,7 +793,7 @@ TEST(DeviceNearData, UncomputableEntryInvalidatedNotServed)
     // The device cannot compute the RMW; the request goes to the
     // server and whatever was cached is dropped so it can never serve
     // a value the RMW is about to change.
-    EXPECT_EQ(rig.dev->stats.nearDataServed, 0u);
+    EXPECT_EQ(rig.stat("nearDataServed"), 0u);
     EXPECT_EQ(rig.client->countType(PacketType::Response), 0u);
     EXPECT_EQ(rig.server->countType(PacketType::NearDataReq), 1u);
     EXPECT_EQ(rig.dev->cache().stateOf("k"), CacheState::Invalid);
@@ -803,15 +812,15 @@ TEST(DeviceNearData, DuplicateNotReappliedOrReserved)
     auto incr = rig.nearCmd(2, {"INCR", "ctr"});
     rig.fromClient(incr);
     rig.sim.run();
-    ASSERT_EQ(rig.dev->stats.nearDataServed, 1u);
+    ASSERT_EQ(rig.stat("nearDataServed"), 1u);
     ASSERT_EQ(rig.client->countType(PacketType::Response), 1u);
 
     rig.fromClient(incr); // resend after a lost Response
     rig.sim.run();
-    EXPECT_EQ(rig.dev->stats.nearDataServed, 1u)
+    EXPECT_EQ(rig.stat("nearDataServed"), 1u)
         << "duplicate must not be computed or served again";
     EXPECT_EQ(rig.client->countType(PacketType::Response), 1u);
-    EXPECT_EQ(rig.dev->stats.updatesReAcked, 1u)
+    EXPECT_EQ(rig.stat("updatesReAcked"), 1u)
         << "durability is still re-ACKed";
     EXPECT_EQ(rig.server->countType(PacketType::NearDataReq), 2u)
         << "the duplicate still travels to the server";
@@ -820,7 +829,7 @@ TEST(DeviceNearData, DuplicateNotReappliedOrReserved)
     // 7): a GET served by the switch proves it was not re-applied.
     rig.fromClient(rig.getCmd(3, "ctr"));
     rig.sim.run();
-    ASSERT_EQ(rig.dev->stats.cacheResponses, 1u);
+    ASSERT_EQ(rig.stat("cacheResponses"), 1u);
     auto decoded = apps::decodeResponse(
         rig.client->lastOfType(PacketType::Response)->payload);
     ASSERT_TRUE(decoded.has_value());
@@ -836,7 +845,7 @@ TEST(DeviceNearData, CorruptNearDataDropped)
     rig.sim.run();
     EXPECT_EQ(rig.server->countType(PacketType::NearDataReq), 0u);
     EXPECT_EQ(rig.client->countType(PacketType::PmnetAck), 0u);
-    EXPECT_EQ(rig.dev->stats.bypassBadHash, 1u);
+    EXPECT_EQ(rig.stat("bypassBadHash"), 1u);
 }
 
 } // namespace

@@ -165,12 +165,14 @@ TEST(FabricRouting, EveryChainCarriesItsOwnKeys)
     // store holds the latest value written by the drivers.
     std::uint64_t logged_total = 0;
     for (unsigned s = 0; s < 4; s++) {
+        std::string prefix = "shard." + std::to_string(s);
         std::uint64_t logged =
-            bed.shardDevice(s, 0).stats.updatesLogged.get();
+            bed.metrics().value(prefix + ".device0.updatesLogged");
         EXPECT_GT(logged, 0u) << "shard " << s << " saw no traffic";
         for (std::size_t d = 0; d < bed.shardDeviceCount(s); d++)
-            logged_total +=
-                bed.shardDevice(s, d).stats.updatesLogged.get();
+            logged_total += bed.metrics().value(
+                prefix + ".device" + std::to_string(d) +
+                ".updatesLogged");
     }
     // Every update logs once per chain position (R=2), on its owning
     // shard's chain only.
@@ -214,8 +216,9 @@ TEST(FabricHealth, ClientsParkWhileShardDarkAndFlushAfter)
     bed.runFor(milliseconds(4));
     std::uint64_t parked = 0, held = 0;
     for (std::size_t c = 0; c < bed.clientCount(); c++) {
-        parked += bed.clientLib(c).stats.shardParked.get();
-        held += bed.clientLib(c).stats.shardHeld.get();
+        parked += bed.metrics().value(bed.clientPrefix(c) +
+                                      ".shardParked");
+        held += bed.metrics().value(bed.clientPrefix(c) + ".shardHeld");
     }
     EXPECT_GT(parked + held, 0u)
         << "a dark shard must throttle its clients";
@@ -258,12 +261,14 @@ TEST(FabricRepair, ResilverRebuildsAnEmptiedLog)
             missing++;
     });
     EXPECT_EQ(missing, 0u);
-    EXPECT_GT(tail.stats.resilverPushesSent.get(), 0u);
+    EXPECT_GT(
+        bed.metrics().value("shard.0.device1.resilverPushesSent"), 0u);
     // Slot collisions can overwrite an earlier re-logged entry, so
     // the counter bounds the live count from above.
-    EXPECT_GE(head.stats.resilverLogged.get(),
+    EXPECT_GE(bed.metrics().value("shard.0.device0.resilverLogged"),
               head.logStore().size());
-    EXPECT_GT(head.stats.resilverLogged.get(), 0u);
+    EXPECT_GT(bed.metrics().value("shard.0.device0.resilverLogged"),
+              0u);
 }
 
 TEST(FabricRepair, CoordinatorDrivesShardBackToHealthy)

@@ -237,10 +237,10 @@ TEST(HashmapShadowTest, ShadowInvalidatedAcrossCrash)
         // Two buckets: six keys force chains deep enough to shadow.
         auto map = std::make_unique<kv::PmHashmap>(heap, 1u);
         for (const std::string &k : keys)
-            map->put(k, value("old-" + k));
+            map->put(kv::asKey(k), value("old-" + k));
         // Warm the chain shadow on every bucket.
         for (const std::string &k : keys)
-            map->get(k);
+            map->get(kv::asKey(k));
         return map;
     };
 
@@ -251,7 +251,7 @@ TEST(HashmapShadowTest, ShadowInvalidatedAcrossCrash)
         auto map = build(heap);
         heap.setPersistBoundaryHook(
             [&boundaries](pm::PersistBoundary) { boundaries++; });
-        map->put("c", value("new-c"));
+        map->put(kv::asKey("c"), value("new-c"));
     }
     ASSERT_GT(boundaries, 0u);
 
@@ -268,7 +268,7 @@ TEST(HashmapShadowTest, ShadowInvalidatedAcrossCrash)
             });
         bool crashed = false;
         try {
-            map->put("c", value("new-c"));
+            map->put(kv::asKey("c"), value("new-c"));
         } catch (const InjectedCrash &) {
             crashed = true;
         }
@@ -277,8 +277,8 @@ TEST(HashmapShadowTest, ShadowInvalidatedAcrossCrash)
 
         auto reopened = kv::openKvStore(heap, header);
         for (const std::string &k : keys) {
-            auto stale_risk = map->get(k); // same instance, old shadow
-            auto truth = reopened->get(k);
+            auto stale_risk = map->get(kv::asKey(k)); // same instance, old shadow
+            auto truth = reopened->get(kv::asKey(k));
             ASSERT_TRUE(stale_risk.has_value()) << "boundary " << crash_at;
             ASSERT_TRUE(truth.has_value()) << "boundary " << crash_at;
             EXPECT_EQ(std::string(stale_risk->begin(), stale_risk->end()),
@@ -328,10 +328,11 @@ TEST(FaultPlanTest, ServerPowerCutDuringBurstWithDuplicateDelivery)
 
     // The scenario actually exercised what it scripted: a recovery
     // replay and a duplicate of an already-persistent update.
-    EXPECT_GE(runner.testbed().serverLib().stats.recoveries, 1u);
+    const obs::MetricRegistry &metrics = runner.testbed().metrics();
+    EXPECT_GE(metrics.value("server.recoveries"), 1u);
     std::uint64_t duplicates =
-        runner.testbed().serverLib().stats.duplicatesDropped +
-        runner.testbed().device(0).stats.updatesReAcked;
+        metrics.value("server.duplicatesDropped") +
+        metrics.value("device0.updatesReAcked");
     EXPECT_GE(duplicates, 1u) << report.text();
     EXPECT_GE(report.counter("device-recovery-resent"), 1u)
         << report.text();
@@ -589,7 +590,7 @@ TEST(FaultPlanTest, PowerCutPlanHoldsP1P3OnPartitionedEngine)
     FaultRunner runner(planConfig(1, true, /*sim_threads=*/4));
     const InvariantReport &report = runner.run(plan);
     EXPECT_TRUE(report.clean()) << report.text();
-    EXPECT_GE(runner.testbed().serverLib().stats.recoveries, 1u);
+    EXPECT_GE(runner.testbed().metrics().value("server.recoveries"), 1u);
     EXPECT_GE(report.counter("device-recovery-resent"), 1u)
         << report.text();
     EXPECT_EQ(report.counter("acked-total"), 60u);

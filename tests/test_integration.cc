@@ -80,13 +80,13 @@ TEST(Integration, CompletionPathsMatchMode)
 {
     Testbed baseline(baseConfig(SystemMode::ClientServer));
     baseline.run(milliseconds(1), milliseconds(5));
-    EXPECT_GT(baseline.clientLib(0).stats.completedByServerAck, 0u);
-    EXPECT_EQ(baseline.clientLib(0).stats.completedByPmnetAck, 0u);
+    EXPECT_GT(baseline.metrics().value("client0.completedByServerAck"), 0u);
+    EXPECT_EQ(baseline.metrics().value("client0.completedByPmnetAck"), 0u);
 
     Testbed pmnet(baseConfig(SystemMode::PmnetSwitch));
     pmnet.run(milliseconds(1), milliseconds(5));
-    EXPECT_GT(pmnet.clientLib(0).stats.completedByPmnetAck, 0u);
-    EXPECT_GT(pmnet.device(0).stats.updatesLogged, 0u);
+    EXPECT_GT(pmnet.metrics().value("client0.completedByPmnetAck"), 0u);
+    EXPECT_GT(pmnet.metrics().value("device0.updatesLogged"), 0u);
 }
 
 TEST(Integration, ServerStateConvergesUnderPmnet)
@@ -155,7 +155,7 @@ TEST(Integration, CacheReadYourWriteConsistency)
     });
     sim.run(sim.now() + milliseconds(1));
     EXPECT_EQ(got, "42") << "switch-served read sees the new value";
-    EXPECT_GE(bed.device(0).stats.cacheResponses, 1u);
+    EXPECT_GE(bed.metrics().value("device0.cacheResponses"), 1u);
 }
 
 TEST(Integration, StaleCacheEntryFallsBackToServer)
@@ -194,9 +194,9 @@ TEST(Integration, ReplicationWaitsForAllDevices)
     auto results = bed.run(milliseconds(2), milliseconds(10));
 
     ASSERT_EQ(bed.deviceCount(), 2u);
-    EXPECT_GT(bed.device(0).stats.updatesLogged, 0u);
-    EXPECT_GT(bed.device(1).stats.updatesLogged, 0u);
-    EXPECT_GT(bed.clientLib(0).stats.completedByPmnetAck, 0u);
+    EXPECT_GT(bed.metrics().value("device0.updatesLogged"), 0u);
+    EXPECT_GT(bed.metrics().value("device1.updatesLogged"), 0u);
+    EXPECT_GT(bed.metrics().value("client0.completedByPmnetAck"), 0u);
     ASSERT_FALSE(results.updateLatency.empty());
 
     // Overlapped persists: replication costs little extra (paper: 16%
@@ -259,7 +259,7 @@ TEST(Integration, RecoveryReplaysLoggedUpdatesAfterServerCrash)
         sim.run(sim.now() + milliseconds(1));
         EXPECT_EQ(got, "val" + std::to_string(i));
     }
-    EXPECT_GE(bed.device(0).stats.recoveryResent, 3u);
+    EXPECT_GE(bed.metrics().value("device0.recoveryResent"), 3u);
 }
 
 TEST(Integration, ReplayIsExactlyOnce)
@@ -344,7 +344,7 @@ TEST(Integration, DeviceOutageDegradesToRetriesNotLoss)
         bed.driver(c).stop();
     sim.run(sim.now() + milliseconds(20));
 
-    EXPECT_GT(bed.clientLib(0).stats.timeouts, 0u)
+    EXPECT_GT(bed.metrics().value("client0.timeouts"), 0u)
         << "outage visible as timeouts";
     for (std::size_t c = 0; c < bed.clientCount(); c++) {
         auto session = static_cast<std::uint16_t>(c + 1);

@@ -43,15 +43,15 @@ TEST_P(KvStoreTest, EmptyStore)
 {
     auto store = makeKvStore(GetParam(), heap);
     EXPECT_EQ(store->size(), 0u);
-    EXPECT_FALSE(store->get("missing").has_value());
-    EXPECT_FALSE(store->erase("missing"));
+    EXPECT_FALSE(store->get(asKey("missing")).has_value());
+    EXPECT_FALSE(store->erase(asKey("missing")));
 }
 
 TEST_P(KvStoreTest, PutGetSingle)
 {
     auto store = makeKvStore(GetParam(), heap);
-    store->put("alpha", val("1"));
-    auto got = store->get("alpha");
+    store->put(asKey("alpha"), val("1"));
+    auto got = store->get(asKey("alpha"));
     ASSERT_TRUE(got.has_value());
     EXPECT_EQ(str(*got), "1");
     EXPECT_EQ(store->size(), 1u);
@@ -60,28 +60,28 @@ TEST_P(KvStoreTest, PutGetSingle)
 TEST_P(KvStoreTest, OverwriteReplacesValue)
 {
     auto store = makeKvStore(GetParam(), heap);
-    store->put("k", val("old"));
-    store->put("k", val("new-and-longer-value"));
-    EXPECT_EQ(str(*store->get("k")), "new-and-longer-value");
+    store->put(asKey("k"), val("old"));
+    store->put(asKey("k"), val("new-and-longer-value"));
+    EXPECT_EQ(str(*store->get(asKey("k"))), "new-and-longer-value");
     EXPECT_EQ(store->size(), 1u);
 }
 
 TEST_P(KvStoreTest, EraseRemoves)
 {
     auto store = makeKvStore(GetParam(), heap);
-    store->put("a", val("1"));
-    store->put("b", val("2"));
-    EXPECT_TRUE(store->erase("a"));
-    EXPECT_FALSE(store->get("a").has_value());
-    EXPECT_EQ(str(*store->get("b")), "2");
+    store->put(asKey("a"), val("1"));
+    store->put(asKey("b"), val("2"));
+    EXPECT_TRUE(store->erase(asKey("a")));
+    EXPECT_FALSE(store->get(asKey("a")).has_value());
+    EXPECT_EQ(str(*store->get(asKey("b"))), "2");
     EXPECT_EQ(store->size(), 1u);
 }
 
 TEST_P(KvStoreTest, EmptyValueAllowed)
 {
     auto store = makeKvStore(GetParam(), heap);
-    store->put("k", Bytes{});
-    auto got = store->get("k");
+    store->put(asKey("k"), Bytes{});
+    auto got = store->get(asKey("k"));
     ASSERT_TRUE(got.has_value());
     EXPECT_TRUE(got->empty());
 }
@@ -97,14 +97,14 @@ TEST_P(KvStoreTest, ManyKeysAgainstReferenceMap)
         int op = static_cast<int>(rng.nextUInt(10));
         if (op < 6) {
             std::string value = "v" + std::to_string(i);
-            store->put(key, val(value));
+            store->put(asKey(key), val(value));
             reference[key] = value;
         } else if (op < 8) {
-            bool erased = store->erase(key);
+            bool erased = store->erase(asKey(key));
             EXPECT_EQ(erased, reference.erase(key) > 0)
                 << kvKindName(GetParam()) << " key=" << key;
         } else {
-            auto got = store->get(key);
+            auto got = store->get(asKey(key));
             auto ref = reference.find(key);
             if (ref == reference.end()) {
                 EXPECT_FALSE(got.has_value()) << key;
@@ -117,7 +117,7 @@ TEST_P(KvStoreTest, ManyKeysAgainstReferenceMap)
 
     EXPECT_EQ(store->size(), reference.size());
     for (const auto &[key, value] : reference) {
-        auto got = store->get(key);
+        auto got = store->get(asKey(key));
         ASSERT_TRUE(got.has_value()) << kvKindName(GetParam()) << key;
         EXPECT_EQ(str(*got), value);
     }
@@ -130,13 +130,13 @@ TEST_P(KvStoreTest, ReopenAfterCleanShutdown)
         auto store = makeKvStore(GetParam(), heap);
         header = store->headerOffset();
         for (int i = 0; i < 100; i++)
-            store->put("k" + std::to_string(i), val(std::to_string(i)));
+            store->put(asKey("k" + std::to_string(i)), val(std::to_string(i)));
     }
     auto reopened = openKvStore(heap, header);
     EXPECT_EQ(reopened->kind(), GetParam());
     EXPECT_EQ(reopened->size(), 100u);
     for (int i = 0; i < 100; i += 7)
-        EXPECT_EQ(str(*reopened->get("k" + std::to_string(i))),
+        EXPECT_EQ(str(*reopened->get(asKey("k" + std::to_string(i)))),
                   std::to_string(i));
 }
 
@@ -145,13 +145,13 @@ TEST_P(KvStoreTest, CompletedPutsSurviveCrash)
     auto store = makeKvStore(GetParam(), heap);
     pm::PmOffset header = store->headerOffset();
     for (int i = 0; i < 200; i++)
-        store->put("k" + std::to_string(i), val(std::to_string(i * 3)));
+        store->put(asKey("k" + std::to_string(i)), val(std::to_string(i * 3)));
 
     heap.crash();
     auto recovered = openKvStore(heap, header);
     EXPECT_EQ(recovered->size(), 200u);
     for (int i = 0; i < 200; i++) {
-        auto got = recovered->get("k" + std::to_string(i));
+        auto got = recovered->get(asKey("k" + std::to_string(i)));
         ASSERT_TRUE(got.has_value())
             << kvKindName(GetParam()) << " lost k" << i;
         EXPECT_EQ(str(*got), std::to_string(i * 3));
@@ -163,14 +163,14 @@ TEST_P(KvStoreTest, CompletedOverwritesSurviveCrash)
     auto store = makeKvStore(GetParam(), heap);
     pm::PmOffset header = store->headerOffset();
     for (int i = 0; i < 50; i++)
-        store->put("k" + std::to_string(i), val("old"));
+        store->put(asKey("k" + std::to_string(i)), val("old"));
     for (int i = 0; i < 50; i++)
-        store->put("k" + std::to_string(i), val("new" + std::to_string(i)));
+        store->put(asKey("k" + std::to_string(i)), val("new" + std::to_string(i)));
 
     heap.crash();
     auto recovered = openKvStore(heap, header);
     for (int i = 0; i < 50; i++)
-        EXPECT_EQ(str(*recovered->get("k" + std::to_string(i))),
+        EXPECT_EQ(str(*recovered->get(asKey("k" + std::to_string(i)))),
                   "new" + std::to_string(i));
 }
 
@@ -179,15 +179,15 @@ TEST_P(KvStoreTest, CompletedErasesSurviveCrash)
     auto store = makeKvStore(GetParam(), heap);
     pm::PmOffset header = store->headerOffset();
     for (int i = 0; i < 60; i++)
-        store->put("k" + std::to_string(i), val("x"));
+        store->put(asKey("k" + std::to_string(i)), val("x"));
     for (int i = 0; i < 60; i += 2)
-        store->erase("k" + std::to_string(i));
+        store->erase(asKey("k" + std::to_string(i)));
 
     heap.crash();
     auto recovered = openKvStore(heap, header);
     for (int i = 0; i < 60; i++) {
         bool expect_present = (i % 2) == 1;
-        EXPECT_EQ(recovered->get("k" + std::to_string(i)).has_value(),
+        EXPECT_EQ(recovered->get(asKey("k" + std::to_string(i))).has_value(),
                   expect_present)
             << kvKindName(GetParam()) << " k" << i;
     }
@@ -209,13 +209,13 @@ TEST_P(KvStoreTest, CrashBetweenOpsKeepsPrefix)
                 "r" + std::to_string(rng.nextUInt(80));
             std::string value =
                 "v" + std::to_string(round) + "_" + std::to_string(i);
-            store->put(key, val(value));
+            store->put(asKey(key), val(value));
             reference[key] = value;
         }
         heap.crash();
         store = openKvStore(heap, header);
         for (const auto &[key, value] : reference) {
-            auto got = store->get(key);
+            auto got = store->get(asKey(key));
             ASSERT_TRUE(got.has_value())
                 << kvKindName(GetParam()) << " lost " << key
                 << " in round " << round;
@@ -228,9 +228,9 @@ TEST_P(KvStoreTest, PmCostIsAccrued)
 {
     auto store = makeKvStore(GetParam(), heap);
     heap.drainCost();
-    store->put("key", val("value"));
+    store->put(asKey("key"), val("value"));
     EXPECT_GT(heap.drainCost(), 0) << "puts must charge PM time";
-    store->get("key");
+    store->get(asKey("key"));
     EXPECT_GT(heap.drainCost(), 0) << "gets must charge PM time";
 }
 
@@ -240,8 +240,8 @@ TEST_P(KvStoreTest, LargeValues)
     Bytes big(4096);
     for (std::size_t i = 0; i < big.size(); i++)
         big[i] = static_cast<std::uint8_t>(i * 31);
-    store->put("big", big);
-    auto got = store->get("big");
+    store->put(asKey("big"), big);
+    auto got = store->get(asKey("big"));
     ASSERT_TRUE(got.has_value());
     EXPECT_EQ(*got, big);
 }
@@ -252,9 +252,9 @@ TEST_P(KvStoreTest, KeysWithSharedPrefixes)
     std::vector<std::string> keys = {"a",  "ab",  "abc", "abd",
                                      "b",  "ba",  "abcd"};
     for (std::size_t i = 0; i < keys.size(); i++)
-        store->put(keys[i], val(std::to_string(i)));
+        store->put(asKey(keys[i]), val(std::to_string(i)));
     for (std::size_t i = 0; i < keys.size(); i++)
-        EXPECT_EQ(str(*store->get(keys[i])), std::to_string(i))
+        EXPECT_EQ(str(*store->get(asKey(keys[i]))), std::to_string(i))
             << kvKindName(GetParam()) << " " << keys[i];
     EXPECT_EQ(store->size(), keys.size());
 }
@@ -274,7 +274,7 @@ TEST(BTree, StaysBalancedOnInserts)
     pm::PmHeap heap(64ull << 20);
     PmBTree tree(heap);
     for (int i = 0; i < 2000; i++)
-        tree.put("key" + std::to_string(i), val("v"));
+        tree.put(asKey("key" + std::to_string(i)), val("v"));
     EXPECT_TRUE(tree.validate(true)) << "ordering or depth violated";
     // Order-8 tree with 2000 keys: height around log_4..8(2000).
     EXPECT_LE(tree.height(), 8u);
@@ -289,9 +289,9 @@ TEST(BTree, ValidAfterMixedWorkload)
     for (int i = 0; i < 3000; i++) {
         std::string key = "k" + std::to_string(rng.nextUInt(400));
         if (rng.nextBool(0.3))
-            tree.erase(key);
+            tree.erase(asKey(key));
         else
-            tree.put(key, val("v" + std::to_string(i)));
+            tree.put(asKey(key), val("v" + std::to_string(i)));
     }
     EXPECT_TRUE(tree.validate(false)) << "key ordering violated";
 }
@@ -301,7 +301,7 @@ TEST(RBTree, RedRedFreeAfterInserts)
     pm::PmHeap heap(64ull << 20);
     PmRBTree tree(heap);
     for (int i = 0; i < 2000; i++)
-        tree.put("key" + std::to_string(i), val("v"));
+        tree.put(asKey("key" + std::to_string(i)), val("v"));
     EXPECT_TRUE(tree.validate());
     // Red-black balance bound: height <= 2*log2(n+1) ~ 22.
     EXPECT_LE(tree.height(), 24u);
@@ -315,7 +315,7 @@ TEST(RBTree, SequentialInsertStaysLogarithmic)
     for (int i = 0; i < 1024; i++) {
         char key[16];
         std::snprintf(key, sizeof(key), "%06d", i);
-        tree.put(key, val("v"));
+        tree.put(asKey(key), val("v"));
     }
     EXPECT_LE(tree.height(), 20u);
     EXPECT_TRUE(tree.validate());
@@ -329,7 +329,7 @@ TEST(CTree, RejectsNulKeys)
     EXPECT_DEATH(
         {
             PmCTree inner(heap);
-            inner.put(bad, val("x"));
+            inner.put(asKey(bad), val("x"));
         },
         "NUL");
 }
@@ -338,13 +338,13 @@ TEST(CTree, PrefixKeysResolve)
 {
     pm::PmHeap heap(1 << 20);
     PmCTree tree(heap);
-    tree.put("abc", val("1"));
-    tree.put("abcdef", val("2"));
-    tree.put("ab", val("3"));
-    EXPECT_EQ(str(*tree.get("abc")), "1");
-    EXPECT_EQ(str(*tree.get("abcdef")), "2");
-    EXPECT_EQ(str(*tree.get("ab")), "3");
-    EXPECT_FALSE(tree.get("abcd").has_value());
+    tree.put(asKey("abc"), val("1"));
+    tree.put(asKey("abcdef"), val("2"));
+    tree.put(asKey("ab"), val("3"));
+    EXPECT_EQ(str(*tree.get(asKey("abc"))), "1");
+    EXPECT_EQ(str(*tree.get(asKey("abcdef"))), "2");
+    EXPECT_EQ(str(*tree.get(asKey("ab"))), "3");
+    EXPECT_FALSE(tree.get(asKey("abcd")).has_value());
 }
 
 } // namespace

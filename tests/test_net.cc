@@ -253,12 +253,15 @@ TEST(PacketPool, ReusesReleasedPackets)
         raw = pkt.get();
         pkt->payload.assign(64, 0xee);
     }
-    auto before = pool.stats();
+    obs::MetricRegistry reg;
+    pool.registerMetrics(reg, "pool");
+    std::uint64_t before_reused = reg.value("pool.reused");
+    std::uint64_t before_released = reg.value("pool.released");
     MutPacketPtr again = pool.acquire();
     EXPECT_EQ(again.get(), raw) << "free-list should hand back the "
                                    "released packet";
-    EXPECT_EQ(pool.stats().reused, before.reused + 1);
-    EXPECT_EQ(pool.stats().released, before.released);
+    EXPECT_EQ(reg.value("pool.reused"), before_reused + 1);
+    EXPECT_EQ(reg.value("pool.released"), before_released);
 }
 
 TEST(PacketPool, ReleasedStateDoesNotLeakIntoReuse)
@@ -298,13 +301,15 @@ TEST(PacketPool, BuildersDrawFromThePool)
     PacketPool &pool = PacketPool::local();
     { PacketPtr warm = makePmnetPacket(1, 2, PacketType::UpdateReq, 1,
                                        1, Bytes(10, 1)); }
-    auto before = pool.stats();
+    obs::MetricRegistry reg;
+    pool.registerMetrics(reg, "pool");
+    std::uint64_t before_reused = reg.value("pool.reused");
     {
         PacketPtr pkt = makeRefPacket(1, 2, PacketType::ServerAck, 1, 2,
                                       0xfeed);
         EXPECT_EQ(pkt->pmnet->hashVal, 0xfeedu);
     }
-    EXPECT_GT(pool.stats().reused, before.reused);
+    EXPECT_GT(reg.value("pool.reused"), before_reused);
 }
 
 TEST(PacketPool, FuzzAllocReleaseCyclesStayPristine)
@@ -348,8 +353,10 @@ TEST(PacketPool, FuzzAllocReleaseCyclesStayPristine)
     }
     held.clear();
 
-    const auto &stats = pool.stats();
-    EXPECT_GT(stats.reused, 4000u) << "steady state should recycle";
+    obs::MetricRegistry reg;
+    pool.registerMetrics(reg, "pool");
+    EXPECT_GT(reg.value("pool.reused"), 4000u)
+        << "steady state should recycle";
 }
 
 TEST(PacketPool, PacketsSurvivePoolTrim)
@@ -619,10 +626,10 @@ TEST(CorruptRate, ServerCountsEveryDamagedPacketAsHashRejected)
     corrupt_rig::fireUpdates(bed, 6);
 
     EXPECT_GT(link->corruptions(), 0u);
-    EXPECT_EQ(bed.serverLib().stats.hashRejected, link->corruptions())
+    EXPECT_EQ(bed.metrics().value("server.hashRejected"), link->corruptions())
         << "every corrupted delivery rejected and counted, nothing "
            "else rejected";
-    EXPECT_EQ(bed.serverLib().stats.updatesApplied, 0u);
+    EXPECT_EQ(bed.metrics().value("server.updatesApplied"), 0u);
 }
 
 TEST(CorruptRate, DeviceCountsEveryDamagedPacketAsBypassBadHash)
@@ -641,9 +648,9 @@ TEST(CorruptRate, DeviceCountsEveryDamagedPacketAsBypassBadHash)
     corrupt_rig::fireUpdates(bed, 6);
 
     EXPECT_GT(link->corruptions(), 0u);
-    EXPECT_EQ(bed.device(0).stats.bypassBadHash, link->corruptions());
-    EXPECT_EQ(bed.device(0).stats.updatesLogged, 0u);
-    EXPECT_EQ(bed.serverLib().stats.updatesApplied, 0u)
+    EXPECT_EQ(bed.metrics().value("device0.bypassBadHash"), link->corruptions());
+    EXPECT_EQ(bed.metrics().value("device0.updatesLogged"), 0u);
+    EXPECT_EQ(bed.metrics().value("server.updatesApplied"), 0u)
         << "nothing corrupt may leak past the device";
 }
 
@@ -661,8 +668,8 @@ TEST(CorruptRate, PartialRateLetsCleanPacketsThrough)
     corrupt_rig::fireUpdates(bed, 12);
 
     EXPECT_GT(link->corruptions(), 0u);
-    EXPECT_EQ(bed.serverLib().stats.hashRejected, link->corruptions());
-    EXPECT_GT(bed.serverLib().stats.updatesApplied, 0u);
+    EXPECT_EQ(bed.metrics().value("server.hashRejected"), link->corruptions());
+    EXPECT_GT(bed.metrics().value("server.updatesApplied"), 0u);
 }
 
 } // namespace

@@ -298,9 +298,9 @@ TEST(TestbedObs, RegistryCoversComponentsAndMatchesAdapters)
     // The deprecated adapter structs and the registry read the same
     // storage.
     EXPECT_EQ(reg.value("server.updatesApplied"),
-              bed.serverLib().stats.updatesApplied.get());
+              bed.metrics().value("server.updatesApplied"));
     EXPECT_EQ(reg.value("device0.updatesLogged"),
-              bed.device(0).stats.updatesLogged.get());
+              bed.metrics().value("device0.updatesLogged"));
     EXPECT_GT(reg.value("client0.updatesCompleted"), 0u);
 
     // RunResults serializes through the obs layer.

@@ -166,7 +166,7 @@ TEST(ParallelFault, PowerCutRecoveryHoldsInvariantsAtFourThreads)
     FaultRunner runner(faultConfig(4));
     const InvariantReport &report = runner.run(plan);
     EXPECT_TRUE(report.clean()) << report.text();
-    EXPECT_GE(runner.testbed().serverLib().stats.recoveries, 1u);
+    EXPECT_GE(runner.testbed().metrics().value("server.recoveries"), 1u);
     EXPECT_GE(report.counter("device-recovery-resent"), 1u)
         << report.text();
 }

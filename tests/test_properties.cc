@@ -49,17 +49,17 @@ TEST_P(KvCrashFuzz, CompletedOpsAlwaysSurvive)
           case 0:
           case 1: {
             std::string value = "v" + std::to_string(step);
-            store->put(key, Bytes(value.begin(), value.end()));
+            store->put(kv::asKey(key), Bytes(value.begin(), value.end()));
             reference[key] = value;
             break;
           }
           case 2: {
-            bool erased = store->erase(key);
+            bool erased = store->erase(kv::asKey(key));
             ASSERT_EQ(erased, reference.erase(key) > 0);
             break;
           }
           default: {
-            auto got = store->get(key);
+            auto got = store->get(kv::asKey(key));
             auto it = reference.find(key);
             if (it == reference.end()) {
                 ASSERT_FALSE(got.has_value());
@@ -80,7 +80,7 @@ TEST_P(KvCrashFuzz, CompletedOpsAlwaysSurvive)
             ASSERT_EQ(store->size(), reference.size())
                 << kv::kvKindName(kind) << " step " << step;
             for (const auto &[ref_key, ref_value] : reference) {
-                auto got = store->get(ref_key);
+                auto got = store->get(kv::asKey(ref_key));
                 ASSERT_TRUE(got.has_value())
                     << kv::kvKindName(kind) << " lost " << ref_key
                     << " at step " << step;

@@ -65,7 +65,7 @@ TEST(Scenario, FragmentedUpdateGetsPerFragmentAcks)
     sim.run(sim.now() + milliseconds(2));
 
     EXPECT_TRUE(done);
-    EXPECT_EQ(bed.device(0).stats.updatesLogged, 3u)
+    EXPECT_EQ(bed.metrics().value("device0.updatesLogged"), 3u)
         << "each MTU fragment is logged and ACKed individually "
            "(Section IV-A3)";
     // Reassembled intact on the server.
@@ -101,9 +101,9 @@ TEST(Scenario, LostFragmentServedFromDeviceLog)
     sim.run(sim.now() + milliseconds(3));
 
     EXPECT_TRUE(done) << "client completed on PMNet-ACKs regardless";
-    EXPECT_GE(dev.stats.retransServed, 1u)
+    EXPECT_GE(bed.metrics().value("device0.retransServed"), 1u)
         << "device must serve the Retrans from its log (Fig 7b)";
-    EXPECT_EQ(bed.clientLib(0).stats.retransAnswered, 0u)
+    EXPECT_EQ(bed.metrics().value("client0.retransAnswered"), 0u)
         << "the client must not be bothered";
     auto got = bed.commandStore()->execute(
         apps::Command{{"GET", "frag"}}, 1);
@@ -138,7 +138,7 @@ TEST(Scenario, LostLastFragmentRecoveredWithoutLaterTraffic)
     sim.run(sim.now() + milliseconds(3));
 
     EXPECT_TRUE(done) << "client completed on in-network persistence";
-    EXPECT_GE(dev.stats.retransServed, 1u)
+    EXPECT_GE(bed.metrics().value("device0.retransServed"), 1u)
         << "server must discover the lost tail by itself";
     EXPECT_EQ(bed.serverLib().appliedSeq(1), 3u)
         << "the update must be applied with no further client traffic";
@@ -182,7 +182,9 @@ TEST(Scenario, TransientReorderDoesNotTriggerRetrans)
     sim.run();
 
     EXPECT_EQ(order, (std::vector<int>{1, 2}));
-    EXPECT_EQ(lib.stats.retransRequested, 0u)
+    obs::MetricRegistry reg;
+    lib.registerMetrics(reg, "server");
+    EXPECT_EQ(reg.value("server.retransRequested"), 0u)
         << "reordering within the window must not cause Retrans";
 }
 
@@ -208,7 +210,9 @@ TEST(Scenario, PersistentGapDoesTriggerRetrans)
                                         5, Bytes{5}),
                    0);
     sim.run(microseconds(200));
-    EXPECT_GE(lib.stats.retransRequested, 4u)
+    obs::MetricRegistry reg;
+    lib.registerMetrics(reg, "server");
+    EXPECT_GE(reg.value("server.retransRequested"), 4u)
         << "seqs 1-4 must be requested";
 }
 
@@ -237,8 +241,8 @@ TEST(Scenario, DuplicateAcksFromOneDeviceDoNotFormQuorum)
     sim.run(sim.now() + milliseconds(2));
     ASSERT_TRUE(done);
     // Completed via the two PMNet-ACKs well before a server RTT.
-    EXPECT_GT(bed.device(0).stats.acksSent, 0u);
-    EXPECT_GT(bed.device(1).stats.acksSent, 0u);
+    EXPECT_GT(bed.metrics().value("device0.acksSent"), 0u);
+    EXPECT_GT(bed.metrics().value("device1.acksSent"), 0u);
     (void)t0;
 }
 
@@ -281,10 +285,10 @@ TEST(Scenario, QuorumUnreachableFallsBackToServerAck)
     sim.run(sim.now() + milliseconds(2));
 
     ASSERT_TRUE(done);
-    EXPECT_GT(bed.device(1).stats.bypassCollision, 0u);
-    EXPECT_EQ(lib.stats.completedByPmnetAck, 0u)
+    EXPECT_GT(bed.metrics().value("device1.bypassCollision"), 0u);
+    EXPECT_EQ(bed.metrics().value("client0.completedByPmnetAck"), 0u)
         << "2 of 3 ACKs is not a quorum";
-    EXPECT_EQ(lib.stats.completedByServerAck, 1u);
+    EXPECT_EQ(bed.metrics().value("client0.completedByServerAck"), 1u);
     // Completion took a full server round trip.
     EXPECT_GT(sim.now() - t0, microseconds(40));
 }
@@ -312,9 +316,9 @@ TEST(Scenario, RecoveryInterleavedWithNewTraffic)
     for (std::size_t c = 0; c < bed.clientCount(); c++) {
         auto session = static_cast<std::uint16_t>(c + 1);
         EXPECT_GE(bed.serverLib().appliedSeq(session),
-                  bed.clientLib(c).stats.updatesCompleted);
+                  bed.metrics().value(bed.clientPrefix(c) + ".updatesCompleted"));
     }
-    EXPECT_GT(bed.device(0).stats.recoveryResent, 0u);
+    EXPECT_GT(bed.metrics().value("device0.recoveryResent"), 0u);
 }
 
 TEST(Scenario, DoubleServerCrashStillConverges)
@@ -335,7 +339,7 @@ TEST(Scenario, DoubleServerCrashStillConverges)
     sim.run(sim.now() + milliseconds(30));
 
     EXPECT_GE(bed.serverLib().appliedSeq(1),
-              bed.clientLib(0).stats.updatesCompleted);
+              bed.metrics().value("client0.updatesCompleted"));
 }
 
 TEST(Scenario, ReplayArrivesUnorderedServerReorders)
@@ -388,7 +392,7 @@ TEST(Scenario, HeartbeatDetectsOutageAndReplaysAutonomously)
 
     // Let a few heartbeat rounds pass: server alive.
     sim.run(sim.now() + milliseconds(1));
-    EXPECT_GT(dev.stats.heartbeatAcks, 0u);
+    EXPECT_GT(bed.metrics().value("device0.heartbeatAcks"), 0u);
     EXPECT_FALSE(dev.serverConsideredDown());
 
     // Log updates the server will not see (crash right after acks).
@@ -403,13 +407,13 @@ TEST(Scenario, HeartbeatDetectsOutageAndReplaysAutonomously)
     // Three missed 100us heartbeats => declared down.
     sim.run(sim.now() + microseconds(800));
     EXPECT_TRUE(dev.serverConsideredDown());
-    EXPECT_GT(dev.stats.serverDownEvents, 0u);
+    EXPECT_GT(bed.metrics().value("device0.serverDownEvents"), 0u);
 
     bed.serverHost().powerRestore();
     sim.run(sim.now() + milliseconds(20));
     EXPECT_FALSE(dev.serverConsideredDown());
-    EXPECT_GT(dev.stats.serverUpEvents, 0u);
-    EXPECT_GE(dev.stats.recoveryResent, 3u)
+    EXPECT_GT(bed.metrics().value("device0.serverUpEvents"), 0u);
+    EXPECT_GE(bed.metrics().value("device0.recoveryResent"), 3u)
         << "replay must be heartbeat-driven (no RecoveryPoll here)";
     EXPECT_EQ(bed.serverLib().appliedSeq(1), 3u);
 }
@@ -421,9 +425,9 @@ TEST(Scenario, HeartbeatQuietWhileServerHealthy)
     Testbed bed(std::move(config));
     auto &sim = bed.simulator();
     sim.run(sim.now() + milliseconds(5));
-    EXPECT_EQ(bed.device(0).stats.serverDownEvents, 0u);
-    EXPECT_EQ(bed.device(0).stats.recoveryResent, 0u);
-    EXPECT_GT(bed.device(0).stats.heartbeatsSent, 40u);
+    EXPECT_EQ(bed.metrics().value("device0.serverDownEvents"), 0u);
+    EXPECT_EQ(bed.metrics().value("device0.recoveryResent"), 0u);
+    EXPECT_GT(bed.metrics().value("device0.heartbeatsSent"), 40u);
 }
 
 TEST(Scenario, YcsbPresetsExerciseExpectedMixes)
@@ -506,7 +510,7 @@ TEST(Scenario, NonPmnetTrafficCoexists)
         0, net::makePlainPacket(bed.serverHost().id(), 1, Bytes(64)));
     sim.run(sim.now() + milliseconds(1));
     EXPECT_TRUE(done);
-    EXPECT_GE(bed.device(0).stats.nonPmnetForwarded, 1u);
+    EXPECT_GE(bed.metrics().value("device0.nonPmnetForwarded"), 1u);
 }
 
 TEST(Scenario, SessionRestartAbandonsOutstanding)

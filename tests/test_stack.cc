@@ -68,6 +68,8 @@ struct MiniSystem
         client_config.sessionId = 1;
         clientLib = std::make_unique<ClientLib>(*client, client_config);
         clientLib->startSession();
+        clientLib->registerMetrics(metrics, "client");
+        serverLib->registerMetrics(metrics, "server");
     }
 
     Bytes
@@ -75,6 +77,21 @@ struct MiniSystem
     {
         return Bytes(text.begin(), text.end());
     }
+
+    /** Library counters, through the public registry surface. */
+    std::uint64_t
+    clientStat(const std::string &name) const
+    {
+        return metrics.value("client." + name);
+    }
+
+    std::uint64_t
+    serverStat(const std::string &name) const
+    {
+        return metrics.value("server." + name);
+    }
+
+    obs::MetricRegistry metrics;
 };
 
 // ---------------------------------------------------------- host
@@ -162,8 +179,8 @@ TEST(ClientServer, UpdateCompletesViaServerAck)
     EXPECT_TRUE(done);
     ASSERT_EQ(sys.applied.size(), 1u);
     EXPECT_EQ(sys.applied[0].second, "hello");
-    EXPECT_EQ(sys.clientLib->stats.completedByServerAck, 1u);
-    EXPECT_EQ(sys.clientLib->stats.completedByPmnetAck, 0u);
+    EXPECT_EQ(sys.clientStat("completedByServerAck"), 1u);
+    EXPECT_EQ(sys.clientStat("completedByPmnetAck"), 0u);
     EXPECT_EQ(sys.serverLib->appliedSeq(1), 1u);
 }
 
@@ -176,7 +193,7 @@ TEST(ClientServer, BypassGetsResponse)
     });
     sys.sim.run();
     EXPECT_EQ(response, "ok");
-    EXPECT_EQ(sys.serverLib->stats.bypassApplied, 1u);
+    EXPECT_EQ(sys.serverStat("bypassApplied"), 1u);
 }
 
 TEST(ClientServer, SequentialRequestsApplyInOrder)
@@ -228,8 +245,8 @@ TEST(ClientServer, CorruptedUpdateDroppedThenRetried)
                               [&]() { done = true; });
     sys.sim.run();
     EXPECT_TRUE(done);
-    EXPECT_EQ(sys.serverLib->stats.hashRejected, 1u);
-    EXPECT_GE(sys.clientLib->stats.timeouts, 1u);
+    EXPECT_EQ(sys.serverStat("hashRejected"), 1u);
+    EXPECT_GE(sys.clientStat("timeouts"), 1u);
     ASSERT_EQ(sys.applied.size(), 1u);
     EXPECT_EQ(sys.applied[0].second, "precious");
     EXPECT_EQ(sys.serverLib->appliedSeq(1), 1u);
@@ -260,8 +277,8 @@ TEST(NearData, CompletesWithResponseAndAck)
                                 });
     sys.sim.run();
     EXPECT_EQ(response, "42");
-    EXPECT_EQ(sys.clientLib->stats.nearDataCompleted, 1u);
-    EXPECT_EQ(sys.serverLib->stats.nearDataApplied, 1u);
+    EXPECT_EQ(sys.clientStat("nearDataCompleted"), 1u);
+    EXPECT_EQ(sys.serverStat("nearDataApplied"), 1u);
     ASSERT_EQ(sys.applied.size(), 1u);
     EXPECT_EQ(sys.applied[0].second, "INCR x");
     // Near-data requests consume the *update* sequence space and
@@ -319,10 +336,10 @@ TEST(NearData, DuplicateReplaysResponse)
                                 });
     sys.sim.run();
     EXPECT_EQ(response, "42");
-    EXPECT_EQ(sys.serverLib->stats.nearDataApplied, 1u);
-    EXPECT_EQ(sys.serverLib->stats.makeupAcks, 1u);
-    EXPECT_EQ(sys.serverLib->stats.replayedReplies, 1u);
-    EXPECT_EQ(sys.clientLib->stats.nearDataCompleted, 1u);
+    EXPECT_EQ(sys.serverStat("nearDataApplied"), 1u);
+    EXPECT_EQ(sys.serverStat("makeupAcks"), 1u);
+    EXPECT_EQ(sys.serverStat("replayedReplies"), 1u);
+    EXPECT_EQ(sys.clientStat("nearDataCompleted"), 1u);
 }
 
 // ------------------------------------------------- MTU fragmentation
@@ -373,8 +390,8 @@ TEST(Loss, LostUpdateRecoveredByClientTimeout)
     sys.sim.run();
     EXPECT_TRUE(done);
     ASSERT_EQ(sys.applied.size(), 1u);
-    EXPECT_GE(sys.clientLib->stats.timeouts, 1u);
-    EXPECT_GE(sys.clientLib->stats.packetsResent, 1u);
+    EXPECT_GE(sys.clientStat("timeouts"), 1u);
+    EXPECT_GE(sys.clientStat("packetsResent"), 1u);
 }
 
 TEST(Loss, GapTriggersServerRetransRequest)
@@ -396,10 +413,10 @@ TEST(Loss, GapTriggersServerRetransRequest)
     ASSERT_EQ(sys.applied.size(), 2u);
     EXPECT_EQ(sys.applied[0].second, "first") << "order preserved";
     EXPECT_EQ(sys.applied[1].second, "second");
-    EXPECT_GE(sys.serverLib->stats.retransRequested, 1u);
-    EXPECT_GE(sys.clientLib->stats.retransAnswered, 1u);
+    EXPECT_GE(sys.serverStat("retransRequested"), 1u);
+    EXPECT_GE(sys.clientStat("retransAnswered"), 1u);
     // Recovery happened via Retrans well before the client timeout.
-    EXPECT_EQ(sys.clientLib->stats.timeouts, 0u);
+    EXPECT_EQ(sys.clientStat("timeouts"), 0u);
 }
 
 TEST(Loss, LostServerAckTriggersMakeupAck)
@@ -418,8 +435,8 @@ TEST(Loss, LostServerAckTriggersMakeupAck)
     sys.sim.run();
     EXPECT_TRUE(done);
     EXPECT_EQ(sys.applied.size(), 1u) << "exactly-once application";
-    EXPECT_GE(sys.serverLib->stats.makeupAcks, 1u);
-    EXPECT_GE(sys.serverLib->stats.duplicatesDropped, 1u);
+    EXPECT_GE(sys.serverStat("makeupAcks"), 1u);
+    EXPECT_GE(sys.serverStat("duplicatesDropped"), 1u);
 }
 
 TEST(Loss, DuplicateBypassReplaysCachedReply)
@@ -436,9 +453,9 @@ TEST(Loss, DuplicateBypassReplaysCachedReply)
     });
     sys.sim.run();
     EXPECT_EQ(response, "ok");
-    EXPECT_EQ(sys.serverLib->stats.bypassApplied, 1u)
+    EXPECT_EQ(sys.serverStat("bypassApplied"), 1u)
         << "bypass applied once despite resend";
-    EXPECT_GE(sys.serverLib->stats.replayedReplies, 1u);
+    EXPECT_GE(sys.serverStat("replayedReplies"), 1u);
 }
 
 TEST(Loss, RandomLossEventuallyAllApplied)
@@ -531,7 +548,9 @@ TEST(Reorder, DuplicateWhileQueuedIsDroppedSilently)
     server.receive(pkt, 0); // duplicate before processing finishes
     sim.run();
     EXPECT_EQ(applied, 1);
-    EXPECT_GE(lib.stats.duplicatesDropped, 1u);
+    obs::MetricRegistry reg;
+    lib.registerMetrics(reg, "server");
+    EXPECT_GE(reg.value("server.duplicatesDropped"), 1u);
 }
 
 // ------------------------------------------------------ worker pool
@@ -563,7 +582,9 @@ TEST(Workers, CrossSessionParallelSingleSessionSerial)
                        0);
     }
     sim.run();
-    EXPECT_EQ(lib.stats.updatesApplied, 4u);
+    obs::MetricRegistry reg;
+    lib.registerMetrics(reg, "server");
+    EXPECT_EQ(reg.value("server.updatesApplied"), 4u);
 
     // 3 requests on one session: serialized by the session.
     Tick t0 = sim.now();
@@ -606,7 +627,9 @@ TEST(Workers, BacklogDrains)
     EXPECT_GT(lib.backlog(), 0u);
     sim.run();
     EXPECT_EQ(lib.backlog(), 0u);
-    EXPECT_EQ(lib.stats.updatesApplied, 10u);
+    obs::MetricRegistry reg;
+    lib.registerMetrics(reg, "server");
+    EXPECT_EQ(reg.value("server.updatesApplied"), 10u);
 }
 
 TEST(ClientServer, UpdateResponseCannotCompleteBypassWithSameSeq)

@@ -258,23 +258,26 @@ printTextReport(const Options &opts, testbed::Testbed &bed,
                         results.lockConflicts));
 
     for (std::size_t d = 0; d < bed.deviceCount(); d++) {
-        const auto &stats = bed.device(d).stats;
+        const obs::MetricRegistry &metrics = bed.metrics();
+        const std::string prefix = bed.devicePrefix(d);
         std::printf("\npmnet device #%zu: seen %llu, logged %llu, "
                     "acks %llu, invalidations %llu, bypass "
                     "(coll/full/large) %llu/%llu/%llu",
                     d + 1,
-                    static_cast<unsigned long long>(stats.updatesSeen),
                     static_cast<unsigned long long>(
-                        stats.updatesLogged),
-                    static_cast<unsigned long long>(stats.acksSent),
+                        metrics.value(prefix + ".updatesSeen")),
                     static_cast<unsigned long long>(
-                        stats.invalidations),
+                        metrics.value(prefix + ".updatesLogged")),
                     static_cast<unsigned long long>(
-                        stats.bypassCollision),
+                        metrics.value(prefix + ".acksSent")),
                     static_cast<unsigned long long>(
-                        stats.bypassQueueFull),
+                        metrics.value(prefix + ".invalidations")),
                     static_cast<unsigned long long>(
-                        stats.bypassTooLarge));
+                        metrics.value(prefix + ".bypassCollision")),
+                    static_cast<unsigned long long>(
+                        metrics.value(prefix + ".bypassQueueFull")),
+                    static_cast<unsigned long long>(
+                        metrics.value(prefix + ".bypassTooLarge")));
         if (opts.cache && d + 1 == bed.deviceCount()) {
             auto &cache = bed.device(d).cache();
             std::printf(", cache hits/misses %llu/%llu",
@@ -293,8 +296,8 @@ printTextReport(const Options &opts, testbed::Testbed &bed,
 
     if (opts.failServerAtMs >= 0 && bed.deviceCount() > 0)
         std::printf("\nrecovery replayed %llu logged requests\n",
-                    static_cast<unsigned long long>(
-                        bed.device(0).stats.recoveryResent));
+                    static_cast<unsigned long long>(bed.metrics().value(
+                        bed.devicePrefix(0) + ".recoveryResent")));
 
     if (opts.traceEvents > 0 && bed.deviceCount() > 0) {
         std::printf("\nlast %zu device #1 events (of %llu recorded):\n",
